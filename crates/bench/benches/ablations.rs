@@ -1,0 +1,157 @@
+//! Ablations for the design choices the paper discusses in prose:
+//!
+//! 1. **Store-buffer size sweep** (§6.2.1/§6.2.3): LavaMD and SRAD
+//!    coalesce badly when the buffer is small; DeNovo's ownership makes
+//!    it nearly insensitive.
+//! 2. **Read-only region on/off** (§6.3): what the single software
+//!    region buys DD on the benchmarks with reusable read-only data.
+//! 3. **DeNovo-H delayed ownership** (§3's "can delay obtaining
+//!    ownership" remark): our opt-in `dh_delayed_ownership` knob.
+//! 4. **L1 size sweep**: how the ownership advantage scales with cache
+//!    capacity.
+//! 5. **DeNovoSync reader backoff** (paper [18], omitted from the paper
+//!    "for simplicity"): what throttling contended sync reads buys.
+
+use gsim_bench::{run, run_with, save};
+use gsim_core::SystemConfig;
+use gsim_mem::CacheGeometry;
+use gsim_types::ProtocolConfig;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut out = String::new();
+
+    let _ = writeln!(out, "=== Ablation 1: store-buffer size (LAVA, SRAD) ===\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>14} {:>14} {:>16} {:>14}",
+        "bench", "entries", "GD cycles", "DD cycles", "GD overflow WTs", "GD/DD traffic"
+    );
+    for bench in ["LAVA", "SRAD"] {
+        for entries in [64, 128, 256, 512] {
+            let mut gd = SystemConfig::micro15(ProtocolConfig::Gd);
+            gd.sb_entries = entries;
+            let mut dd = SystemConfig::micro15(ProtocolConfig::Dd);
+            dd.sb_entries = entries;
+            let (g, d) = (run_with(bench, gd), run_with(bench, dd));
+            let _ = writeln!(
+                out,
+                "{:<8} {:>8} {:>14} {:>14} {:>16} {:>13.2}x",
+                bench,
+                entries,
+                g.cycles,
+                d.cycles,
+                g.counts.sb_overflow_flushes,
+                g.traffic.total() as f64 / d.traffic.total() as f64
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n(The paper's claim: a small buffer hurts GPU coherence's coalescing;\n\
+         DeNovo only pays an ownership request per line, and once registered\n\
+         writes hit in the L1 regardless of buffer size.)\n"
+    );
+
+    let _ = writeln!(out, "=== Ablation 2: the read-only region (DD vs DD+RO) ===\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>12} {:>18} {:>18}",
+        "bench", "DD cycles", "DD+RO", "DD invalidated", "DD+RO invalidated"
+    );
+    for bench in ["UTS", "SGEMM", "NN", "SPM_L"] {
+        let d = run(bench, ProtocolConfig::Dd);
+        let r = run(bench, ProtocolConfig::DdRo);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>12} {:>18} {:>18}",
+            bench,
+            d.cycles,
+            r.cycles,
+            d.counts.words_invalidated,
+            r.counts.words_invalidated
+        );
+    }
+
+    let _ = writeln!(out, "\n=== Ablation 3: DeNovo-H delayed local ownership ===\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>14} {:>14} {:>14} {:>14} {:>13}",
+        "bench", "DH cycles", "DH+delay", "DH regs", "DH+delay regs", "atomic flits"
+    );
+    for bench in ["SPM_L", "FAM_L", "SS_L", "TB_LG"] {
+        let base = run(bench, ProtocolConfig::Dh);
+        let mut cfg = SystemConfig::micro15(ProtocolConfig::Dh);
+        cfg.dh_delayed_ownership = true;
+        let delayed = run_with(bench, cfg);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>14} {:>14} {:>14} {:>14} {:>6} -> {:>4}",
+            bench,
+            base.cycles,
+            delayed.cycles,
+            base.counts.registrations,
+            delayed.counts.registrations,
+            base.traffic.class(gsim_types::MsgClass::Atomic),
+            delayed.traffic.class(gsim_types::MsgClass::Atomic)
+        );
+    }
+
+    let _ = writeln!(out, "\n=== Ablation 4: L1 capacity sweep (LAVA, D* vs G*) ===\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>12} {:>14}",
+        "L1 KB", "GD cycles", "DD cycles", "DD advantage"
+    );
+    for kb in [8u64, 16, 32, 64] {
+        let geom = CacheGeometry {
+            size_bytes: kb * 1024,
+            ways: 8,
+        };
+        let mut gd = SystemConfig::micro15(ProtocolConfig::Gd);
+        gd.l1_geometry = geom;
+        let mut dd = SystemConfig::micro15(ProtocolConfig::Dd);
+        dd.l1_geometry = geom;
+        let (g, d) = (run_with("LAVA", gd), run_with("LAVA", dd));
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>12} {:>13.1}%",
+            kb,
+            g.cycles,
+            d.cycles,
+            (1.0 - d.cycles as f64 / g.cycles as f64) * 100.0
+        );
+    }
+
+    let _ = writeln!(out, "\n=== Ablation 5: DeNovoSync reader backoff (DD vs DD+backoff) ===\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>14} {:>14} {:>14}",
+        "bench", "DD cycles", "DD+BO cycles", "DD atm flits", "DD+BO flits"
+    );
+    for bench in ["FAM_G", "SPM_G", "SLM_G", "UTS"] {
+        let base = run(bench, ProtocolConfig::Dd);
+        let mut cfg = SystemConfig::micro15(ProtocolConfig::Dd);
+        cfg.denovo_sync_backoff = true;
+        let bo = run_with(bench, cfg);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>14} {:>14} {:>14}",
+            bench,
+            base.cycles,
+            bo.cycles,
+            base.traffic.class(gsim_types::MsgClass::Atomic),
+            bo.traffic.class(gsim_types::MsgClass::Atomic)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n(DeNovoSync [18] throttles sync-read registrations under\n\
+         read-read contention; the paper evaluates DeNovoSync0 only and\n\
+         omits the backoff \"for simplicity\". Shipped here as the opt-in\n\
+         `denovo_sync_backoff` knob.)"
+    );
+
+    println!("{out}");
+    save("ablations.txt", &out);
+}

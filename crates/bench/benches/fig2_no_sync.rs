@@ -1,0 +1,44 @@
+//! Figure 2: execution time (a), dynamic energy (b), and network
+//! traffic (c) for the ten applications without intra-kernel
+//! synchronization — G* versus D*, normalized to D*.
+//!
+//! HRF changes nothing here (no local synchronization exists), so GD/GH
+//! collapse to G* and DD/DH to D*, exactly as in the paper. The headline
+//! shape: G* ≈ D* on average, with LavaMD's traffic collapsing under D*
+//! (the store-buffer overflow effect of §6.2.1).
+
+use gsim_bench::{save, three_panels};
+use gsim_types::ProtocolConfig;
+
+fn main() {
+    let benches = ["BP", "PF", "LUD", "NW", "SGEMM", "ST", "HS", "NN", "SRAD", "LAVA"];
+    eprintln!("Figure 2: {} applications x 2 configurations", benches.len());
+    let panels = three_panels(
+        "Fig 2",
+        &benches,
+        &[ProtocolConfig::Gd, ProtocolConfig::Dd],
+        &["G*", "D*"],
+        1, // normalized to D*
+    );
+    let mut csv = String::new();
+    for p in &panels {
+        println!("\n{}", p.render());
+        csv.push_str(&p.to_csv());
+        csv.push('\n');
+    }
+    save("fig2_no_sync.csv", &csv);
+
+    // The paper's §6.2.1 takeaways, checked here so a regression in the
+    // reproduced shape fails the bench run loudly.
+    let time_gap = (panels[0].average(0) - 100.0).abs();
+    assert!(
+        time_gap < 10.0,
+        "G* and D* should be within a few percent on no-sync apps; gap {time_gap:.1}%"
+    );
+    let lava_traffic = &panels[2].rows.iter().find(|(n, _)| n == "LAVA").unwrap().1;
+    assert!(
+        lava_traffic[0] > 2.0 * lava_traffic[1],
+        "LavaMD: G* traffic must blow up against D* (store-buffer overflow)"
+    );
+    println!("Shape checks passed: G* ~ D* on average; LavaMD traffic collapses under D*.");
+}

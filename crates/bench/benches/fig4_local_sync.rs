@@ -1,0 +1,52 @@
+//! Figure 4: execution time (a), dynamic energy (b), and network
+//! traffic (c) for the nine benchmarks with mostly locally scoped or
+//! hybrid synchronization — all five configurations, normalized to GD.
+//!
+//! The paper's reading of this figure (§6.1-§6.4):
+//! * GH is far better than GD (locally scoped sync runs at the L1);
+//! * GH modestly beats DD on average (DD invalidates valid read-only
+//!   data at its global acquires);
+//! * DD+RO closes that gap without HRF;
+//! * DH is the best configuration overall.
+
+use gsim_bench::{save, three_panels};
+use gsim_types::ProtocolConfig;
+
+fn main() {
+    let benches = [
+        "SPM_L", "SPMBO_L", "FAM_L", "SLM_L", "SS_L", "SSBO_L", "TBEX_LG", "TB_LG", "UTS",
+    ];
+    eprintln!("Figure 4: {} benchmarks x 5 configurations", benches.len());
+    let panels = three_panels(
+        "Fig 4",
+        &benches,
+        &ProtocolConfig::ALL,
+        &["GD", "GH", "DD", "DD+RO", "DH"],
+        0, // normalized to GD
+    );
+    let mut csv = String::new();
+    for p in &panels {
+        println!("\n{}", p.render());
+        csv.push_str(&p.to_csv());
+        csv.push('\n');
+    }
+    save("fig4_local_sync.csv", &csv);
+
+    let (gh, dd, ddro, dh) = (
+        panels[0].average(1),
+        panels[0].average(2),
+        panels[0].average(3),
+        panels[0].average(4),
+    );
+    println!(
+        "\nTime averages vs GD: GH {gh:.0}% (paper 54%), DD {dd:.0}%, DD+RO {ddro:.0}% (~GH), DH {dh:.0}% (best)"
+    );
+    assert!(gh < 80.0, "GH must be far better than GD: {gh:.1}%");
+    assert!(ddro <= dd + 1.0, "DD+RO must not lose to DD: {ddro:.1} vs {dd:.1}");
+    assert!(dh <= dd + 1.0, "DH must not lose to DD: {dh:.1} vs {dd:.1}");
+    assert!(
+        dh <= gh + 3.0 && dh <= ddro + 3.0,
+        "DH must be the best protocol: dh={dh:.1} gh={gh:.1} ddro={ddro:.1}"
+    );
+    println!("Shape checks passed: GH << GD; DD+RO ~ GH; DH best overall.");
+}

@@ -1,0 +1,134 @@
+//! Sensitivity sweep over the synthetic mutex space (no direct paper
+//! analogue — it interpolates between Figure 3's single global lock and
+//! Figure 4's per-CU locks): contention level x protocol, plus a
+//! critical-section-size sweep at full contention.
+
+use gsim_bench::{run, save};
+use gsim_core::{Simulator, SystemConfig};
+use gsim_types::ProtocolConfig;
+use gsim_workloads::synth::{synthetic_mutex, SynthParams};
+use std::fmt::Write as _;
+
+fn cycles(p: &SynthParams, cfg: ProtocolConfig) -> u64 {
+    Simulator::new(SystemConfig::micro15(cfg))
+        .run(&synthetic_mutex(p))
+        .unwrap_or_else(|e| panic!("{} under {cfg}: {e}", synthetic_mutex(p).name))
+        .cycles
+}
+
+fn main() {
+    let mut out = String::new();
+
+    let _ = writeln!(out, "=== Contention sweep (45 blocks, 20 CSs each, 10 words/CS) ===\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>12} {:>12} {:>14}",
+        "locks", "GD cycles", "GH cycles", "DD cycles", "DD vs GD"
+    );
+    for locks in [1usize, 3, 9, 15, 45] {
+        let p = SynthParams {
+            locks,
+            ..SynthParams::default()
+        };
+        let gd = cycles(&p, ProtocolConfig::Gd);
+        let gh = cycles(&p, ProtocolConfig::Gh);
+        let dd = cycles(&p, ProtocolConfig::Dd);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>12} {:>12} {:>13.1}%",
+            locks,
+            gd,
+            gh,
+            dd,
+            (1.0 - dd as f64 / gd as f64) * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n(Ownership wins whenever a lock has same-CU sharers that reuse\n\
+         the registered word in the L1 — and LOSES at locks=9, where each\n\
+         lock's five sharers sit on five different CUs: the word\n\
+         ping-pongs over three-hop owner forwards with zero reuse. That\n\
+         is the paper's own §4.1 caveat — \"obtaining ownership ... can\n\
+         sometimes increase miss latency; e.g., an extra hop\" — made\n\
+         visible at one point of the sweep.)\n"
+    );
+
+    let _ = writeln!(out, "=== Critical-section size sweep (1 lock, global) ===\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>14}",
+        "CS words", "GD cycles", "DD cycles", "DD vs GD"
+    );
+    for cs_words in [1usize, 4, 10, 16] {
+        let p = SynthParams {
+            cs_words,
+            ..SynthParams::default()
+        };
+        let gd = cycles(&p, ProtocolConfig::Gd);
+        let dd = cycles(&p, ProtocolConfig::Dd);
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>12} {:>13.1}%",
+            cs_words,
+            gd,
+            dd,
+            (1.0 - dd as f64 / gd as f64) * 100.0
+        );
+    }
+
+    let _ = writeln!(out, "\n=== Think-time sweep (1 lock, global, 10 words/CS) ===\n");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>14}",
+        "think (cyc)", "GD cycles", "DD cycles", "DD vs GD"
+    );
+    for think_cycles in [0u32, 100, 400, 1600] {
+        let p = SynthParams {
+            think_cycles,
+            ..SynthParams::default()
+        };
+        let gd = cycles(&p, ProtocolConfig::Gd);
+        let dd = cycles(&p, ProtocolConfig::Dd);
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12} {:>12} {:>13.1}%",
+            think_cycles,
+            gd,
+            dd,
+            (1.0 - dd as f64 / gd as f64) * 100.0
+        );
+    }
+
+    let _ = writeln!(out, "\n=== Pannotia-style graph extensions (BFS, SSSP) ===\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:<8} {:>12} {:>16} {:>12}",
+        "bench", "config", "cycles", "traffic (flits)", "L1 hit %"
+    );
+    for bench in ["BFS", "SSSP"] {
+        for cfg in ProtocolConfig::ALL {
+            let s = run(bench, cfg);
+            let _ = writeln!(
+                out,
+                "{:<8} {:<8} {:>12} {:>16} {:>11.1}%",
+                bench,
+                cfg.to_string(),
+                s.cycles,
+                s.traffic.total(),
+                s.counts.l1_load_hit_rate().unwrap_or(0.0) * 100.0
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n(The paper's §7.2 notes the Pannotia benchmarks were not public;\n\
+         these equivalents show the pattern scopes cannot touch: every\n\
+         atomic-min relaxation is dynamically shared, so GD == GH exactly,\n\
+         and the read-only region (DD+RO) — which keeps the CSR structure\n\
+         across the relaxations' acquires — is the decisive optimization.)"
+    );
+
+    println!("{out}");
+    save("sensitivity.txt", &out);
+}

@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks of the *simulator itself*: how fast the
+//! engine retires simulated work under each protocol family. Useful for
+//! keeping the reproduction practical to run (the figures re-simulate
+//! 23 benchmarks x 5 configurations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsim_core::{Simulator, SystemConfig};
+use gsim_types::ProtocolConfig;
+use gsim_workloads::{registry, Scale};
+use std::hint::black_box;
+
+fn bench_config(c: &mut Criterion, name: &str, protocol: ProtocolConfig) {
+    let bench = registry::by_name(name).expect("known benchmark");
+    c.bench_function(&format!("{name}/{protocol}"), |b| {
+        b.iter(|| {
+            let stats = Simulator::new(SystemConfig::micro15(protocol))
+                .run(&(bench.build)(Scale::Tiny))
+                .expect("verified run");
+            black_box(stats.cycles)
+        })
+    });
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    for protocol in [ProtocolConfig::Gd, ProtocolConfig::Gh, ProtocolConfig::Dd] {
+        bench_config(c, "SPM_G", protocol);
+        bench_config(c, "UTS", protocol);
+        bench_config(c, "SGEMM", protocol);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = simulator_throughput
+}
+criterion_main!(benches);

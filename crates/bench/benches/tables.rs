@@ -1,0 +1,123 @@
+//! Tables 1-5 and the §4.2 overhead accounting, regenerated from the
+//! implementation itself: the classification and feature matrices are
+//! computed from the protocol code's own predicates, the system table
+//! from `SystemConfig::micro15`, and the benchmark list from the
+//! registry.
+
+use gsim_bench::save;
+use gsim_core::SystemConfig;
+use gsim_protocol::features::{table5, Feature, Support};
+use gsim_protocol::overhead::StateBits;
+use gsim_protocol::taxonomy::table1;
+use gsim_types::ProtocolConfig;
+use gsim_workloads::registry;
+use std::fmt::Write as _;
+
+fn main() {
+    let mut out = String::new();
+
+    let _ = writeln!(out, "=== Table 1: Classification of protocols ===\n");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<8} {:<12} {:<12} Scopes?",
+        "Class", "Example", "Invalidation", "Tracking"
+    );
+    for row in table1() {
+        let _ = writeln!(out, "{row}");
+    }
+
+    let _ = writeln!(out, "\n=== Table 2: Feature comparison (studied configs) ===\n");
+    let configs = [
+        ProtocolConfig::Gd,
+        ProtocolConfig::Gh,
+        ProtocolConfig::Dd,
+        ProtocolConfig::Dh,
+    ];
+    let _ = write!(out, "{:<24}", "Feature");
+    for c in configs {
+        let _ = write!(out, "{:>16}", c.abbrev());
+    }
+    let _ = writeln!(out);
+    for f in Feature::ALL {
+        let _ = write!(out, "{:<24}", f.label());
+        for c in configs {
+            let _ = write!(out, "{:>16}", Support::of(c, f).to_string());
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(out, "\n=== Table 3: Simulated system parameters ===\n");
+    let cfg = SystemConfig::micro15(ProtocolConfig::Dd);
+    let _ = writeln!(out, "GPU CUs                  {}", cfg.gpu_cus);
+    let _ = writeln!(out, "Thread blocks per CU     {}", cfg.tbs_per_cu);
+    let _ = writeln!(
+        out,
+        "L1 size ({}-way)          {} KB",
+        cfg.l1_geometry.ways,
+        cfg.l1_geometry.size_bytes / 1024
+    );
+    let _ = writeln!(
+        out,
+        "L2 size ({} banks)       {} MB",
+        cfg.l2.banks,
+        cfg.l2.bank_geometry.size_bytes * cfg.l2.banks as u64 / (1 << 20)
+    );
+    let _ = writeln!(out, "Store buffer entries     {}", cfg.sb_entries);
+    let _ = writeln!(
+        out,
+        "Mesh                     {}x{}, XY routing",
+        cfg.mesh.cols, cfg.mesh.rows
+    );
+    let _ = writeln!(
+        out,
+        "Achieved latencies       L1 1 cycle; L2 29-61; remote L1 35-83; memory 197-261"
+    );
+    let _ = writeln!(out, "                         (asserted by gsim-core's latency tests)");
+
+    let _ = writeln!(out, "\n=== Table 4: Benchmarks ===\n");
+    let mut group = None;
+    for b in registry::all() {
+        if group != Some(b.group) {
+            group = Some(b.group);
+            let _ = writeln!(out, "-- {:?} --", b.group);
+        }
+        let _ = writeln!(out, "{:<10} {}", b.name, b.table4_input);
+    }
+
+    let _ = writeln!(out, "\n=== Table 5: DeNovo-D vs related GPU coherence ===\n");
+    let related = table5();
+    let _ = write!(out, "{:<24}", "Feature");
+    for s in &related {
+        let _ = write!(out, "{:>16}", s.name);
+    }
+    let _ = writeln!(out);
+    for (i, f) in Feature::ALL.iter().enumerate() {
+        let _ = write!(out, "{:<24}", f.label());
+        for s in &related {
+            let _ = write!(out, "{:>16}", s.support[i].to_string());
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(out, "\n=== Section 4.2: State-bit overheads ===\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>16} {:>12} {:>16} {:>12}",
+        "Config", "L1 bits/line", "L1 overhead", "L2 bits/line", "L2 overhead"
+    );
+    for c in ProtocolConfig::ALL {
+        let s = StateBits::of(c);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>16} {:>11.1}% {:>16} {:>11.1}%",
+            c.abbrev(),
+            s.l1_bits_per_line(),
+            s.l1_overhead_fraction() * 100.0,
+            s.l2_bits_per_line(),
+            s.l2_overhead_fraction() * 100.0
+        );
+    }
+
+    println!("{out}");
+    save("tables.txt", &out);
+}

@@ -1,0 +1,103 @@
+//! Whole-system configuration: the paper's Table 3 parameters plus the
+//! protocol/consistency configuration under study.
+
+use gsim_mem::CacheGeometry;
+use gsim_noc::MeshConfig;
+use gsim_protocol::L2Config;
+use gsim_types::{Cycle, ProtocolConfig};
+
+/// Configuration of one simulated heterogeneous system.
+///
+/// [`SystemConfig::micro15`] reproduces the paper's Table 3: 15 GPU CUs
+/// plus one (functional) CPU core on a 4x4 mesh, 32 KB 8-way L1s, a 4 MB
+/// 16-bank NUCA L2, and 256-entry coalescing store buffers. The
+/// interconnect, L2, and DRAM latencies are calibrated so the achieved
+/// end-to-end latencies land in Table 3's ranges (asserted by this
+/// crate's `latency_ranges` tests).
+///
+/// # Examples
+///
+/// ```
+/// use gsim_core::SystemConfig;
+/// use gsim_types::ProtocolConfig;
+///
+/// let cfg = SystemConfig::micro15(ProtocolConfig::Dd);
+/// assert_eq!(cfg.gpu_cus, 15);
+/// assert_eq!(cfg.sb_entries, 256);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// The protocol/consistency configuration under study (paper §5.3).
+    pub protocol: ProtocolConfig,
+    /// Mesh geometry and link timing.
+    pub mesh: MeshConfig,
+    /// Shared L2 sizing and timing (includes DRAM).
+    pub l2: L2Config,
+    /// Per-CU L1 geometry.
+    pub l1_geometry: CacheGeometry,
+    /// Store-buffer capacity in line entries.
+    pub sb_entries: usize,
+    /// Maximum outstanding miss lines per L1.
+    pub mshr_entries: usize,
+    /// Number of GPU compute units.
+    pub gpu_cus: usize,
+    /// Resident thread blocks per CU (further blocks queue).
+    pub tbs_per_cu: usize,
+    /// DeNovo-H ablation: local sync ops delay obtaining ownership.
+    pub dh_delayed_ownership: bool,
+    /// DeNovoSync extension: exponential backoff on contended sync-read
+    /// registrations (the paper's §3 omits it "for simplicity").
+    pub denovo_sync_backoff: bool,
+    /// Watchdog: abort the run after this many cycles.
+    pub max_cycles: Cycle,
+}
+
+impl SystemConfig {
+    /// The paper's Table 3 system running `protocol`.
+    pub fn micro15(protocol: ProtocolConfig) -> Self {
+        SystemConfig {
+            protocol,
+            mesh: MeshConfig::default(),
+            l2: L2Config::default(),
+            l1_geometry: CacheGeometry::l1(),
+            sb_entries: 256,
+            mshr_entries: 32,
+            gpu_cus: 15,
+            tbs_per_cu: 3,
+            dh_delayed_ownership: false,
+            denovo_sync_backoff: false,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// The CU a thread block is scheduled on — a fixed modulo mapping
+    /// shared with the workload generators, so locally scoped workloads
+    /// can co-locate the thread blocks that synchronize locally.
+    pub fn cu_of_tb(&self, tb: u32) -> usize {
+        tb as usize % self.gpu_cus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_parameters() {
+        let c = SystemConfig::micro15(ProtocolConfig::Gd);
+        assert_eq!(c.l1_geometry.size_bytes, 32 * 1024);
+        assert_eq!(c.l1_geometry.ways, 8);
+        assert_eq!(c.l2.bank_geometry.size_bytes * c.l2.banks as u64, 4 << 20);
+        assert_eq!(c.mesh.nodes(), 16);
+        assert_eq!(c.tbs_per_cu, 3);
+    }
+
+    #[test]
+    fn tb_mapping_is_modulo() {
+        let c = SystemConfig::micro15(ProtocolConfig::Dd);
+        assert_eq!(c.cu_of_tb(0), 0);
+        assert_eq!(c.cu_of_tb(15), 0);
+        assert_eq!(c.cu_of_tb(16), 1);
+        assert_eq!(c.cu_of_tb(44), 14);
+    }
+}

@@ -1,0 +1,646 @@
+//! The kernel IR: the small register machine thread blocks execute.
+//!
+//! Workloads are written against this IR instead of CUDA (paper §5.2
+//! used CUDA 3.1 under GPGPU-Sim). A thread block is modelled as one
+//! in-order execution stream whose memory operations represent the
+//! coalesced accesses of its threads; multiple resident thread blocks
+//! per CU overlap to hide latency, which is the first-order core effect
+//! behind the paper's results (see DESIGN.md §1).
+//!
+//! # Examples
+//!
+//! A tiny spin-lock critical section:
+//!
+//! ```
+//! use gsim_core::kernel::{imm, r, KernelBuilder};
+//! use gsim_types::{AtomicOp, Scope, SyncOrd};
+//!
+//! let mut b = KernelBuilder::new();
+//! // r0 holds the lock's word address, r1 a data word address.
+//! b.label("spin");
+//! b.atomic(2, b.at(0, 0), AtomicOp::Exch, imm(1), imm(0), SyncOrd::AcqRel, Scope::Global);
+//! b.bnz(r(2), "spin"); // old value 1 = lock was held, retry
+//! b.ld(3, b.at(1, 0));
+//! b.alu_add(3, r(3), imm(1));
+//! b.st(b.at(1, 0), r(3));
+//! b.atomic(2, b.at(0, 0), AtomicOp::Write, imm(0), imm(0), SyncOrd::Release, Scope::Global);
+//! b.halt();
+//! let program = b.build();
+//! assert!(program.len() > 0);
+//! ```
+
+use gsim_types::{AtomicOp, Region, Scope, SyncOrd, Value, WordAddr};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A register index; thread blocks have [`NUM_REGS`] registers.
+pub type Reg = u8;
+
+/// Registers per thread block.
+pub const NUM_REGS: usize = 32;
+
+/// A register or immediate operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// The value of a register.
+    Reg(Reg),
+    /// A constant.
+    Imm(Value),
+}
+
+/// Shorthand for a register operand.
+pub fn r(reg: Reg) -> Operand {
+    Operand::Reg(reg)
+}
+
+/// Shorthand for an immediate operand.
+pub fn imm(value: Value) -> Operand {
+    Operand::Imm(value)
+}
+
+impl Operand {
+    /// Evaluates the operand against a register file.
+    #[inline]
+    pub fn eval(self, regs: &[Value; NUM_REGS]) -> Value {
+        match self {
+            Operand::Reg(r) => regs[r as usize],
+            Operand::Imm(v) => v,
+        }
+    }
+}
+
+/// A memory reference: `word address = regs[base] + offset` (registers
+/// hold *word* addresses; none of the paper's benchmarks need byte
+/// accesses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRef {
+    /// Register holding the base word address.
+    pub base: Reg,
+    /// Constant word offset.
+    pub offset: u32,
+}
+
+impl MemRef {
+    /// Resolves the reference against a register file.
+    #[inline]
+    pub fn word(self, regs: &[Value; NUM_REGS]) -> WordAddr {
+        WordAddr(regs[self.base as usize] as u64 + self.offset as u64)
+    }
+}
+
+/// Integer ALU operations (all 1 cycle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (x / 0 = 0, like saturating GPU semantics).
+    Div,
+    /// Remainder (x % 0 = x).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (modulo 32).
+    Shl,
+    /// Logical right shift (modulo 32).
+    Shr,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// 1 if equal else 0.
+    CmpEq,
+    /// 1 if not equal else 0.
+    CmpNe,
+    /// 1 if a < b else 0 (unsigned).
+    CmpLt,
+    /// 1 if a >= b else 0 (unsigned).
+    CmpGe,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    #[inline]
+    pub fn apply(self, a: Value, b: Value) -> Value {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => a.checked_div(b).unwrap_or(0),
+            AluOp::Rem => a.checked_rem(b).unwrap_or(a),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl(b),
+            AluOp::Shr => a.wrapping_shr(b),
+            AluOp::Min => a.min(b),
+            AluOp::Max => a.max(b),
+            AluOp::CmpEq => (a == b) as Value,
+            AluOp::CmpNe => (a != b) as Value,
+            AluOp::CmpLt => (a < b) as Value,
+            AluOp::CmpGe => (a >= b) as Value,
+        }
+    }
+}
+
+/// One IR instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = a op b`.
+    Alu {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Operand,
+        /// The operation.
+        op: AluOp,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Global load: `dst = mem[addr]`. `region` is the DD+RO annotation.
+    Ld {
+        /// Destination register.
+        dst: Reg,
+        /// The word address.
+        addr: MemRef,
+        /// The software region annotation (an opcode bit in the paper).
+        region: Region,
+    },
+    /// Global store: `mem[addr] = src`.
+    St {
+        /// The word address.
+        addr: MemRef,
+        /// The stored value.
+        src: Operand,
+    },
+    /// Synchronization access: `dst = old value; mem[addr] = op(...)`,
+    /// with acquire/release ordering and an HRF scope (ignored under
+    /// DRF configurations).
+    Atomic {
+        /// Receives the pre-operation value.
+        dst: Reg,
+        /// The synchronization word.
+        addr: MemRef,
+        /// The read-modify-write operation.
+        op: AtomicOp,
+        /// First operand (e.g. the CAS compare value).
+        a: Operand,
+        /// Second operand (e.g. the CAS new value).
+        b: Operand,
+        /// Acquire/release flavour (the §2 program-order rules).
+        ord: SyncOrd,
+        /// HRF scope (ignored by DRF configurations).
+        scope: Scope,
+    },
+    /// Scratchpad load: `dst = scratch[addr]` (per-thread-block).
+    LdScratch {
+        /// Destination register.
+        dst: Reg,
+        /// Scratch word index.
+        addr: MemRef,
+    },
+    /// Scratchpad store: `scratch[addr] = src`.
+    StScratch {
+        /// Scratch word index.
+        addr: MemRef,
+        /// The stored value.
+        src: Operand,
+    },
+    /// `cycles` cycles of pure compute (FPU work, backoff delays); other
+    /// thread blocks keep issuing meanwhile.
+    Compute {
+        /// How long to compute for.
+        cycles: Operand,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Branch to `target` when `cond != 0`.
+    Bnz {
+        /// The condition operand.
+        cond: Operand,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Branch to `target` when `cond == 0`.
+    Bz {
+        /// The condition operand.
+        cond: Operand,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Thread block finished.
+    Halt,
+}
+
+/// A validated, label-resolved kernel program.
+///
+/// `Display` renders a disassembly with instruction indices — handy when
+/// a watchdog report points at a `pc`:
+///
+/// ```
+/// use gsim_core::kernel::{imm, r, KernelBuilder};
+///
+/// let mut b = KernelBuilder::new();
+/// b.label("spin");
+/// b.mov(1, imm(0));
+/// b.bnz(r(1), "spin");
+/// b.halt();
+/// let text = b.build().to_string();
+/// assert!(text.contains("0: mov r1, 0"));
+/// assert!(text.contains("1: bnz r1, -> 0"));
+/// ```
+#[derive(Debug, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of bounds (an engine bug: control flow can
+    /// only reach validated targets and every path ends in `Halt`).
+    #[inline]
+    pub fn instr(&self, pc: usize) -> Instr {
+        self.instrs[pc]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "r{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl std::fmt::Display for MemRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.offset == 0 {
+            write!(f, "[r{}]", self.base)
+        } else {
+            write!(f, "[r{} + {}]", self.base, self.offset)
+        }
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (pc, i) in self.instrs.iter().enumerate() {
+            write!(f, "{pc:>4}: ")?;
+            match i {
+                Instr::Mov { dst, src } => writeln!(f, "mov r{dst}, {src}")?,
+                Instr::Alu { dst, a, op, b } => {
+                    writeln!(f, "{} r{dst}, {a}, {b}", format!("{op:?}").to_lowercase())?
+                }
+                Instr::Ld { dst, addr, region } => match region {
+                    Region::Default => writeln!(f, "ld r{dst}, {addr}")?,
+                    Region::ReadOnly => writeln!(f, "ld.ro r{dst}, {addr}")?,
+                },
+                Instr::St { addr, src } => writeln!(f, "st {addr}, {src}")?,
+                Instr::Atomic {
+                    dst,
+                    addr,
+                    op,
+                    a,
+                    b,
+                    ord,
+                    scope,
+                } => writeln!(
+                    f,
+                    "atomic.{}.{ord:?}.{scope} r{dst}, {addr}, {a}, {b}",
+                    format!("{op:?}").to_lowercase()
+                )?,
+                Instr::LdScratch { dst, addr } => writeln!(f, "lds r{dst}, {addr}")?,
+                Instr::StScratch { addr, src } => writeln!(f, "sts {addr}, {src}")?,
+                Instr::Compute { cycles } => writeln!(f, "compute {cycles}")?,
+                Instr::Jmp { target } => writeln!(f, "jmp -> {target}")?,
+                Instr::Bnz { cond, target } => writeln!(f, "bnz {cond}, -> {target}")?,
+                Instr::Bz { cond, target } => writeln!(f, "bz {cond}, -> {target}")?,
+                Instr::Halt => writeln!(f, "halt")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`Program`] with symbolic labels.
+///
+/// Labels may be referenced before they are defined; [`KernelBuilder::build`]
+/// resolves everything and validates register indices and branch targets.
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    /// `(instruction index, label)` fix-ups.
+    fixups: Vec<(usize, String)>,
+}
+
+impl KernelBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A memory reference `regs[base] + offset` (convenience so call
+    /// sites read `b.at(0, 2)`).
+    pub fn at(&self, base: Reg, offset: u32) -> MemRef {
+        MemRef { base, offset }
+    }
+
+    /// Defines `label` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, label: &str) -> &mut Self {
+        let prev = self.labels.insert(label.to_string(), self.instrs.len());
+        assert!(prev.is_none(), "label {label:?} defined twice");
+        self
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: Operand) -> &mut Self {
+        self.instrs.push(Instr::Mov { dst, src });
+        self
+    }
+
+    /// `dst = a op b`.
+    pub fn alu(&mut self, dst: Reg, a: Operand, op: AluOp, b: Operand) -> &mut Self {
+        self.instrs.push(Instr::Alu { dst, a, op, b });
+        self
+    }
+
+    /// `dst = a + b` (the most common ALU op).
+    pub fn alu_add(&mut self, dst: Reg, a: Operand, b: Operand) -> &mut Self {
+        self.alu(dst, a, AluOp::Add, b)
+    }
+
+    /// Global load from the default region.
+    pub fn ld(&mut self, dst: Reg, addr: MemRef) -> &mut Self {
+        self.instrs.push(Instr::Ld {
+            dst,
+            addr,
+            region: Region::Default,
+        });
+        self
+    }
+
+    /// Global load annotated with a software region (DD+RO).
+    pub fn ld_region(&mut self, dst: Reg, addr: MemRef, region: Region) -> &mut Self {
+        self.instrs.push(Instr::Ld { dst, addr, region });
+        self
+    }
+
+    /// Global store.
+    pub fn st(&mut self, addr: MemRef, src: Operand) -> &mut Self {
+        self.instrs.push(Instr::St { addr, src });
+        self
+    }
+
+    /// Synchronization access.
+    #[allow(clippy::too_many_arguments)]
+    pub fn atomic(
+        &mut self,
+        dst: Reg,
+        addr: MemRef,
+        op: AtomicOp,
+        a: Operand,
+        b: Operand,
+        ord: SyncOrd,
+        scope: Scope,
+    ) -> &mut Self {
+        self.instrs.push(Instr::Atomic {
+            dst,
+            addr,
+            op,
+            a,
+            b,
+            ord,
+            scope,
+        });
+        self
+    }
+
+    /// Scratchpad load.
+    pub fn ld_scratch(&mut self, dst: Reg, addr: MemRef) -> &mut Self {
+        self.instrs.push(Instr::LdScratch { dst, addr });
+        self
+    }
+
+    /// Scratchpad store.
+    pub fn st_scratch(&mut self, addr: MemRef, src: Operand) -> &mut Self {
+        self.instrs.push(Instr::StScratch { addr, src });
+        self
+    }
+
+    /// `cycles` cycles of compute.
+    pub fn compute(&mut self, cycles: Operand) -> &mut Self {
+        self.instrs.push(Instr::Compute { cycles });
+        self
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::Jmp { target: usize::MAX });
+        self
+    }
+
+    /// Branch to `label` when `cond != 0`.
+    pub fn bnz(&mut self, cond: Operand, label: &str) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::Bnz {
+            cond,
+            target: usize::MAX,
+        });
+        self
+    }
+
+    /// Branch to `label` when `cond == 0`.
+    pub fn bz(&mut self, cond: Operand, label: &str) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::Bz {
+            cond,
+            target: usize::MAX,
+        });
+        self
+    }
+
+    /// Thread block finished.
+    pub fn halt(&mut self) -> &mut Self {
+        self.instrs.push(Instr::Halt);
+        self
+    }
+
+    /// Resolves labels and validates the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on undefined labels, out-of-range registers, or a program
+    /// whose final instruction could fall off the end.
+    pub fn build(mut self) -> Arc<Program> {
+        for (idx, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("undefined label {label:?}"));
+            assert!(target < self.instrs.len(), "label {label:?} past the end");
+            match &mut self.instrs[*idx] {
+                Instr::Jmp { target: t } | Instr::Bnz { target: t, .. } | Instr::Bz { target: t, .. } => {
+                    *t = target;
+                }
+                i => unreachable!("fixup on non-branch {i:?}"),
+            }
+        }
+        let regs_of = |i: &Instr| -> Vec<Reg> {
+            let op_reg = |o: &Operand| match o {
+                Operand::Reg(r) => vec![*r],
+                Operand::Imm(_) => vec![],
+            };
+            match i {
+                Instr::Mov { dst, src } => [vec![*dst], op_reg(src)].concat(),
+                Instr::Alu { dst, a, b, .. } => [vec![*dst], op_reg(a), op_reg(b)].concat(),
+                Instr::Ld { dst, addr, .. } | Instr::LdScratch { dst, addr } => {
+                    vec![*dst, addr.base]
+                }
+                Instr::St { addr, src } | Instr::StScratch { addr, src } => {
+                    [vec![addr.base], op_reg(src)].concat()
+                }
+                Instr::Atomic {
+                    dst, addr, a, b, ..
+                } => [vec![*dst, addr.base], op_reg(a), op_reg(b)].concat(),
+                Instr::Compute { cycles } => op_reg(cycles),
+                Instr::Bnz { cond, .. } | Instr::Bz { cond, .. } => op_reg(cond),
+                Instr::Jmp { .. } | Instr::Halt => vec![],
+            }
+        };
+        for (pc, i) in self.instrs.iter().enumerate() {
+            for r in regs_of(i) {
+                assert!(
+                    (r as usize) < NUM_REGS,
+                    "instruction {pc} uses register r{r} >= {NUM_REGS}"
+                );
+            }
+        }
+        assert!(
+            matches!(
+                self.instrs.last(),
+                Some(Instr::Halt) | Some(Instr::Jmp { .. })
+            ),
+            "program must end in Halt or Jmp"
+        );
+        Arc::new(Program {
+            instrs: self.instrs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_and_memref_eval() {
+        let mut regs = [0; NUM_REGS];
+        regs[3] = 100;
+        assert_eq!(r(3).eval(&regs), 100);
+        assert_eq!(imm(7).eval(&regs), 7);
+        assert_eq!(MemRef { base: 3, offset: 5 }.word(&regs), WordAddr(105));
+    }
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u32::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u32::MAX);
+        assert_eq!(AluOp::Div.apply(7, 2), 3);
+        assert_eq!(AluOp::Div.apply(7, 0), 0);
+        assert_eq!(AluOp::Rem.apply(7, 0), 7);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::CmpLt.apply(3, 4), 1);
+        assert_eq!(AluOp::CmpGe.apply(3, 4), 0);
+        assert_eq!(AluOp::Min.apply(3, 4), 3);
+        assert_eq!(AluOp::Max.apply(3, 4), 4);
+        assert_eq!(AluOp::CmpEq.apply(5, 5), 1);
+        assert_eq!(AluOp::CmpNe.apply(5, 5), 0);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = KernelBuilder::new();
+        b.label("top");
+        b.mov(0, imm(1));
+        b.bnz(r(0), "end"); // forward
+        b.jmp("top"); // backward
+        b.label("end");
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.instr(1), Instr::Bnz { cond: r(0), target: 3 });
+        assert_eq!(p.instr(2), Instr::Jmp { target: 0 });
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut b = KernelBuilder::new();
+        b.jmp("nowhere");
+        b.halt();
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut b = KernelBuilder::new();
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "end in Halt")]
+    fn trailing_fallthrough_panics() {
+        let mut b = KernelBuilder::new();
+        b.mov(0, imm(1));
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 32")]
+    fn register_range_validated() {
+        let mut b = KernelBuilder::new();
+        b.mov(200, imm(1));
+        b.halt();
+        let _ = b.build();
+    }
+}

@@ -1,0 +1,208 @@
+//! Static dispatch over the two protocol families.
+//!
+//! The engine talks to "an L1" and "the L2"; these enums pick the GPU or
+//! DeNovo controller once per run based on the [`ProtocolConfig`]
+//! under study.
+
+use gsim_mem::MemoryImage;
+use gsim_protocol::denovo::DnConfig;
+use gsim_protocol::{Action, DnL1, DnL2, GpuL1, GpuL2, Issue, L1Config, L2Config};
+use gsim_types::{
+    AtomicOp, Counts, Cycle, Msg, ProtocolConfig, Region, ReqId, SyncOrd, Value, WordAddr,
+};
+
+/// One node's private L1 controller.
+#[derive(Debug)]
+pub enum L1 {
+    /// Conventional GPU coherence (GD, GH).
+    Gpu(GpuL1),
+    /// DeNovo coherence (DD, DD+RO, DH).
+    Dn(DnL1),
+}
+
+impl L1 {
+    /// Builds the right controller for `protocol`.
+    pub fn build(
+        protocol: ProtocolConfig,
+        l1: L1Config,
+        dh_delayed: bool,
+        sync_backoff: bool,
+    ) -> L1 {
+        match protocol {
+            ProtocolConfig::Gd | ProtocolConfig::Gh => L1::Gpu(GpuL1::new(l1)),
+            ProtocolConfig::Dd | ProtocolConfig::DdRo | ProtocolConfig::Dh => {
+                L1::Dn(DnL1::new(DnConfig {
+                    l1,
+                    read_only_region: protocol.read_only_region(),
+                    delayed_local_ownership: protocol == ProtocolConfig::Dh && dh_delayed,
+                    sync_read_backoff: sync_backoff,
+                }))
+            }
+        }
+    }
+
+    /// A demand load.
+    pub fn load(&mut self, word: WordAddr, region: Region, req: ReqId) -> (Issue, Vec<Action>) {
+        match self {
+            L1::Gpu(c) => c.load(word, req),
+            L1::Dn(c) => c.load(word, region, req),
+        }
+    }
+
+    /// A data store.
+    pub fn store(&mut self, word: WordAddr, value: Value) -> (Issue, Vec<Action>) {
+        match self {
+            L1::Gpu(c) => c.store(word, value),
+            L1::Dn(c) => c.store(word, value),
+        }
+    }
+
+    /// A synchronization access; `local` is the *effective* scope (false
+    /// under DRF configurations).
+    pub fn atomic(
+        &mut self,
+        word: WordAddr,
+        op: AtomicOp,
+        operands: [Value; 2],
+        ord: SyncOrd,
+        local: bool,
+        req: ReqId,
+    ) -> (Issue, Vec<Action>) {
+        match self {
+            L1::Gpu(c) => c.atomic(word, op, operands, ord, local, req),
+            L1::Dn(c) => c.atomic(word, op, operands, local, req),
+        }
+    }
+
+    /// An acquire (self-invalidation).
+    pub fn acquire(&mut self, local: bool) {
+        match self {
+            L1::Gpu(c) => c.acquire(local),
+            L1::Dn(c) => c.acquire(local),
+        }
+    }
+
+    /// A release (writethrough flush / registration drain).
+    pub fn release(&mut self, local: bool, req: ReqId) -> (Issue, Vec<Action>) {
+        match self {
+            L1::Gpu(c) => c.release(local, req),
+            L1::Dn(c) => c.release(local, req),
+        }
+    }
+
+    /// Delivers a network message.
+    pub fn handle(&mut self, msg: &Msg) -> Vec<Action> {
+        match self {
+            L1::Gpu(c) => c.handle(msg),
+            L1::Dn(c) => c.handle(msg),
+        }
+    }
+
+    /// Event counters.
+    pub fn counts(&self) -> &Counts {
+        match self {
+            L1::Gpu(c) => c.counts(),
+            L1::Dn(c) => c.counts(),
+        }
+    }
+
+    /// Whether nothing is in flight.
+    pub fn quiesced(&self) -> bool {
+        match self {
+            L1::Gpu(c) => c.quiesced(),
+            L1::Dn(c) => c.quiesced(),
+        }
+    }
+
+    /// Registered words to drain into the memory image at end of run
+    /// (empty for GPU coherence, which owns nothing).
+    pub fn owned_words(&self) -> Vec<(WordAddr, Value)> {
+        match self {
+            L1::Gpu(_) => Vec::new(),
+            L1::Dn(c) => c.owned_words(),
+        }
+    }
+}
+
+/// The shared L2 (all banks).
+#[derive(Debug)]
+pub enum L2 {
+    /// Conventional GPU shared cache.
+    Gpu(GpuL2),
+    /// DeNovo registry.
+    Dn(DnL2),
+}
+
+impl L2 {
+    /// Builds the right L2 for `protocol` over an initial memory image.
+    pub fn build(protocol: ProtocolConfig, config: L2Config, memory: MemoryImage) -> L2 {
+        match protocol {
+            ProtocolConfig::Gd | ProtocolConfig::Gh => L2::Gpu(GpuL2::new(config, memory)),
+            _ => L2::Dn(DnL2::new(config, memory)),
+        }
+    }
+
+    /// Delivers a network message to the addressed bank.
+    pub fn handle(&mut self, now: Cycle, msg: &Msg) -> Vec<Action> {
+        match self {
+            L2::Gpu(c) => c.handle(now, msg),
+            L2::Dn(c) => c.handle(now, msg),
+        }
+    }
+
+    /// Event counters.
+    pub fn counts(&self) -> &Counts {
+        match self {
+            L2::Gpu(c) => c.counts(),
+            L2::Dn(c) => c.counts(),
+        }
+    }
+
+    /// The functional memory image.
+    pub fn memory(&self) -> &MemoryImage {
+        match self {
+            L2::Gpu(c) => c.memory(),
+            L2::Dn(c) => c.memory(),
+        }
+    }
+
+    /// Mutable access (initialization and the end-of-run drain).
+    pub fn memory_mut(&mut self) -> &mut MemoryImage {
+        match self {
+            L2::Gpu(c) => c.memory_mut(),
+            L2::Dn(c) => c.memory_mut(),
+        }
+    }
+
+    /// Flushes dirty L2 words into the memory image.
+    pub fn flush_to_memory(&mut self) {
+        match self {
+            L2::Gpu(c) => c.flush_to_memory(),
+            L2::Dn(c) => c.flush_to_memory(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_types::NodeId;
+
+    #[test]
+    fn build_picks_the_family() {
+        for p in ProtocolConfig::ALL {
+            let l1 = L1::build(p, L1Config::micro15(NodeId(0)), false, false);
+            let l2 = L2::build(p, L2Config::default(), MemoryImage::new());
+            let gpu = matches!(p, ProtocolConfig::Gd | ProtocolConfig::Gh);
+            assert_eq!(matches!(l1, L1::Gpu(_)), gpu, "{p}");
+            assert_eq!(matches!(l2, L2::Gpu(_)), gpu, "{p}");
+        }
+    }
+
+    #[test]
+    fn gpu_l1_owns_nothing() {
+        let l1 = L1::build(ProtocolConfig::Gh, L1Config::micro15(NodeId(0)), false, false);
+        assert!(l1.owned_words().is_empty());
+        assert!(l1.quiesced());
+    }
+}

@@ -1,0 +1,1099 @@
+//! The discrete-event simulation engine and the [`Simulator`] facade.
+//!
+//! One machine instance simulates one workload run: 15 GPU CUs (each
+//! a set of resident thread blocks interpreting the [kernel
+//! IR](crate::kernel)), the per-node L1 controllers, the shared
+//! L2/registry, and the 4x4 mesh, all driven by a deterministic event
+//! queue ordered by `(cycle, sequence number)`.
+//!
+//! The DRF/HRF program-order rules of the paper's §2 are enforced here,
+//! around the interpreter:
+//!
+//! 1. an *acquire* completes before any younger access issues — thread
+//!    blocks are in-order and block on sync operations, and the
+//!    acquire-side invalidation runs when the sync operation completes;
+//! 2. older data writes complete before a *release* — the release phase
+//!    of a releasing sync operation drains the store buffer and waits
+//!    (writethrough acks for GPU coherence, registration grants for
+//!    DeNovo) before the sync access itself issues;
+//! 3. sync accesses are mutually ordered — they block their thread
+//!    block.
+//!
+//! Kernel boundaries get the conventional GPU treatment: an acquire
+//! (cache self-invalidation) at launch, a release (full flush) at
+//! completion, on every CU.
+
+use crate::config::SystemConfig;
+use crate::kernel::{Instr, NUM_REGS};
+use crate::proto::{L1, L2};
+use crate::workload::{KernelLaunch, Workload};
+use gsim_energy::EnergyModel;
+use gsim_mem::MemoryImage;
+use gsim_noc::Mesh;
+use gsim_protocol::{Action, Issue, L1Config};
+use gsim_types::{
+    Component, Counts, Cycle, Msg, NodeId, ReqId, Scope, SimStats, TbId, Value,
+};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The watchdog fired: likely a livelock or a deadlocked workload.
+    Watchdog {
+        /// The cycle limit that was hit.
+        cycles: Cycle,
+        /// A thread-block state dump to locate the stuck code.
+        report: String,
+    },
+    /// The workload's verifier rejected the final memory image.
+    Verify(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Watchdog { cycles, report } => {
+                write!(f, "watchdog fired after {cycles} cycles (deadlock?)\n{report}")
+            }
+            SimError::Verify(msg) => write!(f, "verification failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The public entry point: runs workloads under one [`SystemConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use gsim_core::{Simulator, SystemConfig};
+/// use gsim_core::kernel::{imm, KernelBuilder};
+/// use gsim_core::workload::{KernelLaunch, TbSpec, Workload};
+/// use gsim_types::ProtocolConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = KernelBuilder::new();
+/// b.mov(1, imm(0)); // r1 = base word address 0
+/// b.st(b.at(1, 0), imm(42));
+/// b.halt();
+/// let w = Workload {
+///     name: "store42".into(),
+///     init: Box::new(|_| {}),
+///     kernels: vec![KernelLaunch { program: b.build(), tbs: vec![TbSpec::with_regs(&[])] }],
+///     verify: Box::new(|mem| {
+///         (mem.read_word(gsim_types::WordAddr(0)) == 42)
+///             .then_some(())
+///             .ok_or_else(|| "lost the store".to_string())
+///     }),
+/// };
+/// let sim = Simulator::new(SystemConfig::micro15(ProtocolConfig::Dd));
+/// let stats = sim.run(&w)?;
+/// assert!(stats.cycles > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Simulator {
+    config: SystemConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given system configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs `workload` to completion, verifies its final memory image,
+    /// and returns the run statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] if the cycle limit is exceeded,
+    /// [`SimError::Verify`] if the functional check fails.
+    pub fn run(&self, workload: &Workload) -> Result<SimStats, SimError> {
+        Machine::new(&self.config, workload).run(workload)
+    }
+}
+
+/// What a completing request should do.
+#[derive(Debug, Clone, Copy)]
+enum Cont {
+    /// Write the value to `dst` and advance.
+    Load { dst: u8 },
+    /// Write the pre-op value to `dst`, run the acquire side (with the
+    /// given effective locality) if any, clear the release latch,
+    /// advance.
+    AtomicDone { dst: u8, acquire: Option<bool> },
+    /// The release phase of a releasing sync op finished: re-execute the
+    /// same instruction with the latch set.
+    ReleaseForAtomic,
+}
+
+/// Who a completion belongs to.
+#[derive(Debug, Clone, Copy)]
+enum Target {
+    Tb { tb: usize, cont: Cont },
+    /// An end-of-kernel release.
+    KernelDrain,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TbStatus {
+    Ready,
+    Blocked,
+    Done,
+}
+
+/// One resident or queued thread block.
+#[derive(Debug)]
+struct Tb {
+    /// Thread-block id (register 0 by workload convention; kept for
+    /// debug output).
+    #[allow(dead_code)]
+    id: TbId,
+    cu: usize,
+    slot: usize,
+    pc: usize,
+    regs: [Value; NUM_REGS],
+    scratch: Vec<Value>,
+    program: Arc<crate::kernel::Program>,
+    status: TbStatus,
+    /// The release phase of the current releasing sync op is done.
+    released: bool,
+}
+
+/// Per-CU scheduling state.
+#[derive(Debug)]
+struct Cu {
+    /// Resident thread-block indices (into `Machine::tbs`).
+    slots: Vec<Option<usize>>,
+    /// Thread blocks waiting for a slot.
+    queue: VecDeque<usize>,
+    /// Round-robin pointer.
+    rr: usize,
+    tick_scheduled: bool,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Issue one instruction on the CU.
+    CuTick(usize),
+    /// A network message arrives.
+    Deliver(Msg),
+    /// A delayed completion fires.
+    Finish { req: ReqId, value: Value },
+    /// A compute-blocked thread block becomes ready.
+    TbWake { tb: usize },
+}
+
+struct EventEntry {
+    at: Cycle,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Machine {
+    protocol: gsim_types::ProtocolConfig,
+    gpu_cus: usize,
+    tbs_per_cu: usize,
+    max_cycles: Cycle,
+
+    now: Cycle,
+    seq: u64,
+    events: BinaryHeap<EventEntry>,
+
+    mesh: Mesh,
+    l1s: Vec<L1>,
+    l2: L2,
+    cus: Vec<Cu>,
+    tbs: Vec<Tb>,
+
+    pending: HashMap<ReqId, Target>,
+    next_req: u64,
+
+    kernels_done: usize,
+    tbs_finished: usize,
+    drain_left: usize,
+    /// Engine-side counters (instructions, scratch, active cycles).
+    counts: Counts,
+}
+
+impl Machine {
+    fn new(config: &SystemConfig, workload: &Workload) -> Machine {
+        let mut memory = MemoryImage::new();
+        (workload.init)(&mut memory);
+        let l1s = NodeId::all()
+            .map(|n| {
+                L1::build(
+                    config.protocol,
+                    L1Config {
+                        node: n,
+                        geometry: config.l1_geometry,
+                        sb_entries: config.sb_entries,
+                        mshr_entries: config.mshr_entries,
+                        banks: config.l2.banks as u8,
+                    },
+                    config.dh_delayed_ownership,
+                    config.denovo_sync_backoff,
+                )
+            })
+            .collect();
+        let cus = (0..config.gpu_cus)
+            .map(|_| Cu {
+                slots: vec![None; config.tbs_per_cu],
+                queue: VecDeque::new(),
+                rr: 0,
+                tick_scheduled: false,
+            })
+            .collect();
+        Machine {
+            protocol: config.protocol,
+            gpu_cus: config.gpu_cus,
+            tbs_per_cu: config.tbs_per_cu,
+            max_cycles: config.max_cycles,
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            mesh: Mesh::new(config.mesh),
+            l1s,
+            l2: L2::build(config.protocol, config.l2, memory),
+            cus,
+            tbs: Vec::new(),
+            pending: HashMap::new(),
+            next_req: 0,
+            kernels_done: 0,
+            tbs_finished: 0,
+            drain_left: 0,
+            counts: Counts::default(),
+        }
+    }
+
+    fn schedule(&mut self, at: Cycle, ev: Event) {
+        self.seq += 1;
+        self.events.push(EventEntry {
+            at,
+            seq: self.seq,
+            ev,
+        });
+    }
+
+    fn alloc_req(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(self.next_req)
+    }
+
+    /// Maps a program-level scope to the effective locality under the
+    /// configured consistency model (DRF ignores scopes).
+    fn effective_local(&self, scope: Scope) -> bool {
+        self.protocol.honours_scopes() && scope == Scope::Local
+    }
+
+    fn ensure_tick(&mut self, cu: usize, at: Cycle) {
+        if !self.cus[cu].tick_scheduled {
+            self.cus[cu].tick_scheduled = true;
+            self.schedule(at, Event::CuTick(cu));
+        }
+    }
+
+    fn process_actions(&mut self, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Send { msg, delay } => {
+                    let arrival = self.mesh.send(self.now + delay, &msg);
+                    self.schedule(arrival, Event::Deliver(msg));
+                }
+                Action::Complete { req, value, delay } => {
+                    self.schedule(self.now + delay, Event::Finish { req, value });
+                }
+            }
+        }
+    }
+
+    fn start_kernel(&mut self, launch: &KernelLaunch) {
+        // Kernel-launch acquire on every CU (paper §1: invalidate at the
+        // start of the kernel).
+        for cu in 0..self.gpu_cus {
+            self.l1s[cu].acquire(false);
+        }
+        self.tbs.clear();
+        self.tbs_finished = 0;
+        for c in &mut self.cus {
+            c.slots.fill(None);
+            c.queue.clear();
+            c.rr = 0;
+        }
+        for (i, spec) in launch.tbs.iter().enumerate() {
+            let cu = i % self.gpu_cus;
+            self.tbs.push(Tb {
+                id: TbId(i as u32),
+                cu,
+                slot: usize::MAX,
+                pc: 0,
+                regs: spec.regs,
+                scratch: vec![0; spec.scratch_words],
+                program: Arc::clone(&launch.program),
+                status: TbStatus::Ready,
+                released: false,
+            });
+            self.cus[cu].queue.push_back(i);
+        }
+        for cu in 0..self.gpu_cus {
+            for slot in 0..self.tbs_per_cu {
+                if let Some(tb) = self.cus[cu].queue.pop_front() {
+                    self.cus[cu].slots[slot] = Some(tb);
+                    self.tbs[tb].slot = slot;
+                } else {
+                    break;
+                }
+            }
+            if self.cus[cu].slots.iter().any(Option::is_some) {
+                let at = self.now + 1;
+                self.ensure_tick(cu, at);
+            }
+        }
+    }
+
+    /// End-of-kernel release on every CU; the next kernel starts when
+    /// every flush completes.
+    fn end_kernel(&mut self) {
+        debug_assert_eq!(self.drain_left, 0);
+        let mut all = Vec::new();
+        for cu in 0..self.gpu_cus {
+            let req = self.alloc_req();
+            let (issue, actions) = self.l1s[cu].release(false, req);
+            if issue == Issue::Pending {
+                self.pending.insert(req, Target::KernelDrain);
+                self.drain_left += 1;
+            }
+            all.extend(actions);
+        }
+        self.process_actions(all);
+        if self.drain_left == 0 {
+            self.kernels_done += 1;
+        }
+    }
+
+    fn on_tb_finished(&mut self, tb: usize) {
+        let (cu, slot) = (self.tbs[tb].cu, self.tbs[tb].slot);
+        self.tbs[tb].status = TbStatus::Done;
+        self.cus[cu].slots[slot] = None;
+        self.tbs_finished += 1;
+        if let Some(next) = self.cus[cu].queue.pop_front() {
+            self.cus[cu].slots[slot] = Some(next);
+            self.tbs[next].slot = slot;
+        }
+        if self.tbs_finished == self.tbs.len() {
+            self.end_kernel();
+        }
+    }
+
+    /// Executes one instruction (or one phase of a releasing sync op)
+    /// for `tb`.
+    fn exec_step(&mut self, tb: usize) {
+        let instr = self.tbs[tb].program.instr(self.tbs[tb].pc);
+        let cu = self.tbs[tb].cu;
+        match instr {
+            Instr::Mov { dst, src } => {
+                self.counts.instructions += 1;
+                let v = src.eval(&self.tbs[tb].regs);
+                self.tbs[tb].regs[dst as usize] = v;
+                self.tbs[tb].pc += 1;
+            }
+            Instr::Alu { dst, a, op, b } => {
+                self.counts.instructions += 1;
+                let regs = &self.tbs[tb].regs;
+                let v = op.apply(a.eval(regs), b.eval(regs));
+                self.tbs[tb].regs[dst as usize] = v;
+                self.tbs[tb].pc += 1;
+            }
+            Instr::Ld { dst, addr, region } => {
+                let word = addr.word(&self.tbs[tb].regs);
+                let req = self.alloc_req();
+                let (issue, actions) = self.l1s[cu].load(word, region, req);
+                match issue {
+                    Issue::Hit(v) => {
+                        self.counts.instructions += 1;
+                        self.tbs[tb].regs[dst as usize] = v;
+                        self.tbs[tb].pc += 1;
+                    }
+                    Issue::Pending => {
+                        self.counts.instructions += 1;
+                        self.tbs[tb].status = TbStatus::Blocked;
+                        self.pending.insert(
+                            req,
+                            Target::Tb {
+                                tb,
+                                cont: Cont::Load { dst },
+                            },
+                        );
+                    }
+                    Issue::Retry => {} // reissued next time this TB is picked
+                    Issue::RetryAfter(d) => {
+                        // Backoff: sleep, then reissue the same load.
+                        self.tbs[tb].status = TbStatus::Blocked;
+                        let at = self.now + d;
+                        self.schedule(at, Event::TbWake { tb });
+                    }
+                }
+                self.process_actions(actions);
+            }
+            Instr::St { addr, src } => {
+                self.counts.instructions += 1;
+                let regs = &self.tbs[tb].regs;
+                let (word, v) = (addr.word(regs), src.eval(regs));
+                let (_, actions) = self.l1s[cu].store(word, v);
+                self.tbs[tb].pc += 1;
+                self.process_actions(actions);
+            }
+            Instr::Atomic {
+                dst,
+                addr,
+                op,
+                a,
+                b,
+                ord,
+                scope,
+            } => {
+                let local = self.effective_local(scope);
+                // Program-order rule 2: older writes complete before a
+                // release — run the release phase first, once.
+                if ord.releases() && !self.tbs[tb].released {
+                    self.counts.instructions += 1;
+                    let req = self.alloc_req();
+                    let (issue, actions) = self.l1s[cu].release(local, req);
+                    match issue {
+                        Issue::Hit(_) => self.tbs[tb].released = true,
+                        Issue::Pending => {
+                            self.tbs[tb].status = TbStatus::Blocked;
+                            self.pending.insert(
+                                req,
+                                Target::Tb {
+                                    tb,
+                                    cont: Cont::ReleaseForAtomic,
+                                },
+                            );
+                        }
+                        Issue::Retry | Issue::RetryAfter(_) => {
+                            unreachable!("releases never retry")
+                        }
+                    }
+                    self.process_actions(actions);
+                    return;
+                }
+                let regs = &self.tbs[tb].regs;
+                let (word, operands) = (addr.word(regs), [a.eval(regs), b.eval(regs)]);
+                let req = self.alloc_req();
+                let (issue, actions) = self.l1s[cu].atomic(word, op, operands, ord, local, req);
+                match issue {
+                    Issue::Hit(old) => {
+                        self.counts.instructions += 1;
+                        self.tbs[tb].regs[dst as usize] = old;
+                        // Program-order rule 1: the acquire side runs
+                        // when the sync access completes, before any
+                        // younger access issues.
+                        if ord.acquires() {
+                            self.l1s[cu].acquire(local);
+                        }
+                        self.tbs[tb].released = false;
+                        self.tbs[tb].pc += 1;
+                    }
+                    Issue::Pending => {
+                        self.counts.instructions += 1;
+                        self.tbs[tb].status = TbStatus::Blocked;
+                        self.pending.insert(
+                            req,
+                            Target::Tb {
+                                tb,
+                                cont: Cont::AtomicDone {
+                                    dst,
+                                    acquire: ord.acquires().then_some(local),
+                                },
+                            },
+                        );
+                    }
+                    Issue::Retry => {}
+                    Issue::RetryAfter(d) => {
+                        // DeNovoSync backoff: sleep, then reissue the
+                        // same sync operation (the release latch stays).
+                        self.tbs[tb].status = TbStatus::Blocked;
+                        let at = self.now + d;
+                        self.schedule(at, Event::TbWake { tb });
+                    }
+                }
+                self.process_actions(actions);
+            }
+            Instr::LdScratch { dst, addr } => {
+                self.counts.instructions += 1;
+                self.counts.scratch_accesses += 1;
+                let idx = addr.word(&self.tbs[tb].regs).0 as usize;
+                let v = self.tbs[tb].scratch[idx];
+                self.tbs[tb].regs[dst as usize] = v;
+                self.tbs[tb].pc += 1;
+            }
+            Instr::StScratch { addr, src } => {
+                self.counts.instructions += 1;
+                self.counts.scratch_accesses += 1;
+                let regs = &self.tbs[tb].regs;
+                let (idx, v) = (addr.word(regs).0 as usize, src.eval(regs));
+                self.tbs[tb].scratch[idx] = v;
+                self.tbs[tb].pc += 1;
+            }
+            Instr::Compute { cycles } => {
+                self.counts.instructions += 1;
+                let n = cycles.eval(&self.tbs[tb].regs) as Cycle;
+                self.tbs[tb].pc += 1;
+                if n > 0 {
+                    self.tbs[tb].status = TbStatus::Blocked;
+                    let at = self.now + n;
+                    self.schedule(at, Event::TbWake { tb });
+                }
+            }
+            Instr::Jmp { target } => {
+                self.counts.instructions += 1;
+                self.tbs[tb].pc = target;
+            }
+            Instr::Bnz { cond, target } => {
+                self.counts.instructions += 1;
+                let taken = cond.eval(&self.tbs[tb].regs) != 0;
+                self.tbs[tb].pc = if taken { target } else { self.tbs[tb].pc + 1 };
+            }
+            Instr::Bz { cond, target } => {
+                self.counts.instructions += 1;
+                let taken = cond.eval(&self.tbs[tb].regs) == 0;
+                self.tbs[tb].pc = if taken { target } else { self.tbs[tb].pc + 1 };
+            }
+            Instr::Halt => {
+                self.counts.instructions += 1;
+                self.on_tb_finished(tb);
+            }
+        }
+    }
+
+    fn on_cu_tick(&mut self, cu: usize) {
+        self.cus[cu].tick_scheduled = false;
+        let slots = self.cus[cu].slots.len();
+        let mut picked = None;
+        for k in 0..slots {
+            let s = (self.cus[cu].rr + k) % slots;
+            if let Some(tb) = self.cus[cu].slots[s] {
+                if self.tbs[tb].status == TbStatus::Ready {
+                    picked = Some((s, tb));
+                    break;
+                }
+            }
+        }
+        let Some((s, tb)) = picked else {
+            return; // all blocked or empty: completions restart the tick
+        };
+        self.cus[cu].rr = (s + 1) % slots;
+        self.counts.cu_active_cycles += 1;
+        self.exec_step(tb);
+        // Keep issuing while any resident block is ready.
+        let any_ready = self.cus[cu].slots.iter().flatten().any(|&t| {
+            self.tbs[t].status == TbStatus::Ready
+        });
+        if any_ready {
+            let at = self.now + 1;
+            self.ensure_tick(cu, at);
+        }
+    }
+
+    fn finish_req(&mut self, req: ReqId, value: Value) {
+        let target = self
+            .pending
+            .remove(&req)
+            .expect("completion for an unknown request");
+        match target {
+            Target::KernelDrain => {
+                self.drain_left -= 1;
+                if self.drain_left == 0 {
+                    self.kernels_done += 1;
+                }
+            }
+            Target::Tb { tb, cont } => {
+                match cont {
+                    Cont::Load { dst } => {
+                        self.tbs[tb].regs[dst as usize] = value;
+                        self.tbs[tb].pc += 1;
+                    }
+                    Cont::AtomicDone { dst, acquire } => {
+                        self.tbs[tb].regs[dst as usize] = value;
+                        if let Some(local) = acquire {
+                            let cu = self.tbs[tb].cu;
+                            self.l1s[cu].acquire(local);
+                        }
+                        self.tbs[tb].released = false;
+                        self.tbs[tb].pc += 1;
+                    }
+                    Cont::ReleaseForAtomic => {
+                        self.tbs[tb].released = true; // pc unchanged: reissue
+                    }
+                }
+                self.tbs[tb].status = TbStatus::Ready;
+                let (cu, at) = (self.tbs[tb].cu, self.now + 1);
+                self.ensure_tick(cu, at);
+            }
+        }
+    }
+
+    fn run(mut self, workload: &Workload) -> Result<SimStats, SimError> {
+        let total_kernels = workload.kernels.len();
+        if total_kernels > 0 {
+            self.start_kernel(&workload.kernels[0]);
+            if workload.kernels[0].tbs.is_empty() {
+                self.end_kernel();
+            }
+        }
+        let mut started = 1;
+        loop {
+            // Launch the next kernel as soon as the previous drained.
+            if self.kernels_done == started && started < total_kernels {
+                self.start_kernel(&workload.kernels[started]);
+                if workload.kernels[started].tbs.is_empty() {
+                    self.end_kernel();
+                }
+                started += 1;
+            }
+            let Some(entry) = self.events.pop() else {
+                break;
+            };
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            if self.now > self.max_cycles {
+                return Err(SimError::Watchdog {
+                    cycles: self.max_cycles,
+                    report: self.watchdog_report(),
+                });
+            }
+            match entry.ev {
+                Event::CuTick(cu) => self.on_cu_tick(cu),
+                Event::Deliver(msg) => {
+                    let actions = match msg.dst_comp {
+                        Component::L1 => self.l1s[msg.dst.index()].handle(&msg),
+                        Component::L2 => self.l2.handle(self.now, &msg),
+                    };
+                    self.process_actions(actions);
+                }
+                Event::Finish { req, value } => self.finish_req(req, value),
+                Event::TbWake { tb } => {
+                    if self.tbs[tb].status == TbStatus::Blocked {
+                        self.tbs[tb].status = TbStatus::Ready;
+                    }
+                    let (cu, at) = (self.tbs[tb].cu, self.now);
+                    self.ensure_tick(cu, at);
+                }
+            }
+        }
+        assert_eq!(
+            self.kernels_done, total_kernels,
+            "event queue drained before every kernel completed (deadlock)"
+        );
+        for l1 in &self.l1s {
+            assert!(l1.quiesced(), "an L1 still has in-flight state at end of run");
+        }
+        // Functional drain: registered words and dirty L2 words reach the
+        // memory image so the verifier sees the complete final state.
+        let mut owned = Vec::new();
+        for l1 in &self.l1s {
+            owned.extend(l1.owned_words());
+        }
+        for (w, v) in owned {
+            self.l2.memory_mut().write_word(w, v);
+        }
+        self.l2.flush_to_memory();
+        (workload.verify)(self.l2.memory()).map_err(SimError::Verify)?;
+        Ok(self.stats())
+    }
+
+    /// Summarizes thread-block and request state when the watchdog fires.
+    fn watchdog_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let mut by_state: HashMap<(TbStatus, usize, bool), usize> = HashMap::new();
+        for tb in &self.tbs {
+            *by_state
+                .entry((tb.status, tb.pc, tb.released))
+                .or_default() += 1;
+        }
+        let mut rows: Vec<_> = by_state.into_iter().collect();
+        rows.sort_by_key(|((_, pc, _), n)| (usize::MAX - n, *pc));
+        for ((status, pc, released), n) in rows.into_iter().take(8) {
+            let _ = writeln!(s, "  {n} blocks {status:?} at pc {pc} (released={released})");
+        }
+        let _ = writeln!(
+            s,
+            "  {} requests in flight, {} kernel drains outstanding, {} events queued",
+            self.pending.len(),
+            self.drain_left,
+            self.events.len(),
+        );
+        let mut pend: Vec<_> = self.pending.iter().collect();
+        pend.sort_by_key(|(req, _)| **req);
+        for (req, t) in pend.into_iter().take(8) {
+            let _ = writeln!(s, "  {req:?}: {t:?}");
+        }
+        for e in self.events.iter().take(8) {
+            let _ = writeln!(s, "  event at {}: {:?}", e.at, e.ev);
+        }
+        s
+    }
+
+    fn stats(&self) -> SimStats {
+        let mut counts = self.counts;
+        for l1 in &self.l1s {
+            counts += *l1.counts();
+        }
+        counts += *self.l2.counts();
+        counts.messages_sent = self.mesh.messages_sent();
+        counts.flit_hops = self.mesh.traffic().total();
+        let traffic = *self.mesh.traffic();
+        let energy = EnergyModel::micro15().energy(&counts, &traffic);
+        SimStats {
+            cycles: self.now,
+            counts,
+            traffic,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{imm, r, AluOp, KernelBuilder};
+    use gsim_types::{AtomicOp, ProtocolConfig, SyncOrd, WordAddr};
+
+    fn one_tb(b: KernelBuilder, verify_word: u64, want: Value) -> Workload {
+        Workload {
+            name: "test".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                tbs: vec![crate::workload::TbSpec::with_regs(&[])],
+            }],
+            verify: Box::new(move |mem| {
+                let got = mem.read_word(WordAddr(verify_word));
+                (got == want)
+                    .then_some(())
+                    .ok_or_else(|| format!("word {verify_word}: got {got}, want {want}"))
+            }),
+        }
+    }
+
+    fn run_all_configs(mk: impl Fn() -> Workload) -> Vec<SimStats> {
+        ProtocolConfig::ALL
+            .iter()
+            .map(|&p| {
+                Simulator::new(SystemConfig::micro15(p))
+                    .run(&mk())
+                    .unwrap_or_else(|e| panic!("{p}: {e}"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn store_then_load_round_trip_all_configs() {
+        let mk = || {
+            let mut b = KernelBuilder::new();
+            b.mov(1, imm(0));
+            b.st(b.at(1, 3), imm(99));
+            b.ld(2, b.at(1, 3));
+            b.st(b.at(1, 4), r(2)); // copy through a register
+            b.halt();
+            one_tb(b, 4, 99)
+        };
+        for stats in run_all_configs(mk) {
+            assert!(stats.cycles > 0);
+            assert!(stats.counts.instructions >= 5);
+        }
+    }
+
+    #[test]
+    fn atomic_add_accumulates_across_tbs() {
+        // 30 TBs on 15 CUs each atomically increment a global counter.
+        let mk = || {
+            let mut b = KernelBuilder::new();
+            b.mov(1, imm(0));
+            b.atomic(
+                2,
+                b.at(1, 0),
+                AtomicOp::Add,
+                imm(1),
+                imm(0),
+                SyncOrd::AcqRel,
+                Scope::Global,
+            );
+            b.halt();
+            Workload {
+                name: "count".into(),
+                init: Box::new(|_| {}),
+                kernels: vec![KernelLaunch {
+                    program: b.build(),
+                    tbs: vec![crate::workload::TbSpec::with_regs(&[]); 30],
+                }],
+                verify: Box::new(|mem| {
+                    let got = mem.read_word(WordAddr(0));
+                    (got == 30)
+                        .then_some(())
+                        .ok_or_else(|| format!("counter: got {got}, want 30"))
+                }),
+            }
+        };
+        for stats in run_all_configs(mk) {
+            assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn spin_lock_protects_a_plain_counter() {
+        // Two TBs per CU contend on one global lock around an unlocked
+        // read-modify-write of a plain word: the classic DRF litmus.
+        const TBS: u32 = 30;
+        const ITERS: u32 = 5;
+        let mk = || {
+            let mut b = KernelBuilder::new();
+            b.mov(1, imm(0)); // r1 = lock word 0; data word 1
+            b.mov(5, imm(ITERS));
+            b.label("iter");
+            b.label("spin");
+            b.atomic(
+                2,
+                b.at(1, 0),
+                AtomicOp::Exch,
+                imm(1),
+                imm(0),
+                SyncOrd::AcqRel,
+                Scope::Global,
+            );
+            b.bnz(r(2), "spin");
+            b.ld(3, b.at(1, 1));
+            b.alu_add(3, r(3), imm(1));
+            b.st(b.at(1, 1), r(3));
+            b.atomic(
+                2,
+                b.at(1, 0),
+                AtomicOp::Write,
+                imm(0),
+                imm(0),
+                SyncOrd::Release,
+                Scope::Global,
+            );
+            b.alu(5, r(5), AluOp::Sub, imm(1));
+            b.bnz(r(5), "iter");
+            b.halt();
+            Workload {
+                name: "spinlock".into(),
+                init: Box::new(|_| {}),
+                kernels: vec![KernelLaunch {
+                    program: b.build(),
+                    tbs: vec![crate::workload::TbSpec::with_regs(&[]); TBS as usize],
+                }],
+                verify: Box::new(|mem| {
+                    let got = mem.read_word(WordAddr(1));
+                    (got == TBS * ITERS)
+                        .then_some(())
+                        .ok_or_else(|| format!("counter: got {got}, want {}", TBS * ITERS))
+                }),
+            }
+        };
+        for (p, stats) in ProtocolConfig::ALL.iter().zip(run_all_configs(mk)) {
+            assert!(stats.cycles > 0, "{p}");
+        }
+    }
+
+    #[test]
+    fn values_flow_between_kernels() {
+        // Kernel 1 stores, kernel 2 (different CU mapping irrelevant;
+        // single TB) reads and doubles.
+        let mut b1 = KernelBuilder::new();
+        b1.mov(1, imm(0));
+        b1.st(b1.at(1, 0), imm(21));
+        b1.halt();
+        let mut b2 = KernelBuilder::new();
+        b2.mov(1, imm(0));
+        b2.ld(2, b2.at(1, 0));
+        b2.alu(2, r(2), AluOp::Mul, imm(2));
+        b2.st(b2.at(1, 1), r(2));
+        b2.halt();
+        let w = Workload {
+            name: "two-kernels".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![
+                KernelLaunch {
+                    program: b1.build(),
+                    tbs: vec![crate::workload::TbSpec::with_regs(&[])],
+                },
+                KernelLaunch {
+                    program: b2.build(),
+                    tbs: vec![crate::workload::TbSpec::with_regs(&[])],
+                },
+            ],
+            verify: Box::new(|mem| {
+                let got = mem.read_word(WordAddr(1));
+                (got == 42)
+                    .then_some(())
+                    .ok_or_else(|| format!("got {got}, want 42"))
+            }),
+        };
+        for p in ProtocolConfig::ALL {
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&w)
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn compute_blocks_only_the_issuing_tb() {
+        // TB0 computes for 10_000 cycles; TB1 (same CU — 2 TBs, 1 CU
+        // position apart by modulo... use 16 TBs so two land on CU 0)
+        // finishes long before. Total time is dominated by the compute.
+        let mut b = KernelBuilder::new();
+        b.mov(1, imm(0));
+        // r0 = tb id; tb 0 computes, tb 15 stores.
+        b.bnz(r(0), "storer");
+        b.compute(imm(10_000));
+        b.halt();
+        b.label("storer");
+        b.st(b.at(1, 0), imm(7));
+        b.halt();
+        let mut tbs = Vec::new();
+        for i in 0..16u32 {
+            tbs.push(crate::workload::TbSpec::with_regs(&[i]));
+        }
+        let w = Workload {
+            name: "compute".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                tbs,
+            }],
+            verify: Box::new(|mem| {
+                (mem.read_word(WordAddr(0)) == 7)
+                    .then_some(())
+                    .ok_or_else(|| "store lost".to_string())
+            }),
+        };
+        let stats = Simulator::new(SystemConfig::micro15(ProtocolConfig::Gd))
+            .run(&w)
+            .unwrap();
+        assert!(stats.cycles >= 10_000);
+        assert!(stats.cycles < 20_000, "compute overlapped everything else");
+    }
+
+    #[test]
+    fn scratchpad_roundtrip_and_energy_component() {
+        let mut b = KernelBuilder::new();
+        b.mov(1, imm(0));
+        b.st_scratch(b.at(1, 5), imm(31));
+        b.ld_scratch(2, b.at(1, 5));
+        b.st(b.at(1, 0), r(2));
+        b.halt();
+        let w = one_tb(b, 0, 31);
+        let stats = Simulator::new(SystemConfig::micro15(ProtocolConfig::Dd))
+            .run(&Workload {
+                kernels: vec![KernelLaunch {
+                    program: {
+                        let mut b = KernelBuilder::new();
+                        b.mov(1, imm(0));
+                        b.st_scratch(b.at(1, 5), imm(31));
+                        b.ld_scratch(2, b.at(1, 5));
+                        b.st(b.at(1, 0), r(2));
+                        b.halt();
+                        b.build()
+                    },
+                    tbs: vec![crate::workload::TbSpec::with_regs(&[]).scratch(8)],
+                }],
+                ..w
+            })
+            .unwrap();
+        assert_eq!(stats.counts.scratch_accesses, 2);
+        assert!(stats.energy.scratch_pj > 0.0);
+    }
+
+    #[test]
+    fn failing_verifier_reports() {
+        let mut b = KernelBuilder::new();
+        b.halt();
+        let w = one_tb(b, 0, 1); // nothing ever writes word 0
+        let err = Simulator::new(SystemConfig::micro15(ProtocolConfig::Gd))
+            .run(&w)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Verify(_)));
+        assert!(err.to_string().contains("want 1"));
+    }
+
+    #[test]
+    fn watchdog_catches_infinite_loops() {
+        let mut b = KernelBuilder::new();
+        b.label("fore");
+        b.mov(1, imm(0));
+        b.jmp("fore");
+        let w = one_tb(b, 0, 0);
+        let mut cfg = SystemConfig::micro15(ProtocolConfig::Gd);
+        cfg.max_cycles = 10_000;
+        let err = Simulator::new(cfg).run(&w).unwrap_err();
+        assert!(matches!(err, SimError::Watchdog { cycles: 10_000, .. }));
+    }
+
+    #[test]
+    fn determinism_same_config_same_stats() {
+        let mk = || {
+            let mut b = KernelBuilder::new();
+            b.mov(1, imm(0));
+            b.atomic(
+                2,
+                b.at(1, 0),
+                AtomicOp::Add,
+                imm(1),
+                imm(0),
+                SyncOrd::AcqRel,
+                Scope::Global,
+            );
+            b.halt();
+            Workload {
+                name: "det".into(),
+                init: Box::new(|_| {}),
+                kernels: vec![KernelLaunch {
+                    program: b.build(),
+                    tbs: vec![crate::workload::TbSpec::with_regs(&[]); 45],
+                }],
+                verify: Box::new(|_| Ok(())),
+            }
+        };
+        let a = Simulator::new(SystemConfig::micro15(ProtocolConfig::Dd))
+            .run(&mk())
+            .unwrap();
+        let b = Simulator::new(SystemConfig::micro15(ProtocolConfig::Dd))
+            .run(&mk())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

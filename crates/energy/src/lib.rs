@@ -1,0 +1,156 @@
+#![warn(missing_docs)]
+
+//! GPUWattch/McPAT-style dynamic energy model for the `gpu-denovo`
+//! simulator (paper §5.2).
+//!
+//! The paper reports *relative* dynamic energy split into five
+//! components: GPU core+ (pipeline, register file, scheduler, FPU,
+//! instruction cache), scratchpad, L1 data cache, L2 cache, and network.
+//! This crate converts the raw event counters every simulator component
+//! maintains ([`Counts`]) plus the flit-crossing traffic
+//! ([`TrafficBreakdown`]) into that five-way [`EnergyBreakdown`], using
+//! per-event energies in the published ballpark for a ~32 nm GPU. The
+//! absolute joules are not meaningful — only the ratios between
+//! configurations are (see DESIGN.md §1).
+//!
+//! The CPU core and CPU L1 carry no energy, exactly as in the paper
+//! ("the CPU is only functionally simulated").
+//!
+//! # Examples
+//!
+//! ```
+//! use gsim_energy::EnergyModel;
+//! use gsim_types::{Counts, TrafficBreakdown};
+//!
+//! let model = EnergyModel::micro15();
+//! let counts = Counts {
+//!     instructions: 1000,
+//!     l1_accesses: 300,
+//!     ..Counts::default()
+//! };
+//! let e = model.energy(&counts, &TrafficBreakdown::default());
+//! assert!(e.core_pj > e.l1_pj);
+//! assert_eq!(e.noc_pj, 0.0);
+//! ```
+
+use gsim_types::{Counts, EnergyBreakdown, TrafficBreakdown};
+
+/// Per-event dynamic energies, in picojoules.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Per executed instruction: pipeline, register file, scheduler,
+    /// FPU, and instruction cache (the paper's "GPU core+").
+    pub instruction_pj: f64,
+    /// Per scratchpad access.
+    pub scratch_access_pj: f64,
+    /// Per L1 data-cache access (tag + data array).
+    pub l1_access_pj: f64,
+    /// Per word self-invalidated at an acquire (state-bit write).
+    pub l1_invalidate_word_pj: f64,
+    /// Per full-cache flash-invalidate trigger (GPU acquires).
+    pub l1_flash_pj: f64,
+    /// Per L2 bank access (data or registry operation).
+    pub l2_access_pj: f64,
+    /// Per DRAM line access (charged to the L2 component: the paper
+    /// folds the memory controller into the L2's column).
+    pub dram_access_pj: f64,
+    /// Per flit-hop (router traversal + link).
+    pub flit_hop_pj: f64,
+}
+
+impl EnergyModel {
+    /// Ballpark per-event energies for the paper's ~GTX 480-class GPU.
+    ///
+    /// Sources of the orders of magnitude: GPUWattch/McPAT-style models
+    /// of a 32 KB 8-way SRAM (~20 pJ/access), a 256 KB bank
+    /// (~50 pJ/access), a 16 B-flit mesh router+link (~12 pJ/hop), and
+    /// ~25 pJ of core-side energy per executed instruction.
+    pub fn micro15() -> Self {
+        EnergyModel {
+            instruction_pj: 25.0,
+            scratch_access_pj: 10.0,
+            l1_access_pj: 20.0,
+            l1_invalidate_word_pj: 0.4,
+            l1_flash_pj: 10.0,
+            l2_access_pj: 50.0,
+            dram_access_pj: 200.0,
+            flit_hop_pj: 12.0,
+        }
+    }
+
+    /// Converts event counts and traffic into the paper's five-way
+    /// energy breakdown.
+    pub fn energy(&self, counts: &Counts, traffic: &TrafficBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            core_pj: counts.instructions as f64 * self.instruction_pj,
+            scratch_pj: counts.scratch_accesses as f64 * self.scratch_access_pj,
+            l1_pj: counts.l1_accesses as f64 * self.l1_access_pj
+                + counts.words_invalidated as f64 * self.l1_invalidate_word_pj
+                + counts.flash_invalidations as f64 * self.l1_flash_pj,
+            l2_pj: counts.l2_accesses as f64 * self.l2_access_pj
+                + (counts.dram_reads + counts.dram_writes) as f64 * self.dram_access_pj,
+            noc_pj: traffic.total() as f64 * self.flit_hop_pj,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::micro15()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_types::MsgClass;
+
+    #[test]
+    fn components_map_to_their_counters() {
+        let m = EnergyModel::micro15();
+        let mut c = Counts::default();
+        let mut t = TrafficBreakdown::default();
+        assert_eq!(m.energy(&c, &t).total_pj(), 0.0);
+
+        c.instructions = 10;
+        let e = m.energy(&c, &t);
+        assert_eq!(e.core_pj, 250.0);
+        assert_eq!(e.l1_pj + e.l2_pj + e.noc_pj + e.scratch_pj, 0.0);
+
+        c.l1_accesses = 4;
+        c.flash_invalidations = 1;
+        c.words_invalidated = 10;
+        let e = m.energy(&c, &t);
+        assert_eq!(e.l1_pj, 4.0 * 20.0 + 10.0 + 4.0);
+
+        c.l2_accesses = 2;
+        c.dram_reads = 1;
+        let e = m.energy(&c, &t);
+        assert_eq!(e.l2_pj, 100.0 + 200.0);
+
+        t.record(MsgClass::Read, 5, 2);
+        let e = m.energy(&c, &t);
+        assert_eq!(e.noc_pj, 120.0);
+    }
+
+    #[test]
+    fn network_energy_scales_with_traffic_not_messages() {
+        // The same message over more hops costs proportionally more —
+        // the locality effects the paper measures.
+        let m = EnergyModel::micro15();
+        let c = Counts::default();
+        let mut near = TrafficBreakdown::default();
+        near.record(MsgClass::Atomic, 2, 1);
+        let mut far = TrafficBreakdown::default();
+        far.record(MsgClass::Atomic, 2, 6);
+        assert_eq!(
+            m.energy(&c, &far).noc_pj,
+            6.0 * m.energy(&c, &near).noc_pj
+        );
+    }
+
+    #[test]
+    fn default_is_micro15() {
+        assert_eq!(EnergyModel::default(), EnergyModel::micro15());
+    }
+}

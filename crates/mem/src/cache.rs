@@ -1,0 +1,427 @@
+//! Set-associative cache arrays with word-granularity coherence state.
+//!
+//! The same array backs every studied protocol (paper §4.2):
+//!
+//! * **GPU-D**: only line-level validity is used (a line is valid iff any
+//!   word is [`WordState::Valid`]); dirty data lives in the store buffer.
+//! * **GPU-H**: per-word dirty bits — [`WordState::Owned`] means *dirty*.
+//! * **DeNovo (DD/DD+RO/DH)**: the full three-state word protocol —
+//!   [`WordState::Owned`] means *registered*.
+//!
+//! The [`CacheLine::extra`] type parameter carries protocol-specific
+//! per-line metadata: the DeNovo L2 registry stores the owner core per
+//! word there, and DD+RO tags words belonging to the read-only region.
+
+use gsim_types::{LineAddr, Value, WordMask, WORDS_PER_LINE};
+
+/// Coherence state of one word in a cache line (2 bits in hardware —
+/// exactly the paper's §4.2 overhead accounting).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum WordState {
+    /// No usable copy of the word.
+    #[default]
+    Invalid,
+    /// A readable copy that self-invalidation may discard at an acquire.
+    Valid,
+    /// DeNovo: *Registered* (this cache owns the word — the up-to-date
+    /// copy, kept across acquires). GPU-H: *dirty* (written locally,
+    /// logically part of the store buffer).
+    Owned,
+}
+
+impl WordState {
+    /// Whether a load may be satisfied from this word.
+    #[inline]
+    pub fn readable(self) -> bool {
+        !matches!(self, WordState::Invalid)
+    }
+}
+
+/// Cache geometry: total capacity and associativity over fixed 64 B lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total data capacity in bytes.
+    pub size_bytes: u64,
+    /// Ways per set.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// The paper's L1: 32 KB, 8-way (Table 3).
+    pub fn l1() -> Self {
+        CacheGeometry {
+            size_bytes: 32 * 1024,
+            ways: 8,
+        }
+    }
+
+    /// One bank of the paper's L2: 4 MB / 16 banks = 256 KB, 16-way.
+    pub fn l2_bank() -> Self {
+        CacheGeometry {
+            size_bytes: 256 * 1024,
+            ways: 16,
+        }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into whole sets.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / gsim_types::LINE_BYTES;
+        let sets = lines as usize / self.ways;
+        assert!(
+            sets > 0 && sets * self.ways == lines as usize,
+            "geometry {self:?} does not divide into whole sets"
+        );
+        sets
+    }
+}
+
+/// One cache line: tag, per-word state, data, and protocol metadata.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheLine<X> {
+    /// The line address this way currently holds.
+    pub tag: LineAddr,
+    /// Per-word coherence state.
+    pub state: [WordState; WORDS_PER_LINE],
+    /// Per-word data (meaningful only where `state` is readable).
+    pub data: [Value; WORDS_PER_LINE],
+    /// Protocol-specific per-line metadata.
+    pub extra: X,
+    lru_stamp: u64,
+}
+
+impl<X> CacheLine<X> {
+    /// Mask of words in the given state.
+    pub fn mask_in(&self, s: WordState) -> WordMask {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == s)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Mask of readable (Valid or Owned) words.
+    pub fn readable_mask(&self) -> WordMask {
+        self.mask_in(WordState::Valid) | self.mask_in(WordState::Owned)
+    }
+
+    /// Whether any word is readable.
+    pub fn any_readable(&self) -> bool {
+        self.state.iter().any(|s| s.readable())
+    }
+
+    /// Whether any word is owned.
+    pub fn any_owned(&self) -> bool {
+        self.state.contains(&WordState::Owned)
+    }
+
+    /// Fills the masked words with `data`, setting them to `to`.
+    pub fn fill(&mut self, mask: WordMask, data: &[Value; WORDS_PER_LINE], to: WordState) {
+        for i in mask.iter() {
+            self.state[i] = to;
+            self.data[i] = data[i];
+        }
+    }
+}
+
+/// Result of [`CacheArray::insert`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum InsertOutcome<X> {
+    /// The line was already present; nothing changed.
+    AlreadyPresent,
+    /// The line was inserted into a free way.
+    Inserted,
+    /// The line was inserted; the LRU way's previous occupant is returned
+    /// so the caller can write back owned words or recall ownership.
+    Evicted(CacheLine<X>),
+}
+
+/// A set-associative, true-LRU cache array.
+///
+/// # Examples
+///
+/// ```
+/// use gsim_mem::{CacheArray, CacheGeometry, WordState};
+/// use gsim_types::{LineAddr, WordMask};
+///
+/// let mut c: CacheArray<()> = CacheArray::new(CacheGeometry::l1());
+/// c.insert(LineAddr(7));
+/// let line = c.lookup(LineAddr(7)).unwrap();
+/// line.fill(WordMask::single(3), &[9; 16], WordState::Valid);
+/// assert!(c.lookup(LineAddr(7)).unwrap().state[3].readable());
+/// assert_eq!(c.lookup(LineAddr(7)).unwrap().data[3], 9);
+/// ```
+#[derive(Debug)]
+pub struct CacheArray<X> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<CacheLine<X>>>,
+    next_stamp: u64,
+}
+
+impl<X: Default> CacheArray<X> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.sets();
+        CacheArray {
+            geometry,
+            sets: (0..sets).map(|_| Vec::new()).collect(),
+            next_stamp: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up a line, updating LRU on hit.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut CacheLine<X>> {
+        let si = self.set_index(line);
+        let stamp = {
+            self.next_stamp += 1;
+            self.next_stamp
+        };
+        match self.sets[si].iter_mut().find(|l| l.tag == line) {
+            Some(l) => {
+                l.lru_stamp = stamp;
+                Some(l)
+            }
+            None => None,
+        }
+    }
+
+    /// Looks up a line without touching LRU.
+    pub fn peek(&self, line: LineAddr) -> Option<&CacheLine<X>> {
+        let si = self.set_index(line);
+        self.sets[si].iter().find(|l| l.tag == line)
+    }
+
+    /// Whether the line is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Ensures `line` has a way in its set (with all words Invalid when
+    /// newly inserted), evicting the LRU occupant if the set is full.
+    ///
+    /// Victim selection prefers lines with no owned words so that owned
+    /// (registered/dirty) data stays resident as long as possible; when
+    /// every candidate owns data, the overall LRU line is evicted and the
+    /// caller must write its owned words back.
+    pub fn insert(&mut self, line: LineAddr) -> InsertOutcome<X> {
+        let si = self.set_index(line);
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        let set = &mut self.sets[si];
+        if let Some(l) = set.iter_mut().find(|l| l.tag == line) {
+            l.lru_stamp = stamp;
+            return InsertOutcome::AlreadyPresent;
+        }
+        let fresh = CacheLine {
+            tag: line,
+            state: [WordState::Invalid; WORDS_PER_LINE],
+            data: [0; WORDS_PER_LINE],
+            extra: X::default(),
+            lru_stamp: stamp,
+        };
+        if set.len() < self.geometry.ways {
+            set.push(fresh);
+            return InsertOutcome::Inserted;
+        }
+        // Prefer the LRU line without owned words; fall back to pure LRU.
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.any_owned())
+            .min_by_key(|(_, l)| l.lru_stamp)
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru_stamp)
+                    .map(|(i, _)| i)
+                    .expect("set is full, so non-empty")
+            });
+        let victim = std::mem::replace(&mut set[victim_idx], fresh);
+        InsertOutcome::Evicted(victim)
+    }
+
+    /// Removes a line from the cache, returning it.
+    pub fn remove(&mut self, line: LineAddr) -> Option<CacheLine<X>> {
+        let si = self.set_index(line);
+        let set = &mut self.sets[si];
+        let idx = set.iter().position(|l| l.tag == line)?;
+        Some(set.swap_remove(idx))
+    }
+
+    /// Applies `f` to every resident line (flash operations: GPU full-
+    /// cache invalidation, DeNovo selective self-invalidation).
+    pub fn for_each_line_mut(&mut self, mut f: impl FnMut(&mut CacheLine<X>)) {
+        for set in &mut self.sets {
+            for l in set.iter_mut() {
+                f(l);
+            }
+        }
+    }
+
+    /// Iterates over all resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheLine<X>> {
+        self.sets.iter().flat_map(|s| s.iter())
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray<u8> {
+        // 2 sets x 2 ways.
+        CacheArray::new(CacheGeometry {
+            size_bytes: 4 * gsim_types::LINE_BYTES,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn geometry_math() {
+        assert_eq!(CacheGeometry::l1().sets(), 64);
+        assert_eq!(CacheGeometry::l2_bank().sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn bad_geometry_panics() {
+        CacheGeometry {
+            size_bytes: 96,
+            ways: 3,
+        }
+        .sets();
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut c = small();
+        assert!(matches!(c.insert(LineAddr(0)), InsertOutcome::Inserted));
+        assert!(matches!(
+            c.insert(LineAddr(0)),
+            InsertOutcome::AlreadyPresent
+        ));
+        assert!(c.contains(LineAddr(0)));
+        assert_eq!(c.occupancy(), 1);
+        let removed = c.remove(LineAddr(0)).unwrap();
+        assert_eq!(removed.tag, LineAddr(0));
+        assert!(!c.contains(LineAddr(0)));
+        assert!(c.remove(LineAddr(0)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Lines 0, 2, 4 map to set 0 (2 sets).
+        c.insert(LineAddr(0));
+        c.insert(LineAddr(2));
+        c.lookup(LineAddr(0)); // make 2 the LRU
+        match c.insert(LineAddr(4)) {
+            InsertOutcome::Evicted(v) => assert_eq!(v.tag, LineAddr(2)),
+            o => panic!("expected eviction, got {o:?}"),
+        }
+        assert!(c.contains(LineAddr(0)) && c.contains(LineAddr(4)));
+    }
+
+    #[test]
+    fn eviction_prefers_unowned_victims() {
+        let mut c = small();
+        c.insert(LineAddr(0));
+        c.lookup(LineAddr(0)).unwrap().state[0] = WordState::Owned;
+        c.insert(LineAddr(2)); // 0 is older but owned
+        match c.insert(LineAddr(4)) {
+            InsertOutcome::Evicted(v) => assert_eq!(v.tag, LineAddr(2)),
+            o => panic!("expected eviction, got {o:?}"),
+        }
+        // When everything is owned, pure LRU applies.
+        c.lookup(LineAddr(4)).unwrap().state[0] = WordState::Owned;
+        match c.insert(LineAddr(6)) {
+            InsertOutcome::Evicted(v) => assert_eq!(v.tag, LineAddr(0)),
+            o => panic!("expected eviction, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn masks_and_fill() {
+        let mut c = small();
+        c.insert(LineAddr(1));
+        let l = c.lookup(LineAddr(1)).unwrap();
+        assert!(!l.any_readable());
+        l.fill(
+            WordMask::single(2) | WordMask::single(5),
+            &[7; WORDS_PER_LINE],
+            WordState::Valid,
+        );
+        l.state[5] = WordState::Owned;
+        assert_eq!(l.mask_in(WordState::Valid).iter().collect::<Vec<_>>(), [2]);
+        assert_eq!(l.mask_in(WordState::Owned).iter().collect::<Vec<_>>(), [5]);
+        assert_eq!(
+            l.readable_mask().iter().collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+        assert!(l.any_owned());
+    }
+
+    #[test]
+    fn flash_operation_via_for_each() {
+        let mut c = small();
+        for i in 0..4u64 {
+            c.insert(LineAddr(i));
+            c.lookup(LineAddr(i)).unwrap().state[0] = WordState::Valid;
+        }
+        let mut invalidated = 0;
+        c.for_each_line_mut(|l| {
+            for s in &mut l.state {
+                if *s == WordState::Valid {
+                    *s = WordState::Invalid;
+                    invalidated += 1;
+                }
+            }
+        });
+        assert_eq!(invalidated, 4);
+        assert!(c.iter().all(|l| !l.any_readable()));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn occupancy_never_exceeds_capacity(lines in proptest::collection::vec(0u64..64, 1..200)) {
+                let mut c = small();
+                for l in lines {
+                    c.insert(LineAddr(l));
+                    prop_assert!(c.occupancy() <= 4);
+                }
+            }
+
+            #[test]
+            fn inserted_line_is_resident(lines in proptest::collection::vec(0u64..64, 1..200)) {
+                let mut c = small();
+                for l in lines {
+                    c.insert(LineAddr(l));
+                    prop_assert!(c.contains(LineAddr(l)));
+                }
+            }
+        }
+    }
+}

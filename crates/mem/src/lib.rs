@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Memory structures for the `gpu-denovo` simulator.
+//!
+//! This crate provides the protocol-agnostic memory hardware the coherence
+//! controllers of `gsim-protocol` are built from:
+//!
+//! * [`cache`] — set-associative, LRU cache arrays with *word-granularity*
+//!   coherence state (DeNovo keeps 2 state bits per word; GPU coherence
+//!   uses the same array with only the Valid/Owned(dirty) distinction).
+//! * [`mshr`] — miss status holding registers with same-line coalescing
+//!   and the queued-forward slots that realize DeNovoSync0's distributed
+//!   queue.
+//! * [`store_buffer`] — the 256-entry coalescing store buffer next to each
+//!   L1 (paper Table 3), whose release-time flush bursts and overflow
+//!   behaviour drive several of the paper's results (e.g. LavaMD).
+//! * [`memory`] — the flat backing [`MemoryImage`] (functional state)
+//!   and the banked [`Dram`] timing model.
+
+pub mod cache;
+pub mod memory;
+pub mod mshr;
+pub mod store_buffer;
+
+pub use cache::{CacheArray, CacheGeometry, CacheLine, InsertOutcome, WordState};
+pub use memory::{Dram, DramConfig, MemoryImage};
+pub use mshr::{MshrEntry, MshrFile};
+pub use store_buffer::{SbEntry, StoreBuffer, StoreOutcome};

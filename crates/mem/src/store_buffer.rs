@@ -1,0 +1,261 @@
+//! The coalescing store buffer (paper Table 3: 256 entries per L1).
+//!
+//! GPU coherence buffers writethroughs here and coalesces writes to the
+//! same line "until the next release (or until the buffer is full)"
+//! (paper §1). DeNovo uses the same structure to hold store values while
+//! their ownership (registration) requests are in flight. Both behaviours
+//! the paper highlights fall out of this module:
+//!
+//! * **bursty release traffic** — [`StoreBuffer::drain`] hands back every
+//!   entry at once for the release-time flush;
+//! * **overflow** — when a new line arrives with the buffer full, the
+//!   oldest entry is evicted ([`StoreOutcome::Overflow`]) and must be
+//!   written through immediately, defeating later coalescing (the LavaMD
+//!   effect of paper §6.2.1).
+
+use gsim_types::{LineAddr, Value, WordAddr, WordMask, WORDS_PER_LINE};
+use std::collections::{HashMap, VecDeque};
+
+/// One store-buffer entry: the dirty words of one line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SbEntry {
+    /// The line these words belong to.
+    pub line: LineAddr,
+    /// Which words are dirty.
+    pub mask: WordMask,
+    /// The dirty values (meaningful where `mask` is set).
+    pub data: [Value; WORDS_PER_LINE],
+}
+
+/// Result of inserting a store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// Merged into an existing entry for the same line.
+    Coalesced,
+    /// Allocated a fresh entry.
+    NewEntry,
+    /// Allocated a fresh entry by evicting the oldest entry, which the
+    /// caller must write through / register immediately.
+    Overflow(SbEntry),
+}
+
+/// A FIFO, coalescing store buffer.
+///
+/// # Examples
+///
+/// ```
+/// use gsim_mem::{StoreBuffer, StoreOutcome};
+/// use gsim_types::WordAddr;
+///
+/// let mut sb = StoreBuffer::new(2);
+/// assert_eq!(sb.write(WordAddr(0), 1), StoreOutcome::NewEntry);
+/// assert_eq!(sb.write(WordAddr(1), 2), StoreOutcome::Coalesced); // same line
+/// assert_eq!(sb.lookup(WordAddr(1)), Some(2));
+/// assert_eq!(sb.write(WordAddr(100), 3), StoreOutcome::NewEntry);
+/// // Third distinct line: the oldest entry (line 0) overflows out.
+/// match sb.write(WordAddr(200), 4) {
+///     StoreOutcome::Overflow(e) => assert_eq!(e.mask.count(), 2),
+///     o => panic!("expected overflow, got {o:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct StoreBuffer {
+    entries: HashMap<LineAddr, SbEntry>,
+    fifo: VecDeque<LineAddr>,
+    capacity: usize,
+}
+
+impl StoreBuffer {
+    /// Creates a store buffer holding up to `capacity` line entries.
+    pub fn new(capacity: usize) -> Self {
+        StoreBuffer {
+            entries: HashMap::new(),
+            fifo: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Buffers a store, coalescing with an existing entry for the same
+    /// line. On overflow the oldest entry is evicted and returned.
+    pub fn write(&mut self, word: WordAddr, value: Value) -> StoreOutcome {
+        let line = word.line();
+        let idx = word.index_in_line();
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.mask.insert(idx);
+            e.data[idx] = value;
+            return StoreOutcome::Coalesced;
+        }
+        let overflow = if self.entries.len() >= self.capacity {
+            self.pop_oldest()
+        } else {
+            None
+        };
+        let mut entry = SbEntry {
+            line,
+            mask: WordMask::empty(),
+            data: [0; WORDS_PER_LINE],
+        };
+        entry.mask.insert(idx);
+        entry.data[idx] = value;
+        self.entries.insert(line, entry);
+        self.fifo.push_back(line);
+        match overflow {
+            Some(e) => StoreOutcome::Overflow(e),
+            None => StoreOutcome::NewEntry,
+        }
+    }
+
+    /// Store-to-load forwarding: the buffered value for `word`, if any.
+    pub fn lookup(&self, word: WordAddr) -> Option<Value> {
+        let e = self.entries.get(&word.line())?;
+        e.mask
+            .contains(word.index_in_line())
+            .then(|| e.data[word.index_in_line()])
+    }
+
+    /// Removes the oldest entry (skipping lines already cleared by
+    /// registration completion).
+    pub fn pop_oldest(&mut self) -> Option<SbEntry> {
+        while let Some(line) = self.fifo.pop_front() {
+            if let Some(e) = self.entries.remove(&line) {
+                return Some(e);
+            }
+        }
+        None
+    }
+
+    /// Clears the given words of `line` (DeNovo: their registration was
+    /// granted and the values now live in the L1 as owned words). Drops
+    /// the entry when no dirty words remain.
+    pub fn clear_words(&mut self, line: LineAddr, mask: WordMask) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.mask = e.mask & !mask;
+            if e.mask.is_empty() {
+                self.entries.remove(&line);
+                // The fifo slot goes stale and is skipped on pop.
+            }
+        }
+    }
+
+    /// Drains every entry, oldest first — the release-time flush whose
+    /// burstiness the paper charges against GPU coherence.
+    pub fn drain(&mut self) -> Vec<SbEntry> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        while let Some(e) = self.pop_oldest() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_same_line() {
+        let mut sb = StoreBuffer::new(4);
+        assert_eq!(sb.write(WordAddr(16), 1), StoreOutcome::NewEntry);
+        assert_eq!(sb.write(WordAddr(17), 2), StoreOutcome::Coalesced);
+        assert_eq!(sb.write(WordAddr(16), 3), StoreOutcome::Coalesced); // overwrite
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.lookup(WordAddr(16)), Some(3));
+        assert_eq!(sb.lookup(WordAddr(17)), Some(2));
+        assert_eq!(sb.lookup(WordAddr(18)), None);
+        assert_eq!(sb.lookup(WordAddr(999)), None);
+    }
+
+    #[test]
+    fn overflow_evicts_fifo_order() {
+        let mut sb = StoreBuffer::new(2);
+        sb.write(WordAddr(0), 1); // line 0
+        sb.write(WordAddr(16), 2); // line 1
+        match sb.write(WordAddr(32), 3) {
+            StoreOutcome::Overflow(e) => {
+                assert_eq!(e.line, LineAddr(0));
+                assert_eq!(e.data[0], 1);
+            }
+            o => panic!("expected overflow of line 0, got {o:?}"),
+        }
+        // Oldest surviving entry is now line 1.
+        assert_eq!(sb.pop_oldest().unwrap().line, LineAddr(1));
+    }
+
+    #[test]
+    fn coalescing_to_old_entry_does_not_overflow() {
+        let mut sb = StoreBuffer::new(2);
+        sb.write(WordAddr(0), 1);
+        sb.write(WordAddr(16), 2);
+        // Buffer is full but line 0 is resident: coalesce, no overflow.
+        assert_eq!(sb.write(WordAddr(1), 9), StoreOutcome::Coalesced);
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    fn clear_words_drops_empty_entries() {
+        let mut sb = StoreBuffer::new(4);
+        sb.write(WordAddr(0), 1);
+        sb.write(WordAddr(1), 2);
+        sb.clear_words(LineAddr(0), WordMask::single(0));
+        assert_eq!(sb.lookup(WordAddr(0)), None);
+        assert_eq!(sb.lookup(WordAddr(1)), Some(2));
+        sb.clear_words(LineAddr(0), WordMask::single(1));
+        assert!(sb.is_empty());
+        // Stale fifo slot is skipped.
+        assert!(sb.pop_oldest().is_none());
+    }
+
+    #[test]
+    fn drain_is_oldest_first_and_empties() {
+        let mut sb = StoreBuffer::new(8);
+        for i in 0..5u64 {
+            sb.write(LineAddr(i).word(0), i as Value);
+        }
+        let drained = sb.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(drained.windows(2).all(|w| w[0].line.0 < w[1].line.0));
+        assert!(sb.is_empty());
+        assert!(sb.drain().is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn never_exceeds_capacity(words in proptest::collection::vec((0u64..512, 0u32..100), 1..300)) {
+                let mut sb = StoreBuffer::new(16);
+                for (w, v) in words {
+                    sb.write(WordAddr(w), v);
+                    prop_assert!(sb.len() <= 16);
+                }
+            }
+
+            #[test]
+            fn forwarding_returns_last_write(words in proptest::collection::vec((0u64..64, 0u32..100), 1..100)) {
+                // Capacity large enough that nothing overflows: the buffer
+                // must forward exactly the last written value per word.
+                let mut sb = StoreBuffer::new(64);
+                let mut model = std::collections::HashMap::new();
+                for (w, v) in words {
+                    sb.write(WordAddr(w), v);
+                    model.insert(w, v);
+                }
+                for (w, v) in model {
+                    prop_assert_eq!(sb.lookup(WordAddr(w)), Some(v));
+                }
+            }
+        }
+    }
+}

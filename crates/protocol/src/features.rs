@@ -1,0 +1,252 @@
+//! The paper's qualitative feature matrices: Table 2 (the four studied
+//! configurations) and Table 5 (DeNovo-D against related GPU coherence
+//! schemes).
+//!
+//! Each feature is answered *in code* from the corresponding protocol
+//! mechanism so the printed tables stay honest: e.g.
+//! [`Feature::ReuseWrittenData`] is `Full` exactly for the protocols
+//! whose acquire keeps Registered words
+//! ([`DnL1::acquire`](crate::DnL1::acquire)).
+
+use gsim_types::ProtocolConfig;
+use std::fmt;
+
+/// The seven features of Table 2 (and the rows of Table 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Feature {
+    /// Reuse written data across synchronization points.
+    ReuseWrittenData,
+    /// Reuse cached valid data across synchronization points.
+    ReuseValidData,
+    /// Avoid bursts of writes (no release-time writethrough storm).
+    NoBurstyTraffic,
+    /// No invalidation/acknowledgment protocol traffic.
+    NoInvalidationAcks,
+    /// Only transfer useful data (coherence/transfer granularity split).
+    DecoupledGranularity,
+    /// Efficient fine-grained synchronization (sync reuse in L1).
+    ReuseSynchronization,
+    /// Efficient dynamic sharing (work stealing).
+    DynamicSharing,
+}
+
+impl Feature {
+    /// All features in Table 2's row order.
+    pub const ALL: [Feature; 7] = [
+        Feature::ReuseWrittenData,
+        Feature::ReuseValidData,
+        Feature::NoBurstyTraffic,
+        Feature::NoInvalidationAcks,
+        Feature::DecoupledGranularity,
+        Feature::ReuseSynchronization,
+        Feature::DynamicSharing,
+    ];
+
+    /// The paper's row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Feature::ReuseWrittenData => "Reuse Written Data",
+            Feature::ReuseValidData => "Reuse Valid Data",
+            Feature::NoBurstyTraffic => "No Bursty Traffic",
+            Feature::NoInvalidationAcks => "No Invalidations/ACKs",
+            Feature::DecoupledGranularity => "Decoupled Granularity",
+            Feature::ReuseSynchronization => "Reuse Synchronization",
+            Feature::DynamicSharing => "Dynamic Sharing",
+        }
+    }
+}
+
+/// How well a configuration supports a feature.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Support {
+    /// Unconditional support (a check mark in the paper).
+    Full,
+    /// Only for locally scoped synchronization (HRF configurations).
+    IfLocalScope,
+    /// Only for data in the software read-only region (DD+RO).
+    IfReadOnly,
+    /// Only for stores (Table 5's "for STs" qualifier).
+    StoresOnly,
+    /// Not supported (a cross in the paper).
+    None,
+}
+
+impl fmt::Display for Support {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Support::Full => write!(f, "yes"),
+            Support::IfLocalScope => write!(f, "if local scope"),
+            Support::IfReadOnly => write!(f, "if read-only"),
+            Support::StoresOnly => write!(f, "for stores"),
+            Support::None => write!(f, "no"),
+        }
+    }
+}
+
+impl Support {
+    /// Answers one Table 2 cell for a studied configuration, derived from
+    /// the protocol mechanisms implemented in this crate.
+    pub fn of(config: ProtocolConfig, feature: Feature) -> Support {
+        use gsim_types::Coherence::*;
+        use ProtocolConfig::*;
+        let denovo = config.coherence() == DeNovo;
+        let scoped = config.honours_scopes();
+        match feature {
+            // Ownership keeps Registered words across acquires; GPU only
+            // avoids the flush/invalidate inside a local scope.
+            Feature::ReuseWrittenData | Feature::NoBurstyTraffic => {
+                if denovo {
+                    Support::Full
+                } else if scoped {
+                    Support::IfLocalScope
+                } else {
+                    Support::None
+                }
+            }
+            // Valid (unwritten) data survives only local-scope acquires,
+            // or the read-only region under DD+RO.
+            Feature::ReuseValidData => match config {
+                Gh | Dh => Support::IfLocalScope,
+                DdRo => Support::IfReadOnly,
+                Gd | Dd => Support::None,
+            },
+            // Neither family has writer-initiated invalidations or
+            // sharer-ack storms (unlike MESI-style protocols, or the
+            // broadcast invalidations of QuickRelease/RemoteScopes).
+            Feature::NoInvalidationAcks => Support::Full,
+            // Word-granularity state is DeNovo-only.
+            Feature::DecoupledGranularity => {
+                if denovo {
+                    Support::Full
+                } else {
+                    Support::None
+                }
+            }
+            // Sync variables hit in L1 once registered; GPU needs a
+            // local scope to avoid the L2 round trip.
+            Feature::ReuseSynchronization => {
+                if denovo {
+                    Support::Full
+                } else if scoped {
+                    Support::IfLocalScope
+                } else {
+                    Support::None
+                }
+            }
+            // Dynamic sharing needs global visibility without a global
+            // flush: only ownership provides it.
+            Feature::DynamicSharing => {
+                if denovo {
+                    Support::Full
+                } else {
+                    Support::None
+                }
+            }
+        }
+    }
+}
+
+/// One column of Table 5: a related GPU coherence scheme.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RelatedScheme {
+    /// Scheme name as cited by the paper.
+    pub name: &'static str,
+    /// Feature support in Table 5's row order ([`Feature::ALL`]).
+    pub support: [Support; 7],
+}
+
+/// Table 5: DeNovo-D compared with HSC, Stash/TC/FC, QuickRelease, and
+/// RemoteScopes. The DD column is computed from [`Support::of`], the
+/// related-work columns are the paper's published assessment.
+pub fn table5() -> [RelatedScheme; 5] {
+    use Support::*;
+    [
+        RelatedScheme {
+            name: "HSC",
+            support: [Full, Full, Full, None, None, Full, Full],
+        },
+        RelatedScheme {
+            name: "Stash/TC/FC",
+            support: [Full, None, Full, Full, None, None, None],
+        },
+        RelatedScheme {
+            name: "QuickRelease",
+            support: [Full, None, Full, None, StoresOnly, None, None],
+        },
+        RelatedScheme {
+            name: "RemoteScopes",
+            support: [Full, None, Full, None, StoresOnly, Full, IfLocalScope],
+        },
+        RelatedScheme {
+            name: "DD",
+            support: {
+                let mut s = [None; 7];
+                for (i, f) in Feature::ALL.iter().enumerate() {
+                    s[i] = Support::of(ProtocolConfig::Dd, *f);
+                }
+                s
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_the_paper_row_by_row() {
+        use ProtocolConfig::*;
+        use Support::*;
+        // Reuse Written Data: x, if-local, yes, yes.
+        assert_eq!(Support::of(Gd, Feature::ReuseWrittenData), None);
+        assert_eq!(Support::of(Gh, Feature::ReuseWrittenData), IfLocalScope);
+        assert_eq!(Support::of(Dd, Feature::ReuseWrittenData), Full);
+        assert_eq!(Support::of(Dh, Feature::ReuseWrittenData), Full);
+        // Reuse Valid Data: x, if-local, x (mitigated by RO), if-local.
+        assert_eq!(Support::of(Gd, Feature::ReuseValidData), None);
+        assert_eq!(Support::of(Gh, Feature::ReuseValidData), IfLocalScope);
+        assert_eq!(Support::of(Dd, Feature::ReuseValidData), None);
+        assert_eq!(Support::of(DdRo, Feature::ReuseValidData), IfReadOnly);
+        assert_eq!(Support::of(Dh, Feature::ReuseValidData), IfLocalScope);
+        // No Invalidations/ACKs: every studied configuration (the row
+        // distinguishes them from MESI-style writer invalidation).
+        assert_eq!(Support::of(Gd, Feature::NoInvalidationAcks), Full);
+        assert_eq!(Support::of(Dd, Feature::NoInvalidationAcks), Full);
+        // Decoupled granularity and dynamic sharing: DeNovo only.
+        for c in [Gd, Gh] {
+            assert_eq!(Support::of(c, Feature::DecoupledGranularity), None);
+            assert_eq!(Support::of(c, Feature::DynamicSharing), None);
+        }
+        for c in [Dd, DdRo, Dh] {
+            assert_eq!(Support::of(c, Feature::DecoupledGranularity), Full);
+            assert_eq!(Support::of(c, Feature::DynamicSharing), Full);
+        }
+    }
+
+    #[test]
+    fn dd_dominates_table5_feature_count() {
+        let t = table5();
+        let full_count = |s: &RelatedScheme| {
+            s.support.iter().filter(|x| **x == Support::Full).count()
+        };
+        let dd = t.iter().find(|s| s.name == "DD").unwrap();
+        // The paper's point: no related scheme provides all of DD's
+        // benefits. DD is full on 6 of 7 features, more than any other.
+        assert_eq!(full_count(dd), 6);
+        for s in &t {
+            if s.name != "DD" {
+                assert!(full_count(s) < full_count(dd), "{} >= DD", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Feature::ALL.len(), 7);
+        for f in Feature::ALL {
+            assert!(!f.label().is_empty());
+        }
+        assert_eq!(Support::IfLocalScope.to_string(), "if local scope");
+    }
+}

@@ -1,0 +1,983 @@
+//! Conventional GPU software coherence (the paper's GPU-D and GPU-H).
+//!
+//! The protocol (paper §3) has no writer-initiated invalidations, no
+//! ownership, and no directory:
+//!
+//! * **Loads** hit on valid words; misses fetch whole 64 B lines from the
+//!   shared L2 (the home bank, `line % banks`).
+//! * **Stores** are buffered and coalesced in the store buffer and written
+//!   through to the L2 — at a release, or early when the buffer
+//!   overflows.
+//! * **Acquires** flash-invalidate the entire L1.
+//! * **Releases** drain the store buffer and wait until every
+//!   writethrough has reached the L2 (its ack returned).
+//! * **Global synchronization** executes remotely at the L2 bank
+//!   ([`MsgKind::AtomicReq`]); under HRF, *locally scoped*
+//!   synchronization executes at the L1 on the line's local copy, and
+//!   locally scoped acquires/releases skip the invalidate/flush
+//!   ([`GpuL1`] receives `local = true` and does nothing).
+//!
+//! GPU-D and GPU-H share this implementation: the consistency model only
+//! changes which operations the core model marks `local` (never, for
+//! DRF).
+
+use crate::action::{Action, Issue};
+use gsim_mem::{CacheArray, CacheGeometry, Dram, DramConfig, InsertOutcome, MemoryImage, MshrFile, StoreBuffer, WordState};
+use gsim_types::{
+    AtomicOp, Component, Counts, Cycle, LineAddr, Msg, MsgKind, NodeId, ReqId, Scope, SyncOrd,
+    Value, WordAddr, WordMask, WORDS_PER_LINE,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// What a thread block is waiting on when its line fill returns.
+#[derive(Clone, Copy, Debug)]
+enum Waiter {
+    /// A demand load of one word.
+    Load { req: ReqId, word: WordAddr },
+    /// A locally scoped atomic that missed and needs the line first.
+    LocalAtomic {
+        req: ReqId,
+        word: WordAddr,
+        op: AtomicOp,
+        operands: [Value; 2],
+    },
+}
+
+/// Sizing and placement parameters shared by both L1 protocol families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct L1Config {
+    /// This L1's mesh node.
+    pub node: NodeId,
+    /// Cache geometry (paper Table 3: 32 KB, 8-way).
+    pub geometry: CacheGeometry,
+    /// Store-buffer capacity in line entries (paper Table 3: 256).
+    pub sb_entries: usize,
+    /// Maximum outstanding miss lines.
+    pub mshr_entries: usize,
+    /// Number of L2 banks (= mesh nodes; the home bank of line `l` is
+    /// node `l % banks`).
+    pub banks: u8,
+}
+
+impl L1Config {
+    /// The paper's Table 3 parameters for the L1 at `node`.
+    pub fn micro15(node: NodeId) -> Self {
+        L1Config {
+            node,
+            geometry: CacheGeometry::l1(),
+            sb_entries: 256,
+            mshr_entries: 32,
+            banks: 16,
+        }
+    }
+
+    /// The home L2 bank of a line.
+    #[inline]
+    pub fn home(&self, line: LineAddr) -> NodeId {
+        NodeId((line.0 % self.banks as u64) as u8)
+    }
+}
+
+/// The per-CU L1 controller of conventional GPU coherence.
+///
+/// See the [module documentation](self) for the protocol. The controller
+/// is a pure state machine: operations and message deliveries return
+/// [`Action`]s for the engine to perform.
+#[derive(Debug)]
+pub struct GpuL1 {
+    config: L1Config,
+    cache: CacheArray<()>,
+    sb: StoreBuffer,
+    mshr: MshrFile<Waiter, ()>,
+    /// Writethroughs in flight (awaiting [`MsgKind::WtAck`]).
+    pending_wt: u64,
+    /// Per-line words with a writethrough in flight, and how many acks
+    /// are owed. A fill must not install these words: its data may
+    /// predate the writethrough at the L2, and the store-buffer entry
+    /// that would have shadowed it is already gone.
+    wt_inflight: HashMap<LineAddr, (u32, WordMask)>,
+    /// Bumped by every global acquire. Fills for requests issued in an
+    /// older epoch deliver data to their (pre-acquire) waiters but do
+    /// not install it — installing would let post-acquire loads read
+    /// pre-acquire line contents (stale under DRF).
+    epoch: u64,
+    /// The epoch each outstanding miss line was requested in.
+    entry_epoch: HashMap<LineAddr, u64>,
+    /// Releases blocked until `pending_wt` reaches zero.
+    pending_releases: Vec<ReqId>,
+    /// Globally scoped atomics outstanding at the L2, per word, in issue
+    /// order (responses on one src/dst pair arrive in order).
+    pending_atomics: HashMap<WordAddr, VecDeque<ReqId>>,
+    counts: Counts,
+}
+
+impl GpuL1 {
+    /// Creates the L1 controller for `config.node`.
+    pub fn new(config: L1Config) -> Self {
+        GpuL1 {
+            cache: CacheArray::new(config.geometry),
+            sb: StoreBuffer::new(config.sb_entries),
+            mshr: MshrFile::new(config.mshr_entries),
+            pending_wt: 0,
+            wt_inflight: HashMap::new(),
+            epoch: 0,
+            entry_epoch: HashMap::new(),
+            pending_releases: Vec::new(),
+            pending_atomics: HashMap::new(),
+            counts: Counts::default(),
+            config,
+        }
+    }
+
+    /// Event counters accumulated so far.
+    pub fn counts(&self) -> &Counts {
+        &self.counts
+    }
+
+    /// The mesh node this L1 lives on.
+    pub fn node(&self) -> NodeId {
+        self.config.node
+    }
+
+    /// Whether any writethrough, fill, or atomic is still in flight.
+    pub fn quiesced(&self) -> bool {
+        self.pending_wt == 0
+            && self.wt_inflight.is_empty()
+            && self.entry_epoch.is_empty()
+            && self.pending_releases.is_empty()
+            && self.pending_atomics.values().all(|q| q.is_empty())
+            && self.mshr.outstanding() == 0
+    }
+
+    fn msg_to_home(&self, line: LineAddr, kind: MsgKind) -> Msg {
+        Msg {
+            src: self.config.node,
+            dst: self.config.home(line),
+            dst_comp: Component::L2,
+            kind,
+        }
+    }
+
+    /// Sends one writethrough, recording its in-flight words so racing
+    /// fills do not resurrect stale values.
+    fn send_writethrough(&mut self, e: gsim_mem::SbEntry, actions: &mut Vec<Action>) {
+        self.pending_wt += 1;
+        let slot = self.wt_inflight.entry(e.line).or_default();
+        slot.0 += 1;
+        slot.1 |= e.mask;
+        actions.push(Action::send(self.msg_to_home(
+            e.line,
+            MsgKind::WriteThrough {
+                line: e.line,
+                mask: e.mask,
+                data: e.data,
+            },
+        )));
+    }
+
+    /// Buffers a store, emitting the overflow writethrough if the oldest
+    /// entry is displaced.
+    fn buffer_store(&mut self, word: WordAddr, value: Value, actions: &mut Vec<Action>) {
+        if let gsim_mem::StoreOutcome::Overflow(e) = self.sb.write(word, value) {
+            self.counts.sb_overflow_flushes += 1;
+            self.send_writethrough(e, actions);
+        }
+    }
+
+    /// The freshest locally visible value of `word`, if any: the store
+    /// buffer shadows the cache.
+    fn local_value(&mut self, word: WordAddr) -> Option<Value> {
+        if let Some(v) = self.sb.lookup(word) {
+            return Some(v);
+        }
+        let line = self.cache.lookup(word.line())?;
+        let i = word.index_in_line();
+        line.state[i].readable().then(|| line.data[i])
+    }
+
+    /// A demand load of `word`.
+    pub fn load(&mut self, word: WordAddr, req: ReqId) -> (Issue, Vec<Action>) {
+        if let Some(v) = self.local_value(word) {
+            self.counts.l1_accesses += 1;
+            self.counts.l1_load_hits += 1;
+            return (Issue::Hit(v), Vec::new());
+        }
+        let line = word.line();
+        if !self.mshr.has_room_for(line) || self.entry_is_stale(line) {
+            return (Issue::Retry, Vec::new());
+        }
+        self.counts.l1_accesses += 1;
+        self.counts.l1_load_misses += 1;
+        self.entry_epoch.entry(line).or_insert(self.epoch);
+        let to_send = self
+            .mshr
+            .request(line, WordMask::full(), Waiter::Load { req, word });
+        let mut actions = Vec::new();
+        if !to_send.is_empty() {
+            actions.push(Action::send(self.msg_to_home(
+                line,
+                MsgKind::ReadReq {
+                    line,
+                    mask: WordMask::full(),
+                    requester: self.config.node,
+                },
+            )));
+        }
+        (Issue::Pending, actions)
+    }
+
+    /// A data store: write-update the local copy and buffer the
+    /// writethrough. Never blocks (overflow evicts the oldest entry).
+    pub fn store(&mut self, word: WordAddr, value: Value) -> (Issue, Vec<Action>) {
+        self.counts.l1_accesses += 1;
+        let i = word.index_in_line();
+        if let Some(line) = self.cache.lookup(word.line()) {
+            line.data[i] = value;
+            line.state[i] = WordState::Valid;
+        }
+        let mut actions = Vec::new();
+        self.buffer_store(word, value, &mut actions);
+        (Issue::Hit(0), actions)
+    }
+
+    /// A synchronization access. Globally scoped atomics execute remotely
+    /// at the line's home L2 bank; locally scoped atomics (`local`,
+    /// GPU-H only) execute here on the L1 copy.
+    pub fn atomic(
+        &mut self,
+        word: WordAddr,
+        op: AtomicOp,
+        operands: [Value; 2],
+        ord: SyncOrd,
+        local: bool,
+        req: ReqId,
+    ) -> (Issue, Vec<Action>) {
+        if !local {
+            let msg = self.msg_to_home(
+                word.line(),
+                MsgKind::AtomicReq {
+                    word,
+                    op,
+                    operands,
+                    ord,
+                    scope: Scope::Global,
+                    requester: self.config.node,
+                },
+            );
+            self.pending_atomics.entry(word).or_default().push_back(req);
+            return (Issue::Pending, vec![Action::send(msg)]);
+        }
+        if let Some(current) = self.local_value(word) {
+            self.counts.l1_accesses += 1;
+            self.counts.l1_atomics += 1;
+            self.counts.l1_atomic_hits += 1;
+            let (new, old) = op.apply(current, operands);
+            let mut actions = Vec::new();
+            self.apply_local_write(word, new, op, &mut actions);
+            return (Issue::Hit(old), actions);
+        }
+        let line = word.line();
+        if !self.mshr.has_room_for(line) || self.entry_is_stale(line) {
+            return (Issue::Retry, Vec::new());
+        }
+        self.counts.l1_accesses += 1;
+        self.counts.l1_atomics += 1;
+        self.entry_epoch.entry(line).or_insert(self.epoch);
+        let to_send = self.mshr.request(
+            line,
+            WordMask::full(),
+            Waiter::LocalAtomic {
+                req,
+                word,
+                op,
+                operands,
+            },
+        );
+        let mut actions = Vec::new();
+        if !to_send.is_empty() {
+            actions.push(Action::send(self.msg_to_home(
+                line,
+                MsgKind::ReadReq {
+                    line,
+                    mask: WordMask::full(),
+                    requester: self.config.node,
+                },
+            )));
+        }
+        (Issue::Pending, actions)
+    }
+
+    /// Applies the write half of a locally performed atomic: update the
+    /// cache copy and buffer the (eventual) writethrough.
+    fn apply_local_write(
+        &mut self,
+        word: WordAddr,
+        new: Value,
+        op: AtomicOp,
+        actions: &mut Vec<Action>,
+    ) {
+        if !op.writes() {
+            return;
+        }
+        let i = word.index_in_line();
+        if let Some(line) = self.cache.lookup(word.line()) {
+            line.data[i] = new;
+            line.state[i] = WordState::Valid;
+        }
+        self.buffer_store(word, new, actions);
+    }
+
+    /// An acquire: flash-invalidate the whole cache (global scope), or
+    /// nothing (local scope, GPU-H). Dirty data survives in the store
+    /// buffer and keeps shadowing the cache.
+    pub fn acquire(&mut self, local: bool) {
+        if local {
+            return;
+        }
+        self.epoch += 1; // in-flight fills must not install post-acquire
+        self.counts.flash_invalidations += 1;
+        let mut invalidated = 0;
+        self.cache.for_each_line_mut(|l| {
+            for s in &mut l.state {
+                if *s == WordState::Valid {
+                    *s = WordState::Invalid;
+                    invalidated += 1;
+                }
+            }
+        });
+        self.counts.words_invalidated += invalidated;
+    }
+
+    /// A release: flush the store buffer and wait for every writethrough
+    /// (including earlier overflow flushes) to reach the L2. Locally
+    /// scoped releases (GPU-H) complete immediately.
+    pub fn release(&mut self, local: bool, req: ReqId) -> (Issue, Vec<Action>) {
+        if local {
+            return (Issue::Hit(0), Vec::new());
+        }
+        let mut actions = Vec::new();
+        for e in self.sb.drain() {
+            self.counts.sb_release_flushes += 1;
+            self.send_writethrough(e, &mut actions);
+        }
+        if self.pending_wt == 0 {
+            (Issue::Hit(0), actions)
+        } else {
+            self.pending_releases.push(req);
+            (Issue::Pending, actions)
+        }
+    }
+
+    /// Delivers a network message to this L1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on message kinds conventional GPU coherence never receives
+    /// (registration grants, forwards, recalls) — a protocol bug.
+    pub fn handle(&mut self, msg: &Msg) -> Vec<Action> {
+        match msg.kind {
+            MsgKind::ReadResp { line, mask, data } => self.fill(line, mask, &data),
+            MsgKind::WtAck { line } => {
+                self.pending_wt -= 1;
+                if let Some(slot) = self.wt_inflight.get_mut(&line) {
+                    slot.0 -= 1;
+                    if slot.0 == 0 {
+                        self.wt_inflight.remove(&line);
+                    }
+                }
+                if self.pending_wt == 0 {
+                    self.pending_releases
+                        .drain(..)
+                        .map(|req| Action::complete(req, 0))
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            MsgKind::AtomicResp { word, old } => {
+                let req = self
+                    .pending_atomics
+                    .get_mut(&word)
+                    .and_then(|q| q.pop_front())
+                    .expect("atomic response without a pending request");
+                vec![Action::complete(req, old)]
+            }
+            ref k => panic!("GPU L1 received unexpected message {k:?}"),
+        }
+    }
+
+    /// Whether the outstanding miss on `line` predates the last acquire.
+    fn entry_is_stale(&self, line: LineAddr) -> bool {
+        self.entry_epoch
+            .get(&line)
+            .is_some_and(|&e| e < self.epoch)
+    }
+
+    /// Applies a line fill and services the waiters.
+    ///
+    /// Two squash rules keep fills from resurrecting stale data:
+    /// words with a writethrough in flight are not installed (the fill
+    /// may predate the writethrough at the L2), and fills whose request
+    /// predates the last acquire install nothing at all — their waiters
+    /// are pre-acquire accesses and are served straight from the fill.
+    fn fill(&mut self, line: LineAddr, mask: WordMask, data: &[Value; WORDS_PER_LINE]) -> Vec<Action> {
+        let stale = self.entry_is_stale(line);
+        if !stale {
+            let skip = self.wt_inflight.get(&line).map(|s| s.1).unwrap_or_default();
+            self.cache.insert(line); // GPU victims are clean: silent drop
+            let entry = self.cache.lookup(line).expect("just inserted");
+            entry.fill(mask & !skip, data, WordState::Valid);
+            // Local pending stores are newer than the L2's copy: re-apply
+            // them so the cached words never go stale once the buffer
+            // drains.
+            for i in mask.iter() {
+                if let Some(v) = self.sb.lookup(line.word(i)) {
+                    entry.data[i] = v;
+                    entry.state[i] = WordState::Valid;
+                }
+            }
+        }
+        let (done, _) = self.mshr.complete(line, mask);
+        if !self.mshr.is_pending(line) {
+            self.entry_epoch.remove(&line);
+        }
+        let mut actions = Vec::new();
+        for w in done {
+            match w {
+                Waiter::Load { req, word } => {
+                    let v = self
+                        .local_value(word)
+                        .unwrap_or(data[word.index_in_line()]);
+                    actions.push(Action::complete(req, v));
+                }
+                Waiter::LocalAtomic {
+                    req,
+                    word,
+                    op,
+                    operands,
+                } => {
+                    let current = self
+                        .local_value(word)
+                        .unwrap_or(data[word.index_in_line()]);
+                    let (new, old) = op.apply(current, operands);
+                    self.apply_local_write(word, new, op, &mut actions);
+                    actions.push(Action::complete(req, old));
+                }
+            }
+        }
+        actions
+    }
+}
+
+/// Timing and sizing of the shared L2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct L2Config {
+    /// Bank access latency in cycles (tag + data array).
+    pub latency: Cycle,
+    /// Per-bank cache geometry (paper Table 3: 4 MB / 16 banks).
+    pub bank_geometry: CacheGeometry,
+    /// Number of banks (one per mesh node).
+    pub banks: usize,
+    /// Backing DRAM timing.
+    pub dram: DramConfig,
+}
+
+impl Default for L2Config {
+    fn default() -> Self {
+        // `latency` is calibrated (with the mesh) so end-to-end L2 hits
+        // land in Table 3's 29-61 cycle range; see gsim-core's tests.
+        L2Config {
+            latency: 26,
+            bank_geometry: CacheGeometry::l2_bank(),
+            banks: 16,
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+/// The shared L2 of conventional GPU coherence: all 16 NUCA banks plus
+/// the backing DRAM and the functional memory image.
+///
+/// One instance serves every bank; the engine routes a message here
+/// whenever `dst_comp == Component::L2`, and the bank is implied by the
+/// line address (`line % banks == dst node`).
+#[derive(Debug)]
+pub struct GpuL2 {
+    config: L2Config,
+    banks: Vec<CacheArray<()>>,
+    /// Per-bank in-order pipeline: the cycle each bank next accepts a
+    /// request. A bank blocked on a DRAM fill delays later requests, so
+    /// responses leave every bank in arrival order — the point-to-point
+    /// ordering the L1 controllers rely on.
+    bank_busy: Vec<Cycle>,
+    memory: MemoryImage,
+    dram: Dram,
+    counts: Counts,
+}
+
+impl GpuL2 {
+    /// Creates the shared L2 over an initial memory image.
+    pub fn new(config: L2Config, memory: MemoryImage) -> Self {
+        GpuL2 {
+            banks: (0..config.banks)
+                .map(|_| CacheArray::new(config.bank_geometry))
+                .collect(),
+            bank_busy: vec![0; config.banks],
+            dram: Dram::new(config.dram),
+            memory,
+            counts: Counts::default(),
+            config,
+        }
+    }
+
+    /// Starts a bank operation on `line` at `now`: waits for the bank,
+    /// fetches the line if missing, and occupies the bank until the data
+    /// is available. Returns the delay (relative to `now`) after which
+    /// responses go out.
+    fn bank_op(&mut self, now: Cycle, line: LineAddr) -> Cycle {
+        let bank = (line.0 % self.config.banks as u64) as usize;
+        let start = now.max(self.bank_busy[bank]);
+        let d = self.ensure_line(start, line);
+        self.bank_busy[bank] = start + d + 1;
+        start + d + self.config.latency - now
+    }
+
+    /// Event counters accumulated so far.
+    pub fn counts(&self) -> &Counts {
+        &self.counts
+    }
+
+    /// The functional memory image (final state inspection).
+    ///
+    /// Note: words still buffered in L1 store buffers are not yet here;
+    /// run verification only after every kernel's final release.
+    pub fn memory(&self) -> &MemoryImage {
+        &self.memory
+    }
+
+    /// Mutable access to the memory image (host-side initialization).
+    pub fn memory_mut(&mut self) -> &mut MemoryImage {
+        &mut self.memory
+    }
+
+    fn bank_node(&self, line: LineAddr) -> NodeId {
+        NodeId((line.0 % self.config.banks as u64) as u8)
+    }
+
+    /// Ensures `line` is resident in its bank, returning the extra delay
+    /// (0 on a bank hit, the DRAM round trip on a miss).
+    fn ensure_line(&mut self, now: Cycle, line: LineAddr) -> Cycle {
+        let bank = (line.0 % self.config.banks as u64) as usize;
+        if self.banks[bank].contains(line) {
+            return 0;
+        }
+        let done = self.dram.access(now, line);
+        self.counts.dram_reads += 1;
+        let data = self.memory.read_line(line);
+        if let InsertOutcome::Evicted(victim) = self.banks[bank].insert(line) {
+            let dirty = victim.mask_in(WordState::Owned);
+            if !dirty.is_empty() {
+                self.memory.write_line(victim.tag, dirty, &victim.data);
+                self.dram.access(now, victim.tag);
+                self.counts.dram_writes += 1;
+            }
+        }
+        let l = self.banks[bank].lookup(line).expect("just inserted");
+        l.fill(WordMask::full(), &data, WordState::Valid);
+        done - now
+    }
+
+    /// Delivers a network message to the addressed bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics on DeNovo-only message kinds (registrations, writebacks,
+    /// recalls) — a protocol bug.
+    pub fn handle(&mut self, now: Cycle, msg: &Msg) -> Vec<Action> {
+        match msg.kind {
+            MsgKind::ReadReq {
+                line, requester, ..
+            } => {
+                debug_assert_eq!(msg.dst, self.bank_node(line), "misrouted L2 request");
+                self.counts.l2_accesses += 1;
+                let delay = self.bank_op(now, line);
+                let bank = (line.0 % self.config.banks as u64) as usize;
+                let data = self.banks[bank].peek(line).expect("resident").data;
+                vec![Action::Send {
+                    msg: Msg {
+                        src: msg.dst,
+                        dst: requester,
+                        dst_comp: Component::L1,
+                        kind: MsgKind::ReadResp {
+                            line,
+                            mask: WordMask::full(),
+                            data,
+                        },
+                    },
+                    delay,
+                }]
+            }
+            MsgKind::WriteThrough { line, mask, data } => {
+                self.counts.l2_accesses += 1;
+                let delay = self.bank_op(now, line);
+                let bank = (line.0 % self.config.banks as u64) as usize;
+                let l = self.banks[bank].lookup(line).expect("resident");
+                l.fill(mask, &data, WordState::Owned);
+                vec![Action::Send {
+                    msg: Msg {
+                        src: msg.dst,
+                        dst: msg.src,
+                        dst_comp: Component::L1,
+                        kind: MsgKind::WtAck { line },
+                    },
+                    delay,
+                }]
+            }
+            MsgKind::AtomicReq {
+                word,
+                op,
+                operands,
+                requester,
+                ..
+            } => {
+                self.counts.l2_accesses += 1;
+                self.counts.l2_atomics += 1;
+                let line = word.line();
+                let delay = self.bank_op(now, line);
+                let bank = (line.0 % self.config.banks as u64) as usize;
+                let l = self.banks[bank].lookup(line).expect("resident");
+                let i = word.index_in_line();
+                let (new, old) = op.apply(l.data[i], operands);
+                if op.writes() {
+                    l.data[i] = new;
+                    l.state[i] = WordState::Owned;
+                }
+                vec![Action::Send {
+                    msg: Msg {
+                        src: msg.dst,
+                        dst: requester,
+                        dst_comp: Component::L1,
+                        kind: MsgKind::AtomicResp { word, old },
+                    },
+                    delay,
+                }]
+            }
+            ref k => panic!("GPU L2 received unexpected message {k:?}"),
+        }
+    }
+
+    /// Flushes every dirty L2 word into the memory image (end of run, so
+    /// verifiers see the complete final state).
+    pub fn flush_to_memory(&mut self) {
+        for bank in &mut self.banks {
+            let mut writes = Vec::new();
+            bank.for_each_line_mut(|l| {
+                let dirty = l.mask_in(WordState::Owned);
+                if !dirty.is_empty() {
+                    writes.push((l.tag, dirty, l.data));
+                    for i in dirty.iter() {
+                        l.state[i] = WordState::Valid;
+                    }
+                }
+            });
+            for (tag, mask, data) in writes {
+                self.memory.write_line(tag, mask, &data);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> GpuL1 {
+        GpuL1::new(L1Config::micro15(NodeId(0)))
+    }
+
+    fn l2_with(words: &[(u64, Value)]) -> GpuL2 {
+        let mut mem = MemoryImage::new();
+        for &(w, v) in words {
+            mem.write_word(WordAddr(w), v);
+        }
+        GpuL2::new(L2Config::default(), mem)
+    }
+
+    /// Runs a full L1 -> L2 -> L1 round trip for one message.
+    fn bounce(l1c: &mut GpuL1, l2c: &mut GpuL2, actions: Vec<Action>) -> Vec<Action> {
+        let mut out = Vec::new();
+        for a in actions {
+            let Action::Send { msg, .. } = a else {
+                out.push(a);
+                continue;
+            };
+            assert_eq!(msg.dst_comp, Component::L2, "GPU L1s only talk to the L2");
+            for r in l2c.handle(0, &msg) {
+                let Action::Send { msg: m2, .. } = r else {
+                    out.push(r);
+                    continue;
+                };
+                out.extend(l1c.handle(&m2));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn load_miss_then_hit() {
+        let mut l1c = l1();
+        let mut l2c = l2_with(&[(3, 77)]);
+        let (issue, actions) = l1c.load(WordAddr(3), ReqId(1));
+        assert_eq!(issue, Issue::Pending);
+        let done = bounce(&mut l1c, &mut l2c, actions);
+        assert_eq!(done, vec![Action::complete(ReqId(1), 77)]);
+        // Second load to any word of the line hits.
+        let (issue, _) = l1c.load(WordAddr(0), ReqId(2));
+        assert_eq!(issue, Issue::Hit(0));
+        let (issue, _) = l1c.load(WordAddr(3), ReqId(3));
+        assert_eq!(issue, Issue::Hit(77));
+        assert_eq!(l1c.counts().l1_load_hits, 2);
+        assert_eq!(l1c.counts().l1_load_misses, 1);
+    }
+
+    #[test]
+    fn coalesced_misses_complete_together() {
+        let mut l1c = l1();
+        let mut l2c = l2_with(&[(0, 5), (1, 6)]);
+        let (_, a1) = l1c.load(WordAddr(0), ReqId(1));
+        let (issue2, a2) = l1c.load(WordAddr(1), ReqId(2));
+        assert_eq!(issue2, Issue::Pending);
+        assert!(a2.is_empty(), "second miss coalesces, no new request");
+        let done = bounce(&mut l1c, &mut l2c, a1);
+        assert_eq!(
+            done,
+            vec![Action::complete(ReqId(1), 5), Action::complete(ReqId(2), 6)]
+        );
+    }
+
+    #[test]
+    fn store_forwards_and_release_flushes() {
+        let mut l1c = l1();
+        let mut l2c = l2_with(&[]);
+        let (issue, actions) = l1c.store(WordAddr(8), 42);
+        assert_eq!(issue, Issue::Hit(0));
+        assert!(actions.is_empty(), "store buffered, nothing sent yet");
+        // Store-to-load forwarding.
+        let (issue, _) = l1c.load(WordAddr(8), ReqId(1));
+        assert_eq!(issue, Issue::Hit(42));
+        // Release drains the buffer and blocks until the ack.
+        let (issue, actions) = l1c.release(false, ReqId(2));
+        assert_eq!(issue, Issue::Pending);
+        assert_eq!(actions.len(), 1);
+        let done = bounce(&mut l1c, &mut l2c, actions);
+        assert_eq!(done, vec![Action::complete(ReqId(2), 0)]);
+        assert_eq!(l1c.counts().sb_release_flushes, 1);
+        assert_eq!(l2c.memory_after_flush(WordAddr(8)), 42);
+        assert!(l1c.quiesced());
+    }
+
+    impl GpuL2 {
+        fn memory_after_flush(&mut self, w: WordAddr) -> Value {
+            self.flush_to_memory();
+            self.memory().read_word(w)
+        }
+    }
+
+    #[test]
+    fn empty_release_completes_immediately() {
+        let mut l1c = l1();
+        let (issue, actions) = l1c.release(false, ReqId(9));
+        assert_eq!(issue, Issue::Hit(0));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn acquire_invalidates_but_store_buffer_survives() {
+        let mut l1c = l1();
+        let mut l2c = l2_with(&[(0, 1)]);
+        let (_, a) = l1c.load(WordAddr(0), ReqId(1));
+        bounce(&mut l1c, &mut l2c, a);
+        l1c.store(WordAddr(1), 9);
+        l1c.acquire(false);
+        assert_eq!(l1c.counts().flash_invalidations, 1);
+        assert_eq!(l1c.counts().words_invalidated, 16);
+        // The cached word is gone...
+        let (issue, a) = l1c.load(WordAddr(0), ReqId(2));
+        assert_eq!(issue, Issue::Pending);
+        bounce(&mut l1c, &mut l2c, a);
+        // ...but the dirty word still forwards.
+        let (issue, _) = l1c.load(WordAddr(1), ReqId(3));
+        assert_eq!(issue, Issue::Hit(9));
+        // Local acquire (GPU-H) invalidates nothing.
+        l1c.acquire(true);
+        assert_eq!(l1c.counts().flash_invalidations, 1);
+    }
+
+    #[test]
+    fn global_atomic_executes_at_l2() {
+        let mut l1c = l1();
+        let mut l2c = l2_with(&[(4, 10)]);
+        let (issue, actions) = l1c.atomic(
+            WordAddr(4),
+            AtomicOp::Add,
+            [5, 0],
+            SyncOrd::AcqRel,
+            false,
+            ReqId(1),
+        );
+        assert_eq!(issue, Issue::Pending);
+        let done = bounce(&mut l1c, &mut l2c, actions);
+        assert_eq!(done, vec![Action::complete(ReqId(1), 10)]);
+        assert_eq!(l2c.counts().l2_atomics, 1);
+        assert_eq!(l1c.counts().l1_atomics, 0, "performed remotely");
+        // The L2 word was updated in place.
+        l2c.flush_to_memory();
+        assert_eq!(l2c.memory().read_word(WordAddr(4)), 15);
+    }
+
+    #[test]
+    fn local_atomic_executes_at_l1() {
+        let mut l1c = l1();
+        let mut l2c = l2_with(&[(4, 10)]);
+        // Miss: fetch the line, then perform locally.
+        let (issue, actions) = l1c.atomic(
+            WordAddr(4),
+            AtomicOp::Add,
+            [5, 0],
+            SyncOrd::AcqRel,
+            true,
+            ReqId(1),
+        );
+        assert_eq!(issue, Issue::Pending);
+        let done = bounce(&mut l1c, &mut l2c, actions);
+        assert_eq!(done, vec![Action::complete(ReqId(1), 10)]);
+        // Now a hit, entirely at the L1.
+        let (issue, actions) = l1c.atomic(
+            WordAddr(4),
+            AtomicOp::Add,
+            [1, 0],
+            SyncOrd::AcqRel,
+            true,
+            ReqId(2),
+        );
+        assert_eq!(issue, Issue::Hit(15));
+        assert!(actions.is_empty());
+        assert_eq!(l1c.counts().l1_atomic_hits, 1);
+        assert_eq!(l2c.counts().l2_atomics, 0);
+        // The value reaches the L2 at the next global release.
+        let (_, actions) = l1c.release(false, ReqId(3));
+        bounce(&mut l1c, &mut l2c, actions);
+        l2c.flush_to_memory();
+        assert_eq!(l2c.memory().read_word(WordAddr(4)), 16);
+    }
+
+    #[test]
+    fn same_word_atomics_complete_in_order() {
+        let mut l1c = l1();
+        let mut l2c = l2_with(&[(0, 0)]);
+        let (_, a1) = l1c.atomic(WordAddr(0), AtomicOp::Add, [1, 0], SyncOrd::AcqRel, false, ReqId(1));
+        let (_, a2) = l1c.atomic(WordAddr(0), AtomicOp::Add, [1, 0], SyncOrd::AcqRel, false, ReqId(2));
+        let d1 = bounce(&mut l1c, &mut l2c, a1);
+        let d2 = bounce(&mut l1c, &mut l2c, a2);
+        assert_eq!(d1, vec![Action::complete(ReqId(1), 0)]);
+        assert_eq!(d2, vec![Action::complete(ReqId(2), 1)]);
+    }
+
+    #[test]
+    fn sb_overflow_writes_through_early() {
+        let mut l1c = GpuL1::new(L1Config {
+            sb_entries: 2,
+            ..L1Config::micro15(NodeId(0))
+        });
+        let mut actions = Vec::new();
+        for line in 0..3u64 {
+            let (_, a) = l1c.store(LineAddr(line).word(0), line as Value);
+            actions.extend(a);
+        }
+        assert_eq!(actions.len(), 1, "oldest entry written through");
+        assert_eq!(l1c.counts().sb_overflow_flushes, 1);
+        assert!(matches!(
+            actions[0],
+            Action::Send {
+                msg: Msg {
+                    kind: MsgKind::WriteThrough { line: LineAddr(0), .. },
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn retry_when_mshr_full() {
+        let mut l1c = GpuL1::new(L1Config {
+            mshr_entries: 1,
+            ..L1Config::micro15(NodeId(0))
+        });
+        let (i1, _) = l1c.load(WordAddr(0), ReqId(1));
+        assert_eq!(i1, Issue::Pending);
+        let (i2, a2) = l1c.load(LineAddr(1).word(0), ReqId(2));
+        assert_eq!(i2, Issue::Retry);
+        assert!(a2.is_empty());
+        // Same line still coalesces even when the file is "full".
+        let (i3, _) = l1c.load(WordAddr(1), ReqId(3));
+        assert_eq!(i3, Issue::Pending);
+    }
+
+    #[test]
+    fn l2_dram_miss_then_bank_hit() {
+        let mut l2c = l2_with(&[(0, 123)]);
+        let req = Msg {
+            src: NodeId(2),
+            dst: NodeId(0),
+            dst_comp: Component::L2,
+            kind: MsgKind::ReadReq {
+                line: LineAddr(0),
+                mask: WordMask::full(),
+                requester: NodeId(2),
+            },
+        };
+        let first = l2c.handle(0, &req);
+        let Action::Send { delay: d1, msg } = first[0] else {
+            panic!("expected a send");
+        };
+        assert!(matches!(msg.kind, MsgKind::ReadResp { .. }));
+        assert_eq!(l2c.counts().dram_reads, 1);
+        let second = l2c.handle(1000, &req);
+        let Action::Send { delay: d2, .. } = second[0] else {
+            panic!("expected a send");
+        };
+        assert!(d1 > d2, "bank hit is faster than the DRAM miss");
+        assert_eq!(d2, L2Config::default().latency);
+        assert_eq!(l2c.counts().dram_reads, 1, "no second DRAM access");
+    }
+
+    #[test]
+    fn writethrough_marks_dirty_and_eviction_persists() {
+        let mut l2c = l2_with(&[]);
+        let wt = Msg {
+            src: NodeId(1),
+            dst: NodeId(0),
+            dst_comp: Component::L2,
+            kind: MsgKind::WriteThrough {
+                line: LineAddr(0),
+                mask: WordMask::single(0),
+                data: [55; WORDS_PER_LINE],
+            },
+        };
+        let acks = l2c.handle(0, &wt);
+        assert!(matches!(
+            acks[0],
+            Action::Send {
+                msg: Msg {
+                    kind: MsgKind::WtAck { .. },
+                    ..
+                },
+                ..
+            }
+        ));
+        assert_eq!(l2c.memory().read_word(WordAddr(0)), 0, "not yet in DRAM");
+        l2c.flush_to_memory();
+        assert_eq!(l2c.memory().read_word(WordAddr(0)), 55);
+    }
+}

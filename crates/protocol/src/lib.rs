@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! The coherence protocols of Sinclair et al., MICRO 2015.
+//!
+//! This crate implements both protocol families the paper studies as
+//! message-driven controller state machines:
+//!
+//! * [`gpu`] — conventional GPU software coherence (configurations GPU-D
+//!   and GPU-H): reader-initiated full-cache invalidation, buffered and
+//!   coalesced writethroughs, synchronization at the shared L2 (or at the
+//!   L1 for HRF local scopes).
+//! * [`denovo`] — the DeNovo hybrid hardware-software protocol
+//!   (configurations DeNovo-D, DeNovo-D+RO, DeNovo-H): reader-initiated
+//!   *selective* invalidation, word-granularity hardware ownership
+//!   (registration) tracked at the L2 registry, and DeNovoSync0
+//!   synchronization with same-CU coalescing and the distributed queue
+//!   for racy registrations.
+//!
+//! Controllers are pure state machines connected to the engine through
+//! the [`action`] vocabulary, so every protocol transition is unit-tested
+//! in isolation here, independent of timing.
+//!
+//! The qualitative side of the paper lives in three data modules:
+//! [`taxonomy`] (Table 1), [`features`] (Tables 2 and 5), and
+//! [`overhead`] (the §4.2 state-bit accounting).
+
+pub mod action;
+pub mod denovo;
+pub mod features;
+pub mod gpu;
+pub mod overhead;
+pub mod taxonomy;
+
+pub use action::{Action, Issue};
+pub use denovo::{DnL1, DnL2};
+pub use gpu::{GpuL1, GpuL2, L1Config, L2Config};

@@ -1,0 +1,109 @@
+//! The paper's Table 1: a classification of coherence protocols by who
+//! initiates invalidations, how the up-to-date copy is located, and
+//! whether the protocol has been combined with scoped synchronization.
+
+use std::fmt;
+
+/// Who removes stale copies from private caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InvalidationInitiator {
+    /// The writer invalidates sharers (conventional MESI-style hardware).
+    Writer,
+    /// Readers self-invalidate at acquires (GPU and DeNovo).
+    Reader,
+}
+
+/// How a miss locates the up-to-date copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpToDateTracking {
+    /// Writers register ownership (a directory or the DeNovo registry).
+    Ownership,
+    /// Writers keep a shared cache up to date with writethroughs.
+    Writethrough,
+}
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtocolClass {
+    /// The class name used in the paper.
+    pub name: &'static str,
+    /// A representative protocol.
+    pub example: &'static str,
+    /// Who initiates invalidations.
+    pub invalidation: InvalidationInitiator,
+    /// How the up-to-date copy is tracked.
+    pub tracking: UpToDateTracking,
+    /// Whether the class can be combined with scoped synchronization.
+    pub supports_scopes: bool,
+}
+
+impl fmt::Display for ProtocolClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:<8} {:<12} {:<12} {}",
+            self.name,
+            self.example,
+            match self.invalidation {
+                InvalidationInitiator::Writer => "writer",
+                InvalidationInitiator::Reader => "reader",
+            },
+            match self.tracking {
+                UpToDateTracking::Ownership => "ownership",
+                UpToDateTracking::Writethrough => "writethrough",
+            },
+            if self.supports_scopes { "yes" } else { "no" },
+        )
+    }
+}
+
+/// The three rows of Table 1: conventional hardware (MESI), software
+/// (GPU), and hybrid (DeNovo) coherence.
+pub fn table1() -> [ProtocolClass; 3] {
+    [
+        ProtocolClass {
+            name: "Conv HW",
+            example: "MESI",
+            invalidation: InvalidationInitiator::Writer,
+            tracking: UpToDateTracking::Ownership,
+            supports_scopes: true,
+        },
+        ProtocolClass {
+            name: "SW",
+            example: "GPU",
+            invalidation: InvalidationInitiator::Reader,
+            tracking: UpToDateTracking::Writethrough,
+            supports_scopes: true,
+        },
+        ProtocolClass {
+            name: "Hybrid",
+            example: "DeNovo",
+            invalidation: InvalidationInitiator::Reader,
+            tracking: UpToDateTracking::Ownership,
+            supports_scopes: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_the_paper() {
+        let rows = table1();
+        assert_eq!(rows[0].invalidation, InvalidationInitiator::Writer);
+        assert_eq!(rows[1].tracking, UpToDateTracking::Writethrough);
+        assert_eq!(rows[2].invalidation, InvalidationInitiator::Reader);
+        assert_eq!(rows[2].tracking, UpToDateTracking::Ownership);
+        assert!(rows.iter().all(|r| r.supports_scopes));
+    }
+
+    #[test]
+    fn display_is_tabular() {
+        for r in table1() {
+            let s = r.to_string();
+            assert!(s.contains(r.example));
+        }
+    }
+}

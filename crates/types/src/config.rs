@@ -1,0 +1,167 @@
+//! The five protocol/consistency configurations of the paper (§5.3).
+
+use std::fmt;
+
+/// Which coherence protocol family a configuration uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Coherence {
+    /// Conventional GPU software coherence: reader-initiated full-cache
+    /// invalidation, buffered writethroughs, no ownership (paper §3).
+    Gpu,
+    /// DeNovo hybrid coherence: reader-initiated selective invalidation,
+    /// hardware-tracked ownership (registration) at word granularity,
+    /// DeNovoSync0 synchronization (paper §3).
+    DeNovo,
+}
+
+/// Which memory consistency model a configuration assumes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Consistency {
+    /// Data-race-free: SC for DRF programs, no scopes (paper §2).
+    Drf,
+    /// Heterogeneous-race-free (HRF-Indirect): scoped synchronization
+    /// (paper §2); locally scoped sync accesses execute at the L1 without
+    /// invalidations or flushes.
+    Hrf,
+}
+
+/// One of the five studied configurations.
+///
+/// | Variant | Paper name | Coherence | Consistency |
+/// |---|---|---|---|
+/// | [`Gd`](ProtocolConfig::Gd) | GPU-D | GPU | DRF |
+/// | [`Gh`](ProtocolConfig::Gh) | GPU-H | GPU | HRF |
+/// | [`Dd`](ProtocolConfig::Dd) | DeNovo-D | DeNovo | DRF |
+/// | [`DdRo`](ProtocolConfig::DdRo) | DeNovo-D+RO | DeNovo | DRF + read-only region |
+/// | [`Dh`](ProtocolConfig::Dh) | DeNovo-H | DeNovo | HRF |
+///
+/// # Examples
+///
+/// ```
+/// use gsim_types::{ProtocolConfig, Coherence, Consistency};
+///
+/// let c = ProtocolConfig::Dd;
+/// assert_eq!(c.coherence(), Coherence::DeNovo);
+/// assert_eq!(c.consistency(), Consistency::Drf);
+/// assert!(!c.read_only_region());
+/// assert_eq!(c.to_string(), "DD");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ProtocolConfig {
+    /// GPU coherence, DRF consistency: all synchronization at the L2.
+    Gd,
+    /// GPU coherence, HRF consistency: locally scoped synchronization at
+    /// the L1s, globally scoped at the L2.
+    Gh,
+    /// DeNovo coherence (DeNovoSync0, no regions), DRF consistency: all
+    /// synchronization at the L1 after registration.
+    Dd,
+    /// DeNovo-D plus the read-only region enhancement: valid read-only
+    /// data is not invalidated at acquires.
+    DdRo,
+    /// DeNovo coherence with the HRF-Indirect model: ownership *and*
+    /// scoped synchronization.
+    Dh,
+}
+
+impl ProtocolConfig {
+    /// All five configurations, in the paper's presentation order.
+    pub const ALL: [ProtocolConfig; 5] = [
+        ProtocolConfig::Gd,
+        ProtocolConfig::Gh,
+        ProtocolConfig::Dd,
+        ProtocolConfig::DdRo,
+        ProtocolConfig::Dh,
+    ];
+
+    /// The coherence protocol family.
+    pub fn coherence(self) -> Coherence {
+        match self {
+            ProtocolConfig::Gd | ProtocolConfig::Gh => Coherence::Gpu,
+            _ => Coherence::DeNovo,
+        }
+    }
+
+    /// The consistency model.
+    pub fn consistency(self) -> Consistency {
+        match self {
+            ProtocolConfig::Gh | ProtocolConfig::Dh => Consistency::Hrf,
+            _ => Consistency::Drf,
+        }
+    }
+
+    /// Whether the read-only region enhancement is enabled.
+    pub fn read_only_region(self) -> bool {
+        self == ProtocolConfig::DdRo
+    }
+
+    /// Whether locally scoped synchronization is honoured (HRF models).
+    ///
+    /// Under DRF, scope annotations in a program are ignored and every
+    /// synchronization access behaves as globally scoped.
+    pub fn honours_scopes(self) -> bool {
+        self.consistency() == Consistency::Hrf
+    }
+
+    /// The paper's abbreviation for this configuration.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            ProtocolConfig::Gd => "GD",
+            ProtocolConfig::Gh => "GH",
+            ProtocolConfig::Dd => "DD",
+            ProtocolConfig::DdRo => "DD+RO",
+            ProtocolConfig::Dh => "DH",
+        }
+    }
+
+    /// The paper's long name for this configuration.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ProtocolConfig::Gd => "GPU-D",
+            ProtocolConfig::Gh => "GPU-H",
+            ProtocolConfig::Dd => "DeNovo-D",
+            ProtocolConfig::DdRo => "DeNovo-D+RO",
+            ProtocolConfig::Dh => "DeNovo-H",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families() {
+        assert_eq!(ProtocolConfig::Gd.coherence(), Coherence::Gpu);
+        assert_eq!(ProtocolConfig::Gh.coherence(), Coherence::Gpu);
+        assert_eq!(ProtocolConfig::Dd.coherence(), Coherence::DeNovo);
+        assert_eq!(ProtocolConfig::DdRo.coherence(), Coherence::DeNovo);
+        assert_eq!(ProtocolConfig::Dh.coherence(), Coherence::DeNovo);
+    }
+
+    #[test]
+    fn models() {
+        assert!(!ProtocolConfig::Gd.honours_scopes());
+        assert!(ProtocolConfig::Gh.honours_scopes());
+        assert!(!ProtocolConfig::Dd.honours_scopes());
+        assert!(!ProtocolConfig::DdRo.honours_scopes());
+        assert!(ProtocolConfig::Dh.honours_scopes());
+        assert!(ProtocolConfig::DdRo.read_only_region());
+        assert!(!ProtocolConfig::Dh.read_only_region());
+    }
+
+    #[test]
+    fn names() {
+        for c in ProtocolConfig::ALL {
+            assert!(!c.abbrev().is_empty());
+            assert!(!c.paper_name().is_empty());
+        }
+        assert_eq!(ProtocolConfig::DdRo.to_string(), "DD+RO");
+    }
+}

@@ -1,0 +1,174 @@
+//! Synchronization attributes: scopes, orderings, atomic operations, and
+//! software regions.
+//!
+//! Under the DRF model every synchronization access is global; under HRF
+//! (HRF-Indirect in the paper) each synchronization access additionally
+//! carries a [`Scope`]. The paper's DD+RO configuration uses a single
+//! software-conveyed read-only [`Region`] for selective invalidation.
+
+use std::fmt;
+
+/// The value type held in one machine word.
+pub type Value = u32;
+
+/// HRF synchronization scope (paper §3).
+///
+/// In the modelled two-level hierarchy there are exactly two scopes:
+///
+/// * [`Scope::Local`] — the thread blocks sharing one CU's L1 cache. A
+///   locally scoped synchronization is performed at the L1 and does not
+///   invalidate the cache or flush the store buffer.
+/// * [`Scope::Global`] — all cores and CUs, synchronizing through the
+///   shared L2. Under DRF *every* synchronization access has this scope.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Scope {
+    /// Synchronizes only the thread blocks on this CU (shares the L1).
+    Local,
+    /// Synchronizes all cores and CUs (through the shared L2).
+    Global,
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Local => write!(f, "local"),
+            Scope::Global => write!(f, "global"),
+        }
+    }
+}
+
+/// Ordering attribute of a synchronization access (DRF/HRF vocabulary).
+///
+/// The paper's program-order requirement (§2): an acquire must complete
+/// before younger accesses issue; older data writes must complete before a
+/// release; synchronization accesses are mutually ordered. Relaxed atomics
+/// are deliberately not modelled (paper §5.3 disallows them).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SyncOrd {
+    /// A synchronization read (e.g. a lock spin-load, a flag read).
+    Acquire,
+    /// A synchronization write (e.g. a lock release, a flag set).
+    Release,
+    /// A synchronization read-modify-write (e.g. the winning lock CAS).
+    AcqRel,
+}
+
+impl SyncOrd {
+    /// Whether this ordering has acquire semantics.
+    #[inline]
+    pub fn acquires(self) -> bool {
+        matches!(self, SyncOrd::Acquire | SyncOrd::AcqRel)
+    }
+
+    /// Whether this ordering has release semantics.
+    #[inline]
+    pub fn releases(self) -> bool {
+        matches!(self, SyncOrd::Release | SyncOrd::AcqRel)
+    }
+}
+
+/// The atomic read-modify-write operations the simulated hardware supports
+/// (at the L1 for DeNovo/locally scoped accesses, at the L2 otherwise).
+///
+/// These cover everything the Table-4 microbenchmarks need: ticket locks
+/// (`Add`), spin locks (`Exch`/`Cas`), semaphores (`Cas`), barriers
+/// (`Add`), work queues (`Add`, `Cas`), plus plain synchronization
+/// loads/stores (`Read`/`Write`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AtomicOp {
+    /// Synchronization load: returns the value, does not modify it.
+    Read,
+    /// Synchronization store of `operand[0]`.
+    Write,
+    /// Fetch-and-add of `operand[0]`; returns the old value.
+    Add,
+    /// Exchange with `operand[0]`; returns the old value.
+    Exch,
+    /// Compare-and-swap: if current == `operand[0]`, store `operand[1]`.
+    /// Returns the old value (success iff old == `operand[0]`).
+    Cas,
+    /// Fetch-and-min of `operand[0]`; returns the old value.
+    Min,
+    /// Fetch-and-max of `operand[0]`; returns the old value.
+    Max,
+}
+
+impl AtomicOp {
+    /// Applies the operation to `current`, returning
+    /// `(new_value, returned_old_value)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsim_types::AtomicOp;
+    ///
+    /// assert_eq!(AtomicOp::Add.apply(5, [3, 0]), (8, 5));
+    /// assert_eq!(AtomicOp::Cas.apply(0, [0, 1]), (1, 0)); // success
+    /// assert_eq!(AtomicOp::Cas.apply(7, [0, 1]), (7, 7)); // failure
+    /// assert_eq!(AtomicOp::Read.apply(9, [0, 0]), (9, 9));
+    /// ```
+    pub fn apply(self, current: Value, operands: [Value; 2]) -> (Value, Value) {
+        let old = current;
+        let new = match self {
+            AtomicOp::Read => current,
+            AtomicOp::Write => operands[0],
+            AtomicOp::Add => current.wrapping_add(operands[0]),
+            AtomicOp::Exch => operands[0],
+            AtomicOp::Cas => {
+                if current == operands[0] {
+                    operands[1]
+                } else {
+                    current
+                }
+            }
+            AtomicOp::Min => current.min(operands[0]),
+            AtomicOp::Max => current.max(operands[0]),
+        };
+        (new, old)
+    }
+
+    /// Whether the operation can modify memory (everything but `Read`).
+    #[inline]
+    pub fn writes(self) -> bool {
+        !matches!(self, AtomicOp::Read)
+    }
+}
+
+/// Software data region, the DD+RO enhancement's program-level annotation.
+///
+/// The paper (§3, §4.2) adds a single *read-only* region to DeNovo-D:
+/// loads tagged `ReadOnly` (conveyed in real hardware through an opcode
+/// bit) bring data in as read-only, and such words are *not* invalidated
+/// at acquires. The property is hardware-oblivious — unlike an HRF scope
+/// it says something about the program, not about the memory hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Region {
+    /// Ordinary read-write data.
+    #[default]
+    Default,
+    /// Data that is never written during the phase (kernel) that reads it.
+    ReadOnly,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ord_semantics() {
+        assert!(SyncOrd::Acquire.acquires() && !SyncOrd::Acquire.releases());
+        assert!(!SyncOrd::Release.acquires() && SyncOrd::Release.releases());
+        assert!(SyncOrd::AcqRel.acquires() && SyncOrd::AcqRel.releases());
+    }
+
+    #[test]
+    fn atomic_ops() {
+        assert_eq!(AtomicOp::Write.apply(1, [9, 0]), (9, 1));
+        assert_eq!(AtomicOp::Exch.apply(4, [2, 0]), (2, 4));
+        assert_eq!(AtomicOp::Min.apply(4, [2, 0]), (2, 4));
+        assert_eq!(AtomicOp::Max.apply(4, [2, 0]), (4, 4));
+        assert_eq!(AtomicOp::Add.apply(u32::MAX, [1, 0]), (0, u32::MAX)); // wraps
+        assert!(!AtomicOp::Read.writes());
+        assert!(AtomicOp::Cas.writes());
+    }
+}

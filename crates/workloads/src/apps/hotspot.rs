@@ -1,0 +1,178 @@
+//! HS — HotSpot (Rodinia): iterative 2D thermal simulation.
+//!
+//! Table 4 input: 512x512; we use 256x256 with 4 sweeps at paper scale.
+//! Each sweep reads the temperature grid and the static power grid
+//! (annotated read-only — DD+RO keeps it across the per-kernel
+//! acquires) and writes the next temperature into a ping-pong buffer:
+//! `t' = t + power + (up + down + left + right - 4t) >> 2`, all in
+//! wrapping-integer arithmetic mirrored exactly by the host reference.
+
+use crate::layout::Layout;
+use crate::params::Scale;
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::{Region, Value};
+
+const R_SRC: u8 = 1;
+const R_DST: u8 = 2;
+const R_PWR: u8 = 3;
+const R_Y0: u8 = 4;
+const R_Y1: u8 = 5;
+const R_N: u8 = 6; // grid dimension
+const R_X: u8 = 7;
+const R_Y: u8 = 8;
+const R_T: u8 = 9;
+const R_ACC: u8 = 10;
+const R_V: u8 = 11;
+const R_ADDR: u8 = 12;
+const R_TMP: u8 = 13;
+
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        // (grid dimension, sweeps)
+        Scale::Tiny => (24, 2),
+        Scale::Paper => (256, 4),
+    }
+}
+
+fn sweep_program() -> std::sync::Arc<gsim_core::kernel::Program> {
+    let mut b = KernelBuilder::new();
+    b.mov(R_Y, r(R_Y0));
+    b.label("y");
+    b.mov(R_X, imm(0));
+    b.label("x");
+    b.alu(R_ADDR, r(R_Y), AluOp::Mul, r(R_N));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_X));
+    b.alu(R_TMP, r(R_ADDR), AluOp::Add, r(R_SRC));
+    b.ld(R_T, b.at(R_TMP, 0));
+    // Boundary cells copy through.
+    b.bz(r(R_X), "store_t");
+    b.bz(r(R_Y), "store_t");
+    b.alu(R_V, r(R_X), AluOp::Add, imm(1));
+    b.alu(R_V, r(R_V), AluOp::CmpEq, r(R_N));
+    b.bnz(r(R_V), "store_t");
+    b.alu(R_V, r(R_Y), AluOp::Add, imm(1));
+    b.alu(R_V, r(R_V), AluOp::CmpEq, r(R_N));
+    b.bnz(r(R_V), "store_t");
+    // acc = up + down + left + right - 4t
+    b.ld(R_ACC, b.at(R_TMP, 1));
+    b.alu(R_TMP, r(R_TMP), AluOp::Sub, imm(1));
+    b.ld(R_V, b.at(R_TMP, 0));
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.alu(R_TMP, r(R_TMP), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_TMP), AluOp::Sub, r(R_N));
+    b.ld(R_V, b.at(R_TMP, 0));
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.alu(R_TMP, r(R_TMP), AluOp::Add, r(R_N));
+    b.alu(R_TMP, r(R_TMP), AluOp::Add, r(R_N));
+    b.ld(R_V, b.at(R_TMP, 0));
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.alu(R_V, r(R_T), AluOp::Mul, imm(4));
+    b.alu(R_ACC, r(R_ACC), AluOp::Sub, r(R_V));
+    b.alu(R_ACC, r(R_ACC), AluOp::Shr, imm(2));
+    // t' = t + power + acc
+    b.alu(R_TMP, r(R_ADDR), AluOp::Add, r(R_PWR));
+    b.ld_region(R_V, b.at(R_TMP, 0), Region::ReadOnly);
+    b.alu(R_T, r(R_T), AluOp::Add, r(R_V));
+    b.alu(R_T, r(R_T), AluOp::Add, r(R_ACC));
+    b.label("store_t");
+    b.alu(R_TMP, r(R_ADDR), AluOp::Add, r(R_DST));
+    b.st(b.at(R_TMP, 0), r(R_T));
+    b.alu(R_X, r(R_X), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_X), AluOp::CmpLt, r(R_N));
+    b.bnz(r(R_TMP), "x");
+    b.alu(R_Y, r(R_Y), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_Y), AluOp::CmpLt, r(R_Y1));
+    b.bnz(r(R_TMP), "y");
+    b.halt();
+    b.build()
+}
+
+/// Builds the HS workload.
+pub fn hotspot(scale: Scale) -> Workload {
+    let (n, sweeps) = dims(scale);
+    let words = n * n;
+    let mut layout = Layout::new();
+    let bufs = [layout.alloc(words), layout.alloc(words)];
+    let power = layout.alloc(words);
+
+    let program = sweep_program();
+    let cus = 15usize;
+    let rows_per = n.div_ceil(cus);
+    let kernels = (0..sweeps)
+        .map(|it| {
+            let (src, dst) = (bufs[it % 2], bufs[(it + 1) % 2]);
+            let tbs = (0..cus)
+                .filter(|t| t * rows_per < n)
+                .map(|t| {
+                    let mut regs = [0u32; 7];
+                    regs[R_SRC as usize] = src;
+                    regs[R_DST as usize] = dst;
+                    regs[R_PWR as usize] = power;
+                    regs[R_Y0 as usize] = (t * rows_per) as u32;
+                    regs[R_Y1 as usize] = ((t + 1) * rows_per).min(n) as u32;
+                    regs[R_N as usize] = n as u32;
+                    TbSpec::with_regs(&regs)
+                })
+                .collect();
+            KernelLaunch {
+                program: program.clone(),
+                tbs,
+            }
+        })
+        .collect();
+
+    let temp0: Vec<Value> = (0..words as u32).map(|i| 300 + (i.wrapping_mul(31) & 0x3f)).collect();
+    let pwr_v: Vec<Value> = (0..words as u32).map(|i| (i.wrapping_mul(17) >> 2) & 0xf).collect();
+    let mut t_ref = temp0.clone();
+    for _ in 0..sweeps {
+        let prev = t_ref.clone();
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let at = |yy: usize, xx: usize| prev[yy * n + xx];
+                let t = at(y, x);
+                let acc = at(y, x + 1)
+                    .wrapping_add(at(y, x - 1))
+                    .wrapping_add(at(y - 1, x))
+                    .wrapping_add(at(y + 1, x))
+                    .wrapping_sub(t.wrapping_mul(4))
+                    >> 2;
+                t_ref[y * n + x] = t.wrapping_add(pwr_v[y * n + x]).wrapping_add(acc);
+            }
+        }
+    }
+    let final_buf = bufs[sweeps % 2];
+
+    let (t_i, p_i) = (temp0, pwr_v);
+    Workload {
+        name: "HS".into(),
+        init: Box::new(move |mem| {
+            mem.write_u32_slice(Layout::byte_addr(bufs[0]), &t_i);
+            mem.write_u32_slice(Layout::byte_addr(power), &p_i);
+        }),
+        kernels,
+        verify: Box::new(move |mem| {
+            let got = mem.read_u32_slice(Layout::byte_addr(final_buf), words);
+            if got != t_ref {
+                return Err("temperature grid mismatch".into());
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn hotspot_verifies_under_every_config() {
+        for p in ProtocolConfig::ALL {
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&hotspot(Scale::Tiny))
+                .unwrap_or_else(|e| panic!("HS under {p}: {e}"));
+        }
+    }
+}

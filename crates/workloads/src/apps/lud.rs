@@ -1,0 +1,149 @@
+//! LUD — LU decomposition (Rodinia): in-place elimination over a dense
+//! matrix, one kernel per pivot step.
+//!
+//! Table 4 input: 256x256; we use 128x128 at paper scale. Step `k` updates
+//! the trailing submatrix with `m[i][j] -= m[i][k] * m[k][j]` (a Crout
+//! variant without the normalizing division — integer wrapping keeps the
+//! reference exact). The pivot row/column are re-read by every block —
+//! the shrinking, re-read-heavy pattern LUD is known for.
+
+use crate::layout::Layout;
+use crate::params::Scale;
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::Value;
+
+const R_M: u8 = 1; // matrix base
+const R_N: u8 = 2; // dimension
+const R_KSTEP: u8 = 3; // pivot index
+const R_I0: u8 = 4; // first row of this block
+const R_I1: u8 = 5; // one past the last row
+const R_I: u8 = 6;
+const R_J: u8 = 7;
+const R_LIK: u8 = 8;
+const R_V: u8 = 9;
+const R_ADDR: u8 = 10;
+const R_TMP: u8 = 11;
+
+fn dim(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 16,
+        Scale::Paper => 128,
+    }
+}
+
+fn step_program() -> std::sync::Arc<gsim_core::kernel::Program> {
+    let mut b = KernelBuilder::new();
+    // Rows i in [i0, i1): m[i][j] -= m[i][k] * m[k][j] for j in (k, n).
+    b.mov(R_I, r(R_I0));
+    b.alu(R_TMP, r(R_I), AluOp::CmpLt, r(R_I1));
+    b.bz(r(R_TMP), "end");
+    b.label("row");
+    b.alu(R_ADDR, r(R_I), AluOp::Mul, r(R_N));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_KSTEP));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_M));
+    b.ld(R_LIK, b.at(R_ADDR, 0));
+    b.alu(R_J, r(R_KSTEP), AluOp::Add, imm(1));
+    b.label("col");
+    // v = m[k][j]
+    b.alu(R_ADDR, r(R_KSTEP), AluOp::Mul, r(R_N));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_J));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_M));
+    b.ld(R_V, b.at(R_ADDR, 0));
+    b.alu(R_V, r(R_V), AluOp::Mul, r(R_LIK));
+    // m[i][j] -= v
+    b.alu(R_ADDR, r(R_I), AluOp::Mul, r(R_N));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_J));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_M));
+    b.ld(R_TMP, b.at(R_ADDR, 0));
+    b.alu(R_TMP, r(R_TMP), AluOp::Sub, r(R_V));
+    b.st(b.at(R_ADDR, 0), r(R_TMP));
+    b.alu(R_J, r(R_J), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_J), AluOp::CmpLt, r(R_N));
+    b.bnz(r(R_TMP), "col");
+    b.alu(R_I, r(R_I), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_I), AluOp::CmpLt, r(R_I1));
+    b.bnz(r(R_TMP), "row");
+    b.label("end");
+    b.halt();
+    b.build()
+}
+
+/// Builds the LUD workload.
+pub fn lud(scale: Scale) -> Workload {
+    let n = dim(scale);
+    let mut layout = Layout::new();
+    let m = layout.alloc(n * n);
+
+    let program = step_program();
+    let cus = 15usize;
+    let kernels = (0..n - 1)
+        .map(|k| {
+            // Rows k+1 .. n split across up to 15 blocks.
+            let rows = n - k - 1;
+            let per = rows.div_ceil(cus);
+            let tbs = (0..cus)
+                .filter(|t| t * per < rows)
+                .map(|t| {
+                    let mut regs = [0u32; 6];
+                    regs[R_M as usize] = m;
+                    regs[R_N as usize] = n as u32;
+                    regs[R_KSTEP as usize] = k as u32;
+                    regs[R_I0 as usize] = (k + 1 + t * per) as u32;
+                    regs[R_I1 as usize] = (k + 1 + ((t + 1) * per).min(rows)) as u32;
+                    TbSpec::with_regs(&regs)
+                })
+                .collect();
+            KernelLaunch {
+                program: program.clone(),
+                tbs,
+            }
+        })
+        .collect();
+
+    let init_v: Vec<Value> = (0..(n * n) as u32)
+        .map(|i| (i.wrapping_mul(2654435761) >> 16) & 0xff)
+        .collect();
+    let mut m_ref = init_v.clone();
+    for k in 0..n - 1 {
+        for i in k + 1..n {
+            let lik = m_ref[i * n + k];
+            for j in k + 1..n {
+                m_ref[i * n + j] =
+                    m_ref[i * n + j].wrapping_sub(lik.wrapping_mul(m_ref[k * n + j]));
+            }
+        }
+    }
+
+    let init_i = init_v;
+    Workload {
+        name: "LUD".into(),
+        init: Box::new(move |mem| {
+            mem.write_u32_slice(Layout::byte_addr(m), &init_i);
+        }),
+        kernels,
+        verify: Box::new(move |mem| {
+            let got = mem.read_u32_slice(Layout::byte_addr(m), n * n);
+            if got != m_ref {
+                return Err("decomposed matrix mismatch".into());
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn lud_verifies_under_every_config() {
+        for p in ProtocolConfig::ALL {
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&lud(Scale::Tiny))
+                .unwrap_or_else(|e| panic!("LUD under {p}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! The ten Rodinia/Parboil-style applications of Table 4 — no
+//! intra-kernel synchronization, reproducing each benchmark's memory
+//! reference character (tiling, scratchpad staging, strides, kernel
+//! structure) in the kernel IR.
+//!
+//! All arithmetic is 32-bit wrapping-integer (the protocols only see the
+//! reference stream; float units are not modelled), and every app
+//! verifies its full output against a host-computed reference. Inputs
+//! are scaled from Table 4 as documented per module so a full figure
+//! regenerates in minutes (DESIGN.md §1).
+
+pub mod backprop;
+pub mod hotspot;
+pub mod lavamd;
+pub mod lud;
+pub mod nn;
+pub mod nw;
+pub mod pathfinder;
+pub mod sgemm;
+pub mod srad;
+pub mod stencil;

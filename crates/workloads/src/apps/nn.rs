@@ -1,0 +1,145 @@
+//! NN — Nearest Neighbor (Rodinia): scan a record table for the closest
+//! point to a query.
+//!
+//! Table 4 input: 171K records; we use 46 080 at paper scale (1024 per
+//! block). The access pattern is a pure streaming reduction over
+//! read-only data — the workload class conventional GPU coherence was
+//! built for, so it establishes the "DeNovo is comparable on today's
+//! use cases" baseline. Distances are wrapping squared-difference sums.
+
+use crate::layout::Layout;
+use crate::params::Scale;
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::{Region, Value};
+
+const R_REC: u8 = 1; // record base of this block (lat, lng pairs)
+const R_CNT: u8 = 2; // records in this block's slice
+const R_OUT: u8 = 3; // output (min dist, argmin) address
+const R_QLAT: u8 = 4;
+const R_QLNG: u8 = 5;
+const R_K: u8 = 6;
+const R_BESTD: u8 = 7;
+const R_BESTI: u8 = 8;
+const R_D: u8 = 9;
+const R_V: u8 = 10;
+const R_ADDR: u8 = 11;
+const R_TMP: u8 = 12;
+
+const QLAT: u32 = 3000;
+const QLNG: u32 = 7000;
+
+fn dims(scale: Scale) -> usize {
+    // Records per thread block (45 blocks total).
+    match scale {
+        Scale::Tiny => 32,
+        Scale::Paper => 1024,
+    }
+}
+
+fn nn_program() -> std::sync::Arc<gsim_core::kernel::Program> {
+    let mut b = KernelBuilder::new();
+    b.mov(R_BESTD, imm(u32::MAX));
+    b.mov(R_BESTI, imm(0));
+    b.mov(R_K, imm(0));
+    b.label("scan");
+    // d = (lat - qlat)^2 + (lng - qlng)^2, wrapping
+    b.alu(R_ADDR, r(R_K), AluOp::Mul, imm(2));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_REC));
+    b.ld_region(R_V, b.at(R_ADDR, 0), Region::ReadOnly);
+    b.alu(R_V, r(R_V), AluOp::Sub, r(R_QLAT));
+    b.alu(R_D, r(R_V), AluOp::Mul, r(R_V));
+    b.ld_region(R_V, b.at(R_ADDR, 1), Region::ReadOnly);
+    b.alu(R_V, r(R_V), AluOp::Sub, r(R_QLNG));
+    b.alu(R_V, r(R_V), AluOp::Mul, r(R_V));
+    b.alu(R_D, r(R_D), AluOp::Add, r(R_V));
+    // best = min(best, d), tracking the index
+    b.alu(R_TMP, r(R_D), AluOp::CmpLt, r(R_BESTD));
+    b.bz(r(R_TMP), "next");
+    b.mov(R_BESTD, r(R_D));
+    b.mov(R_BESTI, r(R_K));
+    b.label("next");
+    b.alu(R_K, r(R_K), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_K), AluOp::CmpLt, r(R_CNT));
+    b.bnz(r(R_TMP), "scan");
+    b.st(b.at(R_OUT, 0), r(R_BESTD));
+    b.st(b.at(R_OUT, 1), r(R_BESTI));
+    b.halt();
+    b.build()
+}
+
+/// Builds the NN workload.
+pub fn nn(scale: Scale) -> Workload {
+    let per_tb = dims(scale);
+    let tbs_n = 45usize;
+    let total = per_tb * tbs_n;
+    let mut layout = Layout::new();
+    let records = layout.alloc(total * 2);
+    let outs = layout.alloc(tbs_n * 2);
+
+    let program = nn_program();
+    let tbs = (0..tbs_n)
+        .map(|t| {
+            let mut regs = [0u32; 6];
+            regs[R_REC as usize] = records + (t * per_tb * 2) as u32;
+            regs[R_CNT as usize] = per_tb as u32;
+            regs[R_OUT as usize] = outs + (t * 2) as u32;
+            regs[R_QLAT as usize] = QLAT;
+            regs[R_QLNG as usize] = QLNG;
+            TbSpec::with_regs(&regs)
+        })
+        .collect();
+
+    let recs: Vec<Value> = (0..(total * 2) as u32)
+        .map(|i| i.wrapping_mul(48271) % 10007)
+        .collect();
+    let mut want = Vec::with_capacity(tbs_n * 2);
+    for t in 0..tbs_n {
+        let (mut bd, mut bi) = (u32::MAX, 0u32);
+        for k in 0..per_tb {
+            let lat = recs[(t * per_tb + k) * 2];
+            let lng = recs[(t * per_tb + k) * 2 + 1];
+            let dl = lat.wrapping_sub(QLAT);
+            let dg = lng.wrapping_sub(QLNG);
+            let d = dl.wrapping_mul(dl).wrapping_add(dg.wrapping_mul(dg));
+            if d < bd {
+                bd = d;
+                bi = k as u32;
+            }
+        }
+        want.push(bd);
+        want.push(bi);
+    }
+
+    let recs_i = recs;
+    Workload {
+        name: "NN".into(),
+        init: Box::new(move |mem| {
+            mem.write_u32_slice(Layout::byte_addr(records), &recs_i);
+        }),
+        kernels: vec![KernelLaunch { program, tbs }],
+        verify: Box::new(move |mem| {
+            let got = mem.read_u32_slice(Layout::byte_addr(outs), tbs_n * 2);
+            if got != want {
+                return Err("nearest-neighbour results mismatch".into());
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn nn_verifies_under_every_config() {
+        for p in ProtocolConfig::ALL {
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&nn(Scale::Tiny))
+                .unwrap_or_else(|e| panic!("NN under {p}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! NW — Needleman-Wunsch (Rodinia): sequence alignment scoring by
+//! wavefront over a 2D grid.
+//!
+//! Table 4 input: 512x512; we use 256x256 in 16x16 blocks at paper
+//! scale. One kernel per anti-diagonal of blocks; a block reads its
+//! left/top halo cells from the blocks computed in the previous kernel —
+//! the classic producer-consumer wavefront where DeNovo's owned data
+//! survives the kernel-boundary acquire.
+//!
+//! Scoring uses wrapping-integer max: `score[i][j] = max(diag + sub,
+//! up + GAP, left + GAP)` with `sub = 4*(s1[i]==s2[j]) - 1` and
+//! `GAP = -1` encoded as wrapping `u32` arithmetic (the host reference
+//! uses identical ops, so verification is exact).
+
+use crate::layout::Layout;
+use crate::params::Scale;
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::{Region, Value};
+
+const BLOCK: usize = 16;
+const GAP: u32 = 1u32.wrapping_neg(); // -1
+
+const R_S: u8 = 1; // score grid base ((n+1) x (n+1))
+const R_SEQ1: u8 = 2; // row sequence base (read-only)
+const R_SEQ2: u8 = 3; // column sequence base (read-only)
+const R_BI: u8 = 4; // block row origin (1-based grid row)
+const R_BJ: u8 = 5; // block column origin
+const R_STRIDE: u8 = 6; // grid row stride = n + 1
+const R_I: u8 = 7;
+const R_J: u8 = 8;
+const R_BEST: u8 = 9;
+const R_V: u8 = 10;
+const R_ADDR: u8 = 11;
+const R_TMP: u8 = 12;
+const R_C1: u8 = 13;
+
+fn dim(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 32,
+        Scale::Paper => 256,
+    }
+}
+
+fn block_program() -> std::sync::Arc<gsim_core::kernel::Program> {
+    let mut b = KernelBuilder::new();
+    b.mov(R_I, r(R_BI));
+    b.label("row");
+    // c1 = seq1[i - 1]
+    b.alu(R_ADDR, r(R_SEQ1), AluOp::Add, r(R_I));
+    b.ld_region(R_C1, b.at(R_ADDR, 0), Region::ReadOnly);
+    b.mov(R_J, r(R_BJ));
+    b.label("col");
+    // sub = (seq1[i-1] == seq2[j-1]) * 4 - 1
+    b.alu(R_ADDR, r(R_SEQ2), AluOp::Add, r(R_J));
+    b.ld_region(R_V, b.at(R_ADDR, 0), Region::ReadOnly);
+    b.alu(R_V, r(R_V), AluOp::CmpEq, r(R_C1));
+    b.alu(R_V, r(R_V), AluOp::Mul, imm(4));
+    b.alu(R_V, r(R_V), AluOp::Sub, imm(1));
+    // best = score[i-1][j-1] + sub
+    b.alu(R_ADDR, r(R_I), AluOp::Sub, imm(1));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Mul, r(R_STRIDE));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_J));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_S));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Sub, imm(1));
+    b.ld(R_BEST, b.at(R_ADDR, 0));
+    b.alu(R_BEST, r(R_BEST), AluOp::Add, r(R_V));
+    // up + GAP (address currently at [i-1][j-1]; move to [i-1][j])
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, imm(1));
+    b.ld(R_V, b.at(R_ADDR, 0));
+    b.alu(R_V, r(R_V), AluOp::Add, imm(GAP));
+    b.alu(R_BEST, r(R_BEST), AluOp::Max, r(R_V));
+    // left + GAP ([i][j-1])
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_STRIDE));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Sub, imm(1));
+    b.ld(R_V, b.at(R_ADDR, 0));
+    b.alu(R_V, r(R_V), AluOp::Add, imm(GAP));
+    b.alu(R_BEST, r(R_BEST), AluOp::Max, r(R_V));
+    // score[i][j] = best
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, imm(1));
+    b.st(b.at(R_ADDR, 0), r(R_BEST));
+    b.alu(R_J, r(R_J), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_BJ), AluOp::Add, imm(BLOCK as u32));
+    b.alu(R_TMP, r(R_J), AluOp::CmpLt, r(R_TMP));
+    b.bnz(r(R_TMP), "col");
+    b.alu(R_I, r(R_I), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_BI), AluOp::Add, imm(BLOCK as u32));
+    b.alu(R_TMP, r(R_I), AluOp::CmpLt, r(R_TMP));
+    b.bnz(r(R_TMP), "row");
+    b.halt();
+    b.build()
+}
+
+/// Builds the NW workload.
+pub fn nw(scale: Scale) -> Workload {
+    let n = dim(scale);
+    let stride = n + 1;
+    let blocks = n / BLOCK;
+    let mut layout = Layout::new();
+    let score = layout.alloc(stride * stride);
+    let seq1 = layout.alloc(stride);
+    let seq2 = layout.alloc(stride);
+
+    let program = block_program();
+    // One kernel per anti-diagonal d = bi + bj.
+    let kernels = (0..2 * blocks - 1)
+        .map(|d| {
+            let tbs = (0..blocks)
+                .filter(|&bi| d >= bi && d - bi < blocks)
+                .map(|bi| {
+                    let bj = d - bi;
+                    let mut regs = [0u32; 7];
+                    regs[R_S as usize] = score;
+                    regs[R_SEQ1 as usize] = seq1;
+                    regs[R_SEQ2 as usize] = seq2;
+                    regs[R_BI as usize] = (bi * BLOCK + 1) as u32;
+                    regs[R_BJ as usize] = (bj * BLOCK + 1) as u32;
+                    regs[R_STRIDE as usize] = stride as u32;
+                    TbSpec::with_regs(&regs)
+                })
+                .collect();
+            KernelLaunch {
+                program: program.clone(),
+                tbs,
+            }
+        })
+        .collect();
+
+    // Host inputs (seq values in 0..4) and boundary penalties.
+    let s1: Vec<Value> = (0..stride as u32).map(|i| (i.wrapping_mul(7919) >> 3) & 3).collect();
+    let s2: Vec<Value> = (0..stride as u32).map(|i| (i.wrapping_mul(104729) >> 5) & 3).collect();
+    let mut init_score = vec![0u32; stride * stride];
+    for k in 1..stride {
+        init_score[k] = (k as u32).wrapping_mul(GAP);
+        init_score[k * stride] = (k as u32).wrapping_mul(GAP);
+    }
+    let mut score_ref = init_score.clone();
+    for i in 1..stride {
+        for j in 1..stride {
+            let sub = ((s1[i] == s2[j]) as u32).wrapping_mul(4).wrapping_sub(1);
+            let diag = score_ref[(i - 1) * stride + j - 1].wrapping_add(sub);
+            let up = score_ref[(i - 1) * stride + j].wrapping_add(GAP);
+            let left = score_ref[i * stride + j - 1].wrapping_add(GAP);
+            score_ref[i * stride + j] = diag.max(up).max(left);
+        }
+    }
+
+    let (s1_i, s2_i, init_i) = (s1, s2, init_score);
+    Workload {
+        name: "NW".into(),
+        init: Box::new(move |mem| {
+            mem.write_u32_slice(Layout::byte_addr(seq1), &s1_i);
+            mem.write_u32_slice(Layout::byte_addr(seq2), &s2_i);
+            mem.write_u32_slice(Layout::byte_addr(score), &init_i);
+        }),
+        kernels,
+        verify: Box::new(move |mem| {
+            let got = mem.read_u32_slice(Layout::byte_addr(score), stride * stride);
+            if got != score_ref {
+                let bad = got.iter().zip(&score_ref).position(|(a, b)| a != b).unwrap();
+                return Err(format!(
+                    "score[{},{}] = {}, want {}",
+                    bad / stride,
+                    bad % stride,
+                    got[bad],
+                    score_ref[bad]
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn nw_verifies_under_every_config() {
+        for p in ProtocolConfig::ALL {
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&nw(Scale::Tiny))
+                .unwrap_or_else(|e| panic!("NW under {p}: {e}"));
+        }
+    }
+}

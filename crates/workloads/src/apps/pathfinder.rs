@@ -1,0 +1,161 @@
+//! PF — PathFinder (Rodinia): dynamic programming over a grid, one
+//! kernel per row.
+//!
+//! Table 4 input: 10 x 100K — used at full width (10 rows x 100 080
+//! columns) at paper scale. Each thread
+//! block owns a contiguous column chunk; computing
+//! `dp'[j] = cost[row][j] + min(dp[j-1], dp[j], dp[j+1])` requires the
+//! two ghost cells produced by the *neighbouring* blocks in the previous
+//! kernel — the cross-kernel, cross-CU reuse pattern where DeNovo's
+//! ownership keeps data alive through the kernel-boundary acquire.
+//! The dp rows ping-pong between two buffers.
+
+use crate::layout::Layout;
+use crate::params::Scale;
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::{Region, Value};
+
+const R_SRC: u8 = 1; // previous dp row base
+const R_DST: u8 = 2; // next dp row base
+const R_COST: u8 = 3; // this row's cost base (read-only)
+const R_J0: u8 = 4; // first column of this block
+const R_J1: u8 = 5; // one past the last column
+const R_NCOLS: u8 = 6; // total columns (for edge clamping)
+const R_J: u8 = 7;
+const R_BEST: u8 = 8;
+const R_V: u8 = 9;
+const R_ADDR: u8 = 10;
+const R_TMP: u8 = 11;
+
+fn dims(scale: Scale) -> (usize, usize, usize) {
+    match scale {
+        // (rows, columns, columns per TB)
+        Scale::Tiny => (3, 45 * 8, 8),
+        Scale::Paper => (10, 45 * 2224, 2224),
+    }
+}
+
+/// One row kernel: every block computes its chunk of the next dp row.
+fn row_program() -> std::sync::Arc<gsim_core::kernel::Program> {
+    let mut b = KernelBuilder::new();
+    b.mov(R_J, r(R_J0));
+    b.label("col");
+    // best = dp[j]
+    b.alu(R_ADDR, r(R_SRC), AluOp::Add, r(R_J));
+    b.ld(R_BEST, b.at(R_ADDR, 0));
+    // left neighbour (clamped at 0)
+    b.bz(r(R_J), "no_left");
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Sub, imm(1));
+    b.ld(R_V, b.at(R_ADDR, 0));
+    b.alu(R_BEST, r(R_BEST), AluOp::Min, r(R_V));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, imm(1));
+    b.label("no_left");
+    // right neighbour (clamped at ncols - 1)
+    b.alu(R_TMP, r(R_J), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_TMP), AluOp::CmpLt, r(R_NCOLS));
+    b.bz(r(R_TMP), "no_right");
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, imm(1));
+    b.ld(R_V, b.at(R_ADDR, 0));
+    b.alu(R_BEST, r(R_BEST), AluOp::Min, r(R_V));
+    b.label("no_right");
+    // dp'[j] = cost[j] + best
+    b.alu(R_ADDR, r(R_COST), AluOp::Add, r(R_J));
+    b.ld_region(R_V, b.at(R_ADDR, 0), Region::ReadOnly);
+    b.alu(R_V, r(R_V), AluOp::Add, r(R_BEST));
+    b.alu(R_ADDR, r(R_DST), AluOp::Add, r(R_J));
+    b.st(b.at(R_ADDR, 0), r(R_V));
+    b.alu(R_J, r(R_J), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_J), AluOp::CmpLt, r(R_J1));
+    b.bnz(r(R_TMP), "col");
+    b.halt();
+    b.build()
+}
+
+/// Builds the PF workload.
+pub fn pathfinder(scale: Scale) -> Workload {
+    let (rows, ncols, chunk) = dims(scale);
+    let tbs_n = ncols / chunk;
+    let mut layout = Layout::new();
+    let cost = layout.alloc(rows * ncols);
+    let dp = [layout.alloc(ncols), layout.alloc(ncols)];
+
+    let program = row_program();
+    let kernels = (0..rows)
+        .map(|row| {
+            let (src, dst) = (dp[row % 2], dp[(row + 1) % 2]);
+            let tbs = (0..tbs_n)
+                .map(|t| {
+                    let mut regs = [0u32; 7];
+                    regs[R_SRC as usize] = src;
+                    regs[R_DST as usize] = dst;
+                    regs[R_COST as usize] = cost + (row * ncols) as u32;
+                    regs[R_J0 as usize] = (t * chunk) as u32;
+                    regs[R_J1 as usize] = ((t + 1) * chunk) as u32;
+                    regs[R_NCOLS as usize] = ncols as u32;
+                    TbSpec::with_regs(&regs)
+                })
+                .collect();
+            KernelLaunch {
+                program: program.clone(),
+                tbs,
+            }
+        })
+        .collect();
+
+    // Host inputs and reference.
+    let cost_v: Vec<Value> = (0..(rows * ncols) as u32)
+        .map(|i| (i.wrapping_mul(2246822519) >> 24) & 0xff)
+        .collect();
+    let mut dp_ref = vec![0u32; ncols];
+    for row in 0..rows {
+        let prev = dp_ref.clone();
+        for j in 0..ncols {
+            let mut best = prev[j];
+            if j > 0 {
+                best = best.min(prev[j - 1]);
+            }
+            if j + 1 < ncols {
+                best = best.min(prev[j + 1]);
+            }
+            dp_ref[j] = cost_v[row * ncols + j].wrapping_add(best);
+        }
+    }
+    let final_dp = dp[rows % 2];
+
+    let cost_i = cost_v.clone();
+    Workload {
+        name: "PF".into(),
+        init: Box::new(move |mem| {
+            mem.write_u32_slice(Layout::byte_addr(cost), &cost_i);
+        }),
+        kernels,
+        verify: Box::new(move |mem| {
+            let got = mem.read_u32_slice(Layout::byte_addr(final_dp), ncols);
+            if got != dp_ref {
+                let bad = got.iter().zip(&dp_ref).position(|(a, b)| a != b).unwrap();
+                return Err(format!(
+                    "dp[{bad}] = {}, want {}",
+                    got[bad], dp_ref[bad]
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn pathfinder_verifies_under_every_config() {
+        for p in ProtocolConfig::ALL {
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&pathfinder(Scale::Tiny))
+                .unwrap_or_else(|e| panic!("PF under {p}: {e}"));
+        }
+    }
+}

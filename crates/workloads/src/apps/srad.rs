@@ -1,0 +1,253 @@
+//! SRAD — Speckle Reducing Anisotropic Diffusion (Rodinia, v2): two
+//! dependent kernels per iteration over a 2D image.
+//!
+//! Table 4 input: 256x256 — used unchanged with 2 iterations at paper
+//! scale. Kernel 1 computes a per-pixel diffusion coefficient from the
+//! four-neighbour Laplacian; kernel 2 updates the image from the
+//! coefficients of the pixel and its south/east neighbours — the
+//! two-phase producer-consumer structure that distinguishes SRAD from
+//! simple stencils. Wrapping-integer arithmetic, exact host reference.
+
+use crate::layout::Layout;
+use crate::params::Scale;
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::Value;
+
+const R_IMG: u8 = 1;
+const R_C: u8 = 2; // coefficient grid
+const R_Y0: u8 = 3;
+const R_Y1: u8 = 4;
+const R_N: u8 = 5;
+const R_X: u8 = 6;
+const R_Y: u8 = 7;
+const R_ACC: u8 = 8;
+const R_V: u8 = 9;
+const R_ADDR: u8 = 10;
+const R_TMP: u8 = 11;
+const R_J: u8 = 12;
+const R_A2: u8 = 13; // absolute address scratch (emit_load_at)
+
+fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Tiny => (16, 1),
+        Scale::Paper => (256, 2),
+    }
+}
+
+/// Clamped neighbour offset helper: emits `R_V = img-ish[base + index]`
+/// where the caller has already computed the clamped index in `R_J`.
+fn emit_load_at(b: &mut KernelBuilder, base: u8, dst: u8) {
+    b.alu(R_A2, r(R_J), AluOp::Add, r(base));
+    b.ld(dst, b.at(R_A2, 0));
+}
+
+/// Kernel 1: c[y][x] = (sum of 4 clamped neighbours) - 4*img + img>>1.
+fn coeff_program() -> std::sync::Arc<gsim_core::kernel::Program> {
+    let mut b = KernelBuilder::new();
+    b.mov(R_Y, r(R_Y0));
+    b.label("y");
+    b.mov(R_X, imm(0));
+    b.label("x");
+    b.alu(R_ADDR, r(R_Y), AluOp::Mul, r(R_N));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_X));
+    b.mov(R_J, r(R_ADDR));
+    emit_load_at(&mut b, R_IMG, R_V);
+    b.alu(R_ACC, r(R_V), AluOp::Shr, imm(1));
+    b.alu(R_TMP, r(R_V), AluOp::Mul, imm(4));
+    b.alu(R_ACC, r(R_ACC), AluOp::Sub, r(R_TMP));
+    // North (clamped): j = (y == 0 ? addr : addr - n)
+    b.mov(R_J, r(R_ADDR));
+    b.bz(r(R_Y), "north_done");
+    b.alu(R_J, r(R_J), AluOp::Sub, r(R_N));
+    b.label("north_done");
+    emit_load_at(&mut b, R_IMG, R_V);
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    // South (clamped at n-1)
+    b.mov(R_J, r(R_ADDR));
+    b.alu(R_TMP, r(R_Y), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_TMP), AluOp::CmpEq, r(R_N));
+    b.bnz(r(R_TMP), "south_done");
+    b.alu(R_J, r(R_J), AluOp::Add, r(R_N));
+    b.label("south_done");
+    emit_load_at(&mut b, R_IMG, R_V);
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    // West (clamped at 0)
+    b.mov(R_J, r(R_ADDR));
+    b.bz(r(R_X), "west_done");
+    b.alu(R_J, r(R_J), AluOp::Sub, imm(1));
+    b.label("west_done");
+    emit_load_at(&mut b, R_IMG, R_V);
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    // East (clamped at n-1)
+    b.mov(R_J, r(R_ADDR));
+    b.alu(R_TMP, r(R_X), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_TMP), AluOp::CmpEq, r(R_N));
+    b.bnz(r(R_TMP), "east_done");
+    b.alu(R_J, r(R_J), AluOp::Add, imm(1));
+    b.label("east_done");
+    emit_load_at(&mut b, R_IMG, R_V);
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    // store coefficient
+    b.alu(R_TMP, r(R_ADDR), AluOp::Add, r(R_C));
+    b.st(b.at(R_TMP, 0), r(R_ACC));
+    b.alu(R_X, r(R_X), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_X), AluOp::CmpLt, r(R_N));
+    b.bnz(r(R_TMP), "x");
+    b.alu(R_Y, r(R_Y), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_Y), AluOp::CmpLt, r(R_Y1));
+    b.bnz(r(R_TMP), "y");
+    b.halt();
+    b.build()
+}
+
+/// Kernel 2: img += (c + c_south + c_east) >> 3 (clamped neighbours).
+fn update_program() -> std::sync::Arc<gsim_core::kernel::Program> {
+    let mut b = KernelBuilder::new();
+    b.mov(R_Y, r(R_Y0));
+    b.label("y");
+    b.mov(R_X, imm(0));
+    b.label("x");
+    b.alu(R_ADDR, r(R_Y), AluOp::Mul, r(R_N));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_X));
+    b.mov(R_J, r(R_ADDR));
+    emit_load_at(&mut b, R_C, R_ACC);
+    // South coefficient
+    b.mov(R_J, r(R_ADDR));
+    b.alu(R_TMP, r(R_Y), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_TMP), AluOp::CmpEq, r(R_N));
+    b.bnz(r(R_TMP), "south_done");
+    b.alu(R_J, r(R_J), AluOp::Add, r(R_N));
+    b.label("south_done");
+    emit_load_at(&mut b, R_C, R_V);
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    // East coefficient
+    b.mov(R_J, r(R_ADDR));
+    b.alu(R_TMP, r(R_X), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_TMP), AluOp::CmpEq, r(R_N));
+    b.bnz(r(R_TMP), "east_done");
+    b.alu(R_J, r(R_J), AluOp::Add, imm(1));
+    b.label("east_done");
+    emit_load_at(&mut b, R_C, R_V);
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.alu(R_ACC, r(R_ACC), AluOp::Shr, imm(3));
+    // img += acc
+    b.alu(R_TMP, r(R_ADDR), AluOp::Add, r(R_IMG));
+    b.ld(R_V, b.at(R_TMP, 0));
+    b.alu(R_V, r(R_V), AluOp::Add, r(R_ACC));
+    b.st(b.at(R_TMP, 0), r(R_V));
+    b.alu(R_X, r(R_X), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_X), AluOp::CmpLt, r(R_N));
+    b.bnz(r(R_TMP), "x");
+    b.alu(R_Y, r(R_Y), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_Y), AluOp::CmpLt, r(R_Y1));
+    b.bnz(r(R_TMP), "y");
+    b.halt();
+    b.build()
+}
+
+/// Builds the SRAD workload.
+pub fn srad(scale: Scale) -> Workload {
+    let (n, iters) = dims(scale);
+    let words = n * n;
+    let mut layout = Layout::new();
+    let img = layout.alloc(words);
+    let coeff = layout.alloc(words);
+
+    let (k1, k2) = (coeff_program(), update_program());
+    let cus = 15usize;
+    let rows_per = n.div_ceil(cus);
+    let band_tbs = |img_b: u32, c_b: u32| -> Vec<TbSpec> {
+        (0..cus)
+            .filter(|t| t * rows_per < n)
+            .map(|t| {
+                let mut regs = [0u32; 6];
+                regs[R_IMG as usize] = img_b;
+                regs[R_C as usize] = c_b;
+                regs[R_Y0 as usize] = (t * rows_per) as u32;
+                regs[R_Y1 as usize] = ((t + 1) * rows_per).min(n) as u32;
+                regs[R_N as usize] = n as u32;
+                TbSpec::with_regs(&regs)
+            })
+            .collect()
+    };
+    let mut kernels = Vec::new();
+    for _ in 0..iters {
+        kernels.push(KernelLaunch {
+            program: k1.clone(),
+            tbs: band_tbs(img, coeff),
+        });
+        kernels.push(KernelLaunch {
+            program: k2.clone(),
+            tbs: band_tbs(img, coeff),
+        });
+    }
+
+    let img0: Vec<Value> = (0..words as u32).map(|i| 100 + (i.wrapping_mul(41) & 0xff)).collect();
+    let mut img_ref = img0.clone();
+    let clamp_s = |y: usize| if y + 1 == n { y } else { y + 1 };
+    let clamp_e = |x: usize| if x + 1 == n { x } else { x + 1 };
+    for _ in 0..iters {
+        let mut c_ref = vec![0u32; words];
+        for y in 0..n {
+            for x in 0..n {
+                let at = |yy: usize, xx: usize| img_ref[yy * n + xx];
+                let v = at(y, x);
+                let mut acc = (v >> 1).wrapping_sub(v.wrapping_mul(4));
+                acc = acc.wrapping_add(at(y.saturating_sub(1), x));
+                acc = acc.wrapping_add(at(clamp_s(y), x));
+                acc = acc.wrapping_add(at(y, x.saturating_sub(1)));
+                acc = acc.wrapping_add(at(y, clamp_e(x)));
+                c_ref[y * n + x] = acc;
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let acc = c_ref[y * n + x]
+                    .wrapping_add(c_ref[clamp_s(y) * n + x])
+                    .wrapping_add(c_ref[y * n + clamp_e(x)])
+                    >> 3;
+                img_ref[y * n + x] = img_ref[y * n + x].wrapping_add(acc);
+            }
+        }
+    }
+
+    let img_i = img0;
+    Workload {
+        name: "SRAD".into(),
+        init: Box::new(move |mem| {
+            mem.write_u32_slice(Layout::byte_addr(img), &img_i);
+        }),
+        kernels,
+        verify: Box::new(move |mem| {
+            let got = mem.read_u32_slice(Layout::byte_addr(img), words);
+            if got != img_ref {
+                let bad = got.iter().zip(&img_ref).position(|(a, b)| a != b).unwrap();
+                return Err(format!(
+                    "img[{},{}] = {}, want {}",
+                    bad / n,
+                    bad % n,
+                    got[bad],
+                    img_ref[bad]
+                ));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn srad_verifies_under_every_config() {
+        for p in ProtocolConfig::ALL {
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&srad(Scale::Tiny))
+                .unwrap_or_else(|e| panic!("SRAD under {p}: {e}"));
+        }
+    }
+}

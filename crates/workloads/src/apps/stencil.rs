@@ -1,0 +1,210 @@
+//! ST — Stencil (Parboil): a 7-point 3D Jacobi stencil, iterated over
+//! ping-pong buffers with one kernel per sweep.
+//!
+//! Table 4 input: 128x128x4, 4 iterations — used unchanged at paper
+//! scale. Thread blocks own contiguous row bands of every z-plane; the
+//! halo rows they read are produced by neighbouring blocks in the
+//! previous kernel — cross-CU, cross-kernel reuse.
+
+use crate::layout::Layout;
+use crate::params::Scale;
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::Value;
+
+const R_SRC: u8 = 1;
+const R_DST: u8 = 2;
+const R_Y0: u8 = 3; // first interior row of this block
+const R_Y1: u8 = 4; // one past the last
+const R_NX: u8 = 5;
+const R_NY: u8 = 6;
+const R_NZ: u8 = 7;
+const R_X: u8 = 8;
+const R_Y: u8 = 9;
+const R_Z: u8 = 10;
+const R_ACC: u8 = 11;
+const R_V: u8 = 12;
+const R_ADDR: u8 = 13;
+const R_TMP: u8 = 14;
+const R_PLANE: u8 = 15; // nx * ny
+
+fn dims(scale: Scale) -> (usize, usize, usize, usize) {
+    match scale {
+        // (nx, ny, nz, iterations)
+        Scale::Tiny => (16, 16, 3, 2),
+        Scale::Paper => (128, 128, 4, 4),
+    }
+}
+
+/// `dst[x,y,z] = src[x,y,z]*2 + sum of 6 face neighbours` on interior
+/// points; boundary points copy through.
+fn stencil_program() -> std::sync::Arc<gsim_core::kernel::Program> {
+    let mut b = KernelBuilder::new();
+    b.alu(R_PLANE, r(R_NX), AluOp::Mul, r(R_NY));
+    b.mov(R_Z, imm(0));
+    b.label("z");
+    b.mov(R_Y, r(R_Y0));
+    b.label("y");
+    b.mov(R_X, imm(0));
+    b.label("x");
+    // addr = z*plane + y*nx + x
+    b.alu(R_ADDR, r(R_Z), AluOp::Mul, r(R_PLANE));
+    b.alu(R_TMP, r(R_Y), AluOp::Mul, r(R_NX));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_TMP));
+    b.alu(R_ADDR, r(R_ADDR), AluOp::Add, r(R_X));
+    b.alu(R_TMP, r(R_ADDR), AluOp::Add, r(R_SRC));
+    b.ld(R_ACC, b.at(R_TMP, 0));
+    // Interior test: 0 < x < nx-1, 0 < y < ny-1, 0 < z < nz-1.
+    b.bz(r(R_X), "copy");
+    b.bz(r(R_Y), "copy");
+    b.bz(r(R_Z), "copy");
+    b.alu(R_V, r(R_X), AluOp::Add, imm(1));
+    b.alu(R_V, r(R_V), AluOp::CmpEq, r(R_NX));
+    b.bnz(r(R_V), "copy");
+    b.alu(R_V, r(R_Y), AluOp::Add, imm(1));
+    b.alu(R_V, r(R_V), AluOp::CmpEq, r(R_NY));
+    b.bnz(r(R_V), "copy");
+    b.alu(R_V, r(R_Z), AluOp::Add, imm(1));
+    b.alu(R_V, r(R_V), AluOp::CmpEq, r(R_NZ));
+    b.bnz(r(R_V), "copy");
+    // acc = 2*center + neighbours
+    b.alu(R_ACC, r(R_ACC), AluOp::Mul, imm(2));
+    // x neighbours
+    b.ld(R_V, b.at(R_TMP, 1));
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.alu(R_TMP, r(R_TMP), AluOp::Sub, imm(1));
+    b.ld(R_V, b.at(R_TMP, 0));
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.alu(R_TMP, r(R_TMP), AluOp::Add, imm(1));
+    // y neighbours
+    b.alu(R_TMP, r(R_TMP), AluOp::Sub, r(R_NX));
+    b.ld(R_V, b.at(R_TMP, 0));
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.alu(R_TMP, r(R_TMP), AluOp::Add, r(R_NX));
+    b.alu(R_TMP, r(R_TMP), AluOp::Add, r(R_NX));
+    b.ld(R_V, b.at(R_TMP, 0));
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.alu(R_TMP, r(R_TMP), AluOp::Sub, r(R_NX));
+    // z neighbours
+    b.alu(R_TMP, r(R_TMP), AluOp::Sub, r(R_PLANE));
+    b.ld(R_V, b.at(R_TMP, 0));
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.alu(R_TMP, r(R_TMP), AluOp::Add, r(R_PLANE));
+    b.alu(R_TMP, r(R_TMP), AluOp::Add, r(R_PLANE));
+    b.ld(R_V, b.at(R_TMP, 0));
+    b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_V));
+    b.label("copy");
+    b.alu(R_TMP, r(R_ADDR), AluOp::Add, r(R_DST));
+    b.st(b.at(R_TMP, 0), r(R_ACC));
+    b.alu(R_X, r(R_X), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_X), AluOp::CmpLt, r(R_NX));
+    b.bnz(r(R_TMP), "x");
+    b.alu(R_Y, r(R_Y), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_Y), AluOp::CmpLt, r(R_Y1));
+    b.bnz(r(R_TMP), "y");
+    b.alu(R_Z, r(R_Z), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_Z), AluOp::CmpLt, r(R_NZ));
+    b.bnz(r(R_TMP), "z");
+    b.halt();
+    b.build()
+}
+
+/// Host-side reference of the same sweep.
+fn reference_sweep(src: &[u32], nx: usize, ny: usize, nz: usize) -> Vec<u32> {
+    let plane = nx * ny;
+    let idx = |x: usize, y: usize, z: usize| z * plane + y * nx + x;
+    let mut dst = src.to_vec();
+    for z in 1..nz - 1 {
+        for y in 1..ny - 1 {
+            for x in 1..nx - 1 {
+                let mut acc = src[idx(x, y, z)].wrapping_mul(2);
+                for v in [
+                    src[idx(x - 1, y, z)],
+                    src[idx(x + 1, y, z)],
+                    src[idx(x, y - 1, z)],
+                    src[idx(x, y + 1, z)],
+                    src[idx(x, y, z - 1)],
+                    src[idx(x, y, z + 1)],
+                ] {
+                    acc = acc.wrapping_add(v);
+                }
+                dst[idx(x, y, z)] = acc;
+            }
+        }
+    }
+    dst
+}
+
+/// Builds the ST workload.
+pub fn stencil(scale: Scale) -> Workload {
+    let (nx, ny, nz, iters) = dims(scale);
+    let words = nx * ny * nz;
+    let mut layout = Layout::new();
+    let bufs = [layout.alloc(words), layout.alloc(words)];
+
+    let tbs_n = 15; // one row band per CU
+    let rows_per = ny.div_ceil(tbs_n);
+    let program = stencil_program();
+    let kernels = (0..iters)
+        .map(|it| {
+            let (src, dst) = (bufs[it % 2], bufs[(it + 1) % 2]);
+            let tbs = (0..tbs_n)
+                .filter(|t| t * rows_per < ny)
+                .map(|t| {
+                    let mut regs = [0u32; 8];
+                    regs[R_SRC as usize] = src;
+                    regs[R_DST as usize] = dst;
+                    regs[R_Y0 as usize] = (t * rows_per) as u32;
+                    regs[R_Y1 as usize] = ((t + 1) * rows_per).min(ny) as u32;
+                    regs[R_NX as usize] = nx as u32;
+                    regs[R_NY as usize] = ny as u32;
+                    regs[R_NZ as usize] = nz as u32;
+                    TbSpec::with_regs(&regs)
+                })
+                .collect();
+            KernelLaunch {
+                program: program.clone(),
+                tbs,
+            }
+        })
+        .collect();
+
+    let init_v: Vec<Value> = (0..words as u32).map(|i| i.wrapping_mul(37) & 0xffff).collect();
+    let mut reference = init_v.clone();
+    for _ in 0..iters {
+        reference = reference_sweep(&reference, nx, ny, nz);
+    }
+    let final_buf = bufs[iters % 2];
+
+    let init_i = init_v;
+    Workload {
+        name: "ST".into(),
+        init: Box::new(move |mem| {
+            mem.write_u32_slice(Layout::byte_addr(bufs[0]), &init_i);
+        }),
+        kernels,
+        verify: Box::new(move |mem| {
+            let got = mem.read_u32_slice(Layout::byte_addr(final_buf), words);
+            if got != reference {
+                return Err("stencil grid mismatch".into());
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn stencil_verifies_under_every_config() {
+        for p in ProtocolConfig::ALL {
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&stencil(Scale::Tiny))
+                .unwrap_or_else(|e| panic!("ST under {p}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! All 23 Table-4 workloads of Sinclair et al., MICRO 2015.
+//!
+//! Three families, matching the paper's evaluation grouping:
+//!
+//! * [`apps`] — ten Rodinia/Parboil-style applications with no
+//!   intra-kernel synchronization (Figure 2).
+//! * [`sync`] — the Stuart & Owens synchronization microbenchmarks as
+//!   modified by the paper: mutexes in global and local variants,
+//!   reader-writer semaphores, and hierarchical tree barriers
+//!   (Figures 3 and 4).
+//! * [`uts`] — Unbalanced Tree Search with local queues and global work
+//!   stealing (Figure 4).
+//!
+//! [`registry`] enumerates all of them as Table 4 rows; every workload
+//! functionally verifies its final memory image, so the simulation is a
+//! correctness check of the protocols as much as a performance model.
+
+pub mod apps;
+pub mod graph;
+pub mod layout;
+pub mod params;
+pub mod registry;
+pub mod sync;
+pub mod synth;
+pub mod uts;
+
+pub use params::Scale;
+pub use registry::{all, by_name, Benchmark, Group};

@@ -1,0 +1,64 @@
+//! Workload sizing: the paper's Table 4 inputs, and a scaled-down test
+//! size.
+
+/// How big to build a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal sizes for unit and integration tests (seconds under all
+    /// five configurations, even in debug builds).
+    Tiny,
+    /// The evaluation size used by the benchmark harness. Matches the
+    /// paper's Table 4 structure (3 TBs/CU, 100 iterations per TB per
+    /// kernel, 10 loads & stores per thread per iteration); application
+    /// inputs are scaled as documented per module so a full figure
+    /// regenerates in minutes on a laptop (see DESIGN.md §1).
+    Paper,
+}
+
+/// Common parameters of the synchronization microbenchmarks (Table 4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncParams {
+    /// GPU compute units (always the paper's 15).
+    pub cus: usize,
+    /// Thread blocks per CU (always the paper's 3).
+    pub tbs_per_cu: usize,
+    /// Critical-section / barrier iterations per thread block.
+    pub iters: u32,
+    /// Data words accessed per thread block per iteration
+    /// (the paper's "10 Ld&St/thr/iter").
+    pub ld_st: usize,
+}
+
+impl SyncParams {
+    /// Parameters for the given scale.
+    pub fn new(scale: Scale) -> Self {
+        SyncParams {
+            cus: 15,
+            tbs_per_cu: 3,
+            iters: match scale {
+                Scale::Tiny => 2,
+                Scale::Paper => 100,
+            },
+            ld_st: 10,
+        }
+    }
+
+    /// Total thread blocks.
+    pub fn total_tbs(&self) -> usize {
+        self.cus * self.tbs_per_cu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape() {
+        let p = SyncParams::new(Scale::Paper);
+        assert_eq!(p.total_tbs(), 45);
+        assert_eq!(p.iters, 100);
+        assert_eq!(p.ld_st, 10);
+        assert!(SyncParams::new(Scale::Tiny).iters < p.iters);
+    }
+}

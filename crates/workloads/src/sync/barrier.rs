@@ -1,0 +1,288 @@
+//! The paper's hierarchical tree barriers (§5.4.2): `TB_LG` and
+//! `TBEX_LG`, both mixing local and global synchronization.
+//!
+//! Per iteration every thread block:
+//!
+//! 1. **computes** on its own double-buffered 10 words (10 loads + 10
+//!    stores, writing `buf[iter % 2][j] = iter`);
+//! 2. joins a per-CU **local barrier** (`Scope::Local`);
+//! 3. *(TBEX only)* reads the co-resident block's buffer — the local
+//!    exchange — and accumulates it;
+//! 4. one representative block per CU joins the **global barrier**
+//!    (`Scope::Global`), then a second local barrier releases its CU;
+//! 5. reads the same-slot block's buffer on the *next CU* — the
+//!    cross-CU exchange — and accumulates it.
+//!
+//! Double buffering keeps the program data-race-free: iteration `i`
+//! writes `buf[i % 2]` while exchanges read the buffer published behind
+//! the barriers. Every barrier is generation-based (an `Add` on the
+//! count, last arrival resets and bumps the generation; others spin on
+//! acquiring reads of the generation word).
+//!
+//! Verification is exact: each block's accumulator must equal
+//! `10 x (1 + 2 + ... + iters)` per exchange — a barrier that releases
+//! early or a coherence protocol that serves stale data breaks the sum.
+
+use crate::layout::Layout;
+use crate::params::{Scale, SyncParams};
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder, Program};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::{AtomicOp, Scope, SyncOrd, Value};
+use std::sync::Arc;
+
+/// Words each block writes per iteration (the paper's 10 Ld&St).
+const WORDS: usize = 10;
+
+const R_LBAR: u8 = 1; // local barrier base (count, generation)
+const R_GBAR: u8 = 2; // global barrier base (count, generation)
+const R_ITERS: u8 = 3; // total iterations
+const R_BUF0: u8 = 4; // own buffer 0 base
+const R_BUF1: u8 = 5; // own buffer 1 base
+const R_XBUF0: u8 = 6; // cross-CU neighbour buffer 0 base
+const R_XBUF1: u8 = 7; // cross-CU neighbour buffer 1 base
+const R_REP: u8 = 8; // 1 = this block joins the global barrier
+const R_I: u8 = 9; // current iteration, 1-based
+const R_OUT: u8 = 10; // accumulator output address
+const R_ACC: u8 = 11; // cross-CU exchange accumulator
+const R_GEN: u8 = 12;
+const R_POS: u8 = 13;
+const R_TMP: u8 = 14;
+const R_VAL: u8 = 15;
+const R_BUF: u8 = 16; // current buffer base
+const R_XB: u8 = 17; // current neighbour buffer base
+const R_LBUF0: u8 = 18; // TBEX: co-resident block buffer 0
+const R_LBUF1: u8 = 19; // TBEX: co-resident block buffer 1
+const R_ACC2: u8 = 20; // TBEX: local exchange accumulator
+const R_OUT2: u8 = 21; // TBEX: second accumulator output address
+
+/// Emits a generation-based centralized barrier join among `k`
+/// participants at `(base, base+1) = (count, generation)`.
+fn emit_barrier(b: &mut KernelBuilder, tag: &str, base: u8, k: u32, scope: Scope) {
+    b.atomic(
+        R_GEN,
+        b.at(base, 1),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        scope,
+    );
+    b.atomic(
+        R_POS,
+        b.at(base, 0),
+        AtomicOp::Add,
+        imm(1),
+        imm(0),
+        SyncOrd::AcqRel,
+        scope,
+    );
+    b.alu(R_TMP, r(R_POS), AluOp::CmpEq, imm(k - 1));
+    b.bz(r(R_TMP), &format!("{tag}_wait"));
+    // Last arrival: reset the count, then publish the new generation.
+    b.atomic(
+        R_TMP,
+        b.at(base, 0),
+        AtomicOp::Write,
+        imm(0),
+        imm(0),
+        SyncOrd::Release,
+        scope,
+    );
+    b.alu(R_GEN, r(R_GEN), AluOp::Add, imm(1));
+    b.atomic(
+        R_TMP,
+        b.at(base, 1),
+        AtomicOp::Write,
+        r(R_GEN),
+        imm(0),
+        SyncOrd::Release,
+        scope,
+    );
+    b.jmp(&format!("{tag}_done"));
+    b.label(&format!("{tag}_wait"));
+    b.atomic(
+        R_TMP,
+        b.at(base, 1),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        scope,
+    );
+    b.alu(R_TMP, r(R_TMP), AluOp::CmpEq, r(R_GEN));
+    b.bz(r(R_TMP), &format!("{tag}_done"));
+    // Pace the poll at roughly one warp-scheduler round: a fully
+    // occupied CU would not re-poll a barrier flag every cycle.
+    b.compute(imm(16));
+    b.jmp(&format!("{tag}_wait"));
+    b.label(&format!("{tag}_done"));
+}
+
+/// Emits `R_BUF = (i % 2 == 1) ? buf0 : buf1` (and the same for the
+/// neighbour pair into `dst_xb`), i.e. iteration i uses buffer i % 2.
+fn emit_select_buffers(b: &mut KernelBuilder, own0: u8, own1: u8, dst: u8) {
+    b.alu(R_TMP, r(R_I), AluOp::Rem, imm(2));
+    // dst = own0 * (i%2) + own1 * (1 - i%2)  — branch-free select.
+    b.alu(R_VAL, r(own0), AluOp::Mul, r(R_TMP));
+    b.alu(R_TMP, imm(1), AluOp::Sub, r(R_TMP));
+    b.alu(R_TMP, r(own1), AluOp::Mul, r(R_TMP));
+    b.alu(dst, r(R_VAL), AluOp::Add, r(R_TMP));
+}
+
+fn barrier_program(p: &SyncParams, local_exchange: bool) -> Arc<Program> {
+    let cus = p.cus as u32;
+    let tbs_per_cu = p.tbs_per_cu as u32;
+    let mut b = KernelBuilder::new();
+    b.mov(R_I, imm(0));
+    b.mov(R_ACC, imm(0));
+    b.mov(R_ACC2, imm(0));
+    b.label("iter");
+    b.alu(R_I, r(R_I), AluOp::Add, imm(1));
+    emit_select_buffers(&mut b, R_BUF0, R_BUF1, R_BUF);
+    // Compute phase: buf[j] = old + something -> we read then write so
+    // both the 10 loads and 10 stores of Table 4 happen; the final value
+    // is exactly `i` (the old value is the stale i-2 publication).
+    for j in 0..WORDS {
+        b.ld(R_VAL, b.at(R_BUF, j as u32));
+        b.st(b.at(R_BUF, j as u32), r(R_I));
+    }
+    emit_barrier(&mut b, "lbA", R_LBAR, tbs_per_cu, Scope::Local);
+    if local_exchange {
+        // TBEX: read the co-resident block's freshly published buffer.
+        emit_select_buffers(&mut b, R_LBUF0, R_LBUF1, R_XB);
+        for j in 0..WORDS {
+            b.ld(R_VAL, b.at(R_XB, j as u32));
+            b.alu(R_ACC2, r(R_ACC2), AluOp::Add, r(R_VAL));
+        }
+        // A second local barrier so nobody races ahead into the global
+        // phase while a sibling still reads.
+        emit_barrier(&mut b, "lbX", R_LBAR, tbs_per_cu, Scope::Local);
+    }
+    // One representative per CU joins the global barrier.
+    b.bz(r(R_REP), "after_global");
+    emit_barrier(&mut b, "gb", R_GBAR, cus, Scope::Global);
+    b.label("after_global");
+    emit_barrier(&mut b, "lbB", R_LBAR, tbs_per_cu, Scope::Local);
+    // Cross-CU exchange: the same-slot block on the next CU published
+    // `i` into its buffer before the global barrier.
+    emit_select_buffers(&mut b, R_XBUF0, R_XBUF1, R_XB);
+    for j in 0..WORDS {
+        b.ld(R_VAL, b.at(R_XB, j as u32));
+        b.alu(R_ACC, r(R_ACC), AluOp::Add, r(R_VAL));
+    }
+    b.alu(R_TMP, r(R_I), AluOp::CmpLt, r(R_ITERS));
+    b.bnz(r(R_TMP), "iter");
+    b.st(b.at(R_OUT, 0), r(R_ACC));
+    if local_exchange {
+        b.st(b.at(R_OUT2, 0), r(R_ACC2));
+    }
+    b.halt();
+    b.build()
+}
+
+/// Builds `TB_LG` (`local_exchange = false`) or `TBEX_LG` (`true`).
+pub fn tree_barrier(scale: Scale, local_exchange: bool) -> Workload {
+    let p = SyncParams::new(scale);
+    let n = p.total_tbs();
+    let mut layout = Layout::new();
+    let lbars: Vec<Value> = (0..p.cus).map(|_| layout.alloc(2)).collect();
+    let gbar = layout.alloc(2);
+    let buf0: Vec<Value> = (0..n).map(|_| layout.alloc(WORDS)).collect();
+    let buf1: Vec<Value> = (0..n).map(|_| layout.alloc(WORDS)).collect();
+    let outs: Vec<Value> = (0..n).map(|_| layout.alloc(2)).collect();
+    let program = barrier_program(&p, local_exchange);
+    let tbs = (0..n as u32)
+        .map(|i| {
+            let cu = i as usize % p.cus;
+            let slot = i as usize / p.cus; // thread block position on its CU
+            let rep = (slot == 0) as u32;
+            // Cross-CU neighbour: same slot, next CU.
+            let xcu = (cu + 1) % p.cus;
+            let xi = xcu + p.cus * slot;
+            // Local neighbour (TBEX): next slot, same CU.
+            let li = cu + p.cus * ((slot + 1) % p.tbs_per_cu);
+            let mut regs = [0u32; 22];
+            regs[0] = i;
+            regs[R_LBAR as usize] = lbars[cu];
+            regs[R_GBAR as usize] = gbar;
+            regs[R_ITERS as usize] = p.iters;
+            regs[R_BUF0 as usize] = buf0[i as usize];
+            regs[R_BUF1 as usize] = buf1[i as usize];
+            regs[R_XBUF0 as usize] = buf0[xi];
+            regs[R_XBUF1 as usize] = buf1[xi];
+            regs[R_REP as usize] = rep;
+            regs[R_OUT as usize] = outs[i as usize];
+            regs[R_LBUF0 as usize] = buf0[li];
+            regs[R_LBUF1 as usize] = buf1[li];
+            regs[R_OUT2 as usize] = outs[i as usize] + 1;
+            TbSpec::with_regs(&regs)
+        })
+        .collect();
+    let iters = p.iters;
+    let want_acc = (WORDS as u32) * (iters * (iters + 1) / 2);
+    Workload {
+        name: if local_exchange {
+            "TBEX_LG".into()
+        } else {
+            "TB_LG".into()
+        },
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch { program, tbs }],
+        verify: Box::new(move |mem| {
+            for (i, &o) in outs.iter().enumerate() {
+                let acc = mem.read_u32_slice(Layout::byte_addr(o), 2);
+                if acc[0] != want_acc {
+                    return Err(format!(
+                        "tb {i}: cross-CU accumulator = {}, want {want_acc}",
+                        acc[0]
+                    ));
+                }
+                if local_exchange && acc[1] != want_acc {
+                    return Err(format!(
+                        "tb {i}: local accumulator = {}, want {want_acc}",
+                        acc[1]
+                    ));
+                }
+            }
+            // The published buffers end at `iters` everywhere.
+            for (i, &bb) in buf0.iter().enumerate() {
+                let last = if iters % 2 == 1 { bb } else { buf1[i] };
+                let got = mem.read_u32_slice(Layout::byte_addr(last), WORDS);
+                if got.iter().any(|&v| v != iters) {
+                    return Err(format!("tb {i}: final buffer {got:?}, want all {iters}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn tree_barriers_verify_under_every_config() {
+        for lx in [false, true] {
+            for p in ProtocolConfig::ALL {
+                let w = tree_barrier(Scale::Tiny, lx);
+                Simulator::new(SystemConfig::micro15(p))
+                    .run(&w)
+                    .unwrap_or_else(|e| panic!("{} under {p}: {e}", w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_structure_uses_both_scopes() {
+        // Under GH the local barrier joins run at the L1 (atomic hits)
+        // while the global joins still cross the network.
+        let stats = Simulator::new(SystemConfig::micro15(ProtocolConfig::Gh))
+            .run(&tree_barrier(Scale::Tiny, false))
+            .unwrap();
+        assert!(stats.counts.l1_atomics > 0, "local joins at the L1");
+        assert!(stats.counts.l2_atomics > 0, "global joins at the L2");
+    }
+}

@@ -1,0 +1,5 @@
+//! The fine-grained synchronization microbenchmarks of Table 4.
+
+pub mod barrier;
+pub mod mutex;
+pub mod semaphore;

@@ -1,0 +1,253 @@
+//! The Stuart & Owens spin semaphores in the paper's reader-writer form
+//! (§5.4.2): per CU, one writer thread block and two reader thread
+//! blocks synchronize through a counting semaphore with `Scope::Local`.
+//!
+//! * Readers take one unit (`Cas(sem, v, v-1)` when `v > 0`) and read
+//!   their half of the CU's 20 data words — 10 loads per iteration.
+//! * The writer takes the *entire* semaphore (`Cas(sem, 2, 0)`), so no
+//!   reader can see a partial update, and rewrites all 20 words — 20
+//!   stores per iteration, tagging every word with its iteration number.
+//!
+//! Each reader checks that the 10 words it read form a consistent
+//! snapshot (all tagged with one iteration) and publishes an `ok` flag;
+//! the verifier requires every flag — a semaphore or coherence bug shows
+//! up as a torn snapshot, not just as slowness. `SSBO_L` adds capped
+//! exponential backoff to every failed semaphore attempt.
+
+use crate::layout::Layout;
+use crate::params::{Scale, SyncParams};
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder, Program};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::{AtomicOp, Scope, SyncOrd, Value};
+use std::sync::Arc;
+
+/// Readers per CU (also the semaphore's initial value).
+const READERS: u32 = 2;
+/// Words per reader; the writer rewrites `READERS * WORDS_PER_READER`.
+const WORDS_PER_READER: usize = 10;
+/// Iteration tag stride: `data[g] = iter * TAG + g`.
+const TAG: u32 = 64;
+
+const R_SEM: u8 = 1; // semaphore word address
+const R_DATA: u8 = 2; // CU data base; readers re-base to their half
+const R_ITER: u8 = 3; // remaining iterations
+const R_ROLE: u8 = 4; // 0 = writer, 1..=2 = reader index
+const R_OUT: u8 = 5; // reader ok-flag address
+const R_OLD: u8 = 6;
+const R_TMP: u8 = 7;
+const R_BACKOFF: u8 = 8;
+const R_BASE: u8 = 9; // writer: current iteration tag; reader: snapshot tag
+const R_ERR: u8 = 10;
+const R_VAL: u8 = 11;
+const R_NEW: u8 = 12;
+const R_OFF: u8 = 13; // reader: global index of its first word
+
+const BACKOFF_MIN: u32 = 16;
+const BACKOFF_MAX: u32 = 1024;
+
+/// Emits a capped-exponential backoff step (SSBO only).
+fn emit_backoff(b: &mut KernelBuilder, backoff: bool) {
+    if backoff {
+        b.compute(r(R_BACKOFF));
+        b.alu(R_BACKOFF, r(R_BACKOFF), AluOp::Shl, imm(1));
+        b.alu(R_BACKOFF, r(R_BACKOFF), AluOp::Min, imm(BACKOFF_MAX));
+    }
+}
+
+fn semaphore_program(p: &SyncParams, backoff: bool) -> Arc<Program> {
+    let words = READERS as usize * WORDS_PER_READER;
+    let mut b = KernelBuilder::new();
+    b.mov(R_ITER, imm(p.iters));
+    b.mov(R_ERR, imm(0));
+    b.mov(R_BASE, imm(0));
+    b.bnz(r(R_ROLE), "reader");
+
+    // ---- Writer ----
+    b.label("w_iter");
+    b.mov(R_BACKOFF, imm(BACKOFF_MIN));
+    b.label("w_spin");
+    b.atomic(
+        R_OLD,
+        b.at(R_SEM, 0),
+        AtomicOp::Cas,
+        imm(READERS),
+        imm(0),
+        SyncOrd::AcqRel,
+        Scope::Local,
+    );
+    b.alu(R_TMP, r(R_OLD), AluOp::CmpEq, imm(READERS));
+    b.bnz(r(R_TMP), "w_locked");
+    emit_backoff(&mut b, backoff);
+    b.jmp("w_spin");
+    b.label("w_locked");
+    // data[g] = iter_tag + g for all 20 words (20 stores).
+    b.alu(R_BASE, r(R_BASE), AluOp::Add, imm(TAG));
+    for g in 0..words {
+        b.alu(R_VAL, r(R_BASE), AluOp::Add, imm(g as u32));
+        b.st(b.at(R_DATA, g as u32), r(R_VAL));
+    }
+    b.atomic(
+        R_OLD,
+        b.at(R_SEM, 0),
+        AtomicOp::Write,
+        imm(READERS),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Local,
+    );
+    b.alu(R_ITER, r(R_ITER), AluOp::Sub, imm(1));
+    b.bnz(r(R_ITER), "w_iter");
+    b.halt();
+
+    // ---- Reader (role k reads words (k-1)*10 .. k*10) ----
+    b.label("reader");
+    b.alu(R_OFF, r(R_ROLE), AluOp::Sub, imm(1));
+    b.alu(R_OFF, r(R_OFF), AluOp::Mul, imm(WORDS_PER_READER as u32));
+    b.alu(R_DATA, r(R_DATA), AluOp::Add, r(R_OFF));
+    b.label("r_iter");
+    b.mov(R_BACKOFF, imm(BACKOFF_MIN));
+    b.label("r_spin");
+    b.atomic(
+        R_OLD,
+        b.at(R_SEM, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Local,
+    );
+    b.bnz(r(R_OLD), "r_try");
+    emit_backoff(&mut b, backoff);
+    b.jmp("r_spin");
+    b.label("r_try");
+    b.alu(R_NEW, r(R_OLD), AluOp::Sub, imm(1));
+    b.atomic(
+        R_TMP,
+        b.at(R_SEM, 0),
+        AtomicOp::Cas,
+        r(R_OLD),
+        r(R_NEW),
+        SyncOrd::AcqRel,
+        Scope::Local,
+    );
+    b.alu(R_TMP, r(R_TMP), AluOp::CmpNe, r(R_OLD));
+    b.bnz(r(R_TMP), "r_spin");
+    // Snapshot check: v_j - (my_offset + j) must equal one tag for all j.
+    b.ld(R_VAL, b.at(R_DATA, 0));
+    b.alu(R_BASE, r(R_VAL), AluOp::Sub, r(R_OFF));
+    for j in 1..WORDS_PER_READER {
+        b.ld(R_VAL, b.at(R_DATA, j as u32));
+        b.alu(R_VAL, r(R_VAL), AluOp::Sub, imm(j as u32));
+        b.alu(R_VAL, r(R_VAL), AluOp::Sub, r(R_OFF));
+        b.alu(R_TMP, r(R_VAL), AluOp::CmpNe, r(R_BASE));
+        b.alu(R_ERR, r(R_ERR), AluOp::Or, r(R_TMP));
+    }
+    b.atomic(
+        R_OLD,
+        b.at(R_SEM, 0),
+        AtomicOp::Add,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Local,
+    );
+    b.alu(R_ITER, r(R_ITER), AluOp::Sub, imm(1));
+    b.bnz(r(R_ITER), "r_iter");
+    // ok = (err == 0)
+    b.alu(R_VAL, r(R_ERR), AluOp::CmpEq, imm(0));
+    b.st(b.at(R_OUT, 0), r(R_VAL));
+    b.halt();
+    b.build()
+}
+
+/// Builds `SS_L` (`backoff = false`) or `SSBO_L` (`backoff = true`).
+pub fn spin_semaphore(scale: Scale, backoff: bool) -> Workload {
+    let p = SyncParams::new(scale);
+    assert_eq!(p.tbs_per_cu, 3, "one writer + two readers per CU");
+    let words = READERS as usize * WORDS_PER_READER;
+    let mut layout = Layout::new();
+    let (sems, datas): (Vec<Value>, Vec<Value>) = (0..p.cus)
+        .map(|_| (layout.alloc_word(), layout.alloc(words)))
+        .unzip();
+    let oks: Vec<Value> = (0..p.total_tbs()).map(|_| layout.alloc_word()).collect();
+    let program = semaphore_program(&p, backoff);
+    let tbs = (0..p.total_tbs() as u32)
+        .map(|i| {
+            let cu = i as usize % p.cus;
+            let role = i / p.cus as u32; // 0 = writer, 1..=2 readers
+            TbSpec::with_regs(&[i, sems[cu], datas[cu], 0, role, oks[i as usize]])
+        })
+        .collect();
+    let iters = p.iters;
+    let cus = p.cus;
+    let sems_init = sems.clone();
+    let datas_init = datas.clone();
+    Workload {
+        name: if backoff { "SSBO_L".into() } else { "SS_L".into() },
+        init: Box::new(move |mem| {
+            for cu in 0..cus {
+                mem.write_u32_slice(Layout::byte_addr(sems_init[cu]), &[READERS]);
+                // Initial data is a consistent iteration-0 snapshot.
+                let init: Vec<Value> = (0..words as u32).collect();
+                mem.write_u32_slice(Layout::byte_addr(datas_init[cu]), &init);
+            }
+        }),
+        kernels: vec![KernelLaunch { program, tbs }],
+        verify: Box::new(move |mem| {
+            for (cu, &d) in datas.iter().enumerate() {
+                let got = mem.read_u32_slice(Layout::byte_addr(d), words);
+                for (g, &v) in got.iter().enumerate() {
+                    let want = iters * TAG + g as u32;
+                    if v != want {
+                        return Err(format!("cu {cu} data[{g}] = {v}, want {want}"));
+                    }
+                }
+                let sem = mem.read_u32_slice(Layout::byte_addr(sems[cu]), 1)[0];
+                if sem != READERS {
+                    return Err(format!("cu {cu} semaphore = {sem}, want {READERS}"));
+                }
+            }
+            for (i, &ok) in oks.iter().enumerate() {
+                // Writers (tb id < cus) never publish a flag.
+                if i < cus {
+                    continue;
+                }
+                let v = mem.read_u32_slice(Layout::byte_addr(ok), 1)[0];
+                if v != 1 {
+                    return Err(format!("reader tb {i} observed a torn snapshot"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn semaphores_verify_under_every_config() {
+        for backoff in [false, true] {
+            for p in ProtocolConfig::ALL {
+                let w = spin_semaphore(Scale::Tiny, backoff);
+                Simulator::new(SystemConfig::micro15(p))
+                    .run(&w)
+                    .unwrap_or_else(|e| panic!("{} under {p}: {e}", w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn readers_really_read_and_writers_really_write() {
+        let w = spin_semaphore(Scale::Tiny, false);
+        let stats = Simulator::new(SystemConfig::micro15(ProtocolConfig::Gd))
+            .run(&w)
+            .unwrap();
+        // 30 readers x 2 iters x 10 loads plus writer stores and spins.
+        assert!(stats.counts.l1_accesses > 600);
+        assert!(stats.counts.l2_atomics > 0, "GD syncs at the L2");
+    }
+}

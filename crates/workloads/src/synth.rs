@@ -1,0 +1,231 @@
+//! A parameterizable synthetic mutex workload for sensitivity studies
+//! beyond Table 4: sweep contention (locks), critical-section size,
+//! scope, and think time, and watch where each protocol's advantages
+//! appear.
+//!
+//! The Table 4 microbenchmarks are two points in this space (`locks = 1`
+//! globally scoped, `locks = one per CU` locally scoped); the
+//! `sensitivity` bench target sweeps the span between them.
+
+use crate::layout::Layout;
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::{AtomicOp, Scope, SyncOrd, Value};
+
+/// Parameters of the synthetic mutex workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthParams {
+    /// Independent lock/data pairs; thread block `i` uses pair
+    /// `i % locks`. 1 = maximal contention, 45 = none.
+    pub locks: usize,
+    /// HRF scope annotation on the lock operations (honoured only by
+    /// HRF configurations; co-locate sharers for `Scope::Local` to be
+    /// meaningful — see [`SynthParams::local_is_sound`]).
+    pub scope: Scope,
+    /// Total thread blocks (45 = the paper's 3 per CU).
+    pub tbs: usize,
+    /// Critical sections per thread block.
+    pub iters: u32,
+    /// Words read and incremented inside the critical section.
+    pub cs_words: usize,
+    /// Uncontended compute between critical sections, in cycles.
+    pub think_cycles: u32,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams {
+            locks: 1,
+            scope: Scope::Global,
+            tbs: 45,
+            iters: 20,
+            cs_words: 10,
+            think_cycles: 0,
+        }
+    }
+}
+
+impl SynthParams {
+    /// Whether a `Scope::Local` annotation would be *correct* for these
+    /// parameters: every pair's sharers must co-reside on one CU, which
+    /// the modulo block-to-CU mapping gives exactly when `locks` is a
+    /// multiple of 15 (each lock's users are then `i, i+locks, ...`,
+    /// all congruent mod 15).
+    pub fn local_is_sound(&self) -> bool {
+        self.locks.is_multiple_of(15)
+    }
+}
+
+/// Builds the synthetic workload. Every data word must end at
+/// `sharers x iters`, so the run still functionally verifies mutual
+/// exclusion at every point of the sweep.
+///
+/// # Panics
+///
+/// Panics if `scope` is `Scope::Local` but the sharing pattern is not
+/// CU-local ([`SynthParams::local_is_sound`]) — that program would be
+/// heterogeneous-racy, which HRF forbids.
+pub fn synthetic_mutex(p: &SynthParams) -> Workload {
+    assert!(p.locks >= 1 && p.tbs >= p.locks, "degenerate parameters");
+    assert!(
+        p.scope == Scope::Global || p.local_is_sound(),
+        "locally scoped locks need CU-local sharers (locks % 15 == 0)"
+    );
+    let mut layout = Layout::new();
+    let (lock_addrs, data_addrs): (Vec<Value>, Vec<Value>) = (0..p.locks)
+        .map(|_| (layout.alloc_word(), layout.alloc(p.cs_words)))
+        .unzip();
+
+    const R_LOCK: u8 = 1;
+    const R_DATA: u8 = 2;
+    const R_ITER: u8 = 3;
+    const R_OLD: u8 = 5;
+    const R_TMP: u8 = 6;
+    let mut b = KernelBuilder::new();
+    b.mov(R_ITER, imm(p.iters));
+    b.label("iter");
+    if p.think_cycles > 0 {
+        b.compute(imm(p.think_cycles));
+    }
+    b.label("spin");
+    b.atomic(
+        R_OLD,
+        b.at(R_LOCK, 0),
+        AtomicOp::Exch,
+        imm(1),
+        imm(0),
+        SyncOrd::AcqRel,
+        p.scope,
+    );
+    b.bnz(r(R_OLD), "spin");
+    for j in 0..p.cs_words {
+        b.ld(R_TMP, b.at(R_DATA, j as u32));
+        b.alu_add(R_TMP, r(R_TMP), imm(1));
+        b.st(b.at(R_DATA, j as u32), r(R_TMP));
+    }
+    b.atomic(
+        R_OLD,
+        b.at(R_LOCK, 0),
+        AtomicOp::Write,
+        imm(0),
+        imm(0),
+        SyncOrd::Release,
+        p.scope,
+    );
+    b.alu(R_ITER, r(R_ITER), AluOp::Sub, imm(1));
+    b.bnz(r(R_ITER), "iter");
+    b.halt();
+    let program = b.build();
+
+    let tbs = (0..p.tbs as u32)
+        .map(|i| {
+            let pair = i as usize % p.locks;
+            TbSpec::with_regs(&[i, lock_addrs[pair], data_addrs[pair], 0])
+        })
+        .collect();
+    // Sharers per pair: how many blocks map to each pair.
+    let sharers: Vec<u32> = (0..p.locks)
+        .map(|k| ((p.tbs - k - 1) / p.locks + 1) as u32)
+        .collect();
+    let (iters, cs_words) = (p.iters, p.cs_words);
+    Workload {
+        name: format!("SYNTH(locks={}, scope={})", p.locks, p.scope),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch { program, tbs }],
+        verify: Box::new(move |mem| {
+            for (k, &d) in data_addrs.iter().enumerate() {
+                let want = sharers[k] * iters;
+                for (j, got) in mem
+                    .read_u32_slice(Layout::byte_addr(d), cs_words)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if got != want {
+                        return Err(format!("pair {k} word {j}: {got}, want {want}"));
+                    }
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn verifies_across_the_contention_range() {
+        for locks in [1, 9, 45] {
+            let p = SynthParams {
+                locks,
+                iters: 3,
+                ..SynthParams::default()
+            };
+            for cfg in [ProtocolConfig::Gd, ProtocolConfig::Dd, ProtocolConfig::Gh] {
+                Simulator::new(SystemConfig::micro15(cfg))
+                    .run(&synthetic_mutex(&p))
+                    .unwrap_or_else(|e| panic!("locks={locks} under {cfg}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn local_scope_requires_cu_local_sharing() {
+        assert!(SynthParams {
+            locks: 15,
+            ..SynthParams::default()
+        }
+        .local_is_sound());
+        assert!(!SynthParams {
+            locks: 5,
+            ..SynthParams::default()
+        }
+        .local_is_sound());
+        let p = SynthParams {
+            locks: 15,
+            scope: Scope::Local,
+            iters: 2,
+            ..SynthParams::default()
+        };
+        Simulator::new(SystemConfig::micro15(ProtocolConfig::Gh))
+            .run(&synthetic_mutex(&p))
+            .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "CU-local sharers")]
+    fn unsound_local_scope_is_rejected() {
+        let p = SynthParams {
+            locks: 5,
+            scope: Scope::Local,
+            ..SynthParams::default()
+        };
+        let _ = synthetic_mutex(&p);
+    }
+
+    #[test]
+    fn contention_hurts_more_without_ownership() {
+        // Ownership's edge grows with contention: DD/GD cycle ratio is
+        // smaller (better) at 1 lock than at 45 locks.
+        let run = |locks, cfg| {
+            let p = SynthParams {
+                locks,
+                iters: 5,
+                ..SynthParams::default()
+            };
+            Simulator::new(SystemConfig::micro15(cfg))
+                .run(&synthetic_mutex(&p))
+                .unwrap()
+                .cycles as f64
+        };
+        let hot = run(1, ProtocolConfig::Dd) / run(1, ProtocolConfig::Gd);
+        let cold = run(45, ProtocolConfig::Dd) / run(45, ProtocolConfig::Gd);
+        assert!(
+            hot < cold,
+            "DD/GD ratio should be best under contention: hot={hot:.2} cold={cold:.2}"
+        );
+    }
+}

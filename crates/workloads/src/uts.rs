@@ -1,0 +1,431 @@
+//! Unbalanced Tree Search (UTS) — the paper's only application-level
+//! fine-grained synchronization benchmark (from the HRF paper), at the
+//! full Table 4 size of 16K nodes.
+//!
+//! The tree is generated host-side from a seeded RNG (a skewed
+//! child-count distribution makes it unbalanced) and stored as three
+//! read-only arrays — `kids_start`, `kids_count`, `value` — which the
+//! kernel loads with the `Region::ReadOnly` annotation (the DD+RO
+//! enhancement's target).
+//!
+//! Work distribution follows the paper's §5.4.2: each CU has a *local*
+//! work queue protected by a `Scope::Local` spin lock; when a local
+//! queue fills up, children overflow to a *global* queue, and when a
+//! CU's local queue runs dry its blocks steal from the global queue —
+//! the dynamic-sharing pattern scoped protocols handle poorly (Table 2).
+//! A global `outstanding` counter provides termination detection.
+//!
+//! Verification: the atomic totals must show *every* node processed
+//! exactly once (count and value checksum) — lost or duplicated work
+//! from a queue race fails the run.
+
+use crate::layout::Layout;
+use crate::params::Scale;
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder, Program};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::{AtomicOp, Region, Scope, SyncOrd, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Local queue capacity in nodes (small enough that bushy subtrees
+/// overflow to the global queue, as the paper intends).
+const LOCAL_CAP: u32 = 192;
+/// Simulated per-node expansion work, in cycles.
+const NODE_WORK: u32 = 30;
+/// Idle backoff while waiting for termination, in cycles.
+const IDLE_BACKOFF: u32 = 400;
+
+/// A host-generated unbalanced tree over nodes `0..n` in BFS order.
+#[derive(Debug)]
+pub struct Tree {
+    /// First child of node `i` (children are contiguous).
+    pub kids_start: Vec<u32>,
+    /// Child count of node `i`.
+    pub kids_count: Vec<u32>,
+    /// Per-node payload.
+    pub value: Vec<u32>,
+}
+
+impl Tree {
+    /// Generates a deterministic unbalanced tree with exactly `n` nodes.
+    pub fn generate(n: usize, seed: u64) -> Tree {
+        assert!(n >= 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut kids_start = vec![0u32; n];
+        let mut kids_count = vec![0u32; n];
+        let mut next = 1usize;
+        for i in 0..n {
+            kids_start[i] = next as u32;
+            if next < n {
+                // Skewed: many leaves, a few bushy nodes -> unbalanced.
+                let c = match rng.gen_range(0..100) {
+                    0..45 => 0,
+                    45..75 => 1,
+                    75..90 => 2,
+                    90..97 => 3,
+                    _ => 4,
+                };
+                // Keep the frontier alive: node i is the last frontier
+                // node when next == i + 1, so it must have a child.
+                let c = if next == i + 1 { c.max(1) } else { c };
+                let c = c.min(n - next);
+                kids_count[i] = c as u32;
+                next += c;
+            }
+        }
+        assert_eq!(next, n, "every node is reachable");
+        let value = (0..n as u32)
+            .map(|i| i.wrapping_mul(2654435761).rotate_left(7))
+            .collect();
+        Tree {
+            kids_start,
+            kids_count,
+            value,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the tree is empty (it never is: the root always exists).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// The wrapping sum of all node payloads (the expected checksum).
+    pub fn checksum(&self) -> u32 {
+        self.value.iter().fold(0u32, |a, &v| a.wrapping_add(v))
+    }
+
+    /// Depth statistics, for tests that want to see imbalance.
+    pub fn max_depth(&self) -> usize {
+        let n = self.len();
+        let mut depth = vec![0usize; n];
+        let mut max = 0;
+        for i in 0..n {
+            for k in 0..self.kids_count[i] {
+                let c = (self.kids_start[i] + k) as usize;
+                depth[c] = depth[i] + 1;
+                max = max.max(depth[c]);
+            }
+        }
+        max
+    }
+}
+
+// Register conventions (see module docs for the algorithm).
+const R_LLOCK: u8 = 1;
+const R_LCOUNT: u8 = 2;
+const R_LARRAY: u8 = 3;
+const R_GLOCK: u8 = 4;
+const R_GCOUNT: u8 = 5;
+const R_GARRAY: u8 = 6;
+const R_OUTST: u8 = 7;
+const R_KS_BASE: u8 = 8;
+const R_KC_BASE: u8 = 9;
+const R_VAL_BASE: u8 = 10;
+const R_TOTALS: u8 = 11; // totals base: processed @0, checksum @1
+const R_NODE: u8 = 14;
+const R_CNT: u8 = 15;
+const R_ADDR: u8 = 16;
+const R_SUM: u8 = 17;
+const R_DONE: u8 = 18;
+const R_KC: u8 = 19;
+const R_KS: u8 = 20;
+const R_K: u8 = 21;
+const R_CHILD: u8 = 22;
+const R_OLD: u8 = 23;
+const R_TMP: u8 = 24;
+
+/// Emits a spin-lock acquire on `lock_reg` word 0.
+fn emit_lock(b: &mut KernelBuilder, tag: &str, lock_reg: u8, scope: Scope) {
+    b.label(&format!("{tag}_spin"));
+    b.atomic(
+        R_OLD,
+        b.at(lock_reg, 0),
+        AtomicOp::Exch,
+        imm(1),
+        imm(0),
+        SyncOrd::AcqRel,
+        scope,
+    );
+    b.bnz(r(R_OLD), &format!("{tag}_spin"));
+}
+
+/// Emits the matching release.
+fn emit_unlock(b: &mut KernelBuilder, lock_reg: u8, scope: Scope) {
+    b.atomic(
+        R_OLD,
+        b.at(lock_reg, 0),
+        AtomicOp::Write,
+        imm(0),
+        imm(0),
+        SyncOrd::Release,
+        scope,
+    );
+}
+
+fn uts_program() -> Arc<Program> {
+    let mut b = KernelBuilder::new();
+    b.mov(R_SUM, imm(0));
+    b.mov(R_DONE, imm(0));
+
+    b.label("loop");
+    // ---- Try the CU-local queue ----
+    emit_lock(&mut b, "lpop", R_LLOCK, Scope::Local);
+    b.ld(R_CNT, b.at(R_LCOUNT, 0));
+    b.bz(r(R_CNT), "local_empty");
+    b.alu(R_CNT, r(R_CNT), AluOp::Sub, imm(1));
+    b.st(b.at(R_LCOUNT, 0), r(R_CNT));
+    b.alu(R_ADDR, r(R_LARRAY), AluOp::Add, r(R_CNT));
+    b.ld(R_NODE, b.at(R_ADDR, 0));
+    emit_unlock(&mut b, R_LLOCK, Scope::Local);
+    b.jmp("process");
+    b.label("local_empty");
+    emit_unlock(&mut b, R_LLOCK, Scope::Local);
+
+    // ---- Termination check before stealing: one global operation per
+    // idle loop instead of probing the (global) steal queue blindly ----
+    b.atomic(
+        R_OLD,
+        b.at(R_OUTST, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.bz(r(R_OLD), "finish");
+
+    // ---- Steal from the global queue ----
+    emit_lock(&mut b, "gpop", R_GLOCK, Scope::Global);
+    b.ld(R_CNT, b.at(R_GCOUNT, 0));
+    b.bz(r(R_CNT), "global_empty");
+    b.alu(R_CNT, r(R_CNT), AluOp::Sub, imm(1));
+    b.st(b.at(R_GCOUNT, 0), r(R_CNT));
+    b.alu(R_ADDR, r(R_GARRAY), AluOp::Add, r(R_CNT));
+    b.ld(R_NODE, b.at(R_ADDR, 0));
+    emit_unlock(&mut b, R_GLOCK, Scope::Global);
+    b.jmp("process");
+    b.label("global_empty");
+    emit_unlock(&mut b, R_GLOCK, Scope::Global);
+    b.compute(imm(IDLE_BACKOFF));
+    b.jmp("loop");
+
+    // ---- Expand one node ----
+    b.label("process");
+    b.alu(R_ADDR, r(R_VAL_BASE), AluOp::Add, r(R_NODE));
+    b.ld_region(R_TMP, b.at(R_ADDR, 0), Region::ReadOnly);
+    b.alu(R_SUM, r(R_SUM), AluOp::Add, r(R_TMP));
+    b.alu(R_DONE, r(R_DONE), AluOp::Add, imm(1));
+    b.alu(R_ADDR, r(R_KC_BASE), AluOp::Add, r(R_NODE));
+    b.ld_region(R_KC, b.at(R_ADDR, 0), Region::ReadOnly);
+    b.alu(R_ADDR, r(R_KS_BASE), AluOp::Add, r(R_NODE));
+    b.ld_region(R_KS, b.at(R_ADDR, 0), Region::ReadOnly);
+    b.compute(imm(NODE_WORK));
+    b.bz(r(R_KC), "node_done");
+    b.mov(R_K, imm(0));
+
+    b.label("push_loop");
+    b.alu(R_CHILD, r(R_KS), AluOp::Add, r(R_K));
+    // Prefer the local queue; overflow to the global one when full.
+    emit_lock(&mut b, "lpush", R_LLOCK, Scope::Local);
+    b.ld(R_CNT, b.at(R_LCOUNT, 0));
+    b.alu(R_TMP, r(R_CNT), AluOp::CmpGe, imm(LOCAL_CAP));
+    b.bnz(r(R_TMP), "local_full");
+    b.alu(R_ADDR, r(R_LARRAY), AluOp::Add, r(R_CNT));
+    b.st(b.at(R_ADDR, 0), r(R_CHILD));
+    b.alu(R_CNT, r(R_CNT), AluOp::Add, imm(1));
+    b.st(b.at(R_LCOUNT, 0), r(R_CNT));
+    emit_unlock(&mut b, R_LLOCK, Scope::Local);
+    b.jmp("pushed");
+    b.label("local_full");
+    emit_unlock(&mut b, R_LLOCK, Scope::Local);
+    emit_lock(&mut b, "gpush", R_GLOCK, Scope::Global);
+    b.ld(R_CNT, b.at(R_GCOUNT, 0));
+    b.alu(R_ADDR, r(R_GARRAY), AluOp::Add, r(R_CNT));
+    b.st(b.at(R_ADDR, 0), r(R_CHILD));
+    b.alu(R_CNT, r(R_CNT), AluOp::Add, imm(1));
+    b.st(b.at(R_GCOUNT, 0), r(R_CNT));
+    emit_unlock(&mut b, R_GLOCK, Scope::Global);
+    b.label("pushed");
+    b.alu(R_K, r(R_K), AluOp::Add, imm(1));
+    b.alu(R_TMP, r(R_K), AluOp::CmpLt, r(R_KC));
+    b.bnz(r(R_TMP), "push_loop");
+
+    b.label("node_done");
+    // outstanding += kids - 1 (wrapping add of -1 when a leaf). Release
+    // ordering: it *publishes* this node's pushes to whoever later
+    // acquires a zero — the acquire side lives on the termination read.
+    b.alu(R_TMP, r(R_KC), AluOp::Sub, imm(1));
+    b.atomic(
+        R_OLD,
+        b.at(R_OUTST, 0),
+        AtomicOp::Add,
+        r(R_TMP),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.jmp("loop");
+
+    // ---- Publish per-block totals ----
+    b.label("finish");
+    b.atomic(
+        R_OLD,
+        b.at(R_TOTALS, 0),
+        AtomicOp::Add,
+        r(R_DONE),
+        imm(0),
+        SyncOrd::AcqRel,
+        Scope::Global,
+    );
+    b.atomic(
+        R_OLD,
+        b.at(R_TOTALS, 1),
+        AtomicOp::Add,
+        r(R_SUM),
+        imm(0),
+        SyncOrd::AcqRel,
+        Scope::Global,
+    );
+    b.halt();
+    b.build()
+}
+
+/// Builds the UTS workload: 16K nodes at [`Scale::Paper`] (Table 4), 96
+/// at [`Scale::Tiny`].
+pub fn uts(scale: Scale) -> Workload {
+    let n = match scale {
+        Scale::Tiny => 96,
+        Scale::Paper => 16 * 1024,
+    };
+    let tree = Tree::generate(n, 0x7515);
+    let p = crate::params::SyncParams::new(scale);
+    let mut layout = Layout::new();
+    let ks_base = layout.alloc(n);
+    let kc_base = layout.alloc(n);
+    let val_base = layout.alloc(n);
+    let (llocks, lcounts, larrays): (Vec<Value>, Vec<Value>, Vec<Value>) = {
+        let mut a = Vec::new();
+        let mut b_ = Vec::new();
+        let mut c = Vec::new();
+        for _ in 0..p.cus {
+            a.push(layout.alloc_word());
+            b_.push(layout.alloc_word());
+            c.push(layout.alloc(LOCAL_CAP as usize));
+        }
+        (a, b_, c)
+    };
+    let glock = layout.alloc_word();
+    let gcount = layout.alloc_word();
+    let garray = layout.alloc(n);
+    let outstanding = layout.alloc_word();
+    let totals = layout.alloc(2);
+
+    let program = uts_program();
+    let tbs = (0..p.total_tbs() as u32)
+        .map(|i| {
+            let cu = i as usize % p.cus;
+            let mut regs = [0u32; 12];
+            regs[0] = i;
+            regs[R_LLOCK as usize] = llocks[cu];
+            regs[R_LCOUNT as usize] = lcounts[cu];
+            regs[R_LARRAY as usize] = larrays[cu];
+            regs[R_GLOCK as usize] = glock;
+            regs[R_GCOUNT as usize] = gcount;
+            regs[R_GARRAY as usize] = garray;
+            regs[R_OUTST as usize] = outstanding;
+            regs[R_KS_BASE as usize] = ks_base;
+            regs[R_KC_BASE as usize] = kc_base;
+            regs[R_VAL_BASE as usize] = val_base;
+            regs[R_TOTALS as usize] = totals;
+            TbSpec::with_regs(&regs)
+        })
+        .collect();
+
+    let (want_count, want_sum) = (n as u32, tree.checksum());
+    let (ks, kc, vals) = (
+        tree.kids_start.clone(),
+        tree.kids_count.clone(),
+        tree.value.clone(),
+    );
+    let seed_queue = lcounts[0];
+    let seed_array = larrays[0];
+    Workload {
+        name: "UTS".into(),
+        init: Box::new(move |mem| {
+            mem.write_u32_slice(Layout::byte_addr(ks_base), &ks);
+            mem.write_u32_slice(Layout::byte_addr(kc_base), &kc);
+            mem.write_u32_slice(Layout::byte_addr(val_base), &vals);
+            // Seed CU 0's local queue with the root; one unit of work
+            // outstanding.
+            mem.write_u32_slice(Layout::byte_addr(seed_array), &[0]);
+            mem.write_u32_slice(Layout::byte_addr(seed_queue), &[1]);
+            mem.write_u32_slice(Layout::byte_addr(outstanding), &[1]);
+        }),
+        kernels: vec![KernelLaunch { program, tbs }],
+        verify: Box::new(move |mem| {
+            let t = mem.read_u32_slice(Layout::byte_addr(totals), 2);
+            if t[0] != want_count {
+                return Err(format!("processed {} nodes, want {want_count}", t[0]));
+            }
+            if t[1] != want_sum {
+                return Err(format!("checksum {:#x}, want {want_sum:#x}", t[1]));
+            }
+            let g = mem.read_u32_slice(Layout::byte_addr(gcount), 1)[0];
+            if g != 0 {
+                return Err(format!("global queue not drained: {g} left"));
+            }
+            Ok(())
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_core::{Simulator, SystemConfig};
+    use gsim_types::ProtocolConfig;
+
+    #[test]
+    fn generated_tree_is_unbalanced_and_complete() {
+        let t = Tree::generate(16 * 1024, 0x7515);
+        assert_eq!(t.len(), 16 * 1024);
+        assert!(!t.is_empty());
+        // Every non-root node has exactly one parent (BFS layout).
+        let covered: u32 = t.kids_count.iter().sum();
+        assert_eq!(covered as usize, t.len() - 1);
+        // Unbalanced: much deeper than a balanced tree of this size.
+        assert!(t.max_depth() > 30, "depth {}", t.max_depth());
+        // Deterministic.
+        assert_eq!(t.checksum(), Tree::generate(16 * 1024, 0x7515).checksum());
+    }
+
+    #[test]
+    fn uts_processes_every_node_exactly_once_under_every_config() {
+        for p in ProtocolConfig::ALL {
+            let w = uts(Scale::Tiny);
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&w)
+                .unwrap_or_else(|e| panic!("UTS under {p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn work_stealing_actually_crosses_cus() {
+        // The root seeds CU 0 only; with 96 nodes and a 48-entry local
+        // queue the global queue must carry overflow or steals.
+        let w = uts(Scale::Tiny);
+        let stats = Simulator::new(SystemConfig::micro15(ProtocolConfig::Dd))
+            .run(&w)
+            .unwrap();
+        assert!(
+            stats.counts.l1_atomics > 100,
+            "lock traffic happened at the L1 under DeNovo"
+        );
+    }
+}

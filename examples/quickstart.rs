@@ -1,0 +1,52 @@
+//! Quickstart: run one benchmark under all five protocol/consistency
+//! configurations and print the paper's three metrics side by side.
+//!
+//! ```text
+//! cargo run --release --example quickstart [BENCH_NAME] [--paper]
+//! ```
+//!
+//! `BENCH_NAME` is a Table 4 abbreviation (default `SPM_G`); `--paper`
+//! uses the evaluation input sizes instead of the quick test sizes.
+
+use gpu_denovo::{registry, ProtocolConfig, Scale, Simulator, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("SPM_G");
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Tiny
+    };
+    let bench = registry::by_name(name).ok_or_else(|| {
+        let names: Vec<_> = registry::all().iter().map(|b| b.name).collect();
+        format!("unknown benchmark {name:?}; one of {names:?}")
+    })?;
+
+    println!("== {} ({:?}, input: {}) ==", bench.name, bench.group, bench.table4_input);
+    println!(
+        "{:<8} {:>12} {:>14} {:>16} {:>10}",
+        "config", "cycles", "energy (nJ)", "traffic (flits)", "L1 hit %"
+    );
+    for p in ProtocolConfig::ALL {
+        let stats = Simulator::new(SystemConfig::micro15(p)).run(&(bench.build)(scale))?;
+        println!(
+            "{:<8} {:>12} {:>14.1} {:>16} {:>10}",
+            p.to_string(),
+            stats.cycles,
+            stats.energy.total_pj() / 1e3,
+            stats.traffic.total(),
+            stats
+                .counts
+                .l1_load_hit_rate()
+                .map(|r| format!("{:.1}", r * 100.0))
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!("\nEvery run functionally verified its final memory image.");
+    Ok(())
+}

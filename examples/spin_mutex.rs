@@ -1,0 +1,79 @@
+//! Build a custom workload against the public API: a spin-mutex-protected
+//! shared counter, written directly in the kernel IR.
+//!
+//! This is the library's "hello world" for fine-grained GPU
+//! synchronization: 45 thread blocks on 15 CUs contend on one global
+//! lock, and the run fails if a single increment is lost — the simulator
+//! is functional, so the protocols are *proven* correct on this program,
+//! not just timed.
+//!
+//! ```text
+//! cargo run --release --example spin_mutex
+//! ```
+
+use gpu_denovo::sim::kernel::{imm, r, AluOp, KernelBuilder};
+use gpu_denovo::{
+    KernelLaunch, ProtocolConfig, Simulator, SystemConfig, TbSpec, Workload,
+};
+use gpu_denovo::types::{AtomicOp, Scope, SyncOrd, WordAddr};
+
+const TBS: u32 = 45;
+const ITERS: u32 = 20;
+
+fn counter_workload() -> Workload {
+    // Word 0: the lock. Word 16 (its own line): the counter.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0)); // r1 = lock address
+    b.mov(2, imm(16)); // r2 = counter address
+    b.mov(3, imm(ITERS));
+    b.label("iter");
+    b.label("spin");
+    b.atomic(4, b.at(1, 0), AtomicOp::Exch, imm(1), imm(0), SyncOrd::AcqRel, Scope::Global);
+    b.bnz(r(4), "spin");
+    b.ld(5, b.at(2, 0)); // plain loads/stores: the lock protects them
+    b.alu_add(5, r(5), imm(1));
+    b.st(b.at(2, 0), r(5));
+    b.atomic(4, b.at(1, 0), AtomicOp::Write, imm(0), imm(0), SyncOrd::Release, Scope::Global);
+    b.alu(3, r(3), AluOp::Sub, imm(1));
+    b.bnz(r(3), "iter");
+    b.halt();
+
+    Workload {
+        name: "spin-mutex-counter".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs: vec![TbSpec::with_regs(&[]); TBS as usize],
+        }],
+        verify: Box::new(|mem| {
+            let got = mem.read_word(WordAddr(16));
+            let want = TBS * ITERS;
+            (got == want)
+                .then_some(())
+                .ok_or_else(|| format!("lost increments: counter = {got}, want {want}"))
+        }),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("45 thread blocks x {ITERS} lock-protected increments\n");
+    println!(
+        "{:<8} {:>10} {:>14} {:>18} {:>18}",
+        "config", "cycles", "atomic flits", "L1 atomic hits", "flash invals"
+    );
+    for p in ProtocolConfig::ALL {
+        let stats = Simulator::new(SystemConfig::micro15(p)).run(&counter_workload())?;
+        println!(
+            "{:<8} {:>10} {:>14} {:>18} {:>18}",
+            p.to_string(),
+            stats.cycles,
+            stats.traffic.class(gpu_denovo::types::MsgClass::Atomic),
+            stats.counts.l1_atomic_hits,
+            stats.counts.flash_invalidations,
+        );
+    }
+    println!("\nAll five protocols preserved every increment (SC-for-DRF).");
+    println!("Note the DeNovo rows: global synchronization, yet the lock");
+    println!("hits in the L1 once a CU owns it — the paper's key effect.");
+    Ok(())
+}

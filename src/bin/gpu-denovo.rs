@@ -1,0 +1,219 @@
+//! The `gpu-denovo` command-line interface: run any Table 4 benchmark
+//! under any protocol/consistency configuration and inspect the paper's
+//! three metrics, with the full counter breakdown on request.
+//!
+//! ```text
+//! gpu-denovo list
+//! gpu-denovo run SPM_G --config DD --paper --detail
+//! gpu-denovo compare UTS --paper
+//! gpu-denovo sweep --group global --paper
+//! ```
+
+use gpu_denovo::types::MsgClass;
+use gpu_denovo::{registry, ProtocolConfig, Scale, SimStats, Simulator, SystemConfig};
+use std::process::ExitCode;
+
+fn parse_config(s: &str) -> Option<ProtocolConfig> {
+    ProtocolConfig::ALL
+        .into_iter()
+        .find(|p| p.abbrev().eq_ignore_ascii_case(s) || p.paper_name().eq_ignore_ascii_case(s))
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         gpu-denovo list\n  \
+         gpu-denovo run <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--detail]\n  \
+         gpu-denovo compare <BENCH> [--paper]\n  \
+         gpu-denovo sweep [--group nosync|global|local] [--paper]\n\n\
+         <BENCH> is a Table 4 abbreviation (see `gpu-denovo list`)."
+    );
+    ExitCode::FAILURE
+}
+
+fn scale(args: &[String]) -> Scale {
+    if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Tiny
+    }
+}
+
+fn run_one(name: &str, p: ProtocolConfig, s: Scale) -> Result<SimStats, String> {
+    let b = registry::by_name(name).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+    Simulator::new(SystemConfig::micro15(p))
+        .run(&(b.build)(s))
+        .map_err(|e| format!("{name} under {p}: {e}"))
+}
+
+fn print_row(p: ProtocolConfig, stats: &SimStats) {
+    println!(
+        "{:<8} {:>12} {:>14.1} {:>16} {:>10}",
+        p.to_string(),
+        stats.cycles,
+        stats.energy.total_pj() / 1e3,
+        stats.traffic.total(),
+        stats
+            .counts
+            .l1_load_hit_rate()
+            .map(|r| format!("{:.1}", r * 100.0))
+            .unwrap_or_else(|| "-".into()),
+    );
+}
+
+fn print_detail(stats: &SimStats) {
+    let c = &stats.counts;
+    println!("\n-- counters --");
+    println!("instructions            {:>14}", c.instructions);
+    println!("CU active cycles        {:>14}", c.cu_active_cycles);
+    println!("L1 accesses             {:>14}", c.l1_accesses);
+    println!(
+        "L1 load hits/misses     {:>14} / {}",
+        c.l1_load_hits, c.l1_load_misses
+    );
+    println!("L1 store hits (owned)   {:>14}", c.l1_store_hits);
+    println!(
+        "L1 atomics (hits)       {:>14} ({})",
+        c.l1_atomics, c.l1_atomic_hits
+    );
+    println!("L2 accesses (atomics)   {:>14} ({})", c.l2_accesses, c.l2_atomics);
+    println!("scratch accesses        {:>14}", c.scratch_accesses);
+    println!(
+        "DRAM reads/writes       {:>14} / {}",
+        c.dram_reads, c.dram_writes
+    );
+    println!("flash invalidations     {:>14}", c.flash_invalidations);
+    println!("words invalidated       {:>14}", c.words_invalidated);
+    println!(
+        "SB flushes (ovf/rel)    {:>14} / {}",
+        c.sb_overflow_flushes, c.sb_release_flushes
+    );
+    println!("registrations           {:>14}", c.registrations);
+    println!(
+        "reg forwards (queued)   {:>14} ({})",
+        c.reg_forwards, c.reg_queued
+    );
+    println!("ownership writebacks    {:>14}", c.ownership_writebacks);
+    println!("registry spills         {:>14}", c.registry_overflow_words);
+    println!("messages sent           {:>14}", c.messages_sent);
+    println!("\n-- traffic (flit crossings) --");
+    for class in MsgClass::ALL {
+        println!("{:<8}               {:>14}", class.label(), stats.traffic.class(class));
+    }
+    println!("\n-- energy (nJ) --");
+    let e = &stats.energy;
+    for (label, pj) in [
+        ("GPU core+", e.core_pj),
+        ("scratch", e.scratch_pj),
+        ("L1 D$", e.l1_pj),
+        ("L2 $", e.l2_pj),
+        ("network", e.noc_pj),
+    ] {
+        println!("{label:<10}             {:>14.1}", pj / 1e3);
+    }
+}
+
+fn header() {
+    println!(
+        "{:<8} {:>12} {:>14} {:>16} {:>10}",
+        "config", "cycles", "energy (nJ)", "traffic (flits)", "L1 hit %"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("{:<10} {:<12} Table 4 input", "name", "group");
+            for b in registry::all().into_iter().chain(registry::extensions()) {
+                println!("{:<10} {:<12} {}", b.name, format!("{:?}", b.group), b.table4_input);
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let config = args
+                .iter()
+                .position(|a| a == "--config")
+                .and_then(|i| args.get(i + 1))
+                .map(|s| parse_config(s))
+                .unwrap_or(Some(ProtocolConfig::Dd));
+            let Some(config) = config else {
+                eprintln!("unknown config (one of GD, GH, DD, DD+RO, DH)");
+                return ExitCode::FAILURE;
+            };
+            match run_one(name, config, scale(&args)) {
+                Ok(stats) => {
+                    header();
+                    print_row(config, &stats);
+                    if args.iter().any(|a| a == "--detail") {
+                        print_detail(&stats);
+                    }
+                    println!("\nrun verified functionally.");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "compare" => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            header();
+            for p in ProtocolConfig::ALL {
+                match run_one(name, p, scale(&args)) {
+                    Ok(stats) => print_row(p, &stats),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "sweep" => {
+            let group = args
+                .iter()
+                .position(|a| a == "--group")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str);
+            let s = scale(&args);
+            for b in registry::all() {
+                let keep = match group {
+                    None => true,
+                    Some("nosync") => b.group == registry::Group::NoSync,
+                    Some("global") => b.group == registry::Group::GlobalSync,
+                    Some("local") => b.group == registry::Group::LocalSync,
+                    Some(g) => {
+                        eprintln!("unknown group {g:?} (nosync|global|local)");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if !keep {
+                    continue;
+                }
+                println!("\n== {} ==", b.name);
+                header();
+                for p in ProtocolConfig::ALL {
+                    match run_one(b.name, p, s) {
+                        Ok(stats) => print_row(p, &stats),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,313 @@
+//! Differential testing: randomly generated data-race-free programs must
+//! produce *identical* final memory under every one of the five
+//! protocol/consistency configurations — SC-for-DRF makes the outcome
+//! unique, so any divergence is a coherence bug, not noise.
+//!
+//! Each generated program gives every thread block a private region
+//! (random loads, stores, and read-modify-write chains) plus a shared,
+//! lock-protected accumulator array; the expected final state is
+//! computed host-side and every configuration is checked against it.
+
+use gpu_denovo::sim::kernel::{imm, r, AluOp, KernelBuilder};
+use gpu_denovo::types::{AtomicOp, Scope, SyncOrd, WordAddr};
+use gpu_denovo::{
+    KernelLaunch, ProtocolConfig, Simulator, SystemConfig, TbSpec, Workload,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const TBS: usize = 30;
+const REGION_WORDS: u32 = 24; // private words per block (1.5 lines)
+const SHARED_WORDS: u32 = 6;
+
+/// One generated private-region operation.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Store { off: u32, val: u32 },
+    /// `region[dst] = region[src] + addend` — creates load-use chains.
+    Combine { src: u32, dst: u32, addend: u32 },
+    /// One lock-protected increment round over the shared words.
+    Critical { idx: u32, add: u32 },
+    Compute { cycles: u32 },
+}
+
+fn gen_ops(rng: &mut SmallRng, n: usize) -> Vec<Op> {
+    (0..n)
+        .map(|_| match rng.gen_range(0..10) {
+            0..4 => Op::Store {
+                off: rng.gen_range(0..REGION_WORDS),
+                val: rng.gen_range(1..1000),
+            },
+            4..7 => Op::Combine {
+                src: rng.gen_range(0..REGION_WORDS),
+                dst: rng.gen_range(0..REGION_WORDS),
+                addend: rng.gen_range(0..100),
+            },
+            7..9 => Op::Critical {
+                idx: rng.gen_range(0..SHARED_WORDS),
+                add: rng.gen_range(1..10),
+            },
+            _ => Op::Compute {
+                cycles: rng.gen_range(1..60),
+            },
+        })
+        .collect()
+}
+
+/// Builds the workload for a seed and the host-computed expected state.
+fn build(seed: u64) -> (Workload, Vec<(u64, u32)>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Layout: lock at word 0; shared array at word 16; block regions
+    // from word 32, each starting on a fresh line.
+    let lock = 0u32;
+    let shared = 16u32;
+    let region = |t: usize| 32 + (t as u32) * 32;
+
+    let per_tb: Vec<Vec<Op>> = (0..TBS).map(|_| gen_ops(&mut rng, 40)).collect();
+
+    // Host model.
+    let mut expect: Vec<(u64, u32)> = Vec::new();
+    let mut shared_vals = vec![0u32; SHARED_WORDS as usize];
+    for (t, ops) in per_tb.iter().enumerate() {
+        let mut reg_vals = vec![0u32; REGION_WORDS as usize];
+        for op in ops {
+            match *op {
+                Op::Store { off, val } => reg_vals[off as usize] = val,
+                Op::Combine { src, dst, addend } => {
+                    reg_vals[dst as usize] = reg_vals[src as usize].wrapping_add(addend)
+                }
+                Op::Critical { idx, add } => {
+                    // Increments commute: the final sum is schedule
+                    // independent even though interleavings differ.
+                    shared_vals[idx as usize] = shared_vals[idx as usize].wrapping_add(add)
+                }
+                Op::Compute { .. } => {}
+            }
+        }
+        for (off, v) in reg_vals.iter().enumerate() {
+            expect.push((region(t) as u64 + off as u64, *v));
+        }
+    }
+    for (i, v) in shared_vals.iter().enumerate() {
+        expect.push((shared as u64 + i as u64, *v));
+    }
+
+    // One program per launch: a leading jump table dispatches each
+    // block to its own compiled op sequence.
+    // r1 = region base, r2 = shared base, r3 = lock.
+    let tbs: Vec<TbSpec> = (0..TBS)
+        .map(|t| TbSpec::with_regs(&[t as u32, region(t), shared, lock]))
+        .collect();
+    let mut b = KernelBuilder::new();
+    // Jump table: block id r0 selects its section.
+    for t in 0..TBS {
+        b.alu(6, r(0), AluOp::CmpEq, imm(t as u32));
+        b.bnz(r(6), &format!("blk{t}"));
+    }
+    b.halt();
+    for (t, ops) in per_tb.iter().enumerate() {
+        b.label(&format!("blk{t}"));
+        for (k, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Store { off, val } => {
+                    b.st(b.at(1, off), imm(val));
+                }
+                Op::Combine { src, dst, addend } => {
+                    b.ld(4, b.at(1, src));
+                    b.alu_add(4, r(4), imm(addend));
+                    b.st(b.at(1, dst), r(4));
+                }
+                Op::Critical { idx, add } => {
+                    let spin = format!("spin{t}_{k}");
+                    b.label(&spin);
+                    b.atomic(4, b.at(3, 0), AtomicOp::Exch, imm(1), imm(0), SyncOrd::AcqRel, Scope::Global);
+                    b.bnz(r(4), &spin);
+                    b.ld(5, b.at(2, idx));
+                    b.alu(5, r(5), AluOp::Add, imm(add));
+                    b.st(b.at(2, idx), r(5));
+                    b.atomic(4, b.at(3, 0), AtomicOp::Write, imm(0), imm(0), SyncOrd::Release, Scope::Global);
+                }
+                Op::Compute { cycles } => {
+                    b.compute(imm(cycles));
+                }
+            }
+        }
+        b.halt();
+    }
+    let program = b.build();
+    let expect_v = expect.clone();
+    let w = Workload {
+        name: format!("random-{seed:#x}"),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch { program, tbs }],
+        verify: Box::new(move |mem| {
+            for &(addr, want) in &expect_v {
+                let got = mem.read_word(WordAddr(addr));
+                if got != want {
+                    return Err(format!("word {addr}: got {got}, want {want}"));
+                }
+            }
+            Ok(())
+        }),
+    };
+    (w, expect)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6, // each case runs 5 full simulations
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_configs_agree_on_random_drf_programs(seed in any::<u64>()) {
+        for p in ProtocolConfig::ALL {
+            let (w, _) = build(seed);
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&w)
+                .unwrap_or_else(|e| panic!("seed {seed:#x} under {p}: {e}"));
+        }
+    }
+}
+
+/// A fixed-seed smoke case that always runs (proptest shrinks away).
+#[test]
+fn fixed_seed_differential() {
+    for seed in [1u64, 0xdead_beef, 42] {
+        for p in ProtocolConfig::ALL {
+            let (w, _) = build(seed);
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&w)
+                .unwrap_or_else(|e| panic!("seed {seed:#x} under {p}: {e}"));
+        }
+    }
+}
+
+/// The HRF variant: the lock-protected shared accumulators become
+/// per-CU, protected by *locally scoped* locks (sound: sharers are
+/// co-resident), exercising GH/DH's local paths differentially against
+/// the DRF configurations that ignore the scopes.
+fn build_local(seed: u64) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cus = 15usize;
+    // Per CU: lock at 64k-ish spaced lines; shared word; per-TB regions.
+    let lock = |c: usize| (c * 64) as u32;
+    let shared = |c: usize| (c * 64 + 16) as u32;
+    let region = |t: usize| (2048 + t * 32) as u32;
+
+    let per_tb: Vec<Vec<Op>> = (0..TBS).map(|_| gen_ops(&mut rng, 30)).collect();
+
+    let mut expect: Vec<(u64, u32)> = Vec::new();
+    let mut shared_vals = vec![[0u32; SHARED_WORDS as usize]; cus];
+    for (t, ops) in per_tb.iter().enumerate() {
+        let cu = t % cus;
+        let mut reg_vals = vec![0u32; REGION_WORDS as usize];
+        for op in ops {
+            match *op {
+                Op::Store { off, val } => reg_vals[off as usize] = val,
+                Op::Combine { src, dst, addend } => {
+                    reg_vals[dst as usize] = reg_vals[src as usize].wrapping_add(addend)
+                }
+                Op::Critical { idx, add } => {
+                    shared_vals[cu][idx as usize] =
+                        shared_vals[cu][idx as usize].wrapping_add(add)
+                }
+                Op::Compute { .. } => {}
+            }
+        }
+        for (off, v) in reg_vals.iter().enumerate() {
+            expect.push((region(t) as u64 + off as u64, *v));
+        }
+    }
+    for (c, vals) in shared_vals.iter().enumerate() {
+        for (i, v) in vals.iter().enumerate() {
+            expect.push((shared(c) as u64 + i as u64, *v));
+        }
+    }
+
+    let tbs: Vec<TbSpec> = (0..TBS)
+        .map(|t| TbSpec::with_regs(&[t as u32, region(t), shared(t % cus), lock(t % cus)]))
+        .collect();
+    let mut b = KernelBuilder::new();
+    for t in 0..TBS {
+        b.alu(6, r(0), AluOp::CmpEq, imm(t as u32));
+        b.bnz(r(6), &format!("blk{t}"));
+    }
+    b.halt();
+    for (t, ops) in per_tb.iter().enumerate() {
+        b.label(&format!("blk{t}"));
+        for (k, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Store { off, val } => {
+                    b.st(b.at(1, off), imm(val));
+                }
+                Op::Combine { src, dst, addend } => {
+                    b.ld(4, b.at(1, src));
+                    b.alu_add(4, r(4), imm(addend));
+                    b.st(b.at(1, dst), r(4));
+                }
+                Op::Critical { idx, add } => {
+                    let spin = format!("spin{t}_{k}");
+                    b.label(&spin);
+                    b.atomic(4, b.at(3, 0), AtomicOp::Exch, imm(1), imm(0), SyncOrd::AcqRel, Scope::Local);
+                    b.bnz(r(4), &spin);
+                    b.ld(5, b.at(2, idx));
+                    b.alu(5, r(5), AluOp::Add, imm(add));
+                    b.st(b.at(2, idx), r(5));
+                    b.atomic(4, b.at(3, 0), AtomicOp::Write, imm(0), imm(0), SyncOrd::Release, Scope::Local);
+                }
+                Op::Compute { cycles } => {
+                    b.compute(imm(cycles));
+                }
+            }
+        }
+        b.halt();
+    }
+    Workload {
+        name: format!("random-local-{seed:#x}"),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs,
+        }],
+        verify: Box::new(move |mem| {
+            for &(addr, want) in &expect {
+                let got = mem.read_word(WordAddr(addr));
+                if got != want {
+                    return Err(format!("word {addr}: got {got}, want {want}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_configs_agree_on_random_hrf_local_programs(seed in any::<u64>()) {
+        for p in ProtocolConfig::ALL {
+            let w = build_local(seed);
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&w)
+                .unwrap_or_else(|e| panic!("seed {seed:#x} under {p}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn fixed_seed_local_differential() {
+    for seed in [7u64, 0xfeed] {
+        for p in ProtocolConfig::ALL {
+            let w = build_local(seed);
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&w)
+                .unwrap_or_else(|e| panic!("seed {seed:#x} under {p}: {e}"));
+        }
+    }
+}

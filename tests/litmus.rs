@@ -1,0 +1,212 @@
+//! SC-for-DRF litmus tests: the classic consistency-model shapes, run
+//! under every protocol/consistency configuration.
+//!
+//! These programs are data-race-free (all cross-thread communication
+//! goes through synchronization accesses), so every configuration must
+//! give the sequentially consistent outcome — DRF and HRF agree on
+//! race-free programs. A protocol that reorders a data write past its
+//! release, or serves stale data after an acquire, fails here.
+
+use gpu_denovo::sim::kernel::{imm, r, KernelBuilder};
+use gpu_denovo::types::{AtomicOp, Scope, SyncOrd, WordAddr};
+use gpu_denovo::{
+    KernelLaunch, ProtocolConfig, SimStats, Simulator, SystemConfig, TbSpec, Workload,
+};
+
+fn run_all(mk: impl Fn() -> Workload) -> Vec<SimStats> {
+    ProtocolConfig::ALL
+        .iter()
+        .map(|&p| {
+            Simulator::new(SystemConfig::micro15(p))
+                .run(&mk())
+                .unwrap_or_else(|e| panic!("{p}: {e}"))
+        })
+        .collect()
+}
+
+/// Message passing: T0 writes data then releases a flag; T1 acquires the
+/// flag then reads data. The read must see the write.
+#[test]
+fn message_passing() {
+    let mk = || {
+        // Word 0: flag (own line). Word 16: data.
+        let mut b = KernelBuilder::new();
+        b.mov(1, imm(0));
+        b.mov(2, imm(16));
+        b.bnz(r(0), "consumer");
+        // Producer.
+        b.st(b.at(2, 0), imm(41));
+        b.st(b.at(2, 1), imm(42));
+        b.atomic(3, b.at(1, 0), AtomicOp::Write, imm(1), imm(0), SyncOrd::Release, Scope::Global);
+        b.halt();
+        // Consumer.
+        b.label("consumer");
+        b.label("spin");
+        b.atomic(3, b.at(1, 0), AtomicOp::Read, imm(0), imm(0), SyncOrd::Acquire, Scope::Global);
+        b.bz(r(3), "spin");
+        b.ld(4, b.at(2, 0));
+        b.ld(5, b.at(2, 1));
+        b.st(b.at(2, 2), r(4));
+        b.st(b.at(2, 3), r(5));
+        b.halt();
+        Workload {
+            name: "mp".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                // TB 0 on CU 0, TB 1 on CU 1: true cross-CU communication.
+                tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+            }],
+            verify: Box::new(|mem| {
+                let (a, b) = (mem.read_word(WordAddr(18)), mem.read_word(WordAddr(19)));
+                ((a, b) == (41, 42))
+                    .then_some(())
+                    .ok_or_else(|| format!("consumer observed ({a}, {b}), want (41, 42)"))
+            }),
+        }
+    };
+    run_all(mk);
+}
+
+/// The same handoff, chained around a ring of 15 CUs: each thread block
+/// waits for its predecessor's flag, increments the datum, and releases
+/// its own flag. The final value counts every hop.
+#[test]
+fn ring_handoff() {
+    const N: u32 = 15;
+    let mk = || {
+        // Flags at words 0, 16, ..., data at word 16 * N.
+        let mut b = KernelBuilder::new();
+        // r1 = my flag addr, r2 = predecessor's flag addr, r3 = data.
+        b.mov(3, imm(16 * N));
+        b.bz(r(0), "leader");
+        b.label("spin");
+        b.atomic(4, b.at(2, 0), AtomicOp::Read, imm(0), imm(0), SyncOrd::Acquire, Scope::Global);
+        b.bz(r(4), "spin");
+        b.label("leader");
+        b.ld(5, b.at(3, 0));
+        b.alu_add(5, r(5), imm(1));
+        b.st(b.at(3, 0), r(5));
+        b.atomic(4, b.at(1, 0), AtomicOp::Write, imm(1), imm(0), SyncOrd::Release, Scope::Global);
+        b.halt();
+        let tbs = (0..N)
+            .map(|i| {
+                let my_flag = 16 * i;
+                let pred_flag = 16 * (i.wrapping_sub(1) % N);
+                TbSpec::with_regs(&[i, my_flag, pred_flag])
+            })
+            .collect();
+        Workload {
+            name: "ring".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                tbs,
+            }],
+            verify: Box::new(move |mem| {
+                let got = mem.read_word(WordAddr(16 * N as u64));
+                (got == N)
+                    .then_some(())
+                    .ok_or_else(|| format!("ring counted {got}, want {N}"))
+            }),
+        }
+    };
+    run_all(mk);
+}
+
+/// HRF-local handoff: the producer and consumer share a CU, so the flag
+/// can be locally scoped. GPU-H must still deliver the data (through the
+/// shared L1), and DRF configurations must treat the scope as global and
+/// also deliver it.
+#[test]
+fn local_scope_message_passing() {
+    let mk = || {
+        // Roles in r6: 0 = idle, 1 = producer, 2 = consumer. TB ids 0
+        // and 15 both map to CU 0, so the pair shares an L1.
+        let mut b = KernelBuilder::new();
+        b.mov(1, imm(0)); // flag
+        b.mov(2, imm(16)); // data
+        b.bz(r(6), "idle");
+        b.alu(3, r(6), gpu_denovo::sim::kernel::AluOp::CmpEq, imm(2));
+        b.bnz(r(3), "consumer");
+        b.st(b.at(2, 0), imm(7));
+        b.atomic(3, b.at(1, 0), AtomicOp::Write, imm(1), imm(0), SyncOrd::Release, Scope::Local);
+        b.halt();
+        b.label("consumer");
+        b.label("spin");
+        b.atomic(3, b.at(1, 0), AtomicOp::Read, imm(0), imm(0), SyncOrd::Acquire, Scope::Local);
+        b.bz(r(3), "spin");
+        b.ld(4, b.at(2, 0));
+        b.st(b.at(2, 1), r(4));
+        b.label("idle");
+        b.halt();
+        let mut tbs = vec![TbSpec::with_regs(&[0; 7]); 16];
+        tbs[0] = TbSpec::with_regs(&[0, 0, 0, 0, 0, 0, 1]); // producer
+        tbs[15] = TbSpec::with_regs(&[15, 0, 0, 0, 0, 0, 2]); // consumer
+        Workload {
+            name: "mp-local".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                tbs,
+            }],
+            verify: Box::new(|mem| {
+                let got = mem.read_word(WordAddr(17));
+                (got == 7)
+                    .then_some(())
+                    .ok_or_else(|| format!("consumer observed {got}, want 7"))
+            }),
+        }
+    };
+    run_all(mk);
+}
+
+/// Kernel boundaries are synchronization: writes from kernel 1 are
+/// visible to every thread block of kernel 2 without any atomics.
+#[test]
+fn kernel_boundary_publication() {
+    let mk = || {
+        let mut b1 = KernelBuilder::new();
+        b1.mov(1, imm(0));
+        // Each TB writes its own word: tb id in r0.
+        b1.alu_add(2, r(1), r(0));
+        b1.st(b1.at(2, 0), r(0));
+        b1.halt();
+        let mut b2 = KernelBuilder::new();
+        // Each TB reads its *successor's* word (cross-CU) and republishes.
+        b2.mov(1, imm(0));
+        b2.alu_add(2, r(1), r(3)); // r3 = successor id
+        b2.ld(4, b2.at(2, 0));
+        b2.alu_add(5, r(1), r(0));
+        b2.st(b2.at(5, 64), r(4));
+        b2.halt();
+        const N: u32 = 30;
+        Workload {
+            name: "kernel-boundary".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![
+                KernelLaunch {
+                    program: b1.build(),
+                    tbs: (0..N).map(|i| TbSpec::with_regs(&[i])).collect(),
+                },
+                KernelLaunch {
+                    program: b2.build(),
+                    tbs: (0..N)
+                        .map(|i| TbSpec::with_regs(&[i, 0, 0, (i + 1) % N]))
+                        .collect(),
+                },
+            ],
+            verify: Box::new(|mem| {
+                for i in 0..N as u64 {
+                    let got = mem.read_word(WordAddr(64 + i));
+                    let want = ((i + 1) % N as u64) as u32;
+                    if got != want {
+                        return Err(format!("out[{i}] = {got}, want {want}"));
+                    }
+                }
+                Ok(())
+            }),
+        }
+    };
+    run_all(mk);
+}

@@ -1,0 +1,141 @@
+//! End-to-end check of the whole Table 4: every registered benchmark
+//! builds, runs, and functionally verifies under every configuration
+//! (test scale), plus the headline directional results the paper reports
+//! (§6) at that scale.
+
+use gpu_denovo::{registry, ProtocolConfig, Scale, SimStats, Simulator, SystemConfig};
+
+fn run(name: &str, p: ProtocolConfig) -> SimStats {
+    let b = registry::by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    Simulator::new(SystemConfig::micro15(p))
+        .run(&(b.build)(Scale::Tiny))
+        .unwrap_or_else(|e| panic!("{name} under {p}: {e}"))
+}
+
+#[test]
+fn every_benchmark_verifies_under_every_config() {
+    for b in registry::all() {
+        for p in ProtocolConfig::ALL {
+            let stats = Simulator::new(SystemConfig::micro15(p))
+                .run(&(b.build)(Scale::Tiny))
+                .unwrap_or_else(|e| panic!("{} under {p}: {e}", b.name));
+            assert!(stats.cycles > 0, "{} under {p} did no work", b.name);
+            assert!(stats.counts.instructions > 0);
+        }
+    }
+}
+
+/// §6.2.2: for globally scoped synchronization, DeNovo beats GPU
+/// coherence on time, energy, and traffic, and HRF cannot help
+/// (GD == GH, DD == DH).
+#[test]
+fn global_sync_shapes() {
+    for name in ["FAM_G", "SLM_G", "SPM_G", "SPMBO_G"] {
+        let gd = run(name, ProtocolConfig::Gd);
+        let gh = run(name, ProtocolConfig::Gh);
+        let dd = run(name, ProtocolConfig::Dd);
+        let dh = run(name, ProtocolConfig::Dh);
+        assert_eq!(gd, gh, "{name}: scopes must not matter without local sync");
+        assert_eq!(dd, dh, "{name}: scopes must not matter without local sync");
+        assert!(
+            dd.cycles < gd.cycles,
+            "{name}: DD {} !< GD {}",
+            dd.cycles,
+            gd.cycles
+        );
+        assert!(dd.energy.total_pj() < gd.energy.total_pj(), "{name}: energy");
+        assert!(
+            dd.traffic.total() * 2 < gd.traffic.total(),
+            "{name}: DD traffic {} not well below GD {}",
+            dd.traffic.total(),
+            gd.traffic.total()
+        );
+    }
+}
+
+/// §6.1: with locally scoped synchronization, GPU-H is far better than
+/// GPU-D (the HRF selling point the paper concedes).
+#[test]
+fn local_sync_gh_beats_gd() {
+    for name in ["FAM_L", "SLM_L", "SPM_L", "SPMBO_L", "SS_L", "SSBO_L"] {
+        let gd = run(name, ProtocolConfig::Gd);
+        let gh = run(name, ProtocolConfig::Gh);
+        assert!(
+            gh.cycles < gd.cycles,
+            "{name}: GH {} !< GD {}",
+            gh.cycles,
+            gd.cycles
+        );
+        assert!(
+            gh.traffic.total() < gd.traffic.total(),
+            "{name}: GH traffic must drop"
+        );
+    }
+}
+
+/// §6.4: DeNovo-H is at least as good as DeNovo-D everywhere (it only
+/// removes work: local ops skip invalidations and flushes).
+#[test]
+fn dh_never_loses_to_dd() {
+    for name in ["SPM_L", "FAM_L", "SS_L", "TB_LG", "TBEX_LG"] {
+        let dd = run(name, ProtocolConfig::Dd);
+        let dh = run(name, ProtocolConfig::Dh);
+        assert!(
+            dh.cycles <= dd.cycles + dd.cycles / 20,
+            "{name}: DH {} much worse than DD {}",
+            dh.cycles,
+            dd.cycles
+        );
+        // Note: total *words* invalidated may go either way (DH
+        // invalidates less often, so each global acquire finds more
+        // accumulated Valid words); the time/energy win is the claim.
+    }
+}
+
+/// §6.3: the read-only enhancement only reduces invalidations, never
+/// adds them, and UTS (whose tree is the read-only region) benefits.
+#[test]
+fn read_only_region_reduces_invalidations() {
+    for name in ["UTS", "SPM_L"] {
+        let dd = run(name, ProtocolConfig::Dd);
+        let ddro = run(name, ProtocolConfig::DdRo);
+        assert!(
+            ddro.counts.words_invalidated <= dd.counts.words_invalidated,
+            "{name}: DD+RO invalidated more words than DD"
+        );
+    }
+    let dd = run("UTS", ProtocolConfig::Dd);
+    let ddro = run("UTS", ProtocolConfig::DdRo);
+    assert!(
+        ddro.counts.words_invalidated < dd.counts.words_invalidated,
+        "UTS: the read-only tree must be spared: DD+RO {} !< DD {}",
+        ddro.counts.words_invalidated,
+        dd.counts.words_invalidated
+    );
+}
+
+/// §6.2.1: on the no-synchronization applications the two families are
+/// close — DeNovo is "a viable protocol for today's use cases".
+#[test]
+fn apps_are_comparable_across_families() {
+    for name in ["BP", "SGEMM", "NN", "ST"] {
+        let gd = run(name, ProtocolConfig::Gd);
+        let dd = run(name, ProtocolConfig::Dd);
+        let ratio = dd.cycles as f64 / gd.cycles as f64;
+        assert!(
+            (0.5..=1.5).contains(&ratio),
+            "{name}: DD/GD cycle ratio {ratio:.2} out of the comparable band"
+        );
+    }
+}
+
+/// Determinism across the public API: same benchmark, same config, same
+/// stats — required for everything else to be meaningful.
+#[test]
+fn runs_are_deterministic() {
+    for name in ["UTS", "SPM_G", "TB_LG"] {
+        let a = run(name, ProtocolConfig::Dd);
+        let b = run(name, ProtocolConfig::Dd);
+        assert_eq!(a, b, "{name} was not deterministic");
+    }
+}
