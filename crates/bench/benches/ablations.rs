@@ -53,7 +53,10 @@ fn main() {
          writes hit in the L1 regardless of buffer size.)\n"
     );
 
-    let _ = writeln!(out, "=== Ablation 2: the read-only region (DD vs DD+RO) ===\n");
+    let _ = writeln!(
+        out,
+        "=== Ablation 2: the read-only region (DD vs DD+RO) ===\n"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>12} {:>12} {:>18} {:>18}",
@@ -65,15 +68,14 @@ fn main() {
         let _ = writeln!(
             out,
             "{:<8} {:>12} {:>12} {:>18} {:>18}",
-            bench,
-            d.cycles,
-            r.cycles,
-            d.counts.words_invalidated,
-            r.counts.words_invalidated
+            bench, d.cycles, r.cycles, d.counts.words_invalidated, r.counts.words_invalidated
         );
     }
 
-    let _ = writeln!(out, "\n=== Ablation 3: DeNovo-H delayed local ownership ===\n");
+    let _ = writeln!(
+        out,
+        "\n=== Ablation 3: DeNovo-H delayed local ownership ===\n"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>14} {:>14} {:>14} {:>14} {:>13}",
@@ -97,7 +99,10 @@ fn main() {
         );
     }
 
-    let _ = writeln!(out, "\n=== Ablation 4: L1 capacity sweep (LAVA, D* vs G*) ===\n");
+    let _ = writeln!(
+        out,
+        "\n=== Ablation 4: L1 capacity sweep (LAVA, D* vs G*) ===\n"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>12} {:>12} {:>14}",
@@ -123,7 +128,10 @@ fn main() {
         );
     }
 
-    let _ = writeln!(out, "\n=== Ablation 5: DeNovoSync reader backoff (DD vs DD+backoff) ===\n");
+    let _ = writeln!(
+        out,
+        "\n=== Ablation 5: DeNovoSync reader backoff (DD vs DD+backoff) ===\n"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>12} {:>14} {:>14} {:>14}",

@@ -11,8 +11,13 @@ use gsim_bench::{save, three_panels};
 use gsim_types::ProtocolConfig;
 
 fn main() {
-    let benches = ["BP", "PF", "LUD", "NW", "SGEMM", "ST", "HS", "NN", "SRAD", "LAVA"];
-    eprintln!("Figure 2: {} applications x 2 configurations", benches.len());
+    let benches = [
+        "BP", "PF", "LUD", "NW", "SGEMM", "ST", "HS", "NN", "SRAD", "LAVA",
+    ];
+    eprintln!(
+        "Figure 2: {} applications x 2 configurations",
+        benches.len()
+    );
     let panels = three_panels(
         "Fig 2",
         &benches,

@@ -12,7 +12,10 @@ use gsim_types::ProtocolConfig;
 
 fn main() {
     let benches = ["FAM_G", "SLM_G", "SPM_G", "SPMBO_G"];
-    eprintln!("Figure 3: {} microbenchmarks x 2 configurations", benches.len());
+    eprintln!(
+        "Figure 3: {} microbenchmarks x 2 configurations",
+        benches.len()
+    );
     let panels = three_panels(
         "Fig 3",
         &benches,
@@ -32,7 +35,11 @@ fn main() {
     println!("  G*: {}", traffic_split(&run("SPM_G", ProtocolConfig::Gd)));
     println!("  D*: {}", traffic_split(&run("SPM_G", ProtocolConfig::Dd)));
 
-    let (t, e, n) = (panels[0].average(1), panels[1].average(1), panels[2].average(1));
+    let (t, e, n) = (
+        panels[0].average(1),
+        panels[1].average(1),
+        panels[2].average(1),
+    );
     println!(
         "\nD* vs G* averages: time {:.0}% ({}% in the paper), energy {:.0}% (49%), traffic {:.0}% (19%)",
         t, 72, e, n

@@ -42,7 +42,10 @@ fn main() {
         "\nTime averages vs GD: GH {gh:.0}% (paper 54%), DD {dd:.0}%, DD+RO {ddro:.0}% (~GH), DH {dh:.0}% (best)"
     );
     assert!(gh < 80.0, "GH must be far better than GD: {gh:.1}%");
-    assert!(ddro <= dd + 1.0, "DD+RO must not lose to DD: {ddro:.1} vs {dd:.1}");
+    assert!(
+        ddro <= dd + 1.0,
+        "DD+RO must not lose to DD: {ddro:.1} vs {dd:.1}"
+    );
     assert!(dh <= dd + 1.0, "DH must not lose to DD: {dh:.1} vs {dd:.1}");
     assert!(
         dh <= gh + 3.0 && dh <= ddro + 3.0,

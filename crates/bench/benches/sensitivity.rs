@@ -19,7 +19,10 @@ fn cycles(p: &SynthParams, cfg: ProtocolConfig) -> u64 {
 fn main() {
     let mut out = String::new();
 
-    let _ = writeln!(out, "=== Contention sweep (45 blocks, 20 CSs each, 10 words/CS) ===\n");
+    let _ = writeln!(
+        out,
+        "=== Contention sweep (45 blocks, 20 CSs each, 10 words/CS) ===\n"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>12} {:>12} {:>12} {:>14}",
@@ -54,7 +57,10 @@ fn main() {
          visible at one point of the sweep.)\n"
     );
 
-    let _ = writeln!(out, "=== Critical-section size sweep (1 lock, global) ===\n");
+    let _ = writeln!(
+        out,
+        "=== Critical-section size sweep (1 lock, global) ===\n"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:>12} {:>12} {:>14}",
@@ -77,7 +83,10 @@ fn main() {
         );
     }
 
-    let _ = writeln!(out, "\n=== Think-time sweep (1 lock, global, 10 words/CS) ===\n");
+    let _ = writeln!(
+        out,
+        "\n=== Think-time sweep (1 lock, global, 10 words/CS) ===\n"
+    );
     let _ = writeln!(
         out,
         "{:<12} {:>12} {:>12} {:>14}",
@@ -100,7 +109,10 @@ fn main() {
         );
     }
 
-    let _ = writeln!(out, "\n=== Pannotia-style graph extensions (BFS, SSSP) ===\n");
+    let _ = writeln!(
+        out,
+        "\n=== Pannotia-style graph extensions (BFS, SSSP) ===\n"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:<8} {:>12} {:>16} {:>12}",

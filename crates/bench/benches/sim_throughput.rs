@@ -1,37 +1,45 @@
-//! Criterion microbenchmarks of the *simulator itself*: how fast the
-//! engine retires simulated work under each protocol family. Useful for
+//! Microbenchmarks of the *simulator itself*: how fast the engine
+//! retires simulated work under each protocol family. Useful for
 //! keeping the reproduction practical to run (the figures re-simulate
 //! 23 benchmarks x 5 configurations).
+//!
+//! Dependency-free harness: each case runs a warmup pass and then a
+//! fixed number of timed iterations, reporting min/mean wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gsim_core::{Simulator, SystemConfig};
 use gsim_types::ProtocolConfig;
 use gsim_workloads::{registry, Scale};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_config(c: &mut Criterion, name: &str, protocol: ProtocolConfig) {
+const ITERS: usize = 10;
+
+fn bench_config(name: &str, protocol: ProtocolConfig) {
     let bench = registry::by_name(name).expect("known benchmark");
-    c.bench_function(&format!("{name}/{protocol}"), |b| {
-        b.iter(|| {
-            let stats = Simulator::new(SystemConfig::micro15(protocol))
-                .run(&(bench.build)(Scale::Tiny))
-                .expect("verified run");
-            black_box(stats.cycles)
-        })
-    });
+    // Warmup.
+    let stats = Simulator::new(SystemConfig::micro15(protocol))
+        .run(&(bench.build)(Scale::Tiny))
+        .expect("verified run");
+    let cycles = stats.cycles;
+    let mut times = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let start = Instant::now();
+        let stats = Simulator::new(SystemConfig::micro15(protocol))
+            .run(&(bench.build)(Scale::Tiny))
+            .expect("verified run");
+        black_box(stats.cycles);
+        times.push(start.elapsed());
+    }
+    let min = times.iter().min().unwrap();
+    let mean = times.iter().sum::<std::time::Duration>() / ITERS as u32;
+    println!("{name}/{protocol}: min {min:>10.2?}  mean {mean:>10.2?}  ({cycles} sim cycles)");
 }
 
-fn simulator_throughput(c: &mut Criterion) {
+fn main() {
+    println!("simulator throughput ({ITERS} iterations per case, Tiny scale)");
     for protocol in [ProtocolConfig::Gd, ProtocolConfig::Gh, ProtocolConfig::Dd] {
-        bench_config(c, "SPM_G", protocol);
-        bench_config(c, "UTS", protocol);
-        bench_config(c, "SGEMM", protocol);
+        bench_config("SPM_G", protocol);
+        bench_config("UTS", protocol);
+        bench_config("SGEMM", protocol);
     }
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = simulator_throughput
-}
-criterion_main!(benches);

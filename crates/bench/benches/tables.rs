@@ -26,7 +26,10 @@ fn main() {
         let _ = writeln!(out, "{row}");
     }
 
-    let _ = writeln!(out, "\n=== Table 2: Feature comparison (studied configs) ===\n");
+    let _ = writeln!(
+        out,
+        "\n=== Table 2: Feature comparison (studied configs) ===\n"
+    );
     let configs = [
         ProtocolConfig::Gd,
         ProtocolConfig::Gh,
@@ -72,7 +75,10 @@ fn main() {
         out,
         "Achieved latencies       L1 1 cycle; L2 29-61; remote L1 35-83; memory 197-261"
     );
-    let _ = writeln!(out, "                         (asserted by gsim-core's latency tests)");
+    let _ = writeln!(
+        out,
+        "                         (asserted by gsim-core's latency tests)"
+    );
 
     let _ = writeln!(out, "\n=== Table 4: Benchmarks ===\n");
     let mut group = None;
@@ -84,7 +90,10 @@ fn main() {
         let _ = writeln!(out, "{:<10} {}", b.name, b.table4_input);
     }
 
-    let _ = writeln!(out, "\n=== Table 5: DeNovo-D vs related GPU coherence ===\n");
+    let _ = writeln!(
+        out,
+        "\n=== Table 5: DeNovo-D vs related GPU coherence ===\n"
+    );
     let related = table5();
     let _ = write!(out, "{:<24}", "Feature");
     for s in &related {

@@ -516,7 +516,9 @@ impl KernelBuilder {
                 .unwrap_or_else(|| panic!("undefined label {label:?}"));
             assert!(target < self.instrs.len(), "label {label:?} past the end");
             match &mut self.instrs[*idx] {
-                Instr::Jmp { target: t } | Instr::Bnz { target: t, .. } | Instr::Bz { target: t, .. } => {
+                Instr::Jmp { target: t }
+                | Instr::Bnz { target: t, .. }
+                | Instr::Bz { target: t, .. } => {
                     *t = target;
                 }
                 i => unreachable!("fixup on non-branch {i:?}"),
@@ -604,7 +606,13 @@ mod tests {
         b.label("end");
         b.halt();
         let p = b.build();
-        assert_eq!(p.instr(1), Instr::Bnz { cond: r(0), target: 3 });
+        assert_eq!(
+            p.instr(1),
+            Instr::Bnz {
+                cond: r(0),
+                target: 3
+            }
+        );
         assert_eq!(p.instr(2), Instr::Jmp { target: 0 });
         assert_eq!(p.len(), 4);
         assert!(!p.is_empty());

@@ -41,6 +41,14 @@ impl L1 {
         }
     }
 
+    /// Installs a trace handle on the controller.
+    pub fn set_trace(&mut self, trace: gsim_trace::TraceHandle) {
+        match self {
+            L1::Gpu(c) => c.set_trace(trace),
+            L1::Dn(c) => c.set_trace(trace),
+        }
+    }
+
     /// A demand load.
     pub fn load(&mut self, word: WordAddr, region: Region, req: ReqId) -> (Issue, Vec<Action>) {
         match self {
@@ -142,6 +150,14 @@ impl L2 {
         }
     }
 
+    /// Installs a trace handle on every bank.
+    pub fn set_trace(&mut self, trace: gsim_trace::TraceHandle) {
+        match self {
+            L2::Gpu(c) => c.set_trace(trace),
+            L2::Dn(c) => c.set_trace(trace),
+        }
+    }
+
     /// Delivers a network message to the addressed bank.
     pub fn handle(&mut self, now: Cycle, msg: &Msg) -> Vec<Action> {
         match self {
@@ -201,7 +217,12 @@ mod tests {
 
     #[test]
     fn gpu_l1_owns_nothing() {
-        let l1 = L1::build(ProtocolConfig::Gh, L1Config::micro15(NodeId(0)), false, false);
+        let l1 = L1::build(
+            ProtocolConfig::Gh,
+            L1Config::micro15(NodeId(0)),
+            false,
+            false,
+        );
         assert!(l1.owned_words().is_empty());
         assert!(l1.quiesced());
     }

@@ -31,8 +31,9 @@ use gsim_energy::EnergyModel;
 use gsim_mem::MemoryImage;
 use gsim_noc::Mesh;
 use gsim_protocol::{Action, Issue, L1Config};
+use gsim_trace::{TraceEvent, TraceHandle};
 use gsim_types::{
-    Component, Counts, Cycle, Msg, NodeId, ReqId, Scope, SimStats, TbId, Value,
+    Component, Counts, Cycle, LatencyBreakdown, Msg, NodeId, ReqId, Scope, SimStats, TbId, Value,
 };
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -57,7 +58,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Watchdog { cycles, report } => {
-                write!(f, "watchdog fired after {cycles} cycles (deadlock?)\n{report}")
+                write!(
+                    f,
+                    "watchdog fired after {cycles} cycles (deadlock?)\n{report}"
+                )
             }
             SimError::Verify(msg) => write!(f, "verification failed: {msg}"),
         }
@@ -121,7 +125,23 @@ impl Simulator {
     /// [`SimError::Watchdog`] if the cycle limit is exceeded,
     /// [`SimError::Verify`] if the functional check fails.
     pub fn run(&self, workload: &Workload) -> Result<SimStats, SimError> {
-        Machine::new(&self.config, workload).run(workload)
+        self.run_traced(workload, TraceHandle::disabled())
+    }
+
+    /// As [`run`](Self::run), emitting structured events through `trace`.
+    ///
+    /// Every component (engine, L1s, L2 banks, mesh) gets a clone of the
+    /// handle; with [`TraceHandle::disabled`] this is exactly [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_traced(
+        &self,
+        workload: &Workload,
+        trace: TraceHandle,
+    ) -> Result<SimStats, SimError> {
+        Machine::new(&self.config, workload, trace).run(workload)
     }
 }
 
@@ -142,7 +162,10 @@ enum Cont {
 /// Who a completion belongs to.
 #[derive(Debug, Clone, Copy)]
 enum Target {
-    Tb { tb: usize, cont: Cont },
+    Tb {
+        tb: usize,
+        cont: Cont,
+    },
     /// An end-of-kernel release.
     KernelDrain,
 }
@@ -170,6 +193,9 @@ struct Tb {
     status: TbStatus,
     /// The release phase of the current releasing sync op is done.
     released: bool,
+    /// When the currently stalled sync operation first issued (spans
+    /// retries and backoff; feeds the barrier-wait histogram).
+    sync_started: Option<Cycle>,
 }
 
 /// Per-CU scheduling state.
@@ -236,23 +262,30 @@ struct Machine {
     cus: Vec<Cu>,
     tbs: Vec<Tb>,
 
-    pending: HashMap<ReqId, Target>,
+    /// In-flight requests with their issue cycle (for the latency
+    /// histograms).
+    pending: HashMap<ReqId, (Target, Cycle)>,
     next_req: u64,
 
     kernels_done: usize,
     tbs_finished: usize,
     drain_left: usize,
+    /// Index of the kernel currently executing (for trace events).
+    kernel_index: usize,
     /// Engine-side counters (instructions, scratch, active cycles).
     counts: Counts,
+    /// Engine-attributed latency histograms.
+    latency: LatencyBreakdown,
+    trace: TraceHandle,
 }
 
 impl Machine {
-    fn new(config: &SystemConfig, workload: &Workload) -> Machine {
+    fn new(config: &SystemConfig, workload: &Workload, trace: TraceHandle) -> Machine {
         let mut memory = MemoryImage::new();
         (workload.init)(&mut memory);
         let l1s = NodeId::all()
             .map(|n| {
-                L1::build(
+                let mut l1 = L1::build(
                     config.protocol,
                     L1Config {
                         node: n,
@@ -263,7 +296,9 @@ impl Machine {
                     },
                     config.dh_delayed_ownership,
                     config.denovo_sync_backoff,
-                )
+                );
+                l1.set_trace(trace.clone());
+                l1
             })
             .collect();
         let cus = (0..config.gpu_cus)
@@ -274,6 +309,10 @@ impl Machine {
                 tick_scheduled: false,
             })
             .collect();
+        let mut mesh = Mesh::new(config.mesh);
+        mesh.set_trace(trace.clone());
+        let mut l2 = L2::build(config.protocol, config.l2, memory);
+        l2.set_trace(trace.clone());
         Machine {
             protocol: config.protocol,
             gpu_cus: config.gpu_cus,
@@ -282,9 +321,9 @@ impl Machine {
             now: 0,
             seq: 0,
             events: BinaryHeap::new(),
-            mesh: Mesh::new(config.mesh),
+            mesh,
             l1s,
-            l2: L2::build(config.protocol, config.l2, memory),
+            l2,
             cus,
             tbs: Vec::new(),
             pending: HashMap::new(),
@@ -292,7 +331,10 @@ impl Machine {
             kernels_done: 0,
             tbs_finished: 0,
             drain_left: 0,
+            kernel_index: 0,
             counts: Counts::default(),
+            latency: LatencyBreakdown::default(),
+            trace,
         }
     }
 
@@ -337,7 +379,12 @@ impl Machine {
         }
     }
 
-    fn start_kernel(&mut self, launch: &KernelLaunch) {
+    fn start_kernel(&mut self, index: usize, launch: &KernelLaunch) {
+        self.kernel_index = index;
+        self.trace.emit(|| TraceEvent::KernelBegin {
+            index: index as u32,
+            tbs: launch.tbs.len() as u32,
+        });
         // Kernel-launch acquire on every CU (paper §1: invalidate at the
         // start of the kernel).
         for cu in 0..self.gpu_cus {
@@ -362,6 +409,7 @@ impl Machine {
                 program: Arc::clone(&launch.program),
                 status: TbStatus::Ready,
                 released: false,
+                sync_started: None,
             });
             self.cus[cu].queue.push_back(i);
         }
@@ -370,6 +418,10 @@ impl Machine {
                 if let Some(tb) = self.cus[cu].queue.pop_front() {
                     self.cus[cu].slots[slot] = Some(tb);
                     self.tbs[tb].slot = slot;
+                    self.trace.emit(|| TraceEvent::TbLaunch {
+                        tb: TbId(tb as u32),
+                        cu: NodeId(cu as u8),
+                    });
                 } else {
                     break;
                 }
@@ -390,7 +442,7 @@ impl Machine {
             let req = self.alloc_req();
             let (issue, actions) = self.l1s[cu].release(false, req);
             if issue == Issue::Pending {
-                self.pending.insert(req, Target::KernelDrain);
+                self.pending.insert(req, (Target::KernelDrain, self.now));
                 self.drain_left += 1;
             }
             all.extend(actions);
@@ -398,6 +450,8 @@ impl Machine {
         self.process_actions(all);
         if self.drain_left == 0 {
             self.kernels_done += 1;
+            let index = self.kernel_index as u32;
+            self.trace.emit(|| TraceEvent::KernelEnd { index });
         }
     }
 
@@ -406,9 +460,17 @@ impl Machine {
         self.tbs[tb].status = TbStatus::Done;
         self.cus[cu].slots[slot] = None;
         self.tbs_finished += 1;
+        self.trace.emit(|| TraceEvent::TbRetire {
+            tb: TbId(tb as u32),
+            cu: NodeId(cu as u8),
+        });
         if let Some(next) = self.cus[cu].queue.pop_front() {
             self.cus[cu].slots[slot] = Some(next);
             self.tbs[next].slot = slot;
+            self.trace.emit(|| TraceEvent::TbLaunch {
+                tb: TbId(next as u32),
+                cu: NodeId(cu as u8),
+            });
         }
         if self.tbs_finished == self.tbs.len() {
             self.end_kernel();
@@ -441,6 +503,7 @@ impl Machine {
                 match issue {
                     Issue::Hit(v) => {
                         self.counts.instructions += 1;
+                        self.latency.load_to_use.record(1);
                         self.tbs[tb].regs[dst as usize] = v;
                         self.tbs[tb].pc += 1;
                     }
@@ -449,10 +512,13 @@ impl Machine {
                         self.tbs[tb].status = TbStatus::Blocked;
                         self.pending.insert(
                             req,
-                            Target::Tb {
-                                tb,
-                                cont: Cont::Load { dst },
-                            },
+                            (
+                                Target::Tb {
+                                    tb,
+                                    cont: Cont::Load { dst },
+                                },
+                                self.now,
+                            ),
                         );
                     }
                     Issue::Retry => {} // reissued next time this TB is picked
@@ -483,6 +549,11 @@ impl Machine {
                 scope,
             } => {
                 let local = self.effective_local(scope);
+                // The whole sync op — release phase, retries, backoff —
+                // counts toward the barrier-wait histogram.
+                if self.tbs[tb].sync_started.is_none() {
+                    self.tbs[tb].sync_started = Some(self.now);
+                }
                 // Program-order rule 2: older writes complete before a
                 // release — run the release phase first, once.
                 if ord.releases() && !self.tbs[tb].released {
@@ -495,10 +566,13 @@ impl Machine {
                             self.tbs[tb].status = TbStatus::Blocked;
                             self.pending.insert(
                                 req,
-                                Target::Tb {
-                                    tb,
-                                    cont: Cont::ReleaseForAtomic,
-                                },
+                                (
+                                    Target::Tb {
+                                        tb,
+                                        cont: Cont::ReleaseForAtomic,
+                                    },
+                                    self.now,
+                                ),
                             );
                         }
                         Issue::Retry | Issue::RetryAfter(_) => {
@@ -512,9 +586,21 @@ impl Machine {
                 let (word, operands) = (addr.word(regs), [a.eval(regs), b.eval(regs)]);
                 let req = self.alloc_req();
                 let (issue, actions) = self.l1s[cu].atomic(word, op, operands, ord, local, req);
+                if matches!(issue, Issue::Hit(_) | Issue::Pending) {
+                    self.trace.emit(|| TraceEvent::AtomicIssue {
+                        tb: TbId(tb as u32),
+                        cu: NodeId(cu as u8),
+                        word,
+                        ord,
+                        scope,
+                    });
+                }
                 match issue {
                     Issue::Hit(old) => {
                         self.counts.instructions += 1;
+                        self.latency.atomic_rtt.record(1);
+                        let started = self.tbs[tb].sync_started.take().unwrap_or(self.now);
+                        self.latency.barrier_wait.record(self.now - started);
                         self.tbs[tb].regs[dst as usize] = old;
                         // Program-order rule 1: the acquire side runs
                         // when the sync access completes, before any
@@ -530,13 +616,16 @@ impl Machine {
                         self.tbs[tb].status = TbStatus::Blocked;
                         self.pending.insert(
                             req,
-                            Target::Tb {
-                                tb,
-                                cont: Cont::AtomicDone {
-                                    dst,
-                                    acquire: ord.acquires().then_some(local),
+                            (
+                                Target::Tb {
+                                    tb,
+                                    cont: Cont::AtomicDone {
+                                        dst,
+                                        acquire: ord.acquires().then_some(local),
+                                    },
                                 },
-                            },
+                                self.now,
+                            ),
                         );
                     }
                     Issue::Retry => {}
@@ -617,9 +706,11 @@ impl Machine {
         self.counts.cu_active_cycles += 1;
         self.exec_step(tb);
         // Keep issuing while any resident block is ready.
-        let any_ready = self.cus[cu].slots.iter().flatten().any(|&t| {
-            self.tbs[t].status == TbStatus::Ready
-        });
+        let any_ready = self.cus[cu]
+            .slots
+            .iter()
+            .flatten()
+            .any(|&t| self.tbs[t].status == TbStatus::Ready);
         if any_ready {
             let at = self.now + 1;
             self.ensure_tick(cu, at);
@@ -627,24 +718,31 @@ impl Machine {
     }
 
     fn finish_req(&mut self, req: ReqId, value: Value) {
-        let target = self
+        let (target, issued_at) = self
             .pending
             .remove(&req)
             .expect("completion for an unknown request");
         match target {
             Target::KernelDrain => {
+                self.latency.sb_drain.record(self.now - issued_at);
                 self.drain_left -= 1;
                 if self.drain_left == 0 {
                     self.kernels_done += 1;
+                    let index = self.kernel_index as u32;
+                    self.trace.emit(|| TraceEvent::KernelEnd { index });
                 }
             }
             Target::Tb { tb, cont } => {
                 match cont {
                     Cont::Load { dst } => {
+                        self.latency.load_to_use.record(self.now - issued_at);
                         self.tbs[tb].regs[dst as usize] = value;
                         self.tbs[tb].pc += 1;
                     }
                     Cont::AtomicDone { dst, acquire } => {
+                        self.latency.atomic_rtt.record(self.now - issued_at);
+                        let started = self.tbs[tb].sync_started.take().unwrap_or(issued_at);
+                        self.latency.barrier_wait.record(self.now - started);
                         self.tbs[tb].regs[dst as usize] = value;
                         if let Some(local) = acquire {
                             let cu = self.tbs[tb].cu;
@@ -654,6 +752,7 @@ impl Machine {
                         self.tbs[tb].pc += 1;
                     }
                     Cont::ReleaseForAtomic => {
+                        self.latency.sb_drain.record(self.now - issued_at);
                         self.tbs[tb].released = true; // pc unchanged: reissue
                     }
                 }
@@ -667,7 +766,7 @@ impl Machine {
     fn run(mut self, workload: &Workload) -> Result<SimStats, SimError> {
         let total_kernels = workload.kernels.len();
         if total_kernels > 0 {
-            self.start_kernel(&workload.kernels[0]);
+            self.start_kernel(0, &workload.kernels[0]);
             if workload.kernels[0].tbs.is_empty() {
                 self.end_kernel();
             }
@@ -676,7 +775,7 @@ impl Machine {
         loop {
             // Launch the next kernel as soon as the previous drained.
             if self.kernels_done == started && started < total_kernels {
-                self.start_kernel(&workload.kernels[started]);
+                self.start_kernel(started, &workload.kernels[started]);
                 if workload.kernels[started].tbs.is_empty() {
                     self.end_kernel();
                 }
@@ -687,6 +786,7 @@ impl Machine {
             };
             debug_assert!(entry.at >= self.now, "time went backwards");
             self.now = entry.at;
+            self.trace.set_now(self.now);
             if self.now > self.max_cycles {
                 return Err(SimError::Watchdog {
                     cycles: self.max_cycles,
@@ -696,6 +796,11 @@ impl Machine {
             match entry.ev {
                 Event::CuTick(cu) => self.on_cu_tick(cu),
                 Event::Deliver(msg) => {
+                    self.trace.emit(|| TraceEvent::MsgDeliver {
+                        src: msg.src,
+                        dst: msg.dst,
+                        class: msg.class(),
+                    });
                     let actions = match msg.dst_comp {
                         Component::L1 => self.l1s[msg.dst.index()].handle(&msg),
                         Component::L2 => self.l2.handle(self.now, &msg),
@@ -717,7 +822,10 @@ impl Machine {
             "event queue drained before every kernel completed (deadlock)"
         );
         for l1 in &self.l1s {
-            assert!(l1.quiesced(), "an L1 still has in-flight state at end of run");
+            assert!(
+                l1.quiesced(),
+                "an L1 still has in-flight state at end of run"
+            );
         }
         // Functional drain: registered words and dirty L2 words reach the
         // memory image so the verifier sees the complete final state.
@@ -739,14 +847,15 @@ impl Machine {
         let mut s = String::new();
         let mut by_state: HashMap<(TbStatus, usize, bool), usize> = HashMap::new();
         for tb in &self.tbs {
-            *by_state
-                .entry((tb.status, tb.pc, tb.released))
-                .or_default() += 1;
+            *by_state.entry((tb.status, tb.pc, tb.released)).or_default() += 1;
         }
         let mut rows: Vec<_> = by_state.into_iter().collect();
         rows.sort_by_key(|((_, pc, _), n)| (usize::MAX - n, *pc));
         for ((status, pc, released), n) in rows.into_iter().take(8) {
-            let _ = writeln!(s, "  {n} blocks {status:?} at pc {pc} (released={released})");
+            let _ = writeln!(
+                s,
+                "  {n} blocks {status:?} at pc {pc} (released={released})"
+            );
         }
         let _ = writeln!(
             s,
@@ -781,6 +890,7 @@ impl Machine {
             counts,
             traffic,
             energy,
+            latency: self.latency,
         }
     }
 }

@@ -191,7 +191,10 @@ fn watchdog_report_is_actionable() {
     let SimError::Watchdog { report, .. } = err else {
         panic!("expected a watchdog");
     };
-    assert!(report.contains("pc 1"), "report should name the pc:\n{report}");
+    assert!(
+        report.contains("pc 1"),
+        "report should name the pc:\n{report}"
+    );
 }
 
 /// Stats decompose sensibly: cycles, instructions, and active cycles are

@@ -143,10 +143,7 @@ mod tests {
         near.record(MsgClass::Atomic, 2, 1);
         let mut far = TrafficBreakdown::default();
         far.record(MsgClass::Atomic, 2, 6);
-        assert_eq!(
-            m.energy(&c, &far).noc_pj,
-            6.0 * m.energy(&c, &near).noc_pj
-        );
+        assert_eq!(m.energy(&c, &far).noc_pj, 6.0 * m.energy(&c, &near).noc_pj);
     }
 
     #[test]

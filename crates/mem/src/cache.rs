@@ -373,10 +373,7 @@ mod tests {
         l.state[5] = WordState::Owned;
         assert_eq!(l.mask_in(WordState::Valid).iter().collect::<Vec<_>>(), [2]);
         assert_eq!(l.mask_in(WordState::Owned).iter().collect::<Vec<_>>(), [5]);
-        assert_eq!(
-            l.readable_mask().iter().collect::<Vec<_>>(),
-            vec![2, 5]
-        );
+        assert_eq!(l.readable_mask().iter().collect::<Vec<_>>(), vec![2, 5]);
         assert!(l.any_owned());
     }
 
@@ -402,26 +399,35 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use gsim_types::Rng64;
 
-        proptest! {
-            #[test]
-            fn occupancy_never_exceeds_capacity(lines in proptest::collection::vec(0u64..64, 1..200)) {
+        /// Random insertion sequences (seeded, deterministic — the
+        /// offline replacement for the old proptest generators).
+        fn random_sequences(seed: u64, f: impl Fn(&mut CacheArray<u8>, LineAddr)) {
+            let mut rng = Rng64::seed_from_u64(seed);
+            for _ in 0..64 {
                 let mut c = small();
-                for l in lines {
-                    c.insert(LineAddr(l));
-                    prop_assert!(c.occupancy() <= 4);
+                let n = rng.gen_usize(1, 200);
+                for _ in 0..n {
+                    f(&mut c, LineAddr(rng.gen_u64(0, 64)));
                 }
             }
+        }
 
-            #[test]
-            fn inserted_line_is_resident(lines in proptest::collection::vec(0u64..64, 1..200)) {
-                let mut c = small();
-                for l in lines {
-                    c.insert(LineAddr(l));
-                    prop_assert!(c.contains(LineAddr(l)));
-                }
-            }
+        #[test]
+        fn occupancy_never_exceeds_capacity() {
+            random_sequences(0xcac4e, |c, l| {
+                c.insert(l);
+                assert!(c.occupancy() <= 4);
+            });
+        }
+
+        #[test]
+        fn inserted_line_is_resident() {
+            random_sequences(0xcac4f, |c, l| {
+                c.insert(l);
+                assert!(c.contains(l));
+            });
         }
     }
 }

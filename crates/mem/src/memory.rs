@@ -57,13 +57,15 @@ impl MemoryImage {
 
     /// Writes one word.
     pub fn write_word(&mut self, word: WordAddr, value: Value) {
-        self.lines.entry(word.line()).or_insert([0; WORDS_PER_LINE])[word.index_in_line()] =
-            value;
+        self.lines.entry(word.line()).or_insert([0; WORDS_PER_LINE])[word.index_in_line()] = value;
     }
 
     /// Reads a whole line.
     pub fn read_line(&self, line: LineAddr) -> Line {
-        self.lines.get(&line).copied().unwrap_or([0; WORDS_PER_LINE])
+        self.lines
+            .get(&line)
+            .copied()
+            .unwrap_or([0; WORDS_PER_LINE])
     }
 
     /// Writes the masked words of a line.
@@ -268,32 +270,39 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use gsim_types::Rng64;
 
-        proptest! {
-            #[test]
-            fn image_is_a_map(writes in proptest::collection::vec((0u64..256, 0u32..1000), 1..200)) {
+        #[test]
+        fn image_is_a_map() {
+            let mut rng = Rng64::seed_from_u64(0x3e3);
+            for _ in 0..64 {
                 let mut mem = MemoryImage::new();
                 let mut model = HashMap::new();
-                for (w, v) in writes {
+                for _ in 0..rng.gen_usize(1, 200) {
+                    let (w, v) = (rng.gen_u64(0, 256), rng.gen_u32(0, 1000));
                     mem.write_word(WordAddr(w), v);
                     model.insert(w, v);
                 }
                 for (w, v) in model {
-                    prop_assert_eq!(mem.read_word(WordAddr(w)), v);
+                    assert_eq!(mem.read_word(WordAddr(w)), v);
                 }
             }
+        }
 
-            #[test]
-            fn dram_completion_monotone_per_bank(times in proptest::collection::vec(0u64..10_000, 1..50)) {
+        #[test]
+        fn dram_completion_monotone_per_bank() {
+            let mut rng = Rng64::seed_from_u64(0xd4a3);
+            for _ in 0..64 {
                 let mut d = Dram::new(DramConfig::default());
-                let mut sorted = times.clone();
-                sorted.sort_unstable();
+                let mut times: Vec<u64> = (0..rng.gen_usize(1, 50))
+                    .map(|_| rng.gen_u64(0, 10_000))
+                    .collect();
+                times.sort_unstable();
                 let mut last = 0;
-                for t in sorted {
+                for t in times {
                     let done = d.access(t, LineAddr(0));
-                    prop_assert!(done >= t + DramConfig::default().latency);
-                    prop_assert!(done >= last);
+                    assert!(done >= t + DramConfig::default().latency);
+                    assert!(done >= last);
                     last = done;
                 }
             }

@@ -32,6 +32,7 @@
 //! assert_eq!(mesh.traffic().total(), 6); // 1 flit x 6 hops (corner to corner)
 //! ```
 
+use gsim_trace::{TraceEvent, TraceHandle};
 use gsim_types::{Cycle, Msg, NodeId, TrafficBreakdown};
 
 /// Mesh geometry and timing parameters.
@@ -129,6 +130,7 @@ pub struct Mesh {
     link_free: Vec<Cycle>,
     traffic: TrafficBreakdown,
     messages: u64,
+    trace: TraceHandle,
 }
 
 impl Mesh {
@@ -140,7 +142,14 @@ impl Mesh {
             link_free: vec![0; n * n],
             traffic: TrafficBreakdown::default(),
             messages: 0,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a trace handle; every subsequent [`send`](Self::send)
+    /// emits a `noc` event with flit, hop, and arrival-time detail.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The mesh configuration.
@@ -192,6 +201,14 @@ impl Mesh {
         if hops > 0 {
             t += flits as Cycle - 1; // tail serialization at destination
         }
+        self.trace.emit(|| TraceEvent::MsgSend {
+            src: msg.src,
+            dst: msg.dst,
+            class: msg.class(),
+            flits,
+            hops,
+            arrival: t,
+        });
         t
     }
 
@@ -337,48 +354,83 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use gsim_types::Rng64;
 
-        proptest! {
-            #[test]
-            fn route_length_is_manhattan(a in 0u8..16, b in 0u8..16) {
-                let c = MeshConfig::default();
-                prop_assert_eq!(
-                    c.route(NodeId(a), NodeId(b)).len() as u32,
-                    c.hops(NodeId(a), NodeId(b))
-                );
-            }
-
-            #[test]
-            fn route_steps_are_adjacent(a in 0u8..16, b in 0u8..16) {
-                let c = MeshConfig::default();
-                let mut prev = NodeId(a);
-                for n in c.route(NodeId(a), NodeId(b)) {
-                    prop_assert_eq!(c.hops(prev, n), 1);
-                    prev = n;
-                }
-                if a != b {
-                    prop_assert_eq!(prev, NodeId(b));
+        /// Exhaustive over all 256 (src, dst) pairs: route length matches
+        /// the Manhattan distance and every step is one hop.
+        #[test]
+        fn routes_are_shortest_and_adjacent() {
+            let c = MeshConfig::default();
+            for a in 0u8..16 {
+                for b in 0u8..16 {
+                    let route = c.route(NodeId(a), NodeId(b));
+                    assert_eq!(route.len() as u32, c.hops(NodeId(a), NodeId(b)));
+                    let mut prev = NodeId(a);
+                    for n in route {
+                        assert_eq!(c.hops(prev, n), 1, "{a}->{b} via {n}");
+                        prev = n;
+                    }
+                    if a != b {
+                        assert_eq!(prev, NodeId(b));
+                    }
                 }
             }
+        }
 
-            #[test]
-            fn arrival_never_before_injection(
-                a in 0u8..16, b in 0u8..16, now in 0u64..100_000
-            ) {
+        #[test]
+        fn arrival_never_before_injection() {
+            let mut rng = Rng64::seed_from_u64(0x90c1);
+            for _ in 0..256 {
+                let (a, b) = (rng.gen_u32(0, 16) as u8, rng.gen_u32(0, 16) as u8);
+                let now = rng.gen_u64(0, 100_000);
                 let mut m = Mesh::new(MeshConfig::default());
                 let arr = m.send(now, &ctrl(a, b));
-                prop_assert!(arr >= now + MeshConfig::default().router_latency);
+                assert!(arr >= now + MeshConfig::default().router_latency);
             }
+        }
 
-            #[test]
-            fn traffic_is_flits_times_hops(a in 0u8..16, b in 0u8..16, words in 1usize..=16) {
+        #[test]
+        fn traffic_is_flits_times_hops() {
+            let mut rng = Rng64::seed_from_u64(0x90c2);
+            for _ in 0..256 {
+                let (a, b) = (rng.gen_u32(0, 16) as u8, rng.gen_u32(0, 16) as u8);
+                let words = rng.gen_usize(1, 17);
                 let mut m = Mesh::new(MeshConfig::default());
                 let msg = data(a, b, words);
                 m.send(0, &msg);
-                let want = msg.flits() as u64
-                    * MeshConfig::default().hops(NodeId(a), NodeId(b)) as u64;
-                prop_assert_eq!(m.traffic().total(), want);
+                let want =
+                    msg.flits() as u64 * MeshConfig::default().hops(NodeId(a), NodeId(b)) as u64;
+                assert_eq!(m.traffic().total(), want);
+            }
+        }
+
+        #[test]
+        fn send_emits_noc_trace_events() {
+            use gsim_trace::{RingRecorder, TraceEvent, TraceHandle};
+            let h = TraceHandle::new(RingRecorder::new(16));
+            let mut m = Mesh::new(MeshConfig::default());
+            m.set_trace(h.clone());
+            h.set_now(7);
+            let arr = m.send(7, &ctrl(0, 15));
+            let got = h.recorder().unwrap().borrow().to_vec();
+            assert_eq!(got.len(), 1);
+            match got[0] {
+                (
+                    7,
+                    TraceEvent::MsgSend {
+                        src,
+                        dst,
+                        flits,
+                        hops,
+                        arrival,
+                        ..
+                    },
+                ) => {
+                    assert_eq!((src, dst), (NodeId(0), NodeId(15)));
+                    assert_eq!((flits, hops), (1, 6));
+                    assert_eq!(arrival, arr);
+                }
+                other => panic!("unexpected event {other:?}"),
             }
         }
     }

@@ -41,9 +41,10 @@
 use crate::action::{Action, Issue};
 use crate::gpu::{L1Config, L2Config};
 use gsim_mem::{CacheArray, Dram, InsertOutcome, MemoryImage, MshrFile, StoreBuffer, WordState};
+use gsim_trace::{FlushReason, Level, TraceEvent, TraceHandle, WState};
 use gsim_types::{
-    AtomicOp, Component, Counts, Cycle, LineAddr, Msg, MsgKind, NodeId, Region, ReqId, Value,
-    WordAddr, WordMask, WORDS_PER_LINE,
+    AtomicOp, Component, Counts, Cycle, LineAddr, Msg, MsgKind, NodeId, Region, ReqId, Scope,
+    Value, WordAddr, WordMask, WORDS_PER_LINE,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -182,6 +183,10 @@ pub struct DnL1 {
     /// [`DnConfig::sync_read_backoff`]).
     backoff: HashMap<WordAddr, BackoffState>,
     counts: Counts,
+    trace: TraceHandle,
+    /// Whether an `SbFlushBegin` trace event is awaiting its matching
+    /// end (emitted when `outstanding_writes` returns to zero).
+    sb_draining: bool,
 }
 
 impl DnL1 {
@@ -201,8 +206,16 @@ impl DnL1 {
             pending_releases: Vec::new(),
             backoff: HashMap::new(),
             counts: Counts::default(),
+            trace: TraceHandle::disabled(),
+            sb_draining: false,
             config,
         }
+    }
+
+    /// Installs a trace handle; protocol, cache, store-buffer, and MSHR
+    /// events flow through it from then on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Event counters accumulated so far.
@@ -288,10 +301,7 @@ impl DnL1 {
             return (Issue::Hit(v), Vec::new());
         }
         let line = word.line();
-        let stale = self
-            .entry_epoch
-            .get(&line)
-            .is_some_and(|&e| e < self.epoch);
+        let stale = self.entry_epoch.get(&line).is_some_and(|&e| e < self.epoch);
         if !self.mshr.has_room_for(line) || stale {
             // A post-acquire load must not coalesce with a pre-acquire
             // miss: wait for the stale entry to retire and re-fetch.
@@ -313,9 +323,13 @@ impl DnL1 {
             .map(|l| l.readable_mask())
             .unwrap_or_default();
         let fetch = !readable;
-        let to_send = self
-            .mshr
-            .request_fetch(line, WordMask::single(i), fetch, Waiter::Load { req, word });
+        let was_pending = self.mshr.is_pending(line);
+        let to_send =
+            self.mshr
+                .request_fetch(line, WordMask::single(i), fetch, Waiter::Load { req, word });
+        if !was_pending {
+            self.emit_mshr_alloc(line);
+        }
         let mut actions = Vec::new();
         if !to_send.is_empty() {
             actions.push(Action::send(self.msg_to_home(
@@ -338,7 +352,10 @@ impl DnL1 {
         let i = word.index_in_line();
         if self.is_owned(word) {
             self.counts.l1_store_hits += 1;
-            let l = self.cache.lookup(word.line()).expect("owned implies resident");
+            let l = self
+                .cache
+                .lookup(word.line())
+                .expect("owned implies resident");
             l.data[i] = value;
             return (Issue::Hit(0), Vec::new());
         }
@@ -351,9 +368,35 @@ impl DnL1 {
         let mut actions = Vec::new();
         if let gsim_mem::StoreOutcome::Overflow(e) = self.sb.write(word, value) {
             self.counts.sb_overflow_flushes += 1;
+            let pending = e.mask.count();
+            self.begin_sb_drain(FlushReason::Overflow, pending);
             self.register_entry(e.line, e.mask, &e.data, &mut actions);
         }
         (Issue::Hit(0), actions)
+    }
+
+    /// Emits the `MshrAlloc` trace event for a freshly allocated entry.
+    fn emit_mshr_alloc(&mut self, line: LineAddr) {
+        let (node, outstanding) = (self.config.l1.node, self.mshr.outstanding() as u32);
+        self.trace.emit(|| TraceEvent::MshrAlloc {
+            node,
+            line,
+            outstanding,
+        });
+    }
+
+    /// Emits the `SbFlushBegin` trace event and arms the matching end
+    /// (fired when `outstanding_writes` drains back to zero).
+    fn begin_sb_drain(&mut self, reason: FlushReason, pending: u32) {
+        if !self.sb_draining {
+            self.sb_draining = true;
+            let node = self.config.l1.node;
+            self.trace.emit(|| TraceEvent::SbFlushBegin {
+                node,
+                reason,
+                pending,
+            });
+        }
     }
 
     /// Sends (or coalesces) a data-registration request for the given
@@ -430,7 +473,10 @@ impl DnL1 {
                     b.level = 0;
                 }
             }
-            let l = self.cache.lookup(word.line()).expect("owned implies resident");
+            let l = self
+                .cache
+                .lookup(word.line())
+                .expect("owned implies resident");
             let (new, old) = op.apply(l.data[i], operands);
             if op.writes() {
                 l.data[i] = new;
@@ -472,6 +518,7 @@ impl DnL1 {
         // same word is already in flight (the read fill cannot grant
         // ownership) — so the dedup key is `sync_pending`, not the
         // MSHR's pending mask.
+        let was_pending = self.mshr.is_pending(line);
         self.mshr.request_fetch(
             line,
             WordMask::single(i),
@@ -483,6 +530,9 @@ impl DnL1 {
                 operands,
             },
         );
+        if !was_pending {
+            self.emit_mshr_alloc(line);
+        }
         let sp = self.sync_pending.entry(line).or_default();
         let mut actions = Vec::new();
         if !sp.contains(i) {
@@ -517,7 +567,10 @@ impl DnL1 {
             let mut actions = Vec::new();
             if op.writes() {
                 if self.is_owned(word) {
-                    let l = self.cache.lookup(word.line()).expect("owned implies resident");
+                    let l = self
+                        .cache
+                        .lookup(word.line())
+                        .expect("owned implies resident");
                     l.data[word.index_in_line()] = new;
                 } else if let gsim_mem::StoreOutcome::Overflow(e) = self.sb.write(word, new) {
                     self.counts.sb_overflow_flushes += 1;
@@ -534,6 +587,7 @@ impl DnL1 {
         self.counts.l1_atomics += 1;
         self.entry_epoch.entry(line).or_insert(self.epoch);
         let i = word.index_in_line();
+        let was_pending = self.mshr.is_pending(line);
         let to_send = self.mshr.request_fetch(
             line,
             WordMask::single(i),
@@ -545,6 +599,9 @@ impl DnL1 {
                 operands,
             },
         );
+        if !was_pending {
+            self.emit_mshr_alloc(line);
+        }
         let mut actions = Vec::new();
         if !to_send.is_empty() {
             actions.push(Action::send(self.msg_to_home(
@@ -578,6 +635,13 @@ impl DnL1 {
             }
         });
         self.counts.words_invalidated += invalidated;
+        let node = self.config.l1.node;
+        self.trace.emit(|| TraceEvent::SyncAcquire {
+            node,
+            scope: Scope::Global,
+            invalidated,
+            flash: false,
+        });
     }
 
     /// A release: every buffered store obtains registration; completes
@@ -587,6 +651,12 @@ impl DnL1 {
         if local {
             return (Issue::Hit(0), Vec::new());
         }
+        let node = self.config.l1.node;
+        self.trace.emit(|| TraceEvent::SyncRelease {
+            node,
+            scope: Scope::Global,
+        });
+        let pending = self.sb.len() as u32;
         let mut actions = Vec::new();
         for e in self.sb.drain() {
             self.counts.sb_release_flushes += 1;
@@ -595,6 +665,7 @@ impl DnL1 {
         if self.outstanding_writes == 0 {
             (Issue::Hit(0), actions)
         } else {
+            self.begin_sb_drain(FlushReason::Release, pending);
             self.pending_releases.push(req);
             (Issue::Pending, actions)
         }
@@ -657,6 +728,13 @@ impl DnL1 {
     fn ensure_way(&mut self, line: LineAddr, actions: &mut Vec<Action>) {
         if let InsertOutcome::Evicted(victim) = self.cache.insert(line) {
             let owned = victim.mask_in(WordState::Owned);
+            let node = self.config.l1.node;
+            self.trace.emit(|| TraceEvent::Eviction {
+                node,
+                level: Level::L1,
+                line: victim.tag,
+                owned_words: owned.count(),
+            });
             if !owned.is_empty() {
                 self.counts.ownership_writebacks += owned.count() as u64;
                 self.wb_pending
@@ -680,26 +758,36 @@ impl DnL1 {
     /// their fill is the registration grant.
     fn fill_read(&mut self, line: LineAddr, mask: WordMask, data: &LineData) -> Vec<Action> {
         let mask = mask & !self.sync_pending.get(&line).copied().unwrap_or_default();
-        let stale = self
-            .entry_epoch
-            .get(&line)
-            .is_some_and(|&e| e < self.epoch);
+        let stale = self.entry_epoch.get(&line).is_some_and(|&e| e < self.epoch);
         let mut actions = Vec::new();
         if !stale {
             self.ensure_way(line, &mut actions);
             let intent = self.ro_intent.remove(&line).unwrap_or_default();
             let l = self.cache.lookup(line).expect("just ensured");
+            let mut installed = 0u32;
             for i in mask.iter() {
                 if l.state[i] == WordState::Owned {
                     continue; // never downgrade a Registered word
                 }
                 l.state[i] = WordState::Valid;
                 l.data[i] = data[i];
+                installed += 1;
                 if intent.contains(i) {
                     l.extra.0.insert(i);
                 } else {
                     l.extra.0.remove(i);
                 }
+            }
+            if installed > 0 {
+                let node = self.config.l1.node;
+                self.trace.emit(|| TraceEvent::StateChange {
+                    node,
+                    level: Level::L1,
+                    line,
+                    words: installed,
+                    from: WState::Invalid,
+                    to: WState::Valid,
+                });
             }
             if !(intent & !mask).is_empty() {
                 // Part of the intent is still in flight (another
@@ -729,6 +817,15 @@ impl DnL1 {
             l.data[i] = data[i];
             l.extra.0.remove(i);
         }
+        let node = self.config.l1.node;
+        self.trace.emit(|| TraceEvent::StateChange {
+            node,
+            level: Level::L1,
+            line,
+            words: mask.count(),
+            from: WState::Invalid,
+            to: WState::Owned,
+        });
         if self.config.sync_read_backoff {
             for i in mask.iter() {
                 let b = self.backoff.entry(line.word(i)).or_default();
@@ -759,8 +856,21 @@ impl DnL1 {
         if p.mask.is_empty() {
             self.reg_pending.remove(&line);
         }
+        let node = self.config.l1.node;
+        self.trace.emit(|| TraceEvent::StateChange {
+            node,
+            level: Level::L1,
+            line,
+            words: mask.count(),
+            from: WState::Invalid,
+            to: WState::Owned,
+        });
         self.outstanding_writes -= mask.count() as u64;
         if self.outstanding_writes == 0 {
+            if self.sb_draining {
+                self.sb_draining = false;
+                self.trace.emit(|| TraceEvent::SbFlushEnd { node });
+            }
             actions.extend(
                 self.pending_releases
                     .drain(..)
@@ -784,6 +894,12 @@ impl DnL1 {
         let (done, fwds) = self.mshr.complete(line, mask);
         if !self.mshr.is_pending(line) {
             self.entry_epoch.remove(&line);
+            let (node, waiters) = (self.config.l1.node, done.len() as u32);
+            self.trace.emit(|| TraceEvent::MshrRetire {
+                node,
+                line,
+                waiters,
+            });
         }
         for w in done {
             match w {
@@ -801,7 +917,10 @@ impl DnL1 {
                     operands,
                 } => {
                     let i = word.index_in_line();
-                    let l = self.cache.lookup(word.line()).expect("granted word resident");
+                    let l = self
+                        .cache
+                        .lookup(word.line())
+                        .expect("granted word resident");
                     debug_assert_eq!(l.state[i], WordState::Owned);
                     let (new, old) = op.apply(l.data[i], operands);
                     if op.writes() {
@@ -922,10 +1041,23 @@ impl DnL1 {
                     }
                 }
                 if let Some(l) = self.cache.lookup(line) {
+                    let mut stolen = 0u32;
                     for i in avail.iter() {
                         if l.state[i] == WordState::Owned {
                             l.state[i] = WordState::Invalid;
+                            stolen += 1;
                         }
+                    }
+                    if stolen > 0 {
+                        let node = self.config.l1.node;
+                        self.trace.emit(|| TraceEvent::StateChange {
+                            node,
+                            level: Level::L1,
+                            line,
+                            words: stolen,
+                            from: WState::Owned,
+                            to: WState::Invalid,
+                        });
                     }
                 }
                 if let Some(q) = self.wb_pending.get_mut(&line) {
@@ -984,6 +1116,7 @@ pub struct DnL2 {
     memory: MemoryImage,
     dram: Dram,
     counts: Counts,
+    trace: TraceHandle,
 }
 
 impl DnL2 {
@@ -998,8 +1131,15 @@ impl DnL2 {
             dram: Dram::new(config.dram),
             memory,
             counts: Counts::default(),
+            trace: TraceHandle::disabled(),
             config,
         }
+    }
+
+    /// Installs a trace handle; registry evictions and ownership
+    /// transfers are traced from then on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Starts an in-order bank operation on `line` at `now`; returns the
@@ -1064,6 +1204,13 @@ impl DnL2 {
     /// words' owner ids to the overflow table.
     fn spill_victim(&mut self, now: Cycle, victim: gsim_mem::CacheLine<Owners>) {
         let dirty = victim.mask_in(WordState::Owned);
+        let (home, bank) = (victim.tag, self.bank_index(victim.tag) as u8);
+        self.trace.emit(|| TraceEvent::Eviction {
+            node: NodeId(bank),
+            level: Level::L2,
+            line: home,
+            owned_words: dirty.count(),
+        });
         if !dirty.is_empty() {
             self.memory.write_line(victim.tag, dirty, &victim.data);
             self.dram.access(now, victim.tag);
@@ -1184,6 +1331,14 @@ impl DnL2 {
             l.extra.0[i] = Some(requester);
             l.state[i] = WordState::Invalid; // the value now lives at the owner
         }
+        self.trace.emit(|| TraceEvent::StateChange {
+            node: bank_node,
+            level: Level::L2,
+            line,
+            words: mask.count(),
+            from: WState::Valid,
+            to: WState::Invalid,
+        });
         let data = l.data;
         let mut actions = Vec::new();
         if !granted.is_empty() {
@@ -1517,7 +1672,9 @@ mod tests {
         // Deliver the forward to CU1 BEFORE CU1's own grant: it queues.
         let mut fwd_actions = Vec::new();
         for f in &fwd_b {
-            let Action::Send { msg, .. } = f else { panic!() };
+            let Action::Send { msg, .. } = f else {
+                panic!()
+            };
             fwd_actions.extend(a.handle(msg));
         }
         assert!(fwd_actions.is_empty(), "forward queued, nothing served yet");
@@ -1639,7 +1796,11 @@ mod tests {
         assert!(acts.is_empty());
         let (issue, _) = a.load(WordAddr(16), Region::Default, ReqId(3));
         assert_eq!(issue, Issue::Hit(9), "valid data survives local acquire");
-        assert_eq!(a.counts().registrations, 0, "local release registers nothing");
+        assert_eq!(
+            a.counts().registrations,
+            0,
+            "local release registers nothing"
+        );
     }
 
     #[test]
@@ -1718,11 +1879,15 @@ mod tests {
         let mut b = l1_at(1);
         let mut l2 = l2_with(&[(0, 0)]);
         for round in 0..3u64 {
-            let (_, acts) =
-                a.atomic(WordAddr(0), AtomicOp::Read, [0, 0], false, ReqId(round * 2));
+            let (_, acts) = a.atomic(WordAddr(0), AtomicOp::Read, [0, 0], false, ReqId(round * 2));
             pump(&mut [&mut a, &mut b], &mut l2, acts);
-            let (_, acts) =
-                b.atomic(WordAddr(0), AtomicOp::Read, [0, 0], false, ReqId(round * 2 + 1));
+            let (_, acts) = b.atomic(
+                WordAddr(0),
+                AtomicOp::Read,
+                [0, 0],
+                false,
+                ReqId(round * 2 + 1),
+            );
             pump(&mut [&mut a, &mut b], &mut l2, acts);
         }
         // DeNovoSync0: never a backoff, always registration.

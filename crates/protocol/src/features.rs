@@ -227,9 +227,8 @@ mod tests {
     #[test]
     fn dd_dominates_table5_feature_count() {
         let t = table5();
-        let full_count = |s: &RelatedScheme| {
-            s.support.iter().filter(|x| **x == Support::Full).count()
-        };
+        let full_count =
+            |s: &RelatedScheme| s.support.iter().filter(|x| **x == Support::Full).count();
         let dd = t.iter().find(|s| s.name == "DD").unwrap();
         // The paper's point: no related scheme provides all of DD's
         // benefits. DD is full on 6 of 7 features, more than any other.

@@ -22,7 +22,11 @@
 //! DRF).
 
 use crate::action::{Action, Issue};
-use gsim_mem::{CacheArray, CacheGeometry, Dram, DramConfig, InsertOutcome, MemoryImage, MshrFile, StoreBuffer, WordState};
+use gsim_mem::{
+    CacheArray, CacheGeometry, Dram, DramConfig, InsertOutcome, MemoryImage, MshrFile, StoreBuffer,
+    WordState,
+};
+use gsim_trace::{FlushReason, Level, TraceEvent, TraceHandle, WState};
 use gsim_types::{
     AtomicOp, Component, Counts, Cycle, LineAddr, Msg, MsgKind, NodeId, ReqId, Scope, SyncOrd,
     Value, WordAddr, WordMask, WORDS_PER_LINE,
@@ -109,6 +113,10 @@ pub struct GpuL1 {
     /// order (responses on one src/dst pair arrive in order).
     pending_atomics: HashMap<WordAddr, VecDeque<ReqId>>,
     counts: Counts,
+    trace: TraceHandle,
+    /// Whether an `SbFlushBegin` trace event is awaiting its matching
+    /// end (emitted when `pending_wt` returns to zero).
+    sb_draining: bool,
 }
 
 impl GpuL1 {
@@ -125,7 +133,29 @@ impl GpuL1 {
             pending_releases: Vec::new(),
             pending_atomics: HashMap::new(),
             counts: Counts::default(),
+            trace: TraceHandle::disabled(),
+            sb_draining: false,
             config,
+        }
+    }
+
+    /// Installs a trace handle; protocol, cache, store-buffer, and MSHR
+    /// events flow through it from then on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Emits the `SbFlushBegin` trace event and arms the matching end
+    /// (fired when `pending_wt` drains back to zero).
+    fn begin_sb_drain(&mut self, reason: FlushReason, pending: u32) {
+        if !self.sb_draining {
+            self.sb_draining = true;
+            let node = self.config.node;
+            self.trace.emit(|| TraceEvent::SbFlushBegin {
+                node,
+                reason,
+                pending,
+            });
         }
     }
 
@@ -180,6 +210,8 @@ impl GpuL1 {
     fn buffer_store(&mut self, word: WordAddr, value: Value, actions: &mut Vec<Action>) {
         if let gsim_mem::StoreOutcome::Overflow(e) = self.sb.write(word, value) {
             self.counts.sb_overflow_flushes += 1;
+            let pending = e.mask.count();
+            self.begin_sb_drain(FlushReason::Overflow, pending);
             self.send_writethrough(e, actions);
         }
     }
@@ -209,9 +241,13 @@ impl GpuL1 {
         self.counts.l1_accesses += 1;
         self.counts.l1_load_misses += 1;
         self.entry_epoch.entry(line).or_insert(self.epoch);
+        let was_pending = self.mshr.is_pending(line);
         let to_send = self
             .mshr
             .request(line, WordMask::full(), Waiter::Load { req, word });
+        if !was_pending {
+            self.emit_mshr_alloc(line);
+        }
         let mut actions = Vec::new();
         if !to_send.is_empty() {
             actions.push(Action::send(self.msg_to_home(
@@ -283,6 +319,7 @@ impl GpuL1 {
         self.counts.l1_accesses += 1;
         self.counts.l1_atomics += 1;
         self.entry_epoch.entry(line).or_insert(self.epoch);
+        let was_pending = self.mshr.is_pending(line);
         let to_send = self.mshr.request(
             line,
             WordMask::full(),
@@ -293,6 +330,9 @@ impl GpuL1 {
                 operands,
             },
         );
+        if !was_pending {
+            self.emit_mshr_alloc(line);
+        }
         let mut actions = Vec::new();
         if !to_send.is_empty() {
             actions.push(Action::send(self.msg_to_home(
@@ -346,6 +386,13 @@ impl GpuL1 {
             }
         });
         self.counts.words_invalidated += invalidated;
+        let node = self.config.node;
+        self.trace.emit(|| TraceEvent::SyncAcquire {
+            node,
+            scope: Scope::Global,
+            invalidated,
+            flash: true,
+        });
     }
 
     /// A release: flush the store buffer and wait for every writethrough
@@ -355,6 +402,12 @@ impl GpuL1 {
         if local {
             return (Issue::Hit(0), Vec::new());
         }
+        let node = self.config.node;
+        self.trace.emit(|| TraceEvent::SyncRelease {
+            node,
+            scope: Scope::Global,
+        });
+        let pending = self.sb.len() as u32;
         let mut actions = Vec::new();
         for e in self.sb.drain() {
             self.counts.sb_release_flushes += 1;
@@ -363,6 +416,7 @@ impl GpuL1 {
         if self.pending_wt == 0 {
             (Issue::Hit(0), actions)
         } else {
+            self.begin_sb_drain(FlushReason::Release, pending);
             self.pending_releases.push(req);
             (Issue::Pending, actions)
         }
@@ -386,6 +440,11 @@ impl GpuL1 {
                     }
                 }
                 if self.pending_wt == 0 {
+                    if self.sb_draining {
+                        self.sb_draining = false;
+                        let node = self.config.node;
+                        self.trace.emit(|| TraceEvent::SbFlushEnd { node });
+                    }
                     self.pending_releases
                         .drain(..)
                         .map(|req| Action::complete(req, 0))
@@ -406,11 +465,19 @@ impl GpuL1 {
         }
     }
 
+    /// Emits the `MshrAlloc` trace event for a freshly allocated entry.
+    fn emit_mshr_alloc(&mut self, line: LineAddr) {
+        let (node, outstanding) = (self.config.node, self.mshr.outstanding() as u32);
+        self.trace.emit(|| TraceEvent::MshrAlloc {
+            node,
+            line,
+            outstanding,
+        });
+    }
+
     /// Whether the outstanding miss on `line` predates the last acquire.
     fn entry_is_stale(&self, line: LineAddr) -> bool {
-        self.entry_epoch
-            .get(&line)
-            .is_some_and(|&e| e < self.epoch)
+        self.entry_epoch.get(&line).is_some_and(|&e| e < self.epoch)
     }
 
     /// Applies a line fill and services the waiters.
@@ -420,11 +487,37 @@ impl GpuL1 {
     /// may predate the writethrough at the L2), and fills whose request
     /// predates the last acquire install nothing at all — their waiters
     /// are pre-acquire accesses and are served straight from the fill.
-    fn fill(&mut self, line: LineAddr, mask: WordMask, data: &[Value; WORDS_PER_LINE]) -> Vec<Action> {
+    fn fill(
+        &mut self,
+        line: LineAddr,
+        mask: WordMask,
+        data: &[Value; WORDS_PER_LINE],
+    ) -> Vec<Action> {
         let stale = self.entry_is_stale(line);
         if !stale {
             let skip = self.wt_inflight.get(&line).map(|s| s.1).unwrap_or_default();
-            self.cache.insert(line); // GPU victims are clean: silent drop
+            // GPU victims are clean: silent drop.
+            if let InsertOutcome::Evicted(victim) = self.cache.insert(line) {
+                let node = self.config.node;
+                self.trace.emit(|| TraceEvent::Eviction {
+                    node,
+                    level: Level::L1,
+                    line: victim.tag,
+                    owned_words: 0,
+                });
+            }
+            let installed = (mask & !skip).count();
+            if installed > 0 {
+                let node = self.config.node;
+                self.trace.emit(|| TraceEvent::StateChange {
+                    node,
+                    level: Level::L1,
+                    line,
+                    words: installed,
+                    from: WState::Invalid,
+                    to: WState::Valid,
+                });
+            }
             let entry = self.cache.lookup(line).expect("just inserted");
             entry.fill(mask & !skip, data, WordState::Valid);
             // Local pending stores are newer than the L2's copy: re-apply
@@ -440,14 +533,18 @@ impl GpuL1 {
         let (done, _) = self.mshr.complete(line, mask);
         if !self.mshr.is_pending(line) {
             self.entry_epoch.remove(&line);
+            let (node, waiters) = (self.config.node, done.len() as u32);
+            self.trace.emit(|| TraceEvent::MshrRetire {
+                node,
+                line,
+                waiters,
+            });
         }
         let mut actions = Vec::new();
         for w in done {
             match w {
                 Waiter::Load { req, word } => {
-                    let v = self
-                        .local_value(word)
-                        .unwrap_or(data[word.index_in_line()]);
+                    let v = self.local_value(word).unwrap_or(data[word.index_in_line()]);
                     actions.push(Action::complete(req, v));
                 }
                 Waiter::LocalAtomic {
@@ -456,9 +553,7 @@ impl GpuL1 {
                     op,
                     operands,
                 } => {
-                    let current = self
-                        .local_value(word)
-                        .unwrap_or(data[word.index_in_line()]);
+                    let current = self.local_value(word).unwrap_or(data[word.index_in_line()]);
                     let (new, old) = op.apply(current, operands);
                     self.apply_local_write(word, new, op, &mut actions);
                     actions.push(Action::complete(req, old));
@@ -513,6 +608,7 @@ pub struct GpuL2 {
     memory: MemoryImage,
     dram: Dram,
     counts: Counts,
+    trace: TraceHandle,
 }
 
 impl GpuL2 {
@@ -526,8 +622,14 @@ impl GpuL2 {
             dram: Dram::new(config.dram),
             memory,
             counts: Counts::default(),
+            trace: TraceHandle::disabled(),
             config,
         }
+    }
+
+    /// Installs a trace handle; bank evictions are traced from then on.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Starts a bank operation on `line` at `now`: waits for the bank,
@@ -576,6 +678,13 @@ impl GpuL2 {
         let data = self.memory.read_line(line);
         if let InsertOutcome::Evicted(victim) = self.banks[bank].insert(line) {
             let dirty = victim.mask_in(WordState::Owned);
+            let node = self.bank_node(victim.tag);
+            self.trace.emit(|| TraceEvent::Eviction {
+                node,
+                level: Level::L2,
+                line: victim.tag,
+                owned_words: dirty.count(),
+            });
             if !dirty.is_empty() {
                 self.memory.write_line(victim.tag, dirty, &victim.data);
                 self.dram.access(now, victim.tag);
@@ -875,8 +984,22 @@ mod tests {
     fn same_word_atomics_complete_in_order() {
         let mut l1c = l1();
         let mut l2c = l2_with(&[(0, 0)]);
-        let (_, a1) = l1c.atomic(WordAddr(0), AtomicOp::Add, [1, 0], SyncOrd::AcqRel, false, ReqId(1));
-        let (_, a2) = l1c.atomic(WordAddr(0), AtomicOp::Add, [1, 0], SyncOrd::AcqRel, false, ReqId(2));
+        let (_, a1) = l1c.atomic(
+            WordAddr(0),
+            AtomicOp::Add,
+            [1, 0],
+            SyncOrd::AcqRel,
+            false,
+            ReqId(1),
+        );
+        let (_, a2) = l1c.atomic(
+            WordAddr(0),
+            AtomicOp::Add,
+            [1, 0],
+            SyncOrd::AcqRel,
+            false,
+            ReqId(2),
+        );
         let d1 = bounce(&mut l1c, &mut l2c, a1);
         let d2 = bounce(&mut l1c, &mut l2c, a2);
         assert_eq!(d1, vec![Action::complete(ReqId(1), 0)]);
@@ -900,7 +1023,10 @@ mod tests {
             actions[0],
             Action::Send {
                 msg: Msg {
-                    kind: MsgKind::WriteThrough { line: LineAddr(0), .. },
+                    kind: MsgKind::WriteThrough {
+                        line: LineAddr(0),
+                        ..
+                    },
                     ..
                 },
                 ..

@@ -16,10 +16,7 @@
 use gsim_mem::MemoryImage;
 use gsim_protocol::denovo::DnConfig;
 use gsim_protocol::{Action, DnL1, DnL2, GpuL1, GpuL2, Issue, L1Config, L2Config};
-use gsim_types::{AtomicOp, Component, Msg, NodeId, ReqId, SyncOrd, Value, WordAddr};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gsim_types::{AtomicOp, Component, Msg, NodeId, ReqId, Rng64, SyncOrd, Value, WordAddr};
 use std::collections::VecDeque;
 
 /// An in-flight message network preserving per-channel FIFO but
@@ -27,14 +24,14 @@ use std::collections::VecDeque;
 struct ChaosNet {
     /// One FIFO per (src, dst) channel.
     channels: Vec<((NodeId, NodeId), VecDeque<Msg>)>,
-    rng: SmallRng,
+    rng: Rng64,
 }
 
 impl ChaosNet {
     fn new(seed: u64) -> Self {
         ChaosNet {
             channels: Vec::new(),
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng64::seed_from_u64(seed),
         }
     }
 
@@ -62,7 +59,7 @@ impl ChaosNet {
         if self.channels.is_empty() {
             return None;
         }
-        let i = self.rng.gen_range(0..self.channels.len());
+        let i = self.rng.gen_usize(0, self.channels.len());
         self.channels[i].1.pop_front()
     }
 }
@@ -87,12 +84,7 @@ fn pump_denovo(
     }
 }
 
-fn pump_gpu(
-    net: &mut ChaosNet,
-    l1s: &mut [GpuL1],
-    l2: &mut GpuL2,
-    done: &mut Vec<(ReqId, Value)>,
-) {
+fn pump_gpu(net: &mut ChaosNet, l1s: &mut [GpuL1], l2: &mut GpuL2, done: &mut Vec<(ReqId, Value)>) {
     while let Some(msg) = net.pop() {
         let replies = match msg.dst_comp {
             Component::L2 => l2.handle(0, &msg),
@@ -149,7 +141,11 @@ fn denovo_racy_adds(seed: u64, n_l1s: usize, adds_per_l1: usize) {
     pump_denovo(&mut net, &mut l1s, &mut l2, &mut done);
 
     // Every request completed exactly once.
-    assert_eq!(done.len(), expected_reqs.len(), "lost or duplicated completions");
+    assert_eq!(
+        done.len(),
+        expected_reqs.len(),
+        "lost or duplicated completions"
+    );
     // Exactly one L1 owns the word, holding the full sum.
     let total = (n_l1s * adds_per_l1) as u32;
     let owners: Vec<_> = l1s
@@ -158,7 +154,10 @@ fn denovo_racy_adds(seed: u64, n_l1s: usize, adds_per_l1: usize) {
         .filter(|(w, _)| *w == word)
         .collect();
     assert_eq!(owners.len(), 1, "exactly one owner at quiescence");
-    assert_eq!(owners[0].1, total, "no increment lost under any interleaving");
+    assert_eq!(
+        owners[0].1, total,
+        "no increment lost under any interleaving"
+    );
     for l in &l1s {
         assert!(l.quiesced(), "L1 {} left residue", l.node());
     }
@@ -179,8 +178,14 @@ fn gpu_racy_adds(seed: u64, n_l1s: usize, adds_per_l1: usize) {
     for _ in 0..adds_per_l1 {
         for l1 in l1s.iter_mut() {
             req += 1;
-            let (issue, actions) =
-                l1.atomic(word, AtomicOp::Add, [1, 0], SyncOrd::AcqRel, false, ReqId(req));
+            let (issue, actions) = l1.atomic(
+                word,
+                AtomicOp::Add,
+                [1, 0],
+                SyncOrd::AcqRel,
+                false,
+                ReqId(req),
+            );
             assert_eq!(issue, Issue::Pending);
             issued += 1;
             net.push_actions(actions, &mut done);
@@ -199,29 +204,28 @@ fn gpu_racy_adds(seed: u64, n_l1s: usize, adds_per_l1: usize) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn denovo_sync_linearizes_under_any_interleaving(
-        seed in any::<u64>(),
-        n_l1s in 2usize..8,
-        adds in 1usize..6,
-    ) {
-        denovo_racy_adds(seed, n_l1s, adds);
+/// Derives 24 (seed, n_l1s, adds) cases from a master seed — the
+/// offline replacement for the old proptest generators; every case is
+/// deterministic and reproducible from the printed parameters.
+fn explore(master: u64, f: impl Fn(u64, usize, usize)) {
+    let mut rng = Rng64::seed_from_u64(master);
+    for case in 0..24 {
+        let seed = rng.next_u64();
+        let n_l1s = rng.gen_usize(2, 8);
+        let adds = rng.gen_usize(1, 6);
+        eprintln!("case {case}: seed={seed:#x} n_l1s={n_l1s} adds={adds}");
+        f(seed, n_l1s, adds);
     }
+}
 
-    #[test]
-    fn gpu_atomics_linearize_under_any_interleaving(
-        seed in any::<u64>(),
-        n_l1s in 2usize..8,
-        adds in 1usize..6,
-    ) {
-        gpu_racy_adds(seed, n_l1s, adds);
-    }
+#[test]
+fn denovo_sync_linearizes_under_any_interleaving() {
+    explore(0xde0, denovo_racy_adds);
+}
+
+#[test]
+fn gpu_atomics_linearize_under_any_interleaving() {
+    explore(0x6b0, gpu_racy_adds);
 }
 
 /// A deterministic heavy case for the plain test run.

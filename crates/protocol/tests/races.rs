@@ -20,7 +20,6 @@ fn sends(actions: &[Action]) -> Vec<Msg> {
         .collect()
 }
 
-
 /// Drives every send to quiescence, breadth first.
 fn pump_gpu(l1: &mut GpuL1, l2: &mut GpuL2, actions: Vec<Action>) -> Vec<(ReqId, Value)> {
     let mut queue: std::collections::VecDeque<Action> = actions.into();
@@ -133,7 +132,11 @@ fn gpu_preacquire_fill_does_not_serve_postacquire_loads() {
     l1.acquire(false);
     // 3. A post-acquire load must not coalesce with the stale entry.
     let (issue, _) = l1.load(WordAddr(0), ReqId(2));
-    assert_eq!(issue, Issue::Retry, "post-acquire load must wait, not coalesce");
+    assert_eq!(
+        issue,
+        Issue::Retry,
+        "post-acquire load must wait, not coalesce"
+    );
     // 4. The stale fill arrives: the pre-acquire load completes (any
     //    value is legal for it), nothing is installed.
     let done = pump_gpu(&mut l1, &mut l2, held_fill);
@@ -142,7 +145,11 @@ fn gpu_preacquire_fill_does_not_serve_postacquire_loads() {
     let (issue, acts) = l1.load(WordAddr(0), ReqId(3));
     assert_eq!(issue, Issue::Pending);
     let done = pump_gpu(&mut l1, &mut l2, acts);
-    assert_eq!(done, vec![(ReqId(3), 2)], "post-acquire load sees the release");
+    assert_eq!(
+        done,
+        vec![(ReqId(3), 2)],
+        "post-acquire load sees the release"
+    );
     assert!(l1.quiesced());
 }
 
@@ -180,8 +187,16 @@ fn denovo_sync_grant_survives_acquire_window() {
     // An unrelated acquire (another thread block's) lands first.
     a.acquire(false);
     let done = pump_dn(&mut [&mut a], &mut l2, held_grant);
-    assert_eq!(done, vec![(ReqId(1), 0)], "grant still completes the sync op");
-    assert_eq!(a.owned_words(), vec![(WordAddr(0), 1)], "ownership installed");
+    assert_eq!(
+        done,
+        vec![(ReqId(1), 0)],
+        "grant still completes the sync op"
+    );
+    assert_eq!(
+        a.owned_words(),
+        vec![(WordAddr(0), 1)],
+        "ownership installed"
+    );
 }
 
 /// DeNovo: eviction writeback racing with a registration forward — the
@@ -217,10 +232,14 @@ fn denovo_forward_served_from_inflight_writeback() {
     let fill = l2.handle(0, &sends(&acts)[0]);
     let mut held_wb = Vec::new();
     for act in fill {
-        let Action::Send { msg, .. } = act else { continue };
+        let Action::Send { msg, .. } = act else {
+            continue;
+        };
         let replies = a.handle(&msg);
         for r in replies {
-            let Action::Send { msg, .. } = r else { continue };
+            let Action::Send { msg, .. } = r else {
+                continue;
+            };
             assert!(
                 matches!(msg.kind, gsim_types::MsgKind::WbReq { .. }),
                 "only the eviction writeback is expected here"
@@ -234,7 +253,11 @@ fn denovo_forward_served_from_inflight_writeback() {
     let (issue, acts) = b.atomic(WordAddr(0), AtomicOp::Add, [1, 0], false, ReqId(2));
     assert_eq!(issue, Issue::Pending);
     let done = pump_dn(&mut [&mut a, &mut b], &mut l2, acts);
-    assert_eq!(done, vec![(ReqId(2), 42)], "value came from the writeback data");
+    assert_eq!(
+        done,
+        vec![(ReqId(2), 42)],
+        "value came from the writeback data"
+    );
     assert_eq!(b.owned_words(), vec![(WordAddr(0), 43)]);
     // The stale writeback finally lands at the registry and is ignored.
     let acks = l2.handle(0, &held_wb[0]);
@@ -251,8 +274,22 @@ fn denovo_forward_served_from_inflight_writeback() {
 fn gpu_bank_keeps_atomic_responses_in_order() {
     let mut l1 = GpuL1::new(L1Config::micro15(NodeId(0)));
     let mut l2 = GpuL2::new(L2Config::default(), MemoryImage::new());
-    let (_, a1) = l1.atomic(WordAddr(0), AtomicOp::Add, [1, 0], SyncOrd::AcqRel, false, ReqId(1));
-    let (_, a2) = l1.atomic(WordAddr(0), AtomicOp::Add, [1, 0], SyncOrd::AcqRel, false, ReqId(2));
+    let (_, a1) = l1.atomic(
+        WordAddr(0),
+        AtomicOp::Add,
+        [1, 0],
+        SyncOrd::AcqRel,
+        false,
+        ReqId(1),
+    );
+    let (_, a2) = l1.atomic(
+        WordAddr(0),
+        AtomicOp::Add,
+        [1, 0],
+        SyncOrd::AcqRel,
+        false,
+        ReqId(2),
+    );
     // Deliver both requests to the bank in order; the first misses to
     // DRAM, the second hits. The bank must emit the responses with
     // non-decreasing delays.

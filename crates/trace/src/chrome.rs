@@ -1,0 +1,465 @@
+//! Dependency-free Chrome/Perfetto trace-event JSON export.
+//!
+//! The output is the Trace Event Format's "JSON object" flavour —
+//! `{"traceEvents": [...]}` — which loads directly in
+//! <https://ui.perfetto.dev> and `chrome://tracing`. The mapping:
+//!
+//! * **pid 0, "memory-system"** — one track (`tid`) per mesh node.
+//!   Protocol, cache, MSHR, sync, and NoC events appear as instant
+//!   events on their node's track; store-buffer drains appear as
+//!   duration slices.
+//! * **pid 1, "thread-blocks"** — one track per thread block; its
+//!   residency (launch→retire) is a duration slice, so CU occupancy
+//!   reads straight off the timeline.
+//! * **pid 2, "kernels"** — one duration slice per kernel launch.
+//!
+//! Timestamps are simulated GPU cycles written into the `ts`
+//! (microsecond) field: 1 µs on screen = 1 cycle, which keeps the
+//! numbers readable without a fake clock-frequency conversion.
+//!
+//! Since a [`RingRecorder`] keeps only the tail of the stream, a
+//! duration *end* can arrive whose *begin* was evicted; such orphans
+//! are downgraded to instant events so the JSON always nests cleanly.
+
+use crate::event::TraceEvent;
+use crate::sink::RingRecorder;
+use gsim_types::Cycle;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+const PID_MEM: u32 = 0;
+const PID_TB: u32 = 1;
+const PID_KERNEL: u32 = 2;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Writer {
+    out: String,
+    first: bool,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            out: String::from("{\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    /// Appends one trace-event object; `args` is pre-rendered JSON
+    /// (without braces), e.g. `"flits":5,"hops":3`.
+    #[allow(clippy::too_many_arguments)]
+    fn event(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ph: char,
+        ts: Cycle,
+        pid: u32,
+        tid: u64,
+        args: &str,
+    ) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        let _ = write!(
+            self.out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+            esc(name),
+            esc(cat),
+            ph,
+            ts,
+            pid,
+            tid
+        );
+        if ph == 'i' {
+            // Thread-scoped instant: renders as a tick on its track.
+            self.out.push_str(",\"s\":\"t\"");
+        }
+        if !args.is_empty() {
+            let _ = write!(self.out, ",\"args\":{{{args}}}");
+        }
+        self.out.push('}');
+    }
+
+    fn metadata(&mut self, name: &str, pid: u32, tid: u64, value: &str) {
+        self.event(
+            name,
+            "__metadata",
+            'M',
+            0,
+            pid,
+            tid,
+            &format!("\"name\":\"{}\"", esc(value)),
+        );
+    }
+
+    fn finish(mut self, dropped: u64, total: u64) -> String {
+        let _ = write!(
+            self.out,
+            "\n],\"otherData\":{{\"recorded\":{total},\"dropped\":{dropped}}}}}"
+        );
+        self.out
+    }
+}
+
+/// Renders a recorder's contents as Chrome trace-event JSON.
+pub fn to_chrome_json(rec: &RingRecorder) -> String {
+    let events = rec.to_vec();
+    chrome_json(&events, rec.dropped())
+}
+
+/// Renders `(cycle, event)` pairs (oldest first) as Chrome trace-event
+/// JSON; `dropped` is reported in `otherData`.
+pub fn chrome_json(events: &[(Cycle, TraceEvent)], dropped: u64) -> String {
+    let mut w = Writer::new();
+
+    // Name the processes and every track that will appear.
+    w.metadata("process_name", PID_MEM, 0, "memory-system");
+    w.metadata("process_name", PID_TB, 0, "thread-blocks");
+    w.metadata("process_name", PID_KERNEL, 0, "kernels");
+    let mut nodes: BTreeSet<u64> = BTreeSet::new();
+    let mut tbs: BTreeSet<u64> = BTreeSet::new();
+    for (_, ev) in events {
+        match ev {
+            TraceEvent::TbLaunch { tb, cu } | TraceEvent::TbRetire { tb, cu } => {
+                tbs.insert(tb.0 as u64);
+                nodes.insert(cu.index() as u64);
+            }
+            TraceEvent::AtomicIssue { cu, .. } => {
+                nodes.insert(cu.index() as u64);
+            }
+            TraceEvent::SyncAcquire { node, .. }
+            | TraceEvent::SyncRelease { node, .. }
+            | TraceEvent::StateChange { node, .. }
+            | TraceEvent::Eviction { node, .. }
+            | TraceEvent::SbFlushBegin { node, .. }
+            | TraceEvent::SbFlushEnd { node }
+            | TraceEvent::MshrAlloc { node, .. }
+            | TraceEvent::MshrRetire { node, .. } => {
+                nodes.insert(node.index() as u64);
+            }
+            TraceEvent::MsgSend { src, .. } | TraceEvent::MsgDeliver { src, .. } => {
+                nodes.insert(src.index() as u64);
+            }
+            TraceEvent::KernelBegin { .. } | TraceEvent::KernelEnd { .. } => {}
+        }
+    }
+    for &n in &nodes {
+        let label = if n == 15 {
+            "cpu".to_string()
+        } else {
+            format!("cu{n}")
+        };
+        w.metadata("thread_name", PID_MEM, n, &label);
+    }
+    for &t in &tbs {
+        w.metadata("thread_name", PID_TB, t, &format!("tb{t}"));
+    }
+    w.metadata("thread_name", PID_KERNEL, 0, "launches");
+
+    // Depth per (pid, tid) so duration ends whose begins were evicted
+    // from the ring degrade to instants instead of corrupting nesting.
+    let mut depth: HashMap<(u32, u64), u32> = HashMap::new();
+
+    for &(ts, ev) in events {
+        let cat = ev.category().label();
+        let name = ev.name();
+        match ev {
+            TraceEvent::TbLaunch { tb, cu } => {
+                *depth.entry((PID_TB, tb.0 as u64)).or_insert(0) += 1;
+                w.event(
+                    "resident",
+                    cat,
+                    'B',
+                    ts,
+                    PID_TB,
+                    tb.0 as u64,
+                    &format!("\"cu\":\"{cu}\""),
+                );
+            }
+            TraceEvent::TbRetire { tb, cu } => {
+                let d = depth.entry((PID_TB, tb.0 as u64)).or_insert(0);
+                if *d > 0 {
+                    *d -= 1;
+                    w.event("resident", cat, 'E', ts, PID_TB, tb.0 as u64, "");
+                } else {
+                    w.event(
+                        name,
+                        cat,
+                        'i',
+                        ts,
+                        PID_TB,
+                        tb.0 as u64,
+                        &format!("\"cu\":\"{cu}\""),
+                    );
+                }
+            }
+            TraceEvent::KernelBegin { index, tbs } => {
+                *depth.entry((PID_KERNEL, 0)).or_insert(0) += 1;
+                w.event(
+                    &format!("kernel{index}"),
+                    cat,
+                    'B',
+                    ts,
+                    PID_KERNEL,
+                    0,
+                    &format!("\"tbs\":{tbs}"),
+                );
+            }
+            TraceEvent::KernelEnd { index } => {
+                let d = depth.entry((PID_KERNEL, 0)).or_insert(0);
+                if *d > 0 {
+                    *d -= 1;
+                    w.event(&format!("kernel{index}"), cat, 'E', ts, PID_KERNEL, 0, "");
+                } else {
+                    w.event(name, cat, 'i', ts, PID_KERNEL, 0, "");
+                }
+            }
+            TraceEvent::SbFlushBegin { node, reason, pending } => {
+                let tid = node.index() as u64;
+                *depth.entry((PID_MEM, tid)).or_insert(0) += 1;
+                w.event(
+                    "sb-drain",
+                    cat,
+                    'B',
+                    ts,
+                    PID_MEM,
+                    tid,
+                    &format!("\"reason\":\"{}\",\"pending\":{pending}", reason.label()),
+                );
+            }
+            TraceEvent::SbFlushEnd { node } => {
+                let tid = node.index() as u64;
+                let d = depth.entry((PID_MEM, tid)).or_insert(0);
+                if *d > 0 {
+                    *d -= 1;
+                    w.event("sb-drain", cat, 'E', ts, PID_MEM, tid, "");
+                } else {
+                    w.event(name, cat, 'i', ts, PID_MEM, tid, "");
+                }
+            }
+            TraceEvent::SyncAcquire {
+                node,
+                scope,
+                invalidated,
+                flash,
+            } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_MEM,
+                node.index() as u64,
+                &format!("\"scope\":\"{scope}\",\"invalidated\":{invalidated},\"flash\":{flash}"),
+            ),
+            TraceEvent::SyncRelease { node, scope } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_MEM,
+                node.index() as u64,
+                &format!("\"scope\":\"{scope}\""),
+            ),
+            TraceEvent::AtomicIssue {
+                tb,
+                cu,
+                word,
+                ord,
+                scope,
+            } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_MEM,
+                cu.index() as u64,
+                &format!(
+                    "\"tb\":{},\"word\":{},\"ord\":\"{ord:?}\",\"scope\":\"{scope}\"",
+                    tb.0, word.0
+                ),
+            ),
+            TraceEvent::StateChange {
+                node,
+                level,
+                line,
+                words,
+                from,
+                to,
+            } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_MEM,
+                node.index() as u64,
+                &format!(
+                    "\"level\":\"{}\",\"line\":{},\"words\":{words},\"from\":\"{}\",\"to\":\"{}\"",
+                    level.label(),
+                    line.0,
+                    from.label(),
+                    to.label()
+                ),
+            ),
+            TraceEvent::Eviction {
+                node,
+                level,
+                line,
+                owned_words,
+            } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_MEM,
+                node.index() as u64,
+                &format!(
+                    "\"level\":\"{}\",\"line\":{},\"owned_words\":{owned_words}",
+                    level.label(),
+                    line.0
+                ),
+            ),
+            TraceEvent::MshrAlloc {
+                node,
+                line,
+                outstanding,
+            } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_MEM,
+                node.index() as u64,
+                &format!("\"line\":{},\"outstanding\":{outstanding}", line.0),
+            ),
+            TraceEvent::MshrRetire { node, line, waiters } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_MEM,
+                node.index() as u64,
+                &format!("\"line\":{},\"waiters\":{waiters}", line.0),
+            ),
+            TraceEvent::MsgSend {
+                src,
+                dst,
+                class,
+                flits,
+                hops,
+                arrival,
+            } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_MEM,
+                src.index() as u64,
+                &format!(
+                    "\"src\":\"{src}\",\"dst\":\"{dst}\",\"class\":\"{}\",\"flits\":{flits},\"hops\":{hops},\"arrival\":{arrival}",
+                    class.label()
+                ),
+            ),
+            TraceEvent::MsgDeliver { src, dst, class } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_MEM,
+                dst.index() as u64,
+                &format!("\"src\":\"{src}\",\"dst\":\"{dst}\",\"class\":\"{}\"", class.label()),
+            ),
+        }
+    }
+
+    w.finish(dropped, events.len() as u64 + dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FlushReason;
+    use crate::sink::TraceSink;
+    use gsim_types::{NodeId, TbId};
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("\n"), "\\u000a");
+    }
+
+    #[test]
+    fn exports_balanced_durations() {
+        let mut r = RingRecorder::new(64);
+        r.record(
+            5,
+            &TraceEvent::TbLaunch {
+                tb: TbId(3),
+                cu: NodeId(1),
+            },
+        );
+        r.record(
+            9,
+            &TraceEvent::SbFlushBegin {
+                node: NodeId(1),
+                reason: FlushReason::Release,
+                pending: 4,
+            },
+        );
+        r.record(20, &TraceEvent::SbFlushEnd { node: NodeId(1) });
+        r.record(
+            30,
+            &TraceEvent::TbRetire {
+                tb: TbId(3),
+                cu: NodeId(1),
+            },
+        );
+        let json = to_chrome_json(&r);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        assert!(json.contains("\"dropped\":0"));
+        assert!(
+            json.contains("\"name\":\"tb3\""),
+            "thread named after the block"
+        );
+    }
+
+    #[test]
+    fn orphan_end_degrades_to_instant() {
+        // A ring so small the Begin fell off before export.
+        let mut r = RingRecorder::new(1);
+        r.record(
+            9,
+            &TraceEvent::SbFlushBegin {
+                node: NodeId(0),
+                reason: FlushReason::Overflow,
+                pending: 1,
+            },
+        );
+        r.record(20, &TraceEvent::SbFlushEnd { node: NodeId(0) });
+        let json = to_chrome_json(&r);
+        assert!(!json.contains("\"ph\":\"E\""), "no unmatched end");
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"dropped\":1"));
+    }
+}

@@ -1,0 +1,276 @@
+//! The [`TraceSink`] consumer API, the shared [`TraceHandle`] components
+//! emit through, and the bounded [`RingRecorder`].
+//!
+//! # Zero cost when disabled
+//!
+//! A disabled handle is `None` inside: [`TraceHandle::emit`] takes a
+//! *closure*, so the event is never even constructed unless a sink is
+//! installed — the hook compiles down to one pointer test on the hot
+//! path. The simulator is single-threaded by design (determinism is a
+//! correctness property here), so the handle is an `Rc`, not an `Arc`,
+//! and cloning it into every component is free of synchronization.
+
+use crate::event::TraceEvent;
+use gsim_types::Cycle;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A consumer of structured trace events.
+///
+/// Implementations receive every event the instrumented simulator emits,
+/// stamped with the cycle at which it happened. Events arrive in
+/// deterministic simulation order (the engine is single-threaded and
+/// tie-breaks by sequence number), so two runs of the same workload
+/// produce identical event streams — a property the test suite asserts.
+pub trait TraceSink: std::fmt::Debug {
+    /// Records one event at simulated cycle `at`.
+    fn record(&mut self, at: Cycle, ev: &TraceEvent);
+}
+
+struct Shared {
+    now: Cell<Cycle>,
+    sink: RefCell<Box<dyn TraceSink>>,
+}
+
+/// The cloneable handle instrumentation sites emit through.
+///
+/// Components store a clone; the simulation engine advances the shared
+/// clock with [`set_now`](TraceHandle::set_now) as it dispatches events,
+/// so emitting components never need to thread the current cycle around.
+///
+/// # Examples
+///
+/// ```
+/// use gsim_trace::{RingRecorder, TraceEvent, TraceHandle};
+/// use gsim_types::{NodeId, TbId};
+///
+/// let off = TraceHandle::disabled();
+/// off.emit(|| unreachable!("closure never runs when disabled"));
+///
+/// let on = TraceHandle::new(RingRecorder::new(16));
+/// on.set_now(42);
+/// on.emit(|| TraceEvent::TbLaunch { tb: TbId(0), cu: NodeId(0) });
+/// let events = on.recorder().unwrap().borrow().to_vec();
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].0, 42);
+/// ```
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    inner: Option<Rc<Shared>>,
+    recorder: Option<Rc<RefCell<RingRecorder>>>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl TraceHandle {
+    /// A handle with no sink: every [`emit`](Self::emit) is a no-op and
+    /// its closure is never evaluated.
+    pub fn disabled() -> Self {
+        TraceHandle {
+            inner: None,
+            recorder: None,
+        }
+    }
+
+    /// A handle recording into a [`RingRecorder`], which stays reachable
+    /// through [`recorder`](Self::recorder) after the run.
+    pub fn new(recorder: RingRecorder) -> Self {
+        let rec = Rc::new(RefCell::new(recorder));
+        TraceHandle {
+            inner: Some(Rc::new(Shared {
+                now: Cell::new(0),
+                sink: RefCell::new(Box::new(SharedRingSink(rec.clone()))),
+            })),
+            recorder: Some(rec),
+        }
+    }
+
+    /// A handle feeding an arbitrary [`TraceSink`].
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+        TraceHandle {
+            inner: Some(Rc::new(Shared {
+                now: Cell::new(0),
+                sink: RefCell::new(sink),
+            })),
+            recorder: None,
+        }
+    }
+
+    /// Whether a sink is installed.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Advances the shared clock; called by the engine at each
+    /// discrete-event dispatch.
+    #[inline]
+    pub fn set_now(&self, cycle: Cycle) {
+        if let Some(inner) = &self.inner {
+            inner.now.set(cycle);
+        }
+    }
+
+    /// Emits an event. The closure is evaluated only when a sink is
+    /// installed, so instrumentation sites cost one branch when tracing
+    /// is off.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let ev = f();
+            inner.sink.borrow_mut().record(inner.now.get(), &ev);
+        }
+    }
+
+    /// The ring recorder behind a handle built with [`new`](Self::new);
+    /// `None` for disabled or custom-sink handles.
+    pub fn recorder(&self) -> Option<&Rc<RefCell<RingRecorder>>> {
+        self.recorder.as_ref()
+    }
+}
+
+/// Adapter so a shared `RingRecorder` can be installed as the sink while
+/// remaining readable through [`TraceHandle::recorder`].
+#[derive(Debug)]
+struct SharedRingSink(Rc<RefCell<RingRecorder>>);
+
+impl TraceSink for SharedRingSink {
+    fn record(&mut self, at: Cycle, ev: &TraceEvent) {
+        self.0.borrow_mut().record(at, ev);
+    }
+}
+
+/// A bounded in-memory recorder: keeps the most recent `capacity`
+/// events and counts how many older ones it had to drop.
+///
+/// Bounding matters: a paper-scale run emits hundreds of millions of
+/// events, and an unbounded buffer would dwarf the simulated machine.
+/// The ring keeps the *tail* of the stream — usually what you want when
+/// staring at the cycles right before a hang or at steady-state
+/// behaviour — and the drop count keeps the truncation honest.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    events: VecDeque<(Cycle, TraceEvent)>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A recorder keeping at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The recorded `(cycle, event)` pairs, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(Cycle, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// The recorded pairs as an owned vector (oldest first).
+    pub fn to_vec(&self) -> Vec<(Cycle, TraceEvent)> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&mut self, at: Cycle, ev: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((at, *ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use gsim_types::{NodeId, TbId};
+
+    fn ev(n: u32) -> TraceEvent {
+        TraceEvent::TbLaunch {
+            tb: TbId(n),
+            cu: NodeId(0),
+        }
+    }
+
+    #[test]
+    fn disabled_handle_never_evaluates() {
+        let h = TraceHandle::disabled();
+        assert!(!h.is_enabled());
+        h.set_now(99);
+        h.emit(|| panic!("must not run"));
+        assert!(h.recorder().is_none());
+    }
+
+    #[test]
+    fn ring_keeps_the_tail_and_counts_drops() {
+        let mut r = RingRecorder::new(3);
+        for i in 0..5 {
+            r.record(i as u64, &ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u64> = r.events().map(|(c, _)| *c).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest events evicted first");
+    }
+
+    #[test]
+    fn handle_stamps_the_shared_clock() {
+        let h = TraceHandle::new(RingRecorder::new(8));
+        assert!(h.is_enabled());
+        h.emit(|| ev(0));
+        h.set_now(10);
+        h.emit(|| ev(1));
+        h.set_now(25);
+        let h2 = h.clone();
+        h2.emit(|| ev(2)); // clones share clock and sink
+        let got = h.recorder().unwrap().borrow().to_vec();
+        assert_eq!(
+            got.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+            vec![0, 10, 25]
+        );
+        assert_eq!(got[2].1, ev(2));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = RingRecorder::new(0);
+        r.record(1, &ev(0));
+        r.record(2, &ev(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

@@ -259,7 +259,10 @@ mod tests {
         assert_eq!(l.base_addr().0, 5 * LINE_BYTES);
         assert_eq!(l.word(0).line(), l);
         assert_eq!(l.word(WORDS_PER_LINE - 1).line(), l);
-        assert_eq!(l.word(WORDS_PER_LINE - 1).index_in_line(), WORDS_PER_LINE - 1);
+        assert_eq!(
+            l.word(WORDS_PER_LINE - 1).index_in_line(),
+            WORDS_PER_LINE - 1
+        );
     }
 
     #[test]

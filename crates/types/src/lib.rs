@@ -29,14 +29,18 @@
 
 pub mod addr;
 pub mod config;
+pub mod hist;
 pub mod ids;
 pub mod msg;
+pub mod rng;
 pub mod stats;
 pub mod sync;
 
 pub use addr::{Addr, LineAddr, WordAddr, WordMask, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use config::{Coherence, Consistency, ProtocolConfig};
+pub use hist::{LatencyBreakdown, LatencyHistogram};
 pub use ids::{Cycle, NodeId, ReqId, TbId};
 pub use msg::{Component, Msg, MsgClass, MsgKind, CTRL_FLITS, FLIT_BYTES};
+pub use rng::Rng64;
 pub use stats::{Counts, EnergyBreakdown, SimStats, TrafficBreakdown};
 pub use sync::{AtomicOp, Region, Scope, SyncOrd, Value};

@@ -230,10 +230,7 @@ impl MsgKind {
             // A registration grant only needs data for sync registrations
             // (the RMW reads the value); data-write grants are acks since
             // the writer overwrites the whole word.
-            MsgKind::RegResp { mask, sync, .. }
-                if *sync => {
-                    mask.count()
-                }
+            MsgKind::RegResp { mask, sync, .. } if *sync => mask.count(),
             MsgKind::AtomicResp { .. } => 1,
             MsgKind::AtomicReq { .. } => 1, // carries operands
             _ => 0,

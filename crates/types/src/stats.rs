@@ -7,6 +7,7 @@
 //! counters every component increments during simulation; the energy model
 //! (crate `gsim-energy`) converts counts into an [`EnergyBreakdown`].
 
+use crate::hist::LatencyBreakdown;
 use crate::msg::MsgClass;
 use std::fmt;
 use std::ops::AddAssign;
@@ -206,6 +207,8 @@ pub struct SimStats {
     pub traffic: TrafficBreakdown,
     /// Dynamic energy by component (filled by the energy model).
     pub energy: EnergyBreakdown,
+    /// Latency histograms (always recorded; see [`LatencyBreakdown`]).
+    pub latency: LatencyBreakdown,
 }
 
 impl fmt::Display for SimStats {

@@ -135,9 +135,15 @@ pub fn backprop(scale: Scale) -> Workload {
     let tb_specs: Vec<TbSpec> = (0..tbs_n).map(|t| spec((t * cols) as u32)).collect();
 
     // Host inputs and reference.
-    let in_v: Vec<Value> = (0..ni as u32).map(|i| i.wrapping_mul(7).wrapping_add(3)).collect();
-    let w_v: Vec<Value> = (0..(ni * nj) as u32).map(|i| i.wrapping_mul(13) ^ 0x55).collect();
-    let tgt_v: Vec<Value> = (0..nj as u32).map(|j| j.wrapping_mul(31).wrapping_add(11)).collect();
+    let in_v: Vec<Value> = (0..ni as u32)
+        .map(|i| i.wrapping_mul(7).wrapping_add(3))
+        .collect();
+    let w_v: Vec<Value> = (0..(ni * nj) as u32)
+        .map(|i| i.wrapping_mul(13) ^ 0x55)
+        .collect();
+    let tgt_v: Vec<Value> = (0..nj as u32)
+        .map(|j| j.wrapping_mul(31).wrapping_add(11))
+        .collect();
     let mut out_ref = vec![0u32; nj];
     for j in 0..nj {
         let mut acc = 0u32;
@@ -150,8 +156,7 @@ pub fn backprop(scale: Scale) -> Workload {
     for j in 0..nj {
         let delta = tgt_v[j].wrapping_sub(out_ref[j]);
         for i in 0..ni {
-            w_ref[i * nj + j] =
-                w_ref[i * nj + j].wrapping_add(in_v[i].wrapping_mul(delta));
+            w_ref[i * nj + j] = w_ref[i * nj + j].wrapping_add(in_v[i].wrapping_mul(delta));
         }
     }
 

@@ -122,8 +122,12 @@ pub fn hotspot(scale: Scale) -> Workload {
         })
         .collect();
 
-    let temp0: Vec<Value> = (0..words as u32).map(|i| 300 + (i.wrapping_mul(31) & 0x3f)).collect();
-    let pwr_v: Vec<Value> = (0..words as u32).map(|i| (i.wrapping_mul(17) >> 2) & 0xf).collect();
+    let temp0: Vec<Value> = (0..words as u32)
+        .map(|i| 300 + (i.wrapping_mul(31) & 0x3f))
+        .collect();
+    let pwr_v: Vec<Value> = (0..words as u32)
+        .map(|i| (i.wrapping_mul(17) >> 2) & 0xf)
+        .collect();
     let mut t_ref = temp0.clone();
     for _ in 0..sweeps {
         let prev = t_ref.clone();

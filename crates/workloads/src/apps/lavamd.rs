@@ -85,7 +85,9 @@ pub fn lavamd(scale: Scale) -> Workload {
         })
         .collect();
 
-    let part_v: Vec<Value> = (0..words as u32).map(|i| i.wrapping_mul(97).wrapping_add(5)).collect();
+    let part_v: Vec<Value> = (0..words as u32)
+        .map(|i| i.wrapping_mul(97).wrapping_add(5))
+        .collect();
     // acc[w] = particle[w] * (1 + 2 + ... + passes)
     let factor = (passes * (passes + 1) / 2) as u32;
     let acc_ref: Vec<Value> = part_v.iter().map(|&v| v.wrapping_mul(factor)).collect();

@@ -127,8 +127,12 @@ pub fn nw(scale: Scale) -> Workload {
         .collect();
 
     // Host inputs (seq values in 0..4) and boundary penalties.
-    let s1: Vec<Value> = (0..stride as u32).map(|i| (i.wrapping_mul(7919) >> 3) & 3).collect();
-    let s2: Vec<Value> = (0..stride as u32).map(|i| (i.wrapping_mul(104729) >> 5) & 3).collect();
+    let s1: Vec<Value> = (0..stride as u32)
+        .map(|i| (i.wrapping_mul(7919) >> 3) & 3)
+        .collect();
+    let s2: Vec<Value> = (0..stride as u32)
+        .map(|i| (i.wrapping_mul(104729) >> 5) & 3)
+        .collect();
     let mut init_score = vec![0u32; stride * stride];
     for k in 1..stride {
         init_score[k] = (k as u32).wrapping_mul(GAP);
@@ -157,7 +161,11 @@ pub fn nw(scale: Scale) -> Workload {
         verify: Box::new(move |mem| {
             let got = mem.read_u32_slice(Layout::byte_addr(score), stride * stride);
             if got != score_ref {
-                let bad = got.iter().zip(&score_ref).position(|(a, b)| a != b).unwrap();
+                let bad = got
+                    .iter()
+                    .zip(&score_ref)
+                    .position(|(a, b)| a != b)
+                    .unwrap();
                 return Err(format!(
                     "score[{},{}] = {}, want {}",
                     bad / stride,

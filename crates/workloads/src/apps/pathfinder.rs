@@ -134,10 +134,7 @@ pub fn pathfinder(scale: Scale) -> Workload {
             let got = mem.read_u32_slice(Layout::byte_addr(final_dp), ncols);
             if got != dp_ref {
                 let bad = got.iter().zip(&dp_ref).position(|(a, b)| a != b).unwrap();
-                return Err(format!(
-                    "dp[{bad}] = {}, want {}",
-                    got[bad], dp_ref[bad]
-                ));
+                return Err(format!("dp[{bad}] = {}, want {}", got[bad], dp_ref[bad]));
             }
             Ok(())
         }),

@@ -122,8 +122,12 @@ pub fn sgemm(scale: Scale) -> Workload {
         })
         .collect();
 
-    let a_v: Vec<Value> = (0..(m * k) as u32).map(|i| i.wrapping_mul(11).wrapping_add(1)).collect();
-    let b_v: Vec<Value> = (0..(k * n) as u32).map(|i| i.wrapping_mul(17) ^ 0x33).collect();
+    let a_v: Vec<Value> = (0..(m * k) as u32)
+        .map(|i| i.wrapping_mul(11).wrapping_add(1))
+        .collect();
+    let b_v: Vec<Value> = (0..(k * n) as u32)
+        .map(|i| i.wrapping_mul(17) ^ 0x33)
+        .collect();
     let mut c_ref = vec![0u32; m * n];
     for i in 0..m {
         for j in 0..n {

@@ -183,7 +183,9 @@ pub fn srad(scale: Scale) -> Workload {
         });
     }
 
-    let img0: Vec<Value> = (0..words as u32).map(|i| 100 + (i.wrapping_mul(41) & 0xff)).collect();
+    let img0: Vec<Value> = (0..words as u32)
+        .map(|i| 100 + (i.wrapping_mul(41) & 0xff))
+        .collect();
     let mut img_ref = img0.clone();
     let clamp_s = |y: usize| if y + 1 == n { y } else { y + 1 };
     let clamp_e = |x: usize| if x + 1 == n { x } else { x + 1 };

@@ -169,7 +169,9 @@ pub fn stencil(scale: Scale) -> Workload {
         })
         .collect();
 
-    let init_v: Vec<Value> = (0..words as u32).map(|i| i.wrapping_mul(37) & 0xffff).collect();
+    let init_v: Vec<Value> = (0..words as u32)
+        .map(|i| i.wrapping_mul(37) & 0xffff)
+        .collect();
     let mut reference = init_v.clone();
     for _ in 0..iters {
         reference = reference_sweep(&reference, nx, ny, nz);

@@ -19,9 +19,7 @@ use crate::layout::Layout;
 use crate::params::Scale;
 use gsim_core::kernel::{imm, r, AluOp, KernelBuilder, Program};
 use gsim_core::{KernelLaunch, TbSpec, Workload};
-use gsim_types::{AtomicOp, Region, Scope, SyncOrd};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gsim_types::{AtomicOp, Region, Rng64, Scope, SyncOrd};
 use std::sync::Arc;
 
 /// "Infinite" distance (fits comfortably under wrap-around sums).
@@ -42,14 +40,14 @@ impl Csr {
     /// Generates a deterministic sparse digraph: a ring (so everything
     /// is reachable from vertex 0) plus `extra_per_vertex` random edges.
     pub fn generate(n: usize, extra_per_vertex: usize, weighted: bool, seed: u64) -> Csr {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
         for (v, edges) in adj.iter_mut().enumerate() {
-            let w = if weighted { rng.gen_range(1..8) } else { 1 };
+            let w = if weighted { rng.gen_u32(1, 8) } else { 1 };
             edges.push((((v + 1) % n) as u32, w));
             for _ in 0..extra_per_vertex {
-                let u = rng.gen_range(0..n) as u32;
-                let w = if weighted { rng.gen_range(1..8) } else { 1 };
+                let u = rng.gen_usize(0, n) as u32;
+                let w = if weighted { rng.gen_u32(1, 8) } else { 1 };
                 edges.push((u, w));
             }
         }
@@ -269,7 +267,10 @@ mod tests {
         assert_eq!(g.vertices(), 500);
         assert_eq!(g.edges(), 500 * 4);
         let (dist, rounds) = g.reference_distances();
-        assert!(dist.iter().all(|&d| d < INF), "ring edges connect everything");
+        assert!(
+            dist.iter().all(|&d| d < INF),
+            "ring edges connect everything"
+        );
         assert!(rounds >= 2);
         let g2 = Csr::generate(500, 3, true, 1);
         assert_eq!(g.col, g2.col);

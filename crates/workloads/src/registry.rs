@@ -50,31 +50,146 @@ use mutex::MutexAlgo::{FetchAdd, Sleep, Spin, SpinBackoff};
 pub fn all() -> Vec<Benchmark> {
     vec![
         // -- Applications without intra-kernel synchronization --
-        Benchmark { name: "BP", group: Group::NoSync, table4_input: "32 KB", build: apps::backprop::backprop },
-        Benchmark { name: "PF", group: Group::NoSync, table4_input: "10 x 100K matrix", build: apps::pathfinder::pathfinder },
-        Benchmark { name: "LUD", group: Group::NoSync, table4_input: "256x256 matrix", build: apps::lud::lud },
-        Benchmark { name: "NW", group: Group::NoSync, table4_input: "512x512 matrix", build: apps::nw::nw },
-        Benchmark { name: "SGEMM", group: Group::NoSync, table4_input: "medium", build: apps::sgemm::sgemm },
-        Benchmark { name: "ST", group: Group::NoSync, table4_input: "128x128x4, 4 iters", build: apps::stencil::stencil },
-        Benchmark { name: "HS", group: Group::NoSync, table4_input: "512x512 matrix", build: apps::hotspot::hotspot },
-        Benchmark { name: "NN", group: Group::NoSync, table4_input: "171K records", build: apps::nn::nn },
-        Benchmark { name: "SRAD", group: Group::NoSync, table4_input: "256x256 matrix", build: apps::srad::srad },
-        Benchmark { name: "LAVA", group: Group::NoSync, table4_input: "2x2x2 matrix", build: apps::lavamd::lavamd },
+        Benchmark {
+            name: "BP",
+            group: Group::NoSync,
+            table4_input: "32 KB",
+            build: apps::backprop::backprop,
+        },
+        Benchmark {
+            name: "PF",
+            group: Group::NoSync,
+            table4_input: "10 x 100K matrix",
+            build: apps::pathfinder::pathfinder,
+        },
+        Benchmark {
+            name: "LUD",
+            group: Group::NoSync,
+            table4_input: "256x256 matrix",
+            build: apps::lud::lud,
+        },
+        Benchmark {
+            name: "NW",
+            group: Group::NoSync,
+            table4_input: "512x512 matrix",
+            build: apps::nw::nw,
+        },
+        Benchmark {
+            name: "SGEMM",
+            group: Group::NoSync,
+            table4_input: "medium",
+            build: apps::sgemm::sgemm,
+        },
+        Benchmark {
+            name: "ST",
+            group: Group::NoSync,
+            table4_input: "128x128x4, 4 iters",
+            build: apps::stencil::stencil,
+        },
+        Benchmark {
+            name: "HS",
+            group: Group::NoSync,
+            table4_input: "512x512 matrix",
+            build: apps::hotspot::hotspot,
+        },
+        Benchmark {
+            name: "NN",
+            group: Group::NoSync,
+            table4_input: "171K records",
+            build: apps::nn::nn,
+        },
+        Benchmark {
+            name: "SRAD",
+            group: Group::NoSync,
+            table4_input: "256x256 matrix",
+            build: apps::srad::srad,
+        },
+        Benchmark {
+            name: "LAVA",
+            group: Group::NoSync,
+            table4_input: "2x2x2 matrix",
+            build: apps::lavamd::lavamd,
+        },
         // -- Global synchronization --
-        Benchmark { name: "FAM_G", group: Group::GlobalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| mutex::global(FetchAdd, s) },
-        Benchmark { name: "SLM_G", group: Group::GlobalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| mutex::global(Sleep, s) },
-        Benchmark { name: "SPM_G", group: Group::GlobalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| mutex::global(Spin, s) },
-        Benchmark { name: "SPMBO_G", group: Group::GlobalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| mutex::global(SpinBackoff, s) },
+        Benchmark {
+            name: "FAM_G",
+            group: Group::GlobalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| mutex::global(FetchAdd, s),
+        },
+        Benchmark {
+            name: "SLM_G",
+            group: Group::GlobalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| mutex::global(Sleep, s),
+        },
+        Benchmark {
+            name: "SPM_G",
+            group: Group::GlobalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| mutex::global(Spin, s),
+        },
+        Benchmark {
+            name: "SPMBO_G",
+            group: Group::GlobalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| mutex::global(SpinBackoff, s),
+        },
         // -- Local or hybrid synchronization --
-        Benchmark { name: "FAM_L", group: Group::LocalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| mutex::local(FetchAdd, s) },
-        Benchmark { name: "SLM_L", group: Group::LocalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| mutex::local(Sleep, s) },
-        Benchmark { name: "SPM_L", group: Group::LocalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| mutex::local(Spin, s) },
-        Benchmark { name: "SPMBO_L", group: Group::LocalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| mutex::local(SpinBackoff, s) },
-        Benchmark { name: "SS_L", group: Group::LocalSync, table4_input: "readers 10 Ld, writers 20 St", build: |s| semaphore::spin_semaphore(s, false) },
-        Benchmark { name: "SSBO_L", group: Group::LocalSync, table4_input: "readers 10 Ld, writers 20 St", build: |s| semaphore::spin_semaphore(s, true) },
-        Benchmark { name: "TBEX_LG", group: Group::LocalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| barrier::tree_barrier(s, true) },
-        Benchmark { name: "TB_LG", group: Group::LocalSync, table4_input: "3 TBs/CU, 100 iters, 10 Ld&St", build: |s| barrier::tree_barrier(s, false) },
-        Benchmark { name: "UTS", group: Group::LocalSync, table4_input: "16K nodes", build: uts::uts },
+        Benchmark {
+            name: "FAM_L",
+            group: Group::LocalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| mutex::local(FetchAdd, s),
+        },
+        Benchmark {
+            name: "SLM_L",
+            group: Group::LocalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| mutex::local(Sleep, s),
+        },
+        Benchmark {
+            name: "SPM_L",
+            group: Group::LocalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| mutex::local(Spin, s),
+        },
+        Benchmark {
+            name: "SPMBO_L",
+            group: Group::LocalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| mutex::local(SpinBackoff, s),
+        },
+        Benchmark {
+            name: "SS_L",
+            group: Group::LocalSync,
+            table4_input: "readers 10 Ld, writers 20 St",
+            build: |s| semaphore::spin_semaphore(s, false),
+        },
+        Benchmark {
+            name: "SSBO_L",
+            group: Group::LocalSync,
+            table4_input: "readers 10 Ld, writers 20 St",
+            build: |s| semaphore::spin_semaphore(s, true),
+        },
+        Benchmark {
+            name: "TBEX_LG",
+            group: Group::LocalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| barrier::tree_barrier(s, true),
+        },
+        Benchmark {
+            name: "TB_LG",
+            group: Group::LocalSync,
+            table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
+            build: |s| barrier::tree_barrier(s, false),
+        },
+        Benchmark {
+            name: "UTS",
+            group: Group::LocalSync,
+            table4_input: "16K nodes",
+            build: uts::uts,
+        },
     ]
 }
 

@@ -234,8 +234,9 @@ pub fn local(algo: MutexAlgo, scale: Scale) -> Workload {
     // Interleave lock and data allocations so CU c's lock lands on L2
     // bank 2c mod 16 — decorrelated from the CU's own node, as arbitrary
     // heap addresses would be (only CU 0 is "lucky").
-    let (locks, datas): (Vec<Value>, Vec<Value>) =
-        (0..p.cus).map(|_| (layout.alloc(2), layout.alloc(p.ld_st))).unzip();
+    let (locks, datas): (Vec<Value>, Vec<Value>) = (0..p.cus)
+        .map(|_| (layout.alloc(2), layout.alloc(p.ld_st)))
+        .unzip();
     let program = mutex_program(algo, Scope::Local, &p);
     let tbs = (0..p.total_tbs() as u32)
         .map(|i| {

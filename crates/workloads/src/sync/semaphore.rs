@@ -183,7 +183,11 @@ pub fn spin_semaphore(scale: Scale, backoff: bool) -> Workload {
     let sems_init = sems.clone();
     let datas_init = datas.clone();
     Workload {
-        name: if backoff { "SSBO_L".into() } else { "SS_L".into() },
+        name: if backoff {
+            "SSBO_L".into()
+        } else {
+            "SS_L".into()
+        },
         init: Box::new(move |mem| {
             for cu in 0..cus {
                 mem.write_u32_slice(Layout::byte_addr(sems_init[cu]), &[READERS]);

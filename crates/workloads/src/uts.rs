@@ -23,9 +23,7 @@ use crate::layout::Layout;
 use crate::params::Scale;
 use gsim_core::kernel::{imm, r, AluOp, KernelBuilder, Program};
 use gsim_core::{KernelLaunch, TbSpec, Workload};
-use gsim_types::{AtomicOp, Region, Scope, SyncOrd, Value};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gsim_types::{AtomicOp, Region, Rng64, Scope, SyncOrd, Value};
 use std::sync::Arc;
 
 /// Local queue capacity in nodes (small enough that bushy subtrees
@@ -51,7 +49,7 @@ impl Tree {
     /// Generates a deterministic unbalanced tree with exactly `n` nodes.
     pub fn generate(n: usize, seed: u64) -> Tree {
         assert!(n >= 1);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut kids_start = vec![0u32; n];
         let mut kids_count = vec![0u32; n];
         let mut next = 1usize;
@@ -59,8 +57,8 @@ impl Tree {
             kids_start[i] = next as u32;
             if next < n {
                 // Skewed: many leaves, a few bushy nodes -> unbalanced.
-                let c = match rng.gen_range(0..100) {
-                    0..45 => 0,
+                let c = match rng.gen_u32(0, 100) {
+                    0..45 => 0usize,
                     45..75 => 1,
                     75..90 => 2,
                     90..97 => 3,

@@ -62,7 +62,11 @@ fn narrate(msg: &Msg) {
 
 fn kind_name(msg: &Msg) -> String {
     let k = format!("{:?}", msg.kind);
-    k.split_whitespace().next().unwrap_or("?").trim_end_matches('{').to_string()
+    k.split_whitespace()
+        .next()
+        .unwrap_or("?")
+        .trim_end_matches('{')
+        .to_string()
         + &format!(" [{} flits]", msg.flits())
 }
 
@@ -74,11 +78,21 @@ fn main() {
     println!("then flash-invalidates the whole L1.\n");
     let mut g1 = GpuL1::new(L1Config::micro15(NodeId(2)));
     let mut g2 = GpuL2::new(L2Config::default(), MemoryImage::new());
-    let (issue, actions) = g1.atomic(word, AtomicOp::Exch, [1, 0], SyncOrd::AcqRel, false, ReqId(1));
+    let (issue, actions) = g1.atomic(
+        word,
+        AtomicOp::Exch,
+        [1, 0],
+        SyncOrd::AcqRel,
+        false,
+        ReqId(1),
+    );
     assert_eq!(issue, Issue::Pending);
     pump_gpu(&mut g1, &mut g2, actions);
     g1.acquire(false);
-    println!("    (flash invalidation: {} words dropped)\n", g1.counts().words_invalidated);
+    println!(
+        "    (flash invalidation: {} words dropped)\n",
+        g1.counts().words_invalidated
+    );
     println!("Every later acquire repeats the same L2 round trip: GPU");
     println!("coherence cannot reuse synchronization variables in the L1.\n");
 

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         format!("unknown benchmark {name:?}; one of {names:?}")
     })?;
 
-    println!("== {} ({:?}, input: {}) ==", bench.name, bench.group, bench.table4_input);
+    println!(
+        "== {} ({:?}, input: {}) ==",
+        bench.name, bench.group, bench.table4_input
+    );
     println!(
         "{:<8} {:>12} {:>14} {:>16} {:>10}",
         "config", "cycles", "energy (nJ)", "traffic (flits)", "L1 hit %"

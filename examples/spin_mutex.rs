@@ -12,10 +12,8 @@
 //! ```
 
 use gpu_denovo::sim::kernel::{imm, r, AluOp, KernelBuilder};
-use gpu_denovo::{
-    KernelLaunch, ProtocolConfig, Simulator, SystemConfig, TbSpec, Workload,
-};
 use gpu_denovo::types::{AtomicOp, Scope, SyncOrd, WordAddr};
+use gpu_denovo::{KernelLaunch, ProtocolConfig, Simulator, SystemConfig, TbSpec, Workload};
 
 const TBS: u32 = 45;
 const ITERS: u32 = 20;
@@ -28,12 +26,28 @@ fn counter_workload() -> Workload {
     b.mov(3, imm(ITERS));
     b.label("iter");
     b.label("spin");
-    b.atomic(4, b.at(1, 0), AtomicOp::Exch, imm(1), imm(0), SyncOrd::AcqRel, Scope::Global);
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Exch,
+        imm(1),
+        imm(0),
+        SyncOrd::AcqRel,
+        Scope::Global,
+    );
     b.bnz(r(4), "spin");
     b.ld(5, b.at(2, 0)); // plain loads/stores: the lock protects them
     b.alu_add(5, r(5), imm(1));
     b.st(b.at(2, 0), r(5));
-    b.atomic(4, b.at(1, 0), AtomicOp::Write, imm(0), imm(0), SyncOrd::Release, Scope::Global);
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(0),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
     b.alu(3, r(3), AluOp::Sub, imm(1));
     b.bnz(r(3), "iter");
     b.halt();

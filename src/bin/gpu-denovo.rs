@@ -9,6 +9,7 @@
 //! gpu-denovo sweep --group global --paper
 //! ```
 
+use gpu_denovo::trace::{to_chrome_json, RingRecorder, TraceHandle};
 use gpu_denovo::types::MsgClass;
 use gpu_denovo::{registry, ProtocolConfig, Scale, SimStats, Simulator, SystemConfig};
 use std::process::ExitCode;
@@ -23,10 +24,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          gpu-denovo list\n  \
-         gpu-denovo run <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--detail]\n  \
+         gpu-denovo run <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--detail] [--hist]\n  \
          gpu-denovo compare <BENCH> [--paper]\n  \
-         gpu-denovo sweep [--group nosync|global|local] [--paper]\n\n\
-         <BENCH> is a Table 4 abbreviation (see `gpu-denovo list`)."
+         gpu-denovo sweep [--group nosync|global|local] [--paper]\n  \
+         gpu-denovo trace <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] --out <FILE>\n\n\
+         <BENCH> is a Table 4 abbreviation (see `gpu-denovo list`).\n\
+         `trace` writes a Chrome/Perfetto trace (load it at ui.perfetto.dev\n\
+         or chrome://tracing)."
     );
     ExitCode::FAILURE
 }
@@ -44,6 +48,19 @@ fn run_one(name: &str, p: ProtocolConfig, s: Scale) -> Result<SimStats, String> 
     Simulator::new(SystemConfig::micro15(p))
         .run(&(b.build)(s))
         .map_err(|e| format!("{name} under {p}: {e}"))
+}
+
+/// Ring capacity for `gpu-denovo trace`: enough for any Tiny-scale run
+/// and the tail of a Paper-scale one (the drop count is reported).
+const TRACE_CAPACITY: usize = 1 << 20;
+
+fn trace_one(name: &str, p: ProtocolConfig, s: Scale) -> Result<(SimStats, TraceHandle), String> {
+    let b = registry::by_name(name).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+    let handle = TraceHandle::new(RingRecorder::new(TRACE_CAPACITY));
+    let stats = Simulator::new(SystemConfig::micro15(p))
+        .run_traced(&(b.build)(s), handle.clone())
+        .map_err(|e| format!("{name} under {p}: {e}"))?;
+    Ok((stats, handle))
 }
 
 fn print_row(p: ProtocolConfig, stats: &SimStats) {
@@ -76,7 +93,10 @@ fn print_detail(stats: &SimStats) {
         "L1 atomics (hits)       {:>14} ({})",
         c.l1_atomics, c.l1_atomic_hits
     );
-    println!("L2 accesses (atomics)   {:>14} ({})", c.l2_accesses, c.l2_atomics);
+    println!(
+        "L2 accesses (atomics)   {:>14} ({})",
+        c.l2_accesses, c.l2_atomics
+    );
     println!("scratch accesses        {:>14}", c.scratch_accesses);
     println!(
         "DRAM reads/writes       {:>14} / {}",
@@ -98,7 +118,11 @@ fn print_detail(stats: &SimStats) {
     println!("messages sent           {:>14}", c.messages_sent);
     println!("\n-- traffic (flit crossings) --");
     for class in MsgClass::ALL {
-        println!("{:<8}               {:>14}", class.label(), stats.traffic.class(class));
+        println!(
+            "{:<8}               {:>14}",
+            class.label(),
+            stats.traffic.class(class)
+        );
     }
     println!("\n-- energy (nJ) --");
     let e = &stats.energy;
@@ -129,7 +153,12 @@ fn main() -> ExitCode {
         "list" => {
             println!("{:<10} {:<12} Table 4 input", "name", "group");
             for b in registry::all().into_iter().chain(registry::extensions()) {
-                println!("{:<10} {:<12} {}", b.name, format!("{:?}", b.group), b.table4_input);
+                println!(
+                    "{:<10} {:<12} {}",
+                    b.name,
+                    format!("{:?}", b.group),
+                    b.table4_input
+                );
             }
             ExitCode::SUCCESS
         }
@@ -154,7 +183,61 @@ fn main() -> ExitCode {
                     if args.iter().any(|a| a == "--detail") {
                         print_detail(&stats);
                     }
+                    if args.iter().any(|a| a == "--hist") {
+                        println!("\n-- latency percentiles (cycles) --");
+                        print!("{}", stats.latency);
+                    }
                     println!("\nrun verified functionally.");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "trace" => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let config = args
+                .iter()
+                .position(|a| a == "--config")
+                .and_then(|i| args.get(i + 1))
+                .map(|s| parse_config(s))
+                .unwrap_or(Some(ProtocolConfig::Dd));
+            let Some(config) = config else {
+                eprintln!("unknown config (one of GD, GH, DD, DD+RO, DH)");
+                return ExitCode::FAILURE;
+            };
+            let Some(out) = args
+                .iter()
+                .position(|a| a == "--out")
+                .and_then(|i| args.get(i + 1))
+            else {
+                eprintln!("trace requires --out <FILE>");
+                return ExitCode::FAILURE;
+            };
+            match trace_one(name, config, scale(&args)) {
+                Ok((stats, handle)) => {
+                    let rec = handle.recorder().expect("ring-backed handle").borrow();
+                    let json = to_chrome_json(&rec);
+                    if let Err(e) = std::fs::write(out, &json) {
+                        eprintln!("writing {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    let mut cats: Vec<&str> =
+                        rec.events().map(|(_, ev)| ev.category().label()).collect();
+                    cats.sort_unstable();
+                    cats.dedup();
+                    println!(
+                        "wrote {out}: {} events ({} dropped), {} cycles simulated",
+                        rec.len(),
+                        rec.dropped(),
+                        stats.cycles
+                    );
+                    println!("categories: {}", cats.join(", "));
+                    println!("open at ui.perfetto.dev or chrome://tracing.");
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

@@ -42,6 +42,7 @@
 //! | simulation core | [`sim`] | kernel IR, CU model, DRF/HRF enforcement, engine |
 //! | energy | [`energy`] | GPUWattch/McPAT-style per-event model |
 //! | workloads | [`workloads`] | all 23 Table 4 benchmarks, functionally verified |
+//! | tracing | [`trace`] | structured events, ring recorder, Chrome/Perfetto export |
 //!
 //! Every table and figure of the paper regenerates from the benches in
 //! `crates/bench` (see EXPERIMENTS.md for the index and the measured
@@ -52,6 +53,7 @@ pub use gsim_energy as energy;
 pub use gsim_mem as mem;
 pub use gsim_noc as noc;
 pub use gsim_protocol as protocol;
+pub use gsim_trace as trace;
 pub use gsim_types as types;
 pub use gsim_workloads as workloads;
 

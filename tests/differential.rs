@@ -9,13 +9,8 @@
 //! computed host-side and every configuration is checked against it.
 
 use gpu_denovo::sim::kernel::{imm, r, AluOp, KernelBuilder};
-use gpu_denovo::types::{AtomicOp, Scope, SyncOrd, WordAddr};
-use gpu_denovo::{
-    KernelLaunch, ProtocolConfig, Simulator, SystemConfig, TbSpec, Workload,
-};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gpu_denovo::types::{AtomicOp, Rng64, Scope, SyncOrd, WordAddr};
+use gpu_denovo::{KernelLaunch, ProtocolConfig, Simulator, SystemConfig, TbSpec, Workload};
 
 const TBS: usize = 30;
 const REGION_WORDS: u32 = 24; // private words per block (1.5 lines)
@@ -24,32 +19,44 @@ const SHARED_WORDS: u32 = 6;
 /// One generated private-region operation.
 #[derive(Clone, Copy, Debug)]
 enum Op {
-    Store { off: u32, val: u32 },
+    Store {
+        off: u32,
+        val: u32,
+    },
     /// `region[dst] = region[src] + addend` — creates load-use chains.
-    Combine { src: u32, dst: u32, addend: u32 },
+    Combine {
+        src: u32,
+        dst: u32,
+        addend: u32,
+    },
     /// One lock-protected increment round over the shared words.
-    Critical { idx: u32, add: u32 },
-    Compute { cycles: u32 },
+    Critical {
+        idx: u32,
+        add: u32,
+    },
+    Compute {
+        cycles: u32,
+    },
 }
 
-fn gen_ops(rng: &mut SmallRng, n: usize) -> Vec<Op> {
+fn gen_ops(rng: &mut Rng64, n: usize) -> Vec<Op> {
     (0..n)
-        .map(|_| match rng.gen_range(0..10) {
+        .map(|_| match rng.gen_u32(0, 10) {
             0..4 => Op::Store {
-                off: rng.gen_range(0..REGION_WORDS),
-                val: rng.gen_range(1..1000),
+                off: rng.gen_u32(0, REGION_WORDS),
+                val: rng.gen_u32(1, 1000),
             },
             4..7 => Op::Combine {
-                src: rng.gen_range(0..REGION_WORDS),
-                dst: rng.gen_range(0..REGION_WORDS),
-                addend: rng.gen_range(0..100),
+                src: rng.gen_u32(0, REGION_WORDS),
+                dst: rng.gen_u32(0, REGION_WORDS),
+                addend: rng.gen_u32(0, 100),
             },
             7..9 => Op::Critical {
-                idx: rng.gen_range(0..SHARED_WORDS),
-                add: rng.gen_range(1..10),
+                idx: rng.gen_u32(0, SHARED_WORDS),
+                add: rng.gen_u32(1, 10),
             },
             _ => Op::Compute {
-                cycles: rng.gen_range(1..60),
+                cycles: rng.gen_u32(1, 60),
             },
         })
         .collect()
@@ -57,7 +64,7 @@ fn gen_ops(rng: &mut SmallRng, n: usize) -> Vec<Op> {
 
 /// Builds the workload for a seed and the host-computed expected state.
 fn build(seed: u64) -> (Workload, Vec<(u64, u32)>) {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     // Layout: lock at word 0; shared array at word 16; block regions
     // from word 32, each starting on a fresh line.
     let lock = 0u32;
@@ -121,12 +128,28 @@ fn build(seed: u64) -> (Workload, Vec<(u64, u32)>) {
                 Op::Critical { idx, add } => {
                     let spin = format!("spin{t}_{k}");
                     b.label(&spin);
-                    b.atomic(4, b.at(3, 0), AtomicOp::Exch, imm(1), imm(0), SyncOrd::AcqRel, Scope::Global);
+                    b.atomic(
+                        4,
+                        b.at(3, 0),
+                        AtomicOp::Exch,
+                        imm(1),
+                        imm(0),
+                        SyncOrd::AcqRel,
+                        Scope::Global,
+                    );
                     b.bnz(r(4), &spin);
                     b.ld(5, b.at(2, idx));
                     b.alu(5, r(5), AluOp::Add, imm(add));
                     b.st(b.at(2, idx), r(5));
-                    b.atomic(4, b.at(3, 0), AtomicOp::Write, imm(0), imm(0), SyncOrd::Release, Scope::Global);
+                    b.atomic(
+                        4,
+                        b.at(3, 0),
+                        AtomicOp::Write,
+                        imm(0),
+                        imm(0),
+                        SyncOrd::Release,
+                        Scope::Global,
+                    );
                 }
                 Op::Compute { cycles } => {
                     b.compute(imm(cycles));
@@ -154,14 +177,15 @@ fn build(seed: u64) -> (Workload, Vec<(u64, u32)>) {
     (w, expect)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 6, // each case runs 5 full simulations
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn all_configs_agree_on_random_drf_programs(seed in any::<u64>()) {
+/// Six derived seeds, each running all five configurations (the offline
+/// replacement for the old proptest generator — deterministic and
+/// reproducible from the printed seed).
+#[test]
+fn all_configs_agree_on_random_drf_programs() {
+    let mut rng = Rng64::seed_from_u64(0xd1ff);
+    for _ in 0..6 {
+        let seed = rng.next_u64();
+        eprintln!("drf seed {seed:#x}");
         for p in ProtocolConfig::ALL {
             let (w, _) = build(seed);
             Simulator::new(SystemConfig::micro15(p))
@@ -171,7 +195,7 @@ proptest! {
     }
 }
 
-/// A fixed-seed smoke case that always runs (proptest shrinks away).
+/// A fixed-seed smoke case with hand-picked seeds.
 #[test]
 fn fixed_seed_differential() {
     for seed in [1u64, 0xdead_beef, 42] {
@@ -189,7 +213,7 @@ fn fixed_seed_differential() {
 /// co-resident), exercising GH/DH's local paths differentially against
 /// the DRF configurations that ignore the scopes.
 fn build_local(seed: u64) -> Workload {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let cus = 15usize;
     // Per CU: lock at 64k-ish spaced lines; shared word; per-TB regions.
     let lock = |c: usize| (c * 64) as u32;
@@ -210,8 +234,7 @@ fn build_local(seed: u64) -> Workload {
                     reg_vals[dst as usize] = reg_vals[src as usize].wrapping_add(addend)
                 }
                 Op::Critical { idx, add } => {
-                    shared_vals[cu][idx as usize] =
-                        shared_vals[cu][idx as usize].wrapping_add(add)
+                    shared_vals[cu][idx as usize] = shared_vals[cu][idx as usize].wrapping_add(add)
                 }
                 Op::Compute { .. } => {}
             }
@@ -250,12 +273,28 @@ fn build_local(seed: u64) -> Workload {
                 Op::Critical { idx, add } => {
                     let spin = format!("spin{t}_{k}");
                     b.label(&spin);
-                    b.atomic(4, b.at(3, 0), AtomicOp::Exch, imm(1), imm(0), SyncOrd::AcqRel, Scope::Local);
+                    b.atomic(
+                        4,
+                        b.at(3, 0),
+                        AtomicOp::Exch,
+                        imm(1),
+                        imm(0),
+                        SyncOrd::AcqRel,
+                        Scope::Local,
+                    );
                     b.bnz(r(4), &spin);
                     b.ld(5, b.at(2, idx));
                     b.alu(5, r(5), AluOp::Add, imm(add));
                     b.st(b.at(2, idx), r(5));
-                    b.atomic(4, b.at(3, 0), AtomicOp::Write, imm(0), imm(0), SyncOrd::Release, Scope::Local);
+                    b.atomic(
+                        4,
+                        b.at(3, 0),
+                        AtomicOp::Write,
+                        imm(0),
+                        imm(0),
+                        SyncOrd::Release,
+                        Scope::Local,
+                    );
                 }
                 Op::Compute { cycles } => {
                     b.compute(imm(cycles));
@@ -283,14 +322,12 @@ fn build_local(seed: u64) -> Workload {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 4,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn all_configs_agree_on_random_hrf_local_programs(seed in any::<u64>()) {
+#[test]
+fn all_configs_agree_on_random_hrf_local_programs() {
+    let mut rng = Rng64::seed_from_u64(0x10ca1);
+    for _ in 0..4 {
+        let seed = rng.next_u64();
+        eprintln!("hrf seed {seed:#x}");
         for p in ProtocolConfig::ALL {
             let w = build_local(seed);
             Simulator::new(SystemConfig::micro15(p))

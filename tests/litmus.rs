@@ -37,12 +37,28 @@ fn message_passing() {
         // Producer.
         b.st(b.at(2, 0), imm(41));
         b.st(b.at(2, 1), imm(42));
-        b.atomic(3, b.at(1, 0), AtomicOp::Write, imm(1), imm(0), SyncOrd::Release, Scope::Global);
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
         b.halt();
         // Consumer.
         b.label("consumer");
         b.label("spin");
-        b.atomic(3, b.at(1, 0), AtomicOp::Read, imm(0), imm(0), SyncOrd::Acquire, Scope::Global);
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
         b.bz(r(3), "spin");
         b.ld(4, b.at(2, 0));
         b.ld(5, b.at(2, 1));
@@ -81,13 +97,29 @@ fn ring_handoff() {
         b.mov(3, imm(16 * N));
         b.bz(r(0), "leader");
         b.label("spin");
-        b.atomic(4, b.at(2, 0), AtomicOp::Read, imm(0), imm(0), SyncOrd::Acquire, Scope::Global);
+        b.atomic(
+            4,
+            b.at(2, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
         b.bz(r(4), "spin");
         b.label("leader");
         b.ld(5, b.at(3, 0));
         b.alu_add(5, r(5), imm(1));
         b.st(b.at(3, 0), r(5));
-        b.atomic(4, b.at(1, 0), AtomicOp::Write, imm(1), imm(0), SyncOrd::Release, Scope::Global);
+        b.atomic(
+            4,
+            b.at(1, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
         b.halt();
         let tbs = (0..N)
             .map(|i| {
@@ -130,11 +162,27 @@ fn local_scope_message_passing() {
         b.alu(3, r(6), gpu_denovo::sim::kernel::AluOp::CmpEq, imm(2));
         b.bnz(r(3), "consumer");
         b.st(b.at(2, 0), imm(7));
-        b.atomic(3, b.at(1, 0), AtomicOp::Write, imm(1), imm(0), SyncOrd::Release, Scope::Local);
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Local,
+        );
         b.halt();
         b.label("consumer");
         b.label("spin");
-        b.atomic(3, b.at(1, 0), AtomicOp::Read, imm(0), imm(0), SyncOrd::Acquire, Scope::Local);
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Local,
+        );
         b.bz(r(3), "spin");
         b.ld(4, b.at(2, 0));
         b.st(b.at(2, 1), r(4));

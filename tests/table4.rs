@@ -43,7 +43,10 @@ fn global_sync_shapes() {
             dd.cycles,
             gd.cycles
         );
-        assert!(dd.energy.total_pj() < gd.energy.total_pj(), "{name}: energy");
+        assert!(
+            dd.energy.total_pj() < gd.energy.total_pj(),
+            "{name}: energy"
+        );
         assert!(
             dd.traffic.total() * 2 < gd.traffic.total(),
             "{name}: DD traffic {} not well below GD {}",

@@ -1,0 +1,90 @@
+//! End-to-end tracing tests: the simulator's event stream must be a
+//! *deterministic function of the workload and configuration* — the
+//! whole point of tracing a simulator is reproducing the exact cycle
+//! you saw yesterday — and exported traces must carry the full event
+//! taxonomy and well-formed JSON.
+
+use gpu_denovo::trace::{to_chrome_json, RingRecorder, TraceHandle};
+use gpu_denovo::{registry, ProtocolConfig, Scale, Simulator, SystemConfig};
+use std::collections::BTreeSet;
+
+fn traced_run(name: &str, p: ProtocolConfig) -> (u64, String) {
+    let b = registry::by_name(name).expect("known benchmark");
+    let handle = TraceHandle::new(RingRecorder::new(1 << 20));
+    let stats = Simulator::new(SystemConfig::micro15(p))
+        .run_traced(&(b.build)(Scale::Tiny), handle.clone())
+        .expect("verified run");
+    let json = to_chrome_json(&handle.recorder().unwrap().borrow());
+    (stats.cycles, json)
+}
+
+/// Two traced runs of the same workload produce byte-identical traces.
+#[test]
+fn traced_runs_are_deterministic() {
+    for p in [ProtocolConfig::Dd, ProtocolConfig::Gd] {
+        let (cycles_a, json_a) = traced_run("SPM_G", p);
+        let (cycles_b, json_b) = traced_run("SPM_G", p);
+        assert_eq!(cycles_a, cycles_b, "cycle counts diverge under {p}");
+        assert_eq!(json_a, json_b, "trace bytes diverge under {p}");
+    }
+}
+
+/// A global-sync benchmark exercises at least six event categories
+/// (the paper's breakdown needs sync, protocol, sb, mshr, noc, and the
+/// tb/kernel lifecycle to attribute cycles).
+#[test]
+fn exported_trace_covers_the_taxonomy() {
+    let b = registry::by_name("SPM_G").expect("known benchmark");
+    let handle = TraceHandle::new(RingRecorder::new(1 << 20));
+    Simulator::new(SystemConfig::micro15(ProtocolConfig::Dd))
+        .run_traced(&(b.build)(Scale::Tiny), handle.clone())
+        .expect("verified run");
+    let rec = handle.recorder().unwrap().borrow();
+    let cats: BTreeSet<&str> = rec.events().map(|(_, ev)| ev.category().label()).collect();
+    assert!(
+        cats.len() >= 6,
+        "expected >= 6 distinct categories, got {cats:?}"
+    );
+    for want in ["tb", "kernel", "sync", "protocol", "mshr", "noc"] {
+        assert!(cats.contains(want), "missing category {want:?} in {cats:?}");
+    }
+}
+
+/// The exported JSON is structurally sound: one object, balanced
+/// duration begin/end markers, and the drop accounting footer.
+#[test]
+fn exported_json_is_well_formed() {
+    let (_, json) = traced_run("SPM_G", ProtocolConfig::Dd);
+    assert!(json.starts_with("{\"traceEvents\":[\n"));
+    assert!(json.ends_with('}'));
+    let begins = json.matches("\"ph\":\"B\"").count();
+    let ends = json.matches("\"ph\":\"E\"").count();
+    assert_eq!(begins, ends, "unbalanced duration events");
+    assert!(begins > 0, "no duration slices at all");
+    assert!(json.contains("\"otherData\":{\"recorded\":"));
+    // Each line of the event array is one JSON object.
+    for line in json.lines().skip(1) {
+        let line = line.trim_end_matches(',');
+        if line.starts_with('{') {
+            assert!(line.ends_with('}'), "truncated event line: {line}");
+        }
+    }
+}
+
+/// An untraced run and a traced run agree on every statistic — the
+/// instrumentation observes, it must not perturb.
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let b = registry::by_name("UTS").expect("known benchmark");
+    let plain = Simulator::new(SystemConfig::micro15(ProtocolConfig::Dh))
+        .run(&(b.build)(Scale::Tiny))
+        .expect("verified run");
+    let handle = TraceHandle::new(RingRecorder::new(1 << 16));
+    let traced = Simulator::new(SystemConfig::micro15(ProtocolConfig::Dh))
+        .run_traced(&(b.build)(Scale::Tiny), handle)
+        .expect("verified run");
+    assert_eq!(plain.cycles, traced.cycles);
+    assert_eq!(plain.counts, traced.counts);
+    assert_eq!(plain.traffic, traced.traffic);
+    assert_eq!(plain.latency, traced.latency);
+}
