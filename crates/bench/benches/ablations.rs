@@ -14,6 +14,7 @@
 
 use gsim_bench::{run, run_with, save};
 use gsim_core::SystemConfig;
+use gsim_harness::run_parallel;
 use gsim_mem::CacheGeometry;
 use gsim_types::ProtocolConfig;
 use std::fmt::Write as _;
@@ -21,30 +22,37 @@ use std::fmt::Write as _;
 fn main() {
     let mut out = String::new();
 
+    // Every ablation sweeps independent (parameter, config) points, so
+    // each fans its grid out through the harness pool (0 = all cores)
+    // and formats the ordered results serially.
     let _ = writeln!(out, "=== Ablation 1: store-buffer size (LAVA, SRAD) ===\n");
     let _ = writeln!(
         out,
         "{:<8} {:>8} {:>14} {:>14} {:>16} {:>14}",
         "bench", "entries", "GD cycles", "DD cycles", "GD overflow WTs", "GD/DD traffic"
     );
-    for bench in ["LAVA", "SRAD"] {
-        for entries in [64, 128, 256, 512] {
-            let mut gd = SystemConfig::micro15(ProtocolConfig::Gd);
-            gd.sb_entries = entries;
-            let mut dd = SystemConfig::micro15(ProtocolConfig::Dd);
-            dd.sb_entries = entries;
-            let (g, d) = (run_with(bench, gd), run_with(bench, dd));
-            let _ = writeln!(
-                out,
-                "{:<8} {:>8} {:>14} {:>14} {:>16} {:>13.2}x",
-                bench,
-                entries,
-                g.cycles,
-                d.cycles,
-                g.counts.sb_overflow_flushes,
-                g.traffic.total() as f64 / d.traffic.total() as f64
-            );
-        }
+    let points: Vec<(&str, usize)> = ["LAVA", "SRAD"]
+        .into_iter()
+        .flat_map(|b| [64, 128, 256, 512].map(|e| (b, e)))
+        .collect();
+    let runs = run_parallel(&points, 0, |&(bench, entries)| {
+        let mut gd = SystemConfig::micro15(ProtocolConfig::Gd);
+        gd.sb_entries = entries;
+        let mut dd = SystemConfig::micro15(ProtocolConfig::Dd);
+        dd.sb_entries = entries;
+        (run_with(bench, gd), run_with(bench, dd))
+    });
+    for (&(bench, entries), (g, d)) in points.iter().zip(&runs) {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>14} {:>14} {:>16} {:>13.2}x",
+            bench,
+            entries,
+            g.cycles,
+            d.cycles,
+            g.counts.sb_overflow_flushes,
+            g.traffic.total() as f64 / d.traffic.total() as f64
+        );
     }
     let _ = writeln!(
         out,
@@ -62,9 +70,14 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>18} {:>18}",
         "bench", "DD cycles", "DD+RO", "DD invalidated", "DD+RO invalidated"
     );
-    for bench in ["UTS", "SGEMM", "NN", "SPM_L"] {
-        let d = run(bench, ProtocolConfig::Dd);
-        let r = run(bench, ProtocolConfig::DdRo);
+    let benches = ["UTS", "SGEMM", "NN", "SPM_L"];
+    let runs = run_parallel(&benches, 0, |&bench| {
+        (
+            run(bench, ProtocolConfig::Dd),
+            run(bench, ProtocolConfig::DdRo),
+        )
+    });
+    for (&bench, (d, r)) in benches.iter().zip(&runs) {
         let _ = writeln!(
             out,
             "{:<8} {:>12} {:>12} {:>18} {:>18}",
@@ -81,11 +94,13 @@ fn main() {
         "{:<8} {:>14} {:>14} {:>14} {:>14} {:>13}",
         "bench", "DH cycles", "DH+delay", "DH regs", "DH+delay regs", "atomic flits"
     );
-    for bench in ["SPM_L", "FAM_L", "SS_L", "TB_LG"] {
-        let base = run(bench, ProtocolConfig::Dh);
+    let benches = ["SPM_L", "FAM_L", "SS_L", "TB_LG"];
+    let runs = run_parallel(&benches, 0, |&bench| {
         let mut cfg = SystemConfig::micro15(ProtocolConfig::Dh);
         cfg.dh_delayed_ownership = true;
-        let delayed = run_with(bench, cfg);
+        (run(bench, ProtocolConfig::Dh), run_with(bench, cfg))
+    });
+    for (&bench, (base, delayed)) in benches.iter().zip(&runs) {
         let _ = writeln!(
             out,
             "{:<8} {:>14} {:>14} {:>14} {:>14} {:>6} -> {:>4}",
@@ -108,7 +123,8 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>14}",
         "L1 KB", "GD cycles", "DD cycles", "DD advantage"
     );
-    for kb in [8u64, 16, 32, 64] {
+    let sizes = [8u64, 16, 32, 64];
+    let runs = run_parallel(&sizes, 0, |&kb| {
         let geom = CacheGeometry {
             size_bytes: kb * 1024,
             ways: 8,
@@ -117,7 +133,9 @@ fn main() {
         gd.l1_geometry = geom;
         let mut dd = SystemConfig::micro15(ProtocolConfig::Dd);
         dd.l1_geometry = geom;
-        let (g, d) = (run_with("LAVA", gd), run_with("LAVA", dd));
+        (run_with("LAVA", gd), run_with("LAVA", dd))
+    });
+    for (&kb, (g, d)) in sizes.iter().zip(&runs) {
         let _ = writeln!(
             out,
             "{:<8} {:>12} {:>12} {:>13.1}%",
@@ -137,11 +155,13 @@ fn main() {
         "{:<8} {:>12} {:>14} {:>14} {:>14}",
         "bench", "DD cycles", "DD+BO cycles", "DD atm flits", "DD+BO flits"
     );
-    for bench in ["FAM_G", "SPM_G", "SLM_G", "UTS"] {
-        let base = run(bench, ProtocolConfig::Dd);
+    let benches = ["FAM_G", "SPM_G", "SLM_G", "UTS"];
+    let runs = run_parallel(&benches, 0, |&bench| {
         let mut cfg = SystemConfig::micro15(ProtocolConfig::Dd);
         cfg.denovo_sync_backoff = true;
-        let bo = run_with(bench, cfg);
+        (run(bench, ProtocolConfig::Dd), run_with(bench, cfg))
+    });
+    for (&bench, (base, bo)) in benches.iter().zip(&runs) {
         let _ = writeln!(
             out,
             "{:<8} {:>12} {:>14} {:>14} {:>14}",

@@ -7,6 +7,7 @@
 //! fixed number of timed iterations, reporting min/mean wall time.
 
 use gsim_core::{Simulator, SystemConfig};
+use gsim_harness::{full_matrix, run_cells};
 use gsim_types::ProtocolConfig;
 use gsim_workloads::{registry, Scale};
 use std::hint::black_box;
@@ -35,6 +36,28 @@ fn bench_config(name: &str, protocol: ProtocolConfig) {
     println!("{name}/{protocol}: min {min:>10.2?}  mean {mean:>10.2?}  ({cycles} sim cycles)");
 }
 
+/// Wall time of the full Table 4 matrix (115 cells, Tiny scale, cache
+/// disabled) at each worker count: the harness scaling curve. On an
+/// N-core machine jobs=N should approach N x jobs=1; on one core the
+/// pool must cost nothing (jobs=1 runs inline).
+fn bench_harness_scaling() {
+    let cores = gsim_harness::default_jobs();
+    println!("\nharness scaling (full Tiny matrix, no cache, {cores} cores available)");
+    let cells = full_matrix(Scale::Tiny);
+    let mut base = None;
+    for jobs in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let results = run_cells(&cells, jobs, None).expect("all cells verify");
+        let t = start.elapsed();
+        black_box(results.len());
+        let speedup = base.get_or_insert(t).as_secs_f64() / t.as_secs_f64();
+        println!(
+            "  jobs={jobs}: {t:>10.2?} for {} cells  ({speedup:.2}x vs jobs=1)",
+            cells.len()
+        );
+    }
+}
+
 fn main() {
     println!("simulator throughput ({ITERS} iterations per case, Tiny scale)");
     for protocol in [ProtocolConfig::Gd, ProtocolConfig::Gh, ProtocolConfig::Dd] {
@@ -42,4 +65,5 @@ fn main() {
         bench_config("UTS", protocol);
         bench_config("SGEMM", protocol);
     }
+    bench_harness_scaling();
 }

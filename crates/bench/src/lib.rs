@@ -4,8 +4,13 @@
 //! Each `cargo bench` target prints the paper-formatted result to stdout
 //! and writes a machine-readable CSV under `target/paper-results/`,
 //! which EXPERIMENTS.md records.
+//!
+//! Figure panels fan their (benchmark, config) grids through the
+//! parallel harness with the shared result cache, so re-generating a
+//! figure after an unrelated change is mostly cache hits.
 
 use gsim_core::{Simulator, SystemConfig};
+use gsim_harness::{matrix_of, run_cells, ResultCache};
 use gsim_types::{EnergyBreakdown, MsgClass, ProtocolConfig, SimStats};
 use gsim_workloads::{registry, Scale};
 use std::fmt::Write as _;
@@ -134,23 +139,43 @@ pub fn three_panels(
     labels: &[&str],
     baseline: usize,
 ) -> [Panel; 3] {
+    let cells = matrix_of(benches, configs, Scale::Paper);
+    let cache = ResultCache::open_default().ok();
+    eprintln!(
+        "  running {} cells ({} benchmarks x {} configs) in parallel ...",
+        cells.len(),
+        benches.len(),
+        configs.len()
+    );
+    let results = run_cells(&cells, 0, cache.as_ref()).unwrap_or_else(|e| panic!("{e}"));
+    if let Some(c) = &cache {
+        eprintln!(
+            "  cache: {} of {} cells served from {}",
+            c.hits(),
+            cells.len(),
+            c.dir().display()
+        );
+    }
+
     let mut time_rows = Vec::new();
     let mut energy_rows = Vec::new();
     let mut traffic_rows = Vec::new();
-    for &bench in benches {
-        eprintln!("  running {bench} ...");
-        let stats: Vec<SimStats> = configs.iter().map(|&p| run(bench, p)).collect();
+    for (bi, &bench) in benches.iter().enumerate() {
+        // Cell order is bench-major: this benchmark's configs are one chunk.
+        let stats = results[bi * configs.len()..(bi + 1) * configs.len()]
+            .iter()
+            .map(|r| &r.stats);
         time_rows.push((
             bench.to_string(),
-            stats.iter().map(|s| s.cycles as f64).collect(),
+            stats.clone().map(|s| s.cycles as f64).collect(),
         ));
         energy_rows.push((
             bench.to_string(),
-            stats.iter().map(|s| s.energy.total_pj()).collect(),
+            stats.clone().map(|s| s.energy.total_pj()).collect(),
         ));
         traffic_rows.push((
             bench.to_string(),
-            stats.iter().map(|s| s.traffic.total() as f64).collect(),
+            stats.map(|s| s.traffic.total() as f64).collect(),
         ));
     }
     let labels: Vec<String> = labels.iter().map(|s| s.to_string()).collect();

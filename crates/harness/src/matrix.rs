@@ -1,0 +1,244 @@
+//! The experiment matrix: cells, the cached parallel runner, and the
+//! machine-readable emitters.
+//!
+//! A [`Cell`] names one run — (benchmark, configuration, scale) — and
+//! [`run_cells`] executes any cell list through the job pool, consulting
+//! the [`ResultCache`](crate::ResultCache) per cell. Results come back
+//! in cell order with identical bytes from [`to_csv`]/[`to_json`]
+//! whatever the worker count, and whether a cell was computed or served
+//! from cache.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::pool;
+use gsim_core::{Simulator, SystemConfig};
+use gsim_types::{JsonValue, ProtocolConfig, SimStats};
+use gsim_workloads::registry::{self, Group};
+use gsim_workloads::Scale;
+
+/// One experiment: a benchmark under a configuration at a scale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// Benchmark name (Table 4 abbreviation, e.g. `"SPM_G"`).
+    pub bench: String,
+    /// Protocol/consistency configuration.
+    pub config: ProtocolConfig,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+/// The outcome of one cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: Cell,
+    /// Its (functionally verified) statistics.
+    pub stats: SimStats,
+    /// Whether the result came from the cache instead of a fresh run.
+    pub from_cache: bool,
+}
+
+/// The full Table 4 grid: every registered benchmark under every one of
+/// the five configurations, in presentation order.
+pub fn full_matrix(scale: Scale) -> Vec<Cell> {
+    matrix_of(
+        &registry::all().iter().map(|b| b.name).collect::<Vec<_>>(),
+        &ProtocolConfig::ALL,
+        scale,
+    )
+}
+
+/// The grid restricted to one Table 4 group (`None` = all groups).
+pub fn group_matrix(group: Option<Group>, scale: Scale) -> Vec<Cell> {
+    let benches: Vec<&str> = registry::all()
+        .iter()
+        .filter(|b| group.is_none_or(|g| b.group == g))
+        .map(|b| b.name)
+        .collect();
+    matrix_of(&benches, &ProtocolConfig::ALL, scale)
+}
+
+/// An arbitrary benches × configs grid.
+pub fn matrix_of(benches: &[&str], configs: &[ProtocolConfig], scale: Scale) -> Vec<Cell> {
+    benches
+        .iter()
+        .flat_map(|&bench| {
+            configs.iter().map(move |&config| Cell {
+                bench: bench.to_string(),
+                config,
+                scale,
+            })
+        })
+        .collect()
+}
+
+/// The cache key of a cell run through [`run_cells`] (the Table 3
+/// `micro15` system). Exposed so tests and the CLI can reason about
+/// what invalidates what.
+pub fn cell_key(cell: &Cell) -> Result<CacheKey, String> {
+    let b = registry::by_name(&cell.bench)
+        .ok_or_else(|| format!("unknown benchmark {:?}", cell.bench))?;
+    Ok(CacheKey {
+        bench: cell.bench.clone(),
+        config: cell.config,
+        scale: cell.scale,
+        params: format!("micro15;{}", b.table4_input),
+    })
+}
+
+/// Runs one cell, consulting the cache first. Fresh results are
+/// functionally verified by the simulator before they are stored.
+pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, String> {
+    let key = cell_key(cell)?;
+    if let Some(c) = cache {
+        if let Some(stats) = c.get(&key) {
+            return Ok(CellResult {
+                cell: cell.clone(),
+                stats,
+                from_cache: true,
+            });
+        }
+    }
+    let b = registry::by_name(&cell.bench).expect("checked by cell_key");
+    let stats = Simulator::new(SystemConfig::micro15(cell.config))
+        .run(&(b.build)(cell.scale))
+        .map_err(|e| format!("{} under {}: {e}", cell.bench, cell.config))?;
+    if let Some(c) = cache {
+        c.put(&key, &stats);
+    }
+    Ok(CellResult {
+        cell: cell.clone(),
+        stats,
+        from_cache: false,
+    })
+}
+
+/// Executes every cell on `jobs` workers (0 = auto), returning results
+/// in cell order. The first failing cell's error is returned (all
+/// in-flight cells still finish first).
+pub fn run_cells(
+    cells: &[Cell],
+    jobs: usize,
+    cache: Option<&ResultCache>,
+) -> Result<Vec<CellResult>, String> {
+    pool::run_parallel(cells, jobs, |cell| run_cell(cell, cache))
+        .into_iter()
+        .collect()
+}
+
+fn scale_slug(scale: Scale) -> String {
+    format!("{scale:?}").to_lowercase()
+}
+
+/// Renders results as CSV: identifying columns, then the full
+/// [`SimStats::csv_header`] column set. Byte-deterministic in the cell
+/// list — independent of worker count and cache state.
+pub fn to_csv(results: &[CellResult]) -> String {
+    let mut s = String::new();
+    s.push_str("benchmark,config,scale,");
+    s.push_str(&SimStats::csv_header());
+    s.push('\n');
+    for r in results {
+        s.push_str(&format!(
+            "{},{},{},{}\n",
+            r.cell.bench,
+            r.cell.config.abbrev(),
+            scale_slug(r.cell.scale),
+            r.stats.csv_row()
+        ));
+    }
+    s
+}
+
+/// Renders results as a JSON document with the full per-cell statistics
+/// (including latency histograms, which CSV omits). Byte-deterministic
+/// like [`to_csv`].
+pub fn to_json(results: &[CellResult]) -> String {
+    let cells = results
+        .iter()
+        .map(|r| {
+            JsonValue::Obj(vec![
+                ("benchmark".into(), JsonValue::Str(r.cell.bench.clone())),
+                (
+                    "config".into(),
+                    JsonValue::Str(r.cell.config.abbrev().into()),
+                ),
+                ("scale".into(), JsonValue::Str(scale_slug(r.cell.scale))),
+                ("stats".into(), r.stats.to_json_value()),
+            ])
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        (
+            "schema".into(),
+            JsonValue::num(crate::cache::SCHEMA_VERSION),
+        ),
+        ("results".into(), JsonValue::Arr(cells)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix_is_the_table4_grid() {
+        let cells = full_matrix(Scale::Tiny);
+        assert_eq!(cells.len(), 23 * 5);
+        assert_eq!(cells[0].bench, "BP");
+        assert_eq!(cells[0].config, ProtocolConfig::Gd);
+        assert_eq!(cells[4].config, ProtocolConfig::Dh);
+        assert_eq!(cells[5].bench, "PF");
+    }
+
+    #[test]
+    fn group_matrix_filters() {
+        let global = group_matrix(Some(Group::GlobalSync), Scale::Tiny);
+        assert_eq!(global.len(), 4 * 5);
+        assert!(global.iter().all(|c| c.bench.ends_with("_G")));
+        assert_eq!(group_matrix(None, Scale::Tiny).len(), 23 * 5);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let cells = matrix_of(&["NOPE"], &[ProtocolConfig::Dd], Scale::Tiny);
+        let err = run_cells(&cells, 1, None).unwrap_err();
+        assert!(err.contains("NOPE"), "error names the benchmark: {err}");
+    }
+
+    #[test]
+    fn emitters_are_deterministic_across_worker_counts() {
+        let cells = matrix_of(&["SPM_G", "NN"], &ProtocolConfig::ALL, Scale::Tiny);
+        let one = run_cells(&cells, 1, None).unwrap();
+        let many = run_cells(&cells, 4, None).unwrap();
+        assert_eq!(to_csv(&one), to_csv(&many));
+        assert_eq!(to_json(&one), to_json(&many));
+        let csv = to_csv(&one);
+        assert!(csv.starts_with("benchmark,config,scale,cycles,"));
+        assert_eq!(csv.lines().count(), 1 + 10, "header + one row per cell");
+        assert!(csv.contains("SPM_G,DD+RO,tiny,"));
+    }
+
+    #[test]
+    fn cache_serves_second_run_and_bytes_match() {
+        let dir = std::env::temp_dir().join(format!("gsim-matrix-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let cells = matrix_of(&["SPM_G"], &ProtocolConfig::ALL, Scale::Tiny);
+
+        let first = run_cells(&cells, 2, Some(&cache)).unwrap();
+        assert!(first.iter().all(|r| !r.from_cache));
+        assert_eq!(cache.stores(), 5);
+
+        let second = run_cells(&cells, 2, Some(&cache)).unwrap();
+        assert!(second.iter().all(|r| r.from_cache), "all cells cached");
+        assert_eq!(cache.hits(), 5);
+        assert_eq!(to_csv(&first), to_csv(&second));
+        assert_eq!(to_json(&first), to_json(&second));
+
+        // Uncached agrees with cached: the cache is transparent.
+        let fresh = run_cells(&cells, 1, None).unwrap();
+        assert_eq!(to_csv(&fresh), to_csv(&second));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -327,4 +327,120 @@ mod tests {
         let (done, fwds) = m.complete(LineAddr(77), WordMask::full());
         assert!(done.is_empty() && fwds.is_empty());
     }
+
+    mod properties {
+        use super::*;
+        use gsim_types::{Rng64, WORDS_PER_LINE};
+        use std::collections::{BTreeMap, HashMap};
+
+        fn random_mask(rng: &mut Rng64) -> WordMask {
+            (0..WORDS_PER_LINE)
+                .filter(|_| rng.gen_bool())
+                .fold(WordMask::empty(), |m, i| m | WordMask::single(i))
+        }
+
+        /// Random coalescing requests and partial fills, against a
+        /// word-level model: occupancy never exceeds capacity, the file
+        /// only ever sends words not already in flight, and every waiter
+        /// completes exactly once.
+        #[test]
+        fn merge_respects_capacity_and_waiters_complete_exactly_once() {
+            let mut rng = Rng64::seed_from_u64(0x3511);
+            for _ in 0..48 {
+                let cap = rng.gen_usize(1, 6);
+                let mut m: MshrFile<u32, ()> = MshrFile::new(cap);
+                // BTreeMap: the "pick a line to fill" choice below must
+                // be deterministic for the seed to reproduce.
+                let mut pending: BTreeMap<u64, WordMask> = BTreeMap::new();
+                let mut done: Vec<u32> = Vec::new();
+                let mut issued = 0u32;
+                for _ in 0..rng.gen_usize(50, 300) {
+                    if rng.gen_bool() {
+                        let line = LineAddr(rng.gen_u64(0, 8));
+                        let mask = random_mask(&mut rng);
+                        if mask.is_empty() || !m.has_room_for(line) {
+                            continue;
+                        }
+                        let sent = m.request(line, mask, issued);
+                        let model = pending.entry(line.0).or_default();
+                        assert_eq!(sent, mask & !*model, "send only words not in flight");
+                        *model |= mask;
+                        issued += 1;
+                    } else if let Some((&l, &words)) = pending.iter().next() {
+                        let fill = random_mask(&mut rng) & words;
+                        if fill.is_empty() {
+                            continue;
+                        }
+                        let (completed, _) = m.complete(LineAddr(l), fill);
+                        done.extend(completed);
+                        let left = words & !fill;
+                        if left.is_empty() {
+                            pending.remove(&l);
+                            assert!(!m.is_pending(LineAddr(l)), "fully filled entry retires");
+                        } else {
+                            pending.insert(l, left);
+                            assert_eq!(m.pending_mask(LineAddr(l)), left);
+                        }
+                    }
+                    assert!(m.outstanding() <= cap);
+                    assert!(m.high_water() <= cap);
+                }
+                // Flush everything still in flight.
+                for (l, words) in pending {
+                    let (completed, _) = m.complete(LineAddr(l), words);
+                    done.extend(completed);
+                }
+                assert_eq!(m.outstanding(), 0);
+                done.sort_unstable();
+                assert_eq!(done, (0..issued).collect::<Vec<_>>(), "each waiter once");
+            }
+        }
+
+        /// Queued remote forwards (the DeNovoSync0 distributed queue)
+        /// are handed back exactly once, in arrival order, and only when
+        /// their line retires; forwards for idle lines bounce.
+        #[test]
+        fn queued_forwards_release_once_in_order_at_retire() {
+            let mut rng = Rng64::seed_from_u64(0x3512);
+            for _ in 0..48 {
+                let mut m: MshrFile<u32, u32> = MshrFile::new(4);
+                let mut queued: HashMap<u64, Vec<u32>> = HashMap::new();
+                let mut released: Vec<u32> = Vec::new();
+                let mut next = (0u32, 0u32); // (waiter id, fwd id)
+                for _ in 0..rng.gen_usize(50, 200) {
+                    let line = LineAddr(rng.gen_u64(0, 6));
+                    match rng.gen_u32(0, 3) {
+                        0 if m.has_room_for(line) => {
+                            m.request(line, random_mask(&mut rng) | WordMask::single(0), next.0);
+                            next.0 += 1;
+                        }
+                        1 => {
+                            let res = m.queue_fwd(line, next.1);
+                            if m.is_pending(line) {
+                                assert_eq!(res, Ok(()));
+                                queued.entry(line.0).or_default().push(next.1);
+                            } else {
+                                assert_eq!(res, Err(next.1), "idle line bounces the forward");
+                            }
+                            next.1 += 1;
+                        }
+                        _ => {
+                            let (_, fwds) = m.complete(line, m.pending_mask(line));
+                            if !m.is_pending(line) {
+                                assert_eq!(fwds, queued.remove(&line.0).unwrap_or_default());
+                                released.extend(fwds);
+                            } else {
+                                assert!(fwds.is_empty(), "forwards only release at retire");
+                            }
+                        }
+                    }
+                }
+                let mut expect: Vec<u32> = (0..next.1).collect();
+                expect.retain(|f| !released.contains(f));
+                // Everything not yet released is still queued (or bounced).
+                let still: Vec<u32> = queued.into_values().flatten().collect();
+                assert!(still.iter().all(|f| expect.contains(f)));
+            }
+        }
+    }
 }

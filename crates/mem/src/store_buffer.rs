@@ -262,5 +262,100 @@ mod tests {
                 }
             }
         }
+
+        /// Applies every dirty word of `e` to a word->value map, the way
+        /// a writethrough (overflow) or release flush reaches memory.
+        fn apply(mem: &mut std::collections::HashMap<u64, Value>, e: &SbEntry) {
+            for i in 0..WORDS_PER_LINE {
+                if e.mask.contains(i) {
+                    mem.insert(e.line.word(i).0, e.data[i]);
+                }
+            }
+        }
+
+        /// Coalescing never loses a word: under random writes at random
+        /// (small) capacities, every written word reaches "memory" with
+        /// its final value — either flushed by an overflow eviction or
+        /// handed back by the release-time drain.
+        #[test]
+        fn no_word_lost_through_overflow_and_drain() {
+            let mut rng = Rng64::seed_from_u64(0x5b03);
+            for _ in 0..48 {
+                let mut sb = StoreBuffer::new(rng.gen_usize(1, 12));
+                let mut memory = std::collections::HashMap::new();
+                let mut written = std::collections::HashMap::new();
+                for _ in 0..rng.gen_usize(1, 400) {
+                    let (w, v) = (rng.gen_u64(0, 256), rng.gen_u32(1, 1_000_000));
+                    if let StoreOutcome::Overflow(e) = sb.write(WordAddr(w), v) {
+                        apply(&mut memory, &e);
+                    }
+                    written.insert(w, v);
+                }
+                for e in sb.drain() {
+                    apply(&mut memory, &e);
+                }
+                assert_eq!(memory, written);
+            }
+        }
+
+        /// The release-fence drain respects FIFO order: entries come
+        /// back in first-write order, with overflow evictions always
+        /// taking the oldest entry (re-written lines move to the back).
+        #[test]
+        fn drain_order_is_first_write_order() {
+            let mut rng = Rng64::seed_from_u64(0x5b04);
+            for _ in 0..48 {
+                let mut sb = StoreBuffer::new(rng.gen_usize(1, 8));
+                let mut order: Vec<u64> = Vec::new(); // resident lines, oldest first
+                for _ in 0..rng.gen_usize(1, 200) {
+                    let w = rng.gen_u64(0, 128);
+                    let line = WordAddr(w).line().0;
+                    let resident = order.contains(&line);
+                    match sb.write(WordAddr(w), 1) {
+                        StoreOutcome::Coalesced => assert!(resident),
+                        StoreOutcome::NewEntry => {
+                            assert!(!resident);
+                            order.push(line);
+                        }
+                        StoreOutcome::Overflow(e) => {
+                            assert!(!resident);
+                            assert_eq!(e.line.0, order.remove(0), "evict the oldest");
+                            order.push(line);
+                        }
+                    }
+                }
+                let drained: Vec<u64> = sb.drain().iter().map(|e| e.line.0).collect();
+                assert_eq!(drained, order);
+            }
+        }
+
+        /// Registration completions (`clear_words`) interleaved with
+        /// writes: the drain hands back exactly the still-dirty words
+        /// with their last values — cleared words never resurface.
+        #[test]
+        fn cleared_words_never_drain() {
+            let mut rng = Rng64::seed_from_u64(0x5b05);
+            for _ in 0..48 {
+                let mut sb = StoreBuffer::new(64); // no overflow: isolates clearing
+                let mut model = std::collections::HashMap::new();
+                for _ in 0..rng.gen_usize(1, 300) {
+                    let w = rng.gen_u64(0, 128);
+                    if rng.gen_bool() {
+                        let v = rng.gen_u32(1, 1000);
+                        sb.write(WordAddr(w), v);
+                        model.insert(w, v);
+                    } else {
+                        let word = WordAddr(w);
+                        sb.clear_words(word.line(), WordMask::single(word.index_in_line()));
+                        model.remove(&w);
+                    }
+                }
+                let mut drained = std::collections::HashMap::new();
+                for e in sb.drain() {
+                    apply(&mut drained, &e);
+                }
+                assert_eq!(drained, model);
+            }
+        }
     }
 }

@@ -150,6 +150,23 @@ impl LatencyHistogram {
     pub fn buckets(&self) -> &[u64; BUCKETS] {
         &self.counts
     }
+
+    /// Reconstructs a histogram from serialized raw parts (the inverse
+    /// of [`LatencyHistogram::buckets`]/[`sum`](LatencyHistogram::sum)/
+    /// [`min`](LatencyHistogram::min)/[`max`](LatencyHistogram::max)).
+    /// The sample count is derived from the bucket counts, and `min` is
+    /// normalized back to the empty-histogram sentinel when no samples
+    /// were recorded.
+    pub fn from_raw(counts: [u64; BUCKETS], sum: u64, min: Cycle, max: Cycle) -> Self {
+        let count: u64 = counts.iter().sum();
+        LatencyHistogram {
+            counts,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        }
+    }
 }
 
 impl AddAssign for LatencyHistogram {

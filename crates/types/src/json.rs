@@ -1,0 +1,356 @@
+//! A minimal, dependency-free JSON value: parse, build, and print.
+//!
+//! The repository is deliberately free of third-party crates (the build
+//! must work offline), but the result cache and the machine-readable
+//! sweep outputs need a real JSON round-trip — hand-rolled emitters are
+//! easy, hand-rolled *parsers* scattered per call site are not. This
+//! module is the one shared implementation: a [`JsonValue`] tree, a
+//! recursive-descent [`JsonValue::parse`], and a compact printer.
+//!
+//! Numbers keep their source text ([`JsonValue::Num`] holds the token,
+//! not an `f64`), so `u64` counters round-trip exactly — cache
+//! fingerprints depend on that.
+
+use std::fmt;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its literal token so integers never lose
+    /// precision through an `f64` round-trip.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order is preserved (stable output).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds a number value from anything displayable as a JSON number.
+    pub fn num(n: impl fmt::Display) -> JsonValue {
+        JsonValue::Num(n.to_string())
+    }
+
+    /// Builds a number value from an `f64` using Rust's shortest
+    /// round-trip formatting (`{:?}` semantics via `Display` on f64).
+    pub fn float(f: f64) -> JsonValue {
+        // `{}` on f64 is the shortest representation that round-trips.
+        JsonValue::Num(format!("{f}"))
+    }
+
+    /// The value as `u64`, if it is an integral number token.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number token.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Looks a key up in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {} (found {:?})",
+            ch as char,
+            *pos,
+            b.get(*pos).map(|&c| c as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_num(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let tok = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    if tok.is_empty() || tok.parse::<f64>().is_err() {
+        return Err(format!("invalid number {tok:?} at byte {start}"));
+    }
+    Ok(JsonValue::Num(tok.to_string()))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through untouched.
+                let len = match c {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let s = std::str::from_utf8(&b[*pos..*pos + len]).map_err(|e| e.to_string())?;
+                out.push_str(s);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            other => return Err(format!("expected ',' or ']' in array, found {other:?}")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            other => return Err(format!("expected ',' or '}}' in object, found {other:?}")),
+        }
+    }
+}
+
+/// Escapes a string for embedding in JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for JsonValue {
+    /// Compact single-line rendering (no spaces), stable field order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) => f.write_str(n),
+            JsonValue::Str(s) => write!(f, "\"{}\"", escape(s)),
+            JsonValue::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_document() {
+        let text = r#"{"a":1,"b":[1,2,3],"c":{"d":"x","e":true,"f":null},"g":-1.5e3}"#;
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("g").unwrap().as_f64(), Some(-1500.0));
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let big = u64::MAX;
+        let v = JsonValue::parse(&format!("{{\"x\":{big}}}")).unwrap();
+        assert_eq!(v.get("x").unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = JsonValue::Str("a\"b\\c\nd".into());
+        let printed = v.to_string();
+        assert_eq!(printed, r#""a\"b\\c\nd""#);
+        assert_eq!(JsonValue::parse(&printed).unwrap(), v);
+        // Unicode escape decodes.
+        assert_eq!(JsonValue::parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("{\"a\":1} x").is_err());
+        assert!(JsonValue::parse("nope").is_err());
+        assert!(JsonValue::parse("").is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for f in [0.0, 1.5, 123.456, 1e-9, 987654321.123] {
+            let v = JsonValue::float(f);
+            assert_eq!(JsonValue::parse(&v.to_string()).unwrap().as_f64(), Some(f));
+        }
+    }
+}

@@ -31,8 +31,10 @@ pub mod addr;
 pub mod config;
 pub mod hist;
 pub mod ids;
+pub mod json;
 pub mod msg;
 pub mod rng;
+pub mod serial;
 pub mod stats;
 pub mod sync;
 
@@ -40,6 +42,7 @@ pub use addr::{Addr, LineAddr, WordAddr, WordMask, LINE_BYTES, WORDS_PER_LINE, W
 pub use config::{Coherence, Consistency, ProtocolConfig};
 pub use hist::{LatencyBreakdown, LatencyHistogram};
 pub use ids::{Cycle, NodeId, ReqId, TbId};
+pub use json::JsonValue;
 pub use msg::{Component, Msg, MsgClass, MsgKind, CTRL_FLITS, FLIT_BYTES};
 pub use rng::Rng64;
 pub use stats::{Counts, EnergyBreakdown, SimStats, TrafficBreakdown};

@@ -2,23 +2,27 @@
 //! under any protocol/consistency configuration and inspect the paper's
 //! three metrics, with the full counter breakdown on request.
 //!
+//! `sweep` and `matrix` execute their grids through the parallel
+//! harness (`--jobs N`) with a content-addressed result cache under
+//! `target/gsim-cache/` (disable with `--no-cache`); output bytes are
+//! identical for any `--jobs` value.
+//!
 //! ```text
 //! gpu-denovo list
 //! gpu-denovo run SPM_G --config DD --paper --detail
 //! gpu-denovo compare UTS --paper
-//! gpu-denovo sweep --group global --paper
+//! gpu-denovo sweep --group global --paper --jobs 8 --out results.csv
+//! gpu-denovo matrix --paper --jobs 8 --out results.json
 //! ```
 
+use gpu_denovo::harness::{self, Cell, CellResult, ResultCache};
 use gpu_denovo::trace::{to_chrome_json, RingRecorder, TraceHandle};
 use gpu_denovo::types::MsgClass;
 use gpu_denovo::{registry, ProtocolConfig, Scale, SimStats, Simulator, SystemConfig};
 use std::process::ExitCode;
 
-fn parse_config(s: &str) -> Option<ProtocolConfig> {
-    ProtocolConfig::ALL
-        .into_iter()
-        .find(|p| p.abbrev().eq_ignore_ascii_case(s) || p.paper_name().eq_ignore_ascii_case(s))
-}
+const CONFIG_NAMES: &str = "GD, GH, DD, DD+RO, DH";
+const GROUP_NAMES: &str = "nosync, global, local";
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -26,13 +30,90 @@ fn usage() -> ExitCode {
          gpu-denovo list\n  \
          gpu-denovo run <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--detail] [--hist]\n  \
          gpu-denovo compare <BENCH> [--paper]\n  \
-         gpu-denovo sweep [--group nosync|global|local] [--paper]\n  \
+         gpu-denovo sweep [--group nosync|global|local] [--paper] [--jobs N]\n                   \
+         [--out FILE.csv|FILE.json] [--no-cache]\n  \
+         gpu-denovo matrix [--paper] [--jobs N] [--out FILE.csv|FILE.json] [--no-cache]\n  \
          gpu-denovo trace <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] --out <FILE>\n\n\
          <BENCH> is a Table 4 abbreviation (see `gpu-denovo list`).\n\
+         `sweep` prints per-benchmark tables; `matrix` emits the full\n\
+         benchmark x config grid as CSV (or JSON with --out FILE.json).\n\
+         Both run cells on `--jobs` worker threads (0 or default = all\n\
+         cores) and cache results in target/gsim-cache/; output is\n\
+         byte-identical regardless of --jobs.\n\
          `trace` writes a Chrome/Perfetto trace (load it at ui.perfetto.dev\n\
          or chrome://tracing)."
     );
     ExitCode::FAILURE
+}
+
+/// The value following `flag`, if the flag is present. `Err` means the
+/// flag is there but its value is missing (absent or another flag).
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Ok(Some(v)),
+        _ => Err(format!("missing value after {flag}")),
+    }
+}
+
+fn parse_config(args: &[String]) -> Result<ProtocolConfig, String> {
+    let Some(s) =
+        flag_value(args, "--config").map_err(|e| format!("{e} (one of {CONFIG_NAMES})"))?
+    else {
+        return Ok(ProtocolConfig::Dd);
+    };
+    ProtocolConfig::ALL
+        .into_iter()
+        .find(|p| p.abbrev().eq_ignore_ascii_case(s) || p.paper_name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown config {s:?}: valid configs are {CONFIG_NAMES}"))
+}
+
+fn parse_group(args: &[String]) -> Result<Option<registry::Group>, String> {
+    let Some(s) = flag_value(args, "--group").map_err(|e| format!("{e} (one of {GROUP_NAMES})"))?
+    else {
+        return Ok(None);
+    };
+    match s {
+        "nosync" => Ok(Some(registry::Group::NoSync)),
+        "global" => Ok(Some(registry::Group::GlobalSync)),
+        "local" => Ok(Some(registry::Group::LocalSync)),
+        _ => Err(format!(
+            "unknown group {s:?}: valid groups are {GROUP_NAMES}"
+        )),
+    }
+}
+
+/// `--jobs N`; absent or 0 means auto (all cores).
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    let Some(s) = flag_value(args, "--jobs").map_err(|e| format!("{e} (a worker count)"))? else {
+        return Ok(0);
+    };
+    s.parse::<usize>()
+        .map_err(|_| format!("invalid --jobs value {s:?}: expected a non-negative integer"))
+}
+
+enum OutFormat {
+    Csv,
+    Json,
+}
+
+/// `--out FILE.csv|FILE.json`; the extension selects the format.
+fn parse_out(args: &[String]) -> Result<Option<(String, OutFormat)>, String> {
+    let Some(path) = flag_value(args, "--out").map_err(|e| format!("{e} (an output file)"))? else {
+        return Ok(None);
+    };
+    let format = if path.ends_with(".csv") {
+        OutFormat::Csv
+    } else if path.ends_with(".json") {
+        OutFormat::Json
+    } else {
+        return Err(format!(
+            "unsupported --out file {path:?}: expected a .csv or .json extension"
+        ));
+    };
+    Ok(Some((path.to_string(), format)))
 }
 
 fn scale(args: &[String]) -> Scale {
@@ -43,8 +124,14 @@ fn scale(args: &[String]) -> Scale {
     }
 }
 
+fn lookup_bench(name: &str) -> Result<registry::Benchmark, String> {
+    registry::by_name(name).ok_or_else(|| {
+        format!("unknown benchmark {name:?}: run `gpu-denovo list` for the Table 4 names")
+    })
+}
+
 fn run_one(name: &str, p: ProtocolConfig, s: Scale) -> Result<SimStats, String> {
-    let b = registry::by_name(name).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+    let b = lookup_bench(name)?;
     Simulator::new(SystemConfig::micro15(p))
         .run(&(b.build)(s))
         .map_err(|e| format!("{name} under {p}: {e}"))
@@ -55,7 +142,7 @@ fn run_one(name: &str, p: ProtocolConfig, s: Scale) -> Result<SimStats, String> 
 const TRACE_CAPACITY: usize = 1 << 20;
 
 fn trace_one(name: &str, p: ProtocolConfig, s: Scale) -> Result<(SimStats, TraceHandle), String> {
-    let b = registry::by_name(name).ok_or_else(|| format!("unknown benchmark {name:?}"))?;
+    let b = lookup_bench(name)?;
     let handle = TraceHandle::new(RingRecorder::new(TRACE_CAPACITY));
     let stats = Simulator::new(SystemConfig::micro15(p))
         .run_traced(&(b.build)(s), handle.clone())
@@ -144,6 +231,51 @@ fn header() {
     );
 }
 
+/// Shared tail of `sweep` and `matrix`: run the cells through the
+/// harness, write `--out` if asked, report cache accounting. Returns
+/// the results for command-specific presentation.
+fn run_matrix(cells: &[Cell], args: &[String]) -> Result<Vec<CellResult>, String> {
+    let jobs = parse_jobs(args)?;
+    let out = parse_out(args)?;
+    let cache = if args.iter().any(|a| a == "--no-cache") {
+        None
+    } else {
+        Some(
+            ResultCache::open_default()
+                .map_err(|e| format!("opening cache {:?}: {e}", ResultCache::default_dir()))?,
+        )
+    };
+
+    let results = harness::run_cells(cells, jobs, cache.as_ref())?;
+
+    if let Some((path, format)) = out {
+        let text = match format {
+            OutFormat::Csv => harness::to_csv(&results),
+            OutFormat::Json => harness::to_json(&results),
+        };
+        std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} rows to {path}", results.len());
+    }
+    match &cache {
+        Some(c) => {
+            let served = results.iter().filter(|r| r.from_cache).count();
+            eprintln!(
+                "cache: {served}/{} cells served from {} ({} stored this run)",
+                results.len(),
+                c.dir().display(),
+                c.stores(),
+            );
+        }
+        None => eprintln!("cache: disabled (--no-cache)"),
+    }
+    Ok(results)
+}
+
+fn fail(e: String) -> ExitCode {
+    eprintln!("{e}");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -166,15 +298,9 @@ fn main() -> ExitCode {
             let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 return usage();
             };
-            let config = args
-                .iter()
-                .position(|a| a == "--config")
-                .and_then(|i| args.get(i + 1))
-                .map(|s| parse_config(s))
-                .unwrap_or(Some(ProtocolConfig::Dd));
-            let Some(config) = config else {
-                eprintln!("unknown config (one of GD, GH, DD, DD+RO, DH)");
-                return ExitCode::FAILURE;
+            let config = match parse_config(&args) {
+                Ok(c) => c,
+                Err(e) => return fail(e),
             };
             match run_one(name, config, scale(&args)) {
                 Ok(stats) => {
@@ -190,41 +316,28 @@ fn main() -> ExitCode {
                     println!("\nrun verified functionally.");
                     ExitCode::SUCCESS
                 }
-                Err(e) => {
-                    eprintln!("{e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(e),
             }
         }
         "trace" => {
             let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 return usage();
             };
-            let config = args
-                .iter()
-                .position(|a| a == "--config")
-                .and_then(|i| args.get(i + 1))
-                .map(|s| parse_config(s))
-                .unwrap_or(Some(ProtocolConfig::Dd));
-            let Some(config) = config else {
-                eprintln!("unknown config (one of GD, GH, DD, DD+RO, DH)");
-                return ExitCode::FAILURE;
+            let config = match parse_config(&args) {
+                Ok(c) => c,
+                Err(e) => return fail(e),
             };
-            let Some(out) = args
-                .iter()
-                .position(|a| a == "--out")
-                .and_then(|i| args.get(i + 1))
-            else {
-                eprintln!("trace requires --out <FILE>");
-                return ExitCode::FAILURE;
+            let out = match flag_value(&args, "--out") {
+                Ok(Some(path)) => path.to_string(),
+                Ok(None) => return fail("trace requires --out <FILE>".into()),
+                Err(e) => return fail(format!("{e} (an output file)")),
             };
             match trace_one(name, config, scale(&args)) {
                 Ok((stats, handle)) => {
                     let rec = handle.recorder().expect("ring-backed handle").borrow();
                     let json = to_chrome_json(&rec);
-                    if let Err(e) = std::fs::write(out, &json) {
-                        eprintln!("writing {out}: {e}");
-                        return ExitCode::FAILURE;
+                    if let Err(e) = std::fs::write(&out, &json) {
+                        return fail(format!("writing {out}: {e}"));
                     }
                     let mut cats: Vec<&str> =
                         rec.events().map(|(_, ev)| ev.category().label()).collect();
@@ -240,62 +353,56 @@ fn main() -> ExitCode {
                     println!("open at ui.perfetto.dev or chrome://tracing.");
                     ExitCode::SUCCESS
                 }
-                Err(e) => {
-                    eprintln!("{e}");
-                    ExitCode::FAILURE
-                }
+                Err(e) => fail(e),
             }
         }
         "compare" => {
             let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 return usage();
             };
+            if let Err(e) = lookup_bench(name) {
+                return fail(e);
+            }
             header();
             for p in ProtocolConfig::ALL {
                 match run_one(name, p, scale(&args)) {
                     Ok(stats) => print_row(p, &stats),
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::FAILURE;
-                    }
+                    Err(e) => return fail(e),
                 }
             }
             ExitCode::SUCCESS
         }
         "sweep" => {
-            let group = args
-                .iter()
-                .position(|a| a == "--group")
-                .and_then(|i| args.get(i + 1))
-                .map(String::as_str);
-            let s = scale(&args);
-            for b in registry::all() {
-                let keep = match group {
-                    None => true,
-                    Some("nosync") => b.group == registry::Group::NoSync,
-                    Some("global") => b.group == registry::Group::GlobalSync,
-                    Some("local") => b.group == registry::Group::LocalSync,
-                    Some(g) => {
-                        eprintln!("unknown group {g:?} (nosync|global|local)");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                if !keep {
-                    continue;
-                }
-                println!("\n== {} ==", b.name);
+            let group = match parse_group(&args) {
+                Ok(g) => g,
+                Err(e) => return fail(e),
+            };
+            let cells = harness::group_matrix(group, scale(&args));
+            let results = match run_matrix(&cells, &args) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            };
+            for chunk in results.chunks(ProtocolConfig::ALL.len()) {
+                println!("\n== {} ==", chunk[0].cell.bench);
                 header();
-                for p in ProtocolConfig::ALL {
-                    match run_one(b.name, p, s) {
-                        Ok(stats) => print_row(p, &stats),
-                        Err(e) => {
-                            eprintln!("{e}");
-                            return ExitCode::FAILURE;
-                        }
-                    }
+                for r in chunk {
+                    print_row(r.cell.config, &r.stats);
                 }
             }
             ExitCode::SUCCESS
+        }
+        "matrix" => {
+            let cells = harness::full_matrix(scale(&args));
+            match run_matrix(&cells, &args) {
+                Ok(results) => {
+                    // Without --out, the grid itself goes to stdout.
+                    if parse_out(&args).ok().flatten().is_none() {
+                        print!("{}", harness::to_csv(&results));
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
         }
         _ => usage(),
     }

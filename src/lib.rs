@@ -43,6 +43,7 @@
 //! | energy | [`energy`] | GPUWattch/McPAT-style per-event model |
 //! | workloads | [`workloads`] | all 23 Table 4 benchmarks, functionally verified |
 //! | tracing | [`trace`] | structured events, ring recorder, Chrome/Perfetto export |
+//! | experiment harness | [`harness`] | parallel matrix runner, content-addressed result cache |
 //!
 //! Every table and figure of the paper regenerates from the benches in
 //! `crates/bench` (see EXPERIMENTS.md for the index and the measured
@@ -50,6 +51,7 @@
 
 pub use gsim_core as sim;
 pub use gsim_energy as energy;
+pub use gsim_harness as harness;
 pub use gsim_mem as mem;
 pub use gsim_noc as noc;
 pub use gsim_protocol as protocol;

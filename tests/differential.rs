@@ -7,7 +7,18 @@
 //! (random loads, stores, and read-modify-write chains) plus a shared,
 //! lock-protected accumulator array; the expected final state is
 //! computed host-side and every configuration is checked against it.
+//!
+//! Seeds fan out over the harness job pool, so widening coverage does
+//! not lengthen wall-clock CI on a multicore machine. On divergence the
+//! failing seed's op list is **greedily minimized** (drop whole blocks,
+//! then single ops, while the divergence persists) and the report
+//! includes a one-command reproduction:
+//!
+//! ```text
+//! GSIM_DIFF_SEED=0xdeadbeef cargo test --test differential repro_from_env -- --nocapture
+//! ```
 
+use gpu_denovo::harness::run_parallel;
 use gpu_denovo::sim::kernel::{imm, r, AluOp, KernelBuilder};
 use gpu_denovo::types::{AtomicOp, Rng64, Scope, SyncOrd, WordAddr};
 use gpu_denovo::{KernelLaunch, ProtocolConfig, Simulator, SystemConfig, TbSpec, Workload};
@@ -62,16 +73,25 @@ fn gen_ops(rng: &mut Rng64, n: usize) -> Vec<Op> {
         .collect()
 }
 
-/// Builds the workload for a seed and the host-computed expected state.
-fn build(seed: u64) -> (Workload, Vec<(u64, u32)>) {
+/// Ops per thread block at each generation site (global / local).
+const GLOBAL_OPS: usize = 40;
+const LOCAL_OPS: usize = 30;
+
+/// The op lists a seed generates — the unit the minimizer shrinks.
+fn gen_per_tb(seed: u64, ops_per_tb: usize) -> Vec<Vec<Op>> {
     let mut rng = Rng64::seed_from_u64(seed);
+    (0..TBS).map(|_| gen_ops(&mut rng, ops_per_tb)).collect()
+}
+
+/// Builds the workload for an op set plus the host-computed expected
+/// state (split from generation so the minimizer can rebuild from
+/// shrunken op lists).
+fn build_from_ops(name: String, per_tb: &[Vec<Op>]) -> Workload {
     // Layout: lock at word 0; shared array at word 16; block regions
     // from word 32, each starting on a fresh line.
     let lock = 0u32;
     let shared = 16u32;
     let region = |t: usize| 32 + (t as u32) * 32;
-
-    let per_tb: Vec<Vec<Op>> = (0..TBS).map(|_| gen_ops(&mut rng, 40)).collect();
 
     // Host model.
     let mut expect: Vec<(u64, u32)> = Vec::new();
@@ -103,12 +123,12 @@ fn build(seed: u64) -> (Workload, Vec<(u64, u32)>) {
     // One program per launch: a leading jump table dispatches each
     // block to its own compiled op sequence.
     // r1 = region base, r2 = shared base, r3 = lock.
-    let tbs: Vec<TbSpec> = (0..TBS)
+    let tbs: Vec<TbSpec> = (0..per_tb.len())
         .map(|t| TbSpec::with_regs(&[t as u32, region(t), shared, lock]))
         .collect();
     let mut b = KernelBuilder::new();
     // Jump table: block id r0 selects its section.
-    for t in 0..TBS {
+    for t in 0..per_tb.len() {
         b.alu(6, r(0), AluOp::CmpEq, imm(t as u32));
         b.bnz(r(6), &format!("blk{t}"));
     }
@@ -159,13 +179,12 @@ fn build(seed: u64) -> (Workload, Vec<(u64, u32)>) {
         b.halt();
     }
     let program = b.build();
-    let expect_v = expect.clone();
-    let w = Workload {
-        name: format!("random-{seed:#x}"),
+    Workload {
+        name,
         init: Box::new(|_| {}),
         kernels: vec![KernelLaunch { program, tbs }],
         verify: Box::new(move |mem| {
-            for &(addr, want) in &expect_v {
+            for &(addr, want) in &expect {
                 let got = mem.read_word(WordAddr(addr));
                 if got != want {
                     return Err(format!("word {addr}: got {got}, want {want}"));
@@ -173,54 +192,170 @@ fn build(seed: u64) -> (Workload, Vec<(u64, u32)>) {
             }
             Ok(())
         }),
-    };
-    (w, expect)
+    }
 }
 
-/// Six derived seeds, each running all five configurations (the offline
-/// replacement for the old proptest generator — deterministic and
-/// reproducible from the printed seed).
+/// Runs an op set under every configuration; returns the first
+/// divergence (config + mismatch) if any configuration disagrees with
+/// the host model.
+fn first_divergence(per_tb: &[Vec<Op>], local: bool) -> Option<String> {
+    for p in ProtocolConfig::ALL {
+        let w = if local {
+            build_local_from_ops("diff-local".into(), per_tb)
+        } else {
+            build_from_ops("diff".into(), per_tb)
+        };
+        if let Err(e) = Simulator::new(SystemConfig::micro15(p)).run(&w) {
+            return Some(format!("under {p}: {e}"));
+        }
+    }
+    None
+}
+
+/// Greedy divergence minimizer: repeatedly drop whole blocks' op lists,
+/// then single ops, keeping every removal that preserves *some*
+/// divergence (per `diverges`). Quadratic but only runs on failure,
+/// where shrinking the counterexample is worth minutes.
+fn minimize(
+    mut per_tb: Vec<Vec<Op>>,
+    diverges: impl Fn(&[Vec<Op>]) -> Option<String>,
+) -> (Vec<Vec<Op>>, String) {
+    let mut err = diverges(&per_tb).expect("minimize needs a diverging input");
+    loop {
+        let mut shrunk = false;
+        // Pass 1: whole blocks.
+        for t in 0..per_tb.len() {
+            if per_tb[t].is_empty() {
+                continue;
+            }
+            let saved = std::mem::take(&mut per_tb[t]);
+            match diverges(&per_tb) {
+                Some(e) => {
+                    err = e;
+                    shrunk = true;
+                }
+                None => per_tb[t] = saved,
+            }
+        }
+        // Pass 2: single ops.
+        for t in 0..per_tb.len() {
+            let mut k = 0;
+            while k < per_tb[t].len() {
+                let saved = per_tb[t].remove(k);
+                match diverges(&per_tb) {
+                    Some(e) => {
+                        err = e;
+                        shrunk = true;
+                    }
+                    None => {
+                        per_tb[t].insert(k, saved);
+                        k += 1;
+                    }
+                }
+            }
+        }
+        if !shrunk {
+            return (per_tb, err);
+        }
+    }
+}
+
+/// The minimizer itself, against a synthetic oracle: "diverges" iff a
+/// marker op survives. It must shrink 30 x 40 ops to exactly that one
+/// op — this is the path a real coherence bug would exercise.
+#[test]
+fn minimizer_shrinks_to_the_culprit() {
+    let mut per_tb = gen_per_tb(0x5eed, GLOBAL_OPS);
+    per_tb[17][23] = Op::Store { off: 0, val: 0xbad };
+    let oracle = |ops: &[Vec<Op>]| {
+        ops.iter()
+            .flatten()
+            .any(|op| matches!(op, Op::Store { val: 0xbad, .. }))
+            .then(|| "marker survived".to_string())
+    };
+    let (min_ops, err) = minimize(per_tb, oracle);
+    assert_eq!(err, "marker survived");
+    let kept: Vec<&Op> = min_ops.iter().flatten().collect();
+    assert_eq!(kept.len(), 1, "minimized to one op, got {kept:?}");
+    assert!(matches!(kept[0], Op::Store { val: 0xbad, .. }));
+}
+
+/// Checks one seed under all five configurations; on divergence,
+/// minimizes and reports the failing seed, the shrunken op list, and
+/// the one-command reproduction.
+fn check_seed(seed: u64, local: bool) -> Result<(), String> {
+    let per_tb = gen_per_tb(seed, if local { LOCAL_OPS } else { GLOBAL_OPS });
+    let Some(err) = first_divergence(&per_tb, local) else {
+        return Ok(());
+    };
+    let (min_ops, min_err) = minimize(per_tb, |ops| first_divergence(ops, local));
+    let kept: Vec<(usize, &Vec<Op>)> = min_ops
+        .iter()
+        .enumerate()
+        .filter(|(_, ops)| !ops.is_empty())
+        .collect();
+    let local_env = if local { "GSIM_DIFF_LOCAL=1 " } else { "" };
+    Err(format!(
+        "differential divergence at seed {seed:#x} {err}\n\
+         minimized ({} blocks, {} ops) still diverges {min_err}:\n{kept:#?}\n\
+         reproduce: GSIM_DIFF_SEED={seed:#x} {local_env}cargo test --test differential repro_from_env -- --nocapture",
+        kept.len(),
+        kept.iter().map(|(_, ops)| ops.len()).sum::<usize>(),
+    ))
+}
+
+/// Twelve derived seeds, each running all five configurations, fanned
+/// out over the harness pool (the offline replacement for the old
+/// proptest generator — deterministic and reproducible from the printed
+/// seed). Every failing seed is reported, minimized.
 #[test]
 fn all_configs_agree_on_random_drf_programs() {
     let mut rng = Rng64::seed_from_u64(0xd1ff);
-    for _ in 0..6 {
-        let seed = rng.next_u64();
-        eprintln!("drf seed {seed:#x}");
-        for p in ProtocolConfig::ALL {
-            let (w, _) = build(seed);
-            Simulator::new(SystemConfig::micro15(p))
-                .run(&w)
-                .unwrap_or_else(|e| panic!("seed {seed:#x} under {p}: {e}"));
-        }
-    }
+    let seeds: Vec<u64> = (0..12).map(|_| rng.next_u64()).collect();
+    let failures: Vec<String> = run_parallel(&seeds, 0, |&seed| check_seed(seed, false).err())
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
 }
 
 /// A fixed-seed smoke case with hand-picked seeds.
 #[test]
 fn fixed_seed_differential() {
     for seed in [1u64, 0xdead_beef, 42] {
-        for p in ProtocolConfig::ALL {
-            let (w, _) = build(seed);
-            Simulator::new(SystemConfig::micro15(p))
-                .run(&w)
-                .unwrap_or_else(|e| panic!("seed {seed:#x} under {p}: {e}"));
-        }
+        check_seed(seed, false).unwrap_or_else(|e| panic!("{e}"));
     }
+}
+
+/// One-command reproduction hook: `GSIM_DIFF_SEED=<seed>` (hex `0x…` or
+/// decimal; add `GSIM_DIFF_LOCAL=1` for the HRF variant) re-runs and
+/// re-minimizes exactly the seed a CI failure printed. A no-op when the
+/// variable is unset.
+#[test]
+fn repro_from_env() {
+    let Ok(raw) = std::env::var("GSIM_DIFF_SEED") else {
+        return;
+    };
+    let seed = raw
+        .strip_prefix("0x")
+        .map(|h| u64::from_str_radix(h, 16))
+        .unwrap_or_else(|| raw.parse())
+        .unwrap_or_else(|e| panic!("GSIM_DIFF_SEED={raw:?} is not a seed: {e}"));
+    let local = std::env::var("GSIM_DIFF_LOCAL").is_ok_and(|v| v != "0");
+    eprintln!("re-checking seed {seed:#x} (local={local})");
+    check_seed(seed, local).unwrap_or_else(|e| panic!("{e}"));
 }
 
 /// The HRF variant: the lock-protected shared accumulators become
 /// per-CU, protected by *locally scoped* locks (sound: sharers are
 /// co-resident), exercising GH/DH's local paths differentially against
 /// the DRF configurations that ignore the scopes.
-fn build_local(seed: u64) -> Workload {
-    let mut rng = Rng64::seed_from_u64(seed);
+fn build_local_from_ops(name: String, per_tb: &[Vec<Op>]) -> Workload {
     let cus = 15usize;
     // Per CU: lock at 64k-ish spaced lines; shared word; per-TB regions.
     let lock = |c: usize| (c * 64) as u32;
     let shared = |c: usize| (c * 64 + 16) as u32;
     let region = |t: usize| (2048 + t * 32) as u32;
-
-    let per_tb: Vec<Vec<Op>> = (0..TBS).map(|_| gen_ops(&mut rng, 30)).collect();
 
     let mut expect: Vec<(u64, u32)> = Vec::new();
     let mut shared_vals = vec![[0u32; SHARED_WORDS as usize]; cus];
@@ -249,11 +384,11 @@ fn build_local(seed: u64) -> Workload {
         }
     }
 
-    let tbs: Vec<TbSpec> = (0..TBS)
+    let tbs: Vec<TbSpec> = (0..per_tb.len())
         .map(|t| TbSpec::with_regs(&[t as u32, region(t), shared(t % cus), lock(t % cus)]))
         .collect();
     let mut b = KernelBuilder::new();
-    for t in 0..TBS {
+    for t in 0..per_tb.len() {
         b.alu(6, r(0), AluOp::CmpEq, imm(t as u32));
         b.bnz(r(6), &format!("blk{t}"));
     }
@@ -304,7 +439,7 @@ fn build_local(seed: u64) -> Workload {
         b.halt();
     }
     Workload {
-        name: format!("random-local-{seed:#x}"),
+        name,
         init: Box::new(|_| {}),
         kernels: vec![KernelLaunch {
             program: b.build(),
@@ -322,29 +457,21 @@ fn build_local(seed: u64) -> Workload {
     }
 }
 
+/// Eight derived HRF seeds over the harness pool.
 #[test]
 fn all_configs_agree_on_random_hrf_local_programs() {
     let mut rng = Rng64::seed_from_u64(0x10ca1);
-    for _ in 0..4 {
-        let seed = rng.next_u64();
-        eprintln!("hrf seed {seed:#x}");
-        for p in ProtocolConfig::ALL {
-            let w = build_local(seed);
-            Simulator::new(SystemConfig::micro15(p))
-                .run(&w)
-                .unwrap_or_else(|e| panic!("seed {seed:#x} under {p}: {e}"));
-        }
-    }
+    let seeds: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+    let failures: Vec<String> = run_parallel(&seeds, 0, |&seed| check_seed(seed, true).err())
+        .into_iter()
+        .flatten()
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
 }
 
 #[test]
 fn fixed_seed_local_differential() {
     for seed in [7u64, 0xfeed] {
-        for p in ProtocolConfig::ALL {
-            let w = build_local(seed);
-            Simulator::new(SystemConfig::micro15(p))
-                .run(&w)
-                .unwrap_or_else(|e| panic!("seed {seed:#x} under {p}: {e}"));
-        }
+        check_seed(seed, true).unwrap_or_else(|e| panic!("{e}"));
     }
 }

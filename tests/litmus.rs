@@ -209,6 +209,370 @@ fn local_scope_message_passing() {
     run_all(mk);
 }
 
+/// Store buffering (Dekker): each thread sync-writes its own flag and
+/// then sync-reads the other's. Sync accesses are mutually ordered (SC
+/// among syncs, paper §2), so at least one thread must observe the
+/// other's write: the relaxed-memory outcome (0, 0) is forbidden under
+/// every configuration — scoped or not.
+#[test]
+fn store_buffering() {
+    let mk = || {
+        // Word 0: x (own line). Word 16: y. Words 32/33: observations.
+        let mut b = KernelBuilder::new();
+        b.mov(1, imm(0));
+        b.mov(2, imm(16));
+        b.mov(5, imm(32));
+        b.bnz(r(0), "t1");
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
+        b.atomic(
+            4,
+            b.at(2, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.st(b.at(5, 0), r(4));
+        b.halt();
+        b.label("t1");
+        b.atomic(
+            3,
+            b.at(2, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
+        b.atomic(
+            4,
+            b.at(1, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.st(b.at(5, 1), r(4));
+        b.halt();
+        Workload {
+            name: "sb".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+            }],
+            verify: Box::new(|mem| {
+                let (a, b) = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+                ((a, b) != (0, 0))
+                    .then_some(())
+                    .ok_or_else(|| format!("SB forbidden outcome (0, 0); got ({a}, {b})"))
+            }),
+        }
+    };
+    run_all(mk);
+}
+
+/// Load buffering: each thread sync-reads the other's flag and then
+/// sync-writes its own. The forbidden outcome is both reads returning 1
+/// (each load observing the other thread's *later* store) — impossible
+/// when sync accesses block their thread block, under every config.
+#[test]
+fn load_buffering() {
+    let mk = || {
+        let mut b = KernelBuilder::new();
+        b.mov(1, imm(0)); // x
+        b.mov(2, imm(16)); // y
+        b.mov(5, imm(32)); // observations
+        b.bnz(r(0), "t1");
+        b.atomic(
+            4,
+            b.at(1, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.atomic(
+            3,
+            b.at(2, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
+        b.st(b.at(5, 0), r(4));
+        b.halt();
+        b.label("t1");
+        b.atomic(
+            4,
+            b.at(2, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
+        b.st(b.at(5, 1), r(4));
+        b.halt();
+        Workload {
+            name: "lb".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+            }],
+            verify: Box::new(|mem| {
+                let (a, b) = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+                ((a, b) != (1, 1))
+                    .then_some(())
+                    .ok_or_else(|| format!("LB forbidden outcome (1, 1); got ({a}, {b})"))
+            }),
+        }
+    };
+    run_all(mk);
+}
+
+/// IRIW (independent reads of independent writes): two writers touch
+/// different locations; two readers read both in opposite orders. The
+/// forbidden outcome is the readers *disagreeing* on the write order
+/// (both see their first location written but the other not) — exactly
+/// the multi-copy-atomicity scoped models weaken, and exactly what the
+/// paper's single sync order preserves.
+#[test]
+fn iriw() {
+    use gpu_denovo::sim::kernel::AluOp;
+    let mk = || {
+        // Word 0: x. Word 16: y. Words 32..36: reader observations.
+        let mut b = KernelBuilder::new();
+        b.mov(1, imm(0));
+        b.mov(2, imm(16));
+        b.mov(5, imm(32));
+        b.alu(6, r(0), AluOp::CmpEq, imm(1));
+        b.bnz(r(6), "w1");
+        b.alu(6, r(0), AluOp::CmpEq, imm(2));
+        b.bnz(r(6), "r0");
+        b.bnz(r(0), "r1");
+        // TB 0: x := 1.
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
+        b.halt();
+        // TB 1: y := 1.
+        b.label("w1");
+        b.atomic(
+            3,
+            b.at(2, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
+        b.halt();
+        // TB 2: read x then y.
+        b.label("r0");
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.atomic(
+            4,
+            b.at(2, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.st(b.at(5, 0), r(3));
+        b.st(b.at(5, 1), r(4));
+        b.halt();
+        // TB 3: read y then x.
+        b.label("r1");
+        b.atomic(
+            3,
+            b.at(2, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.atomic(
+            4,
+            b.at(1, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.st(b.at(5, 2), r(3));
+        b.st(b.at(5, 3), r(4));
+        b.halt();
+        Workload {
+            name: "iriw".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                tbs: (0..4).map(|i| TbSpec::with_regs(&[i])).collect(),
+            }],
+            verify: Box::new(|mem| {
+                let r0 = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+                let r1 = (mem.read_word(WordAddr(34)), mem.read_word(WordAddr(35)));
+                // r0 = (x, y) in x-then-y order; r1 = (y, x).
+                let disagree = r0 == (1, 0) && r1 == (1, 0);
+                (!disagree).then_some(()).ok_or_else(|| {
+                    format!("IRIW readers disagree on write order: r0={r0:?}, r1={r1:?}")
+                })
+            }),
+        }
+    };
+    run_all(mk);
+}
+
+/// Coherence axioms on a single location: the writer sync-writes 1 then
+/// 2 (CoWW: the final value must be 2 — same-location writes never
+/// reorder); the reader sync-reads twice (CoRR: it must never observe
+/// the writes backwards, `(2, 1)` or `(*, 0)` after seeing a write).
+#[test]
+fn coherence_corr_coww() {
+    let mk = || {
+        let mut b = KernelBuilder::new();
+        b.mov(1, imm(0)); // x
+        b.mov(5, imm(32)); // observations
+        b.bnz(r(0), "reader");
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Write,
+            imm(1),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Write,
+            imm(2),
+            imm(0),
+            SyncOrd::Release,
+            Scope::Global,
+        );
+        b.halt();
+        b.label("reader");
+        b.atomic(
+            3,
+            b.at(1, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.atomic(
+            4,
+            b.at(1, 0),
+            AtomicOp::Read,
+            imm(0),
+            imm(0),
+            SyncOrd::Acquire,
+            Scope::Global,
+        );
+        b.st(b.at(5, 0), r(3));
+        b.st(b.at(5, 1), r(4));
+        b.halt();
+        Workload {
+            name: "corr-coww".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+            }],
+            verify: Box::new(|mem| {
+                let (a, b) = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+                let backwards = matches!((a, b), (1, 0) | (2, 0) | (2, 1));
+                if backwards {
+                    return Err(format!("CoRR violated: reader saw {a} then {b}"));
+                }
+                let x = mem.read_word(WordAddr(0));
+                (x == 2)
+                    .then_some(())
+                    .ok_or_else(|| format!("CoWW violated: final x = {x}, want 2"))
+            }),
+        }
+    };
+    run_all(mk);
+}
+
+/// A *negative* litmus: this program has a data race (two plain stores
+/// to the same word, no synchronization), so DRF promises nothing about
+/// which write wins — only that the outcome is one of the written
+/// values, not a mix or an out-of-thin-air value. This documents the
+/// limit of the guarantee: every configuration may pick a different
+/// winner, and none of them is wrong.
+#[test]
+fn racy_stores_have_no_promised_winner() {
+    let mk = || {
+        let mut b = KernelBuilder::new();
+        b.mov(1, imm(0));
+        b.bnz(r(0), "t1");
+        b.st(b.at(1, 0), imm(41));
+        b.halt();
+        b.label("t1");
+        b.st(b.at(1, 0), imm(17));
+        b.halt();
+        Workload {
+            name: "racy".into(),
+            init: Box::new(|_| {}),
+            kernels: vec![KernelLaunch {
+                program: b.build(),
+                tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+            }],
+            verify: Box::new(|mem| {
+                let got = mem.read_word(WordAddr(0));
+                matches!(got, 41 | 17)
+                    .then_some(())
+                    .ok_or_else(|| format!("racy word holds {got}, not one of the stored values"))
+            }),
+        }
+    };
+    run_all(mk);
+}
+
 /// Kernel boundaries are synchronization: writes from kernel 1 are
 /// visible to every thread block of kernel 2 without any atomics.
 #[test]
