@@ -58,6 +58,46 @@ fn bench_harness_scaling() {
     }
 }
 
+/// Times the Tiny-scale three_panels workload — the full benchmark x
+/// config matrix at jobs=1 — and records the throughput in a JSON
+/// baseline file (`BENCH_throughput.json`, or `$BENCH_OUT`).
+///
+/// The committed copy at the repository root is the perf baseline the
+/// CI perf-smoke job compares against; regenerate it on a quiet machine
+/// with `cargo bench -p gsim-bench --bench sim_throughput` and copy the
+/// emitted file over the committed one. Best-of-N wall time is used
+/// because shared runners are noisy.
+fn bench_matrix_baseline() {
+    const REPS: usize = 3;
+    let cells = full_matrix(Scale::Tiny);
+    let mut best = None;
+    let mut sim_cycles: u64 = 0;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let results = run_cells(&cells, 1, None).expect("all cells verify");
+        let t = start.elapsed();
+        sim_cycles = results.iter().map(|r| r.stats.cycles).sum();
+        best = Some(best.map_or(t, |b: std::time::Duration| b.min(t)));
+    }
+    let wall = best.expect("at least one rep");
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let cycles_per_sec = sim_cycles as f64 / wall.as_secs_f64();
+    println!(
+        "\nthree_panels Tiny matrix (jobs=1, best of {REPS}): {wall_ms:.2}ms, \
+         {sim_cycles} sim cycles, {cycles_per_sec:.0} cycles/sec"
+    );
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
+    let json = format!(
+        "{{\n  \"case\": \"three_panels_tiny_matrix\",\n  \"scale\": \"Tiny\",\n  \
+         \"jobs\": 1,\n  \"cells\": {},\n  \"reps\": {REPS},\n  \
+         \"wall_ms\": {wall_ms:.2},\n  \"sim_cycles\": {sim_cycles},\n  \
+         \"cycles_per_sec\": {cycles_per_sec:.0}\n}}\n",
+        cells.len()
+    );
+    std::fs::write(&out, json).expect("write throughput baseline");
+    println!("baseline written to {out}");
+}
+
 fn main() {
     println!("simulator throughput ({ITERS} iterations per case, Tiny scale)");
     for protocol in [ProtocolConfig::Gd, ProtocolConfig::Gh, ProtocolConfig::Dd] {
@@ -66,4 +106,5 @@ fn main() {
         bench_config("SGEMM", protocol);
     }
     bench_harness_scaling();
+    bench_matrix_baseline();
 }

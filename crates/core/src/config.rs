@@ -1,6 +1,7 @@
 //! Whole-system configuration: the paper's Table 3 parameters plus the
 //! protocol/consistency configuration under study.
 
+use crate::equeue::QueueKind;
 use gsim_mem::CacheGeometry;
 use gsim_noc::MeshConfig;
 use gsim_protocol::L2Config;
@@ -50,6 +51,11 @@ pub struct SystemConfig {
     pub denovo_sync_backoff: bool,
     /// Watchdog: abort the run after this many cycles.
     pub max_cycles: Cycle,
+    /// Which event-queue implementation the engine schedules on. The
+    /// two kinds are bit-identical in behaviour (enforced by the
+    /// `event_queue_equivalence` differential test); `Heap` exists for
+    /// that test and for triaging any suspected queue bug.
+    pub event_queue: QueueKind,
 }
 
 impl SystemConfig {
@@ -67,6 +73,7 @@ impl SystemConfig {
             dh_delayed_ownership: false,
             denovo_sync_backoff: false,
             max_cycles: 2_000_000_000,
+            event_queue: QueueKind::Calendar,
         }
     }
 

@@ -1,0 +1,493 @@
+//! The simulator's event queue: a bucketed calendar queue with a
+//! binary-heap reference implementation.
+//!
+//! Almost every event the engine schedules lands within a few hundred
+//! cycles of "now" (mesh hops, L2 bank busy time, DRAM fills); only
+//! long `Compute` sleeps reach further. A calendar queue — a ring of
+//! per-cycle FIFO buckets over a fixed horizon, with a small overflow
+//! heap for the far future — turns both `push` and `pop` into O(1)
+//! bucket operations for that common case, replacing the O(log n)
+//! `BinaryHeap` the engine used before.
+//!
+//! **Ordering contract** (shared by both implementations, asserted by
+//! the differential tests): events pop in strictly increasing
+//! `(cycle, seq)` order, where `seq` is the queue-assigned push serial.
+//! Same-cycle events therefore pop in push (FIFO) order — the property
+//! every golden statistic depends on, which is why swapping the queue
+//! implementation is bit-invisible to `SimStats`.
+//!
+//! # Examples
+//!
+//! ```
+//! use gsim_core::equeue::{CalendarQueue, EventQueue, QueueKind};
+//!
+//! let mut q: CalendarQueue<&str> = CalendarQueue::new();
+//! q.push(5, "later");
+//! q.push(1, "first");
+//! q.push(5, "even later"); // same cycle: FIFO
+//! assert_eq!(q.pop(), Some((1, 2, "first")));
+//! assert_eq!(q.pop(), Some((5, 1, "later")));
+//! assert_eq!(q.pop(), Some((5, 3, "even later")));
+//! assert_eq!(q.pop(), None);
+//!
+//! // The engine-facing dispatcher picks the implementation per run:
+//! let mut q: EventQueue<u32> = EventQueue::new(QueueKind::Calendar);
+//! q.push(0, 7);
+//! assert_eq!(q.pop(), Some((0, 1, 7)));
+//! ```
+
+use gsim_types::Cycle;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Which event-queue implementation a run uses.
+///
+/// `Calendar` is the production default; `Heap` is kept as the simple
+/// reference model so differential tests can prove the two agree on
+/// every pop and every statistic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Bucketed calendar queue (O(1) push/pop for near-future events).
+    #[default]
+    Calendar,
+    /// `BinaryHeap<(cycle, seq)>` reference implementation.
+    Heap,
+}
+
+/// Ring width: how many cycles ahead of the cursor get their own FIFO
+/// bucket. Must be a power of two (the bucket index is a mask).
+/// Covers every latency the memory system generates (mesh + L2 + DRAM
+/// is < 300 cycles); only long `Compute` sleeps overflow.
+const DEFAULT_HORIZON: u64 = 1024;
+
+/// A bucketed calendar/timing-wheel queue over [`Cycle`] timestamps.
+///
+/// One FIFO bucket per cycle over a power-of-two horizon; events beyond
+/// the horizon wait in an overflow heap and migrate into the ring as the
+/// cursor advances. Within a cycle, events pop in push order (`seq`).
+#[derive(Debug)]
+pub struct CalendarQueue<T> {
+    /// The scan cursor: no queued event is earlier than this cycle.
+    cur: Cycle,
+    /// Bucket index mask (`horizon - 1`).
+    mask: u64,
+    /// Per-cycle FIFO buckets for `at - cur < horizon`, each sorted by
+    /// `seq` (push order, with overflow migrations merged in place).
+    buckets: Box<[VecDeque<(Cycle, u64, T)>]>,
+    /// Events in the ring.
+    ring_len: usize,
+    /// Far-future events (`at - cur >= horizon` at push time).
+    overflow: BinaryHeap<OverflowEntry<T>>,
+    /// Push serial, shared tie-breaker of the ordering contract.
+    seq: u64,
+}
+
+/// Overflow-heap entry: min-heap on `(at, seq)` (payload ignored).
+#[derive(Debug)]
+struct OverflowEntry<T> {
+    at: Cycle,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for OverflowEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for OverflowEntry<T> {}
+impl<T> PartialOrd for OverflowEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OverflowEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, the earliest entry must win.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    /// Creates an empty queue with the default 1024-cycle horizon.
+    pub fn new() -> Self {
+        Self::with_horizon(DEFAULT_HORIZON)
+    }
+
+    /// Creates an empty queue with a custom ring horizon (power of two).
+    /// Small horizons force frequent overflow migration and ring wrap —
+    /// useful for stress tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not a power of two.
+    pub fn with_horizon(horizon: u64) -> Self {
+        assert!(
+            horizon.is_power_of_two(),
+            "horizon {horizon} is not a power of two"
+        );
+        CalendarQueue {
+            cur: 0,
+            mask: horizon - 1,
+            buckets: (0..horizon).map(|_| VecDeque::new()).collect(),
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.ring_len + self.overflow.len()
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn horizon(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Schedules `item` at cycle `at` (which must not precede the last
+    /// pop's cycle) and returns the assigned `seq`.
+    pub fn push(&mut self, at: Cycle, item: T) -> u64 {
+        debug_assert!(
+            at >= self.cur,
+            "scheduled an event at {at}, before the queue cursor {}",
+            self.cur
+        );
+        self.seq += 1;
+        let seq = self.seq;
+        if at - self.cur < self.horizon() {
+            self.buckets[(at & self.mask) as usize].push_back((at, seq, item));
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(OverflowEntry { at, seq, item });
+        }
+        seq
+    }
+
+    /// Moves every overflow event that now falls inside the ring horizon
+    /// into its bucket, keeping each bucket sorted by `seq`.
+    fn migrate_overflow(&mut self) {
+        while let Some(head) = self.overflow.peek() {
+            if head.at - self.cur >= self.horizon() {
+                break;
+            }
+            let OverflowEntry { at, seq, item } = self.overflow.pop().expect("peeked entry");
+            let bucket = &mut self.buckets[(at & self.mask) as usize];
+            // Direct pushes carry later seqs, so the entry usually merges
+            // at the front; search from the back for the rare interleave.
+            let pos = bucket.partition_point(|&(_, s, _)| s < seq);
+            bucket.insert(pos, (at, seq, item));
+            self.ring_len += 1;
+        }
+    }
+
+    /// Removes and returns the earliest event as `(cycle, seq, item)`;
+    /// ties on cycle break by push order.
+    pub fn pop(&mut self) -> Option<(Cycle, u64, T)> {
+        if self.is_empty() {
+            return None;
+        }
+        self.migrate_overflow();
+        if self.ring_len == 0 {
+            // Everything lives beyond the horizon: jump the cursor.
+            self.cur = self.overflow.peek().expect("queue is non-empty").at;
+            self.migrate_overflow();
+        }
+        // Scan forward to the next non-empty bucket. Every ring event
+        // satisfies cur <= at < cur + horizon and sits in bucket
+        // `at % horizon`, so a non-empty bucket at offset k holds exactly
+        // the events for cycle cur + k — the first hit is the minimum,
+        // and the overflow heap (all >= cur + horizon at scan start)
+        // cannot beat it.
+        loop {
+            let bucket = &mut self.buckets[(self.cur & self.mask) as usize];
+            if let Some(&(at, _, _)) = bucket.front() {
+                debug_assert_eq!(at, self.cur, "bucket holds a foreign cycle");
+                let (at, seq, item) = bucket.pop_front().expect("checked front");
+                self.ring_len -= 1;
+                return Some((at, seq, item));
+            }
+            self.cur += 1;
+        }
+    }
+
+    /// Iterates over queued events in no particular order (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|(at, _, item)| (*at, item)))
+            .chain(self.overflow.iter().map(|e| (e.at, &e.item)))
+    }
+}
+
+/// The binary-heap reference queue (the engine's original
+/// implementation), kept so differential tests can replay any run under
+/// both queues and assert bit-identical behaviour.
+#[derive(Debug)]
+pub struct HeapQueue<T> {
+    heap: BinaryHeap<OverflowEntry<T>>,
+    seq: u64,
+}
+
+impl<T> Default for HeapQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> HeapQueue<T> {
+    /// Creates an empty heap queue.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `item` at cycle `at`, returning the assigned `seq`.
+    pub fn push(&mut self, at: Cycle, item: T) -> u64 {
+        self.seq += 1;
+        self.heap.push(OverflowEntry {
+            at,
+            seq: self.seq,
+            item,
+        });
+        self.seq
+    }
+
+    /// Removes and returns the earliest event as `(cycle, seq, item)`.
+    pub fn pop(&mut self) -> Option<(Cycle, u64, T)> {
+        self.heap.pop().map(|e| (e.at, e.seq, e.item))
+    }
+
+    /// Iterates over queued events in no particular order (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.heap.iter().map(|e| (e.at, &e.item))
+    }
+}
+
+/// The engine-facing queue, dispatching to the implementation selected
+/// by [`crate::SystemConfig::event_queue`].
+#[derive(Debug)]
+pub enum EventQueue<T> {
+    /// Production calendar queue.
+    Calendar(CalendarQueue<T>),
+    /// Reference heap queue (differential testing).
+    Heap(HeapQueue<T>),
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue of the given kind.
+    pub fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Calendar => EventQueue::Calendar(CalendarQueue::new()),
+            QueueKind::Heap => EventQueue::Heap(HeapQueue::new()),
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len(),
+            EventQueue::Heap(q) => q.len(),
+        }
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `item` at cycle `at`, returning the assigned `seq`.
+    #[inline]
+    pub fn push(&mut self, at: Cycle, item: T) -> u64 {
+        match self {
+            EventQueue::Calendar(q) => q.push(at, item),
+            EventQueue::Heap(q) => q.push(at, item),
+        }
+    }
+
+    /// Removes and returns the earliest event as `(cycle, seq, item)`.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Cycle, u64, T)> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Iterates over queued events in no particular order (diagnostics).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (Cycle, &T)> + '_> {
+        match self {
+            EventQueue::Calendar(q) => Box::new(q.iter()),
+            EventQueue::Heap(q) => Box::new(q.iter()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_types::Rng64;
+
+    #[test]
+    fn fifo_within_a_cycle() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, _, v)| v).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_goes_through_overflow_and_back() {
+        let mut q: CalendarQueue<&str> = CalendarQueue::with_horizon(8);
+        q.push(1_000_000, "far");
+        q.push(3, "near");
+        q.push(1_000_000, "far2");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((3, "near")));
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((1_000_000, "far")));
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((1_000_000, "far2")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ring_rollover_across_many_revolutions() {
+        // With a tiny horizon every push wraps the ring repeatedly.
+        let mut q: CalendarQueue<u64> = CalendarQueue::with_horizon(4);
+        let mut t = 0;
+        for i in 0..1000u64 {
+            t += i % 7; // irregular strides, many multiples of the horizon
+            q.push(t, i);
+            if i % 3 == 0 {
+                let (at, _, _) = q.pop().expect("non-empty");
+                assert!(at <= t);
+            }
+        }
+        let mut last = 0;
+        while let Some((at, _, _)) = q.pop() {
+            assert!(at >= last, "time went backwards");
+            last = at;
+        }
+    }
+
+    #[test]
+    fn overflow_migration_preserves_seq_order_within_cycle() {
+        // An overflow event and later direct pushes landing on the same
+        // cycle must still pop in push (seq) order.
+        let mut q: CalendarQueue<&str> = CalendarQueue::with_horizon(8);
+        q.push(100, "overflowed first"); // beyond horizon: overflow
+        q.push(0, "warm"); // keeps the ring busy
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((0, "warm")));
+        // Cursor is at 0; 100 is still beyond the 8-cycle horizon.
+        q.push(96, "direct"); // also overflow at push time
+        q.push(97, "bridge");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, _, v)| v).collect();
+        assert_eq!(order, ["direct", "bridge", "overflowed first"]);
+    }
+
+    #[test]
+    fn cursor_near_u64_max_does_not_wrap_forever() {
+        let mut q: CalendarQueue<&str> = CalendarQueue::with_horizon(8);
+        q.push(u64::MAX - 1, "penultimate");
+        q.push(u64::MAX, "last");
+        assert_eq!(
+            q.pop().map(|(at, _, v)| (at, v)),
+            Some((u64::MAX - 1, "penultimate"))
+        );
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((u64::MAX, "last")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_at_current_cycle_during_drain() {
+        // The engine schedules work at the cycle it is currently
+        // processing (TbWake -> ensure_tick at `now`).
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(5, 1);
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((5, 1)));
+        q.push(5, 2); // same cycle as the pop we just did
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((5, 2)));
+    }
+
+    /// The calendar queue against the heap reference, driven by seeded
+    /// random schedules: pop order must match on every `(cycle, seq)`.
+    #[test]
+    fn differential_random_ops_match_heap_model() {
+        let mut rng = Rng64::seed_from_u64(0xca1e);
+        for round in 0..50 {
+            // Exercise tiny horizons (constant migration) and the default.
+            let horizon = [4u64, 16, 256, 1024][round % 4];
+            let mut cal: CalendarQueue<u64> = CalendarQueue::with_horizon(horizon);
+            let mut heap: HeapQueue<u64> = HeapQueue::new();
+            let mut now = 0u64;
+            let mut payload = 0u64;
+            for _ in 0..rng.gen_usize(10, 400) {
+                if rng.gen_u32(0, 3) == 0 {
+                    let got = cal.pop();
+                    let want = heap.pop();
+                    assert_eq!(got, want, "divergent pop (horizon {horizon})");
+                    if let Some((at, _, _)) = got {
+                        now = at;
+                    }
+                } else {
+                    // Mostly near-future, sometimes far beyond the horizon.
+                    let delay = if rng.gen_u32(0, 10) == 0 {
+                        rng.gen_u64(0, 1 << 20)
+                    } else {
+                        rng.gen_u64(0, 300)
+                    };
+                    payload += 1;
+                    let s1 = cal.push(now + delay, payload);
+                    let s2 = heap.push(now + delay, payload);
+                    assert_eq!(s1, s2, "seq assignment diverged");
+                }
+                assert_eq!(cal.len(), heap.len());
+            }
+            loop {
+                let (got, want) = (cal.pop(), heap.pop());
+                assert_eq!(got, want, "divergent drain (horizon {horizon})");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatcher_routes_both_kinds() {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let mut q: EventQueue<u32> = EventQueue::new(kind);
+            assert_eq!(q.len(), 0);
+            q.push(2, 20);
+            q.push(1, 10);
+            assert_eq!(q.iter().count(), 2);
+            assert_eq!(q.pop(), Some((1, 2, 10)));
+            assert_eq!(q.pop(), Some((2, 1, 20)));
+            assert_eq!(q.pop(), None);
+        }
+    }
+}

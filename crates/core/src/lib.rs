@@ -4,6 +4,8 @@
 //! paper's system out of the substrate crates.
 //!
 //! * [`config`] — the Table 3 system parameters ([`SystemConfig`]).
+//! * [`equeue`] — the calendar event queue the engine schedules on
+//!   (with a heap reference implementation for differential testing).
 //! * [`kernel`] — the kernel IR thread blocks execute, with a
 //!   label-resolving [`KernelBuilder`](kernel::KernelBuilder).
 //! * [`workload`] — the benchmark interface: initialization, kernel
@@ -17,11 +19,14 @@
 //! See the crate-level example on [`Simulator`] for the 30-second tour.
 
 pub mod config;
+pub mod equeue;
 pub mod kernel;
+pub mod pending;
 pub mod proto;
 pub mod sim;
 pub mod workload;
 
 pub use config::SystemConfig;
+pub use equeue::QueueKind;
 pub use sim::{SimError, Simulator};
 pub use workload::{KernelLaunch, TbSpec, Workload};

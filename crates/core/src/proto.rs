@@ -6,7 +6,7 @@
 
 use gsim_mem::MemoryImage;
 use gsim_protocol::denovo::DnConfig;
-use gsim_protocol::{Action, DnL1, DnL2, GpuL1, GpuL2, Issue, L1Config, L2Config};
+use gsim_protocol::{ActionVec, DnL1, DnL2, GpuL1, GpuL2, Issue, L1Config, L2Config};
 use gsim_types::{
     AtomicOp, Counts, Cycle, Msg, ProtocolConfig, Region, ReqId, SyncOrd, Value, WordAddr,
 };
@@ -42,7 +42,7 @@ impl L1 {
     }
 
     /// Installs a trace handle on the controller.
-    pub fn set_trace(&mut self, trace: gsim_trace::TraceHandle) {
+    pub fn set_trace(&mut self, trace: &gsim_trace::TraceHandle) {
         match self {
             L1::Gpu(c) => c.set_trace(trace),
             L1::Dn(c) => c.set_trace(trace),
@@ -50,7 +50,7 @@ impl L1 {
     }
 
     /// A demand load.
-    pub fn load(&mut self, word: WordAddr, region: Region, req: ReqId) -> (Issue, Vec<Action>) {
+    pub fn load(&mut self, word: WordAddr, region: Region, req: ReqId) -> (Issue, ActionVec) {
         match self {
             L1::Gpu(c) => c.load(word, req),
             L1::Dn(c) => c.load(word, region, req),
@@ -58,7 +58,7 @@ impl L1 {
     }
 
     /// A data store.
-    pub fn store(&mut self, word: WordAddr, value: Value) -> (Issue, Vec<Action>) {
+    pub fn store(&mut self, word: WordAddr, value: Value) -> (Issue, ActionVec) {
         match self {
             L1::Gpu(c) => c.store(word, value),
             L1::Dn(c) => c.store(word, value),
@@ -75,7 +75,7 @@ impl L1 {
         ord: SyncOrd,
         local: bool,
         req: ReqId,
-    ) -> (Issue, Vec<Action>) {
+    ) -> (Issue, ActionVec) {
         match self {
             L1::Gpu(c) => c.atomic(word, op, operands, ord, local, req),
             L1::Dn(c) => c.atomic(word, op, operands, local, req),
@@ -91,7 +91,7 @@ impl L1 {
     }
 
     /// A release (writethrough flush / registration drain).
-    pub fn release(&mut self, local: bool, req: ReqId) -> (Issue, Vec<Action>) {
+    pub fn release(&mut self, local: bool, req: ReqId) -> (Issue, ActionVec) {
         match self {
             L1::Gpu(c) => c.release(local, req),
             L1::Dn(c) => c.release(local, req),
@@ -99,7 +99,7 @@ impl L1 {
     }
 
     /// Delivers a network message.
-    pub fn handle(&mut self, msg: &Msg) -> Vec<Action> {
+    pub fn handle(&mut self, msg: &Msg) -> ActionVec {
         match self {
             L1::Gpu(c) => c.handle(msg),
             L1::Dn(c) => c.handle(msg),
@@ -151,7 +151,7 @@ impl L2 {
     }
 
     /// Installs a trace handle on every bank.
-    pub fn set_trace(&mut self, trace: gsim_trace::TraceHandle) {
+    pub fn set_trace(&mut self, trace: &gsim_trace::TraceHandle) {
         match self {
             L2::Gpu(c) => c.set_trace(trace),
             L2::Dn(c) => c.set_trace(trace),
@@ -159,7 +159,7 @@ impl L2 {
     }
 
     /// Delivers a network message to the addressed bank.
-    pub fn handle(&mut self, now: Cycle, msg: &Msg) -> Vec<Action> {
+    pub fn handle(&mut self, now: Cycle, msg: &Msg) -> ActionVec {
         match self {
             L2::Gpu(c) => c.handle(now, msg),
             L2::Dn(c) => c.handle(now, msg),

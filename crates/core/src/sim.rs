@@ -24,19 +24,20 @@
 //! completion, on every CU.
 
 use crate::config::SystemConfig;
+use crate::equeue::EventQueue;
 use crate::kernel::{Instr, NUM_REGS};
+use crate::pending::PendingTable;
 use crate::proto::{L1, L2};
 use crate::workload::{KernelLaunch, Workload};
 use gsim_energy::EnergyModel;
 use gsim_mem::MemoryImage;
 use gsim_noc::Mesh;
-use gsim_protocol::{Action, Issue, L1Config};
+use gsim_protocol::{Action, ActionVec, Issue, L1Config};
 use gsim_trace::{TraceEvent, TraceHandle};
 use gsim_types::{
     Component, Counts, Cycle, LatencyBreakdown, Msg, NodeId, ReqId, Scope, SimStats, TbId, Value,
 };
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -222,30 +223,6 @@ enum Event {
     TbWake { tb: usize },
 }
 
-struct EventEntry {
-    at: Cycle,
-    seq: u64,
-    ev: Event,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 struct Machine {
     protocol: gsim_types::ProtocolConfig,
     gpu_cus: usize,
@@ -253,8 +230,9 @@ struct Machine {
     max_cycles: Cycle,
 
     now: Cycle,
-    seq: u64,
-    events: BinaryHeap<EventEntry>,
+    /// The calendar queue (or, for differential testing, the heap
+    /// reference) ordering events by `(cycle, push sequence)`.
+    events: EventQueue<Event>,
 
     mesh: Mesh,
     l1s: Vec<L1>,
@@ -263,8 +241,8 @@ struct Machine {
     tbs: Vec<Tb>,
 
     /// In-flight requests with their issue cycle (for the latency
-    /// histograms).
-    pending: HashMap<ReqId, (Target, Cycle)>,
+    /// histograms), slot-indexed by the densely minted [`ReqId`]s.
+    pending: PendingTable<(Target, Cycle)>,
     next_req: u64,
 
     kernels_done: usize,
@@ -297,7 +275,7 @@ impl Machine {
                     config.dh_delayed_ownership,
                     config.denovo_sync_backoff,
                 );
-                l1.set_trace(trace.clone());
+                l1.set_trace(&trace);
                 l1
             })
             .collect();
@@ -310,23 +288,22 @@ impl Machine {
             })
             .collect();
         let mut mesh = Mesh::new(config.mesh);
-        mesh.set_trace(trace.clone());
+        mesh.set_trace(&trace);
         let mut l2 = L2::build(config.protocol, config.l2, memory);
-        l2.set_trace(trace.clone());
+        l2.set_trace(&trace);
         Machine {
             protocol: config.protocol,
             gpu_cus: config.gpu_cus,
             tbs_per_cu: config.tbs_per_cu,
             max_cycles: config.max_cycles,
             now: 0,
-            seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(config.event_queue),
             mesh,
             l1s,
             l2,
             cus,
             tbs: Vec::new(),
-            pending: HashMap::new(),
+            pending: PendingTable::new(),
             next_req: 0,
             kernels_done: 0,
             tbs_finished: 0,
@@ -338,13 +315,9 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn schedule(&mut self, at: Cycle, ev: Event) {
-        self.seq += 1;
-        self.events.push(EventEntry {
-            at,
-            seq: self.seq,
-            ev,
-        });
+        self.events.push(at, ev);
     }
 
     fn alloc_req(&mut self) -> ReqId {
@@ -365,7 +338,7 @@ impl Machine {
         }
     }
 
-    fn process_actions(&mut self, actions: Vec<Action>) {
+    fn process_actions(&mut self, actions: ActionVec) {
         for a in actions {
             match a {
                 Action::Send { msg, delay } => {
@@ -437,7 +410,7 @@ impl Machine {
     /// every flush completes.
     fn end_kernel(&mut self) {
         debug_assert_eq!(self.drain_left, 0);
-        let mut all = Vec::new();
+        let mut all = ActionVec::new();
         for cu in 0..self.gpu_cus {
             let req = self.alloc_req();
             let (issue, actions) = self.l1s[cu].release(false, req);
@@ -445,7 +418,7 @@ impl Machine {
                 self.pending.insert(req, (Target::KernelDrain, self.now));
                 self.drain_left += 1;
             }
-            all.extend(actions);
+            all.append(&actions);
         }
         self.process_actions(all);
         if self.drain_left == 0 {
@@ -720,7 +693,7 @@ impl Machine {
     fn finish_req(&mut self, req: ReqId, value: Value) {
         let (target, issued_at) = self
             .pending
-            .remove(&req)
+            .remove(req)
             .expect("completion for an unknown request");
         match target {
             Target::KernelDrain => {
@@ -781,11 +754,11 @@ impl Machine {
                 }
                 started += 1;
             }
-            let Some(entry) = self.events.pop() else {
+            let Some((at, _seq, ev)) = self.events.pop() else {
                 break;
             };
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
             self.trace.set_now(self.now);
             if self.now > self.max_cycles {
                 return Err(SimError::Watchdog {
@@ -793,7 +766,7 @@ impl Machine {
                     report: self.watchdog_report(),
                 });
             }
-            match entry.ev {
+            match ev {
                 Event::CuTick(cu) => self.on_cu_tick(cu),
                 Event::Deliver(msg) => {
                     self.trace.emit(|| TraceEvent::MsgDeliver {
@@ -864,13 +837,11 @@ impl Machine {
             self.drain_left,
             self.events.len(),
         );
-        let mut pend: Vec<_> = self.pending.iter().collect();
-        pend.sort_by_key(|(req, _)| **req);
-        for (req, t) in pend.into_iter().take(8) {
+        for (req, t) in self.pending.iter().take(8) {
             let _ = writeln!(s, "  {req:?}: {t:?}");
         }
-        for e in self.events.iter().take(8) {
-            let _ = writeln!(s, "  event at {}: {:?}", e.at, e.ev);
+        for (at, ev) in self.events.iter().take(8) {
+            let _ = writeln!(s, "  event at {at}: {ev:?}");
         }
         s
     }

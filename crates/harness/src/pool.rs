@@ -111,6 +111,18 @@ mod tests {
     }
 
     #[test]
+    fn one_worker_runs_inline_on_the_calling_thread() {
+        // --jobs 1 must not pay thread-spawn overhead: every job runs on
+        // the caller's own thread. A single job clamps workers to 1 too.
+        let caller = std::thread::current().id();
+        let jobs: Vec<u32> = (0..32).collect();
+        let tids = run_parallel(&jobs, 1, |_| std::thread::current().id());
+        assert!(tids.iter().all(|&t| t == caller));
+        let tids = run_parallel(&jobs[..1], 8, |_| std::thread::current().id());
+        assert_eq!(tids, vec![caller]);
+    }
+
+    #[test]
     fn zero_workers_means_auto() {
         let jobs: Vec<u32> = (0..10).collect();
         assert_eq!(run_parallel(&jobs, 0, |&j| j), jobs);

@@ -80,13 +80,21 @@ impl CacheGeometry {
 }
 
 /// One cache line: tag, per-word state, data, and protocol metadata.
+///
+/// Per-word coherence state is packed into two [`WordMask`] bitmaps
+/// (exactly-Valid and Owned; a word in neither is Invalid), so flash
+/// operations and state-mask queries — the hottest loops of the GPU
+/// protocols' acquire/release paths — are a couple of 16-bit bit ops
+/// per line instead of a 16-element scan.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CacheLine<X> {
     /// The line address this way currently holds.
     pub tag: LineAddr,
-    /// Per-word coherence state.
-    pub state: [WordState; WORDS_PER_LINE],
-    /// Per-word data (meaningful only where `state` is readable).
+    /// Words in [`WordState::Valid`] (disjoint from `owned`).
+    valid: WordMask,
+    /// Words in [`WordState::Owned`].
+    owned: WordMask,
+    /// Per-word data (meaningful only where the state is readable).
     pub data: [Value; WORDS_PER_LINE],
     /// Protocol-specific per-line metadata.
     pub extra: X,
@@ -94,35 +102,74 @@ pub struct CacheLine<X> {
 }
 
 impl<X> CacheLine<X> {
+    /// The coherence state of word `i`.
+    #[inline]
+    pub fn word(&self, i: usize) -> WordState {
+        if self.owned.contains(i) {
+            WordState::Owned
+        } else if self.valid.contains(i) {
+            WordState::Valid
+        } else {
+            WordState::Invalid
+        }
+    }
+
+    /// Sets the coherence state of word `i`.
+    #[inline]
+    pub fn set_word(&mut self, i: usize, to: WordState) {
+        self.valid.remove(i);
+        self.owned.remove(i);
+        match to {
+            WordState::Invalid => {}
+            WordState::Valid => self.valid.insert(i),
+            WordState::Owned => self.owned.insert(i),
+        }
+    }
+
+    /// Sets every word in `mask` to `to`.
+    #[inline]
+    pub fn set_mask(&mut self, mask: WordMask, to: WordState) {
+        self.valid = self.valid & !mask;
+        self.owned = self.owned & !mask;
+        match to {
+            WordState::Invalid => {}
+            WordState::Valid => self.valid |= mask,
+            WordState::Owned => self.owned |= mask,
+        }
+    }
+
     /// Mask of words in the given state.
+    #[inline]
     pub fn mask_in(&self, s: WordState) -> WordMask {
-        self.state
-            .iter()
-            .enumerate()
-            .filter(|(_, st)| **st == s)
-            .map(|(i, _)| i)
-            .collect()
+        match s {
+            WordState::Invalid => !(self.valid | self.owned),
+            WordState::Valid => self.valid,
+            WordState::Owned => self.owned,
+        }
     }
 
     /// Mask of readable (Valid or Owned) words.
+    #[inline]
     pub fn readable_mask(&self) -> WordMask {
-        self.mask_in(WordState::Valid) | self.mask_in(WordState::Owned)
+        self.valid | self.owned
     }
 
     /// Whether any word is readable.
+    #[inline]
     pub fn any_readable(&self) -> bool {
-        self.state.iter().any(|s| s.readable())
+        !self.readable_mask().is_empty()
     }
 
     /// Whether any word is owned.
+    #[inline]
     pub fn any_owned(&self) -> bool {
-        self.state.contains(&WordState::Owned)
+        !self.owned.is_empty()
     }
 
     /// Fills the masked words with `data`, setting them to `to`.
     pub fn fill(&mut self, mask: WordMask, data: &[Value; WORDS_PER_LINE], to: WordState) {
+        self.set_mask(mask, to);
         for i in mask.iter() {
-            self.state[i] = to;
             self.data[i] = data[i];
         }
     }
@@ -152,7 +199,7 @@ pub enum InsertOutcome<X> {
 /// c.insert(LineAddr(7));
 /// let line = c.lookup(LineAddr(7)).unwrap();
 /// line.fill(WordMask::single(3), &[9; 16], WordState::Valid);
-/// assert!(c.lookup(LineAddr(7)).unwrap().state[3].readable());
+/// assert!(c.lookup(LineAddr(7)).unwrap().word(3).readable());
 /// assert_eq!(c.lookup(LineAddr(7)).unwrap().data[3], 9);
 /// ```
 #[derive(Debug)]
@@ -178,11 +225,13 @@ impl<X: Default> CacheArray<X> {
         &self.geometry
     }
 
+    #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
         (line.0 % self.sets.len() as u64) as usize
     }
 
     /// Looks up a line, updating LRU on hit.
+    #[inline]
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut CacheLine<X>> {
         let si = self.set_index(line);
         let stamp = {
@@ -199,12 +248,14 @@ impl<X: Default> CacheArray<X> {
     }
 
     /// Looks up a line without touching LRU.
+    #[inline]
     pub fn peek(&self, line: LineAddr) -> Option<&CacheLine<X>> {
         let si = self.set_index(line);
         self.sets[si].iter().find(|l| l.tag == line)
     }
 
     /// Whether the line is present.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
         self.peek(line).is_some()
     }
@@ -227,7 +278,8 @@ impl<X: Default> CacheArray<X> {
         }
         let fresh = CacheLine {
             tag: line,
-            state: [WordState::Invalid; WORDS_PER_LINE],
+            valid: WordMask::empty(),
+            owned: WordMask::empty(),
             data: [0; WORDS_PER_LINE],
             extra: X::default(),
             lru_stamp: stamp,
@@ -345,14 +397,14 @@ mod tests {
     fn eviction_prefers_unowned_victims() {
         let mut c = small();
         c.insert(LineAddr(0));
-        c.lookup(LineAddr(0)).unwrap().state[0] = WordState::Owned;
+        c.lookup(LineAddr(0)).unwrap().set_word(0, WordState::Owned);
         c.insert(LineAddr(2)); // 0 is older but owned
         match c.insert(LineAddr(4)) {
             InsertOutcome::Evicted(v) => assert_eq!(v.tag, LineAddr(2)),
             o => panic!("expected eviction, got {o:?}"),
         }
         // When everything is owned, pure LRU applies.
-        c.lookup(LineAddr(4)).unwrap().state[0] = WordState::Owned;
+        c.lookup(LineAddr(4)).unwrap().set_word(0, WordState::Owned);
         match c.insert(LineAddr(6)) {
             InsertOutcome::Evicted(v) => assert_eq!(v.tag, LineAddr(0)),
             o => panic!("expected eviction, got {o:?}"),
@@ -370,7 +422,7 @@ mod tests {
             &[7; WORDS_PER_LINE],
             WordState::Valid,
         );
-        l.state[5] = WordState::Owned;
+        l.set_word(5, WordState::Owned);
         assert_eq!(l.mask_in(WordState::Valid).iter().collect::<Vec<_>>(), [2]);
         assert_eq!(l.mask_in(WordState::Owned).iter().collect::<Vec<_>>(), [5]);
         assert_eq!(l.readable_mask().iter().collect::<Vec<_>>(), vec![2, 5]);
@@ -382,16 +434,13 @@ mod tests {
         let mut c = small();
         for i in 0..4u64 {
             c.insert(LineAddr(i));
-            c.lookup(LineAddr(i)).unwrap().state[0] = WordState::Valid;
+            c.lookup(LineAddr(i)).unwrap().set_word(0, WordState::Valid);
         }
         let mut invalidated = 0;
         c.for_each_line_mut(|l| {
-            for s in &mut l.state {
-                if *s == WordState::Valid {
-                    *s = WordState::Invalid;
-                    invalidated += 1;
-                }
-            }
+            let v = l.mask_in(WordState::Valid);
+            invalidated += v.count();
+            l.set_mask(v, WordState::Invalid);
         });
         assert_eq!(invalidated, 4);
         assert!(c.iter().all(|l| !l.any_readable()));

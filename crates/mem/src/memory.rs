@@ -12,16 +12,57 @@
 //! latencies) so end-to-end memory latency lands in Table 3's 197-261
 //! cycle range.
 
-use gsim_types::{Addr, Cycle, LineAddr, Value, WordAddr, WordMask, WORDS_PER_LINE};
-use std::collections::HashMap;
+use gsim_types::{Addr, Cycle, FxHashMap, LineAddr, Value, WordAddr, WordMask, WORDS_PER_LINE};
 
 /// A line's worth of values.
 pub type Line = [Value; WORDS_PER_LINE];
 
+/// Lines per page (16 KB of data per page at 64-byte lines).
+const PAGE_LINES: usize = 256;
+/// Log2 of [`PAGE_LINES`], for address splitting.
+const PAGE_SHIFT: u32 = PAGE_LINES.trailing_zeros();
+/// Pages reachable through the dense page vector. Line addresses below
+/// `DENSE_PAGES * PAGE_LINES` (a 256 MB span) index the vector directly;
+/// anything above falls back to a hash map so one write at a huge
+/// address cannot balloon the vector.
+const DENSE_PAGES: usize = 1 << 14;
+
+/// One page of backing storage with a touched-line bitset.
+///
+/// Pages are zero-filled on allocation, so untouched lines inside an
+/// allocated page still read as zero; the bitset only feeds the
+/// [`MemoryImage::touched_lines`] footprint statistic.
+#[derive(Clone)]
+struct Page {
+    lines: [Line; PAGE_LINES],
+    touched: [u64; PAGE_LINES / 64],
+}
+
+impl Page {
+    fn zeroed() -> Box<Page> {
+        Box::new(Page {
+            lines: [[0; WORDS_PER_LINE]; PAGE_LINES],
+            touched: [0; PAGE_LINES / 64],
+        })
+    }
+
+    /// Marks a line touched, returning whether it was new.
+    fn touch(&mut self, slot: usize) -> bool {
+        let (w, b) = (slot / 64, slot % 64);
+        let new = self.touched[w] & (1 << b) == 0;
+        self.touched[w] |= 1 << b;
+        new
+    }
+}
+
 /// The flat, functional backing store of the unified address space.
 ///
-/// Sparse: untouched lines read as zero, like freshly allocated device
-/// memory in the modelled system.
+/// Paged: a line address splits into a page index and a slot, the page
+/// index goes through a dense page vector (with a hash-map fallback for
+/// far-out sparse pages), and the slot indexes a zero-filled 16 KB page
+/// arena directly — no per-line hashing on the L2 miss/writeback path.
+/// Untouched lines read as zero, like freshly allocated device memory
+/// in the modelled system.
 ///
 /// # Examples
 ///
@@ -36,9 +77,32 @@ pub type Line = [Value; WORDS_PER_LINE];
 /// mem.write_u32_slice(Addr(0x1000), &[1, 2, 3]);
 /// assert_eq!(mem.read_u32_slice(Addr(0x1000), 3), vec![1, 2, 3]);
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Default, Clone)]
 pub struct MemoryImage {
-    lines: HashMap<LineAddr, Line>,
+    /// Dense pages: index is the page number, grown on demand.
+    pages: Vec<Option<Box<Page>>>,
+    /// Sparse fallback for pages at or beyond [`DENSE_PAGES`].
+    high: FxHashMap<u64, Box<Page>>,
+    /// Lines ever written (maintained via the per-page bitsets).
+    touched: usize,
+}
+
+impl std::fmt::Debug for MemoryImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryImage")
+            .field("touched_lines", &self.touched)
+            .field(
+                "pages",
+                &(self.pages.iter().flatten().count() + self.high.len()),
+            )
+            .finish()
+    }
+}
+
+/// Splits a line address into `(page, slot-in-page)`.
+#[inline]
+fn split(line: LineAddr) -> (u64, usize) {
+    (line.0 >> PAGE_SHIFT, (line.0 as usize) & (PAGE_LINES - 1))
 }
 
 impl MemoryImage {
@@ -47,33 +111,68 @@ impl MemoryImage {
         Self::default()
     }
 
+    /// The page holding `line`, if it was ever written.
+    #[inline]
+    fn page(&self, line: LineAddr) -> Option<(&Page, usize)> {
+        let (page, slot) = split(line);
+        let p = if page < DENSE_PAGES as u64 {
+            self.pages.get(page as usize)?.as_deref()?
+        } else {
+            self.high.get(&page)?
+        };
+        Some((p, slot))
+    }
+
+    /// The page holding `line`, allocated (zero-filled) on first use.
+    #[inline]
+    fn page_mut(&mut self, line: LineAddr) -> (&mut Page, usize) {
+        let (page, slot) = split(line);
+        let p = if page < DENSE_PAGES as u64 {
+            let idx = page as usize;
+            if idx >= self.pages.len() {
+                self.pages.resize_with(idx + 1, || None);
+            }
+            self.pages[idx].get_or_insert_with(Page::zeroed)
+        } else {
+            self.high.entry(page).or_insert_with(Page::zeroed)
+        };
+        (p, slot)
+    }
+
     /// Reads one word.
+    #[inline]
     pub fn read_word(&self, word: WordAddr) -> Value {
-        self.lines
-            .get(&word.line())
-            .map(|l| l[word.index_in_line()])
+        self.page(word.line())
+            .map(|(p, slot)| p.lines[slot][word.index_in_line()])
             .unwrap_or(0)
     }
 
     /// Writes one word.
+    #[inline]
     pub fn write_word(&mut self, word: WordAddr, value: Value) {
-        self.lines.entry(word.line()).or_insert([0; WORDS_PER_LINE])[word.index_in_line()] = value;
+        let (p, slot) = self.page_mut(word.line());
+        let new = p.touch(slot) as usize;
+        p.lines[slot][word.index_in_line()] = value;
+        self.touched += new;
     }
 
     /// Reads a whole line.
+    #[inline]
     pub fn read_line(&self, line: LineAddr) -> Line {
-        self.lines
-            .get(&line)
-            .copied()
+        self.page(line)
+            .map(|(p, slot)| p.lines[slot])
             .unwrap_or([0; WORDS_PER_LINE])
     }
 
     /// Writes the masked words of a line.
     pub fn write_line(&mut self, line: LineAddr, mask: WordMask, data: &Line) {
-        let l = self.lines.entry(line).or_insert([0; WORDS_PER_LINE]);
+        let (p, slot) = self.page_mut(line);
+        let new = p.touch(slot) as usize;
+        let l = &mut p.lines[slot];
         for i in mask.iter() {
             l[i] = data[i];
         }
+        self.touched += new;
     }
 
     /// Host (CPU-side, untimed) bulk write of consecutive `u32` values
@@ -105,9 +204,9 @@ impl MemoryImage {
             .collect()
     }
 
-    /// Number of lines ever touched.
+    /// Number of lines ever written.
     pub fn touched_lines(&self) -> usize {
-        self.lines.len()
+        self.touched
     }
 }
 
@@ -268,9 +367,38 @@ mod tests {
         assert_eq!(t, 1000 + DramConfig::default().latency);
     }
 
+    #[test]
+    fn sparse_high_pages_fall_back_to_the_map() {
+        let mut mem = MemoryImage::new();
+        // Far beyond the dense page span: must not balloon the vector.
+        let far = WordAddr(u64::MAX / 2);
+        mem.write_word(far, 77);
+        mem.write_word(WordAddr(0), 1);
+        assert_eq!(mem.read_word(far), 77);
+        assert_eq!(mem.read_word(WordAddr(0)), 1);
+        assert_eq!(mem.read_word(WordAddr(far.0 + 1)), 0);
+        assert_eq!(mem.touched_lines(), 2);
+        assert!(mem.pages.len() <= 1, "high write grew the dense vector");
+    }
+
+    #[test]
+    fn touched_lines_counts_unique_lines_only() {
+        let mut mem = MemoryImage::new();
+        mem.write_word(WordAddr(0), 1);
+        mem.write_word(WordAddr(1), 2); // same line
+        mem.write_line(LineAddr(0), WordMask::single(5), &[9; WORDS_PER_LINE]);
+        assert_eq!(mem.touched_lines(), 1);
+        mem.write_line(LineAddr(9), WordMask::full(), &[3; WORDS_PER_LINE]);
+        assert_eq!(mem.touched_lines(), 2);
+        let clone = mem.clone();
+        assert_eq!(clone.touched_lines(), 2);
+        assert_eq!(clone.read_word(WordAddr(1)), 2);
+    }
+
     mod properties {
         use super::*;
         use gsim_types::Rng64;
+        use std::collections::HashMap;
 
         #[test]
         fn image_is_a_map() {

@@ -15,8 +15,7 @@
 //!   distributed queue of DeNovoSync0. They are released only after the
 //!   fill, and after all local waiters were serviced.
 
-use gsim_types::{LineAddr, WordMask};
-use std::collections::HashMap;
+use gsim_types::{FxHashMap, LineAddr, WordMask};
 
 /// One outstanding line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +64,7 @@ impl<W, F> Default for MshrEntry<W, F> {
 /// ```
 #[derive(Debug)]
 pub struct MshrFile<W, F> {
-    entries: HashMap<LineAddr, MshrEntry<W, F>>,
+    entries: FxHashMap<LineAddr, MshrEntry<W, F>>,
     capacity: usize,
     high_water: usize,
 }
@@ -74,7 +73,7 @@ impl<W, F> MshrFile<W, F> {
     /// Creates an MSHR file holding up to `capacity` outstanding lines.
     pub fn new(capacity: usize) -> Self {
         MshrFile {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             capacity,
             high_water: 0,
         }

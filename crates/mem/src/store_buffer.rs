@@ -13,8 +13,8 @@
 //!   written through immediately, defeating later coalescing (the LavaMD
 //!   effect of paper §6.2.1).
 
-use gsim_types::{LineAddr, Value, WordAddr, WordMask, WORDS_PER_LINE};
-use std::collections::{HashMap, VecDeque};
+use gsim_types::{FxHashMap, LineAddr, Value, WordAddr, WordMask, WORDS_PER_LINE};
+use std::collections::VecDeque;
 
 /// One store-buffer entry: the dirty words of one line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,7 +60,7 @@ pub enum StoreOutcome {
 /// ```
 #[derive(Debug)]
 pub struct StoreBuffer {
-    entries: HashMap<LineAddr, SbEntry>,
+    entries: FxHashMap<LineAddr, SbEntry>,
     fifo: VecDeque<LineAddr>,
     capacity: usize,
 }
@@ -69,7 +69,7 @@ impl StoreBuffer {
     /// Creates a store buffer holding up to `capacity` line entries.
     pub fn new(capacity: usize) -> Self {
         StoreBuffer {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             fifo: VecDeque::new(),
             capacity,
         }
@@ -151,10 +151,17 @@ impl StoreBuffer {
     /// burstiness the paper charges against GPU coherence.
     pub fn drain(&mut self) -> Vec<SbEntry> {
         let mut out = Vec::with_capacity(self.entries.len());
-        while let Some(e) = self.pop_oldest() {
-            out.push(e);
-        }
+        self.drain_with(|e| out.push(e));
         out
+    }
+
+    /// As [`drain`](Self::drain), feeding entries to a callback instead
+    /// of collecting them — the release-path flush runs on every
+    /// release-ordered sync operation, so it must not allocate.
+    pub fn drain_with(&mut self, mut f: impl FnMut(SbEntry)) {
+        while let Some(e) = self.pop_oldest() {
+            f(e);
+        }
     }
 }
 

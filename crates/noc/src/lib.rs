@@ -33,7 +33,7 @@
 //! ```
 
 use gsim_trace::{TraceEvent, TraceHandle};
-use gsim_types::{Cycle, Msg, NodeId, TrafficBreakdown};
+use gsim_types::{Cycle, InlineVec, Msg, NodeId, TrafficBreakdown};
 
 /// Mesh geometry and timing parameters.
 ///
@@ -95,10 +95,14 @@ impl MeshConfig {
     /// The XY dimension-order route from `src` to `dst`, as the sequence
     /// of nodes visited (excluding `src`, including `dst`). Empty when
     /// `src == dst`.
-    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+    ///
+    /// Inline up to 8 hops — every route of the paper's 4x4 mesh (max
+    /// Manhattan distance 6), so routing a message allocates nothing;
+    /// larger meshes spill transparently.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> InlineVec<NodeId, 8> {
         let (mut x, mut y) = self.coords(src);
         let (dx, dy) = self.coords(dst);
-        let mut path = Vec::with_capacity(self.hops(src, dst) as usize);
+        let mut path = InlineVec::new();
         while x != dx {
             x = if dx > x { x + 1 } else { x - 1 };
             path.push(NodeId(y * self.cols + x));
@@ -148,8 +152,8 @@ impl Mesh {
 
     /// Installs a trace handle; every subsequent [`send`](Self::send)
     /// emits a `noc` event with flit, hop, and arrival-time detail.
-    pub fn set_trace(&mut self, trace: TraceHandle) {
-        self.trace = trace;
+    pub fn set_trace(&mut self, trace: &TraceHandle) {
+        self.trace = trace.share();
     }
 
     /// The mesh configuration.
@@ -409,7 +413,7 @@ mod tests {
             use gsim_trace::{RingRecorder, TraceEvent, TraceHandle};
             let h = TraceHandle::new(RingRecorder::new(16));
             let mut m = Mesh::new(MeshConfig::default());
-            m.set_trace(h.clone());
+            m.set_trace(&h);
             h.set_now(7);
             let arr = m.send(7, &ctrl(0, 15));
             let got = h.recorder().unwrap().borrow().to_vec();

@@ -9,7 +9,15 @@
 //! protocol unit-testable in isolation: tests drive a controller with
 //! operations and messages and assert on the returned actions.
 
-use gsim_types::{Cycle, Msg, ReqId, Value};
+use gsim_types::{Cycle, InlineVec, Msg, ReqId, Value};
+
+/// The action list every controller entry point returns.
+///
+/// Almost every operation emits 0-3 actions, so the list keeps four
+/// entries inline ([`InlineVec`]) and the dispatch hot path allocates
+/// nothing; rare bursts (release-time store-buffer drains, multi-owner
+/// recalls) spill to the heap transparently.
+pub type ActionVec = InlineVec<Action, 4>;
 
 /// An externally visible effect requested by a coherence controller.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -32,6 +40,18 @@ pub enum Action {
         /// Local processing delay before the completion fires.
         delay: Cycle,
     },
+}
+
+/// The filler value [`InlineVec`] uses for its unoccupied inline slots
+/// (never observable through the `ActionVec` API).
+impl Default for Action {
+    fn default() -> Self {
+        Action::Complete {
+            req: ReqId(0),
+            value: 0,
+            delay: 0,
+        }
+    }
 }
 
 impl Action {

@@ -38,15 +38,15 @@
 //! [`DnConfig::delayed_local_ownership`] local sync ops do not register
 //! at all (the paper's "can delay obtaining ownership" remark).
 
-use crate::action::{Action, Issue};
+use crate::action::{Action, ActionVec, Issue};
 use crate::gpu::{L1Config, L2Config};
 use gsim_mem::{CacheArray, Dram, InsertOutcome, MemoryImage, MshrFile, StoreBuffer, WordState};
 use gsim_trace::{FlushReason, Level, TraceEvent, TraceHandle, WState};
 use gsim_types::{
-    AtomicOp, Component, Counts, Cycle, LineAddr, Msg, MsgKind, NodeId, Region, ReqId, Scope,
-    Value, WordAddr, WordMask, WORDS_PER_LINE,
+    AtomicOp, Component, Counts, Cycle, FxHashMap, LineAddr, Msg, MsgKind, NodeId, Region, ReqId,
+    Scope, Value, WordAddr, WordMask, WORDS_PER_LINE,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A line's worth of data.
 type LineData = [Value; WORDS_PER_LINE];
@@ -159,29 +159,29 @@ pub struct DnL1 {
     /// Plain stores not yet sent for registration.
     sb: StoreBuffer,
     /// Store values whose registration is in flight, by line.
-    reg_pending: HashMap<LineAddr, RegPending>,
+    reg_pending: FxHashMap<LineAddr, RegPending>,
     mshr: MshrFile<Waiter, QueuedFwd>,
     /// Words with a *sync* registration in flight: a plain read fill for
     /// such a word must not fill it or complete its waiters — only the
     /// registration grant may (the sync op needs ownership, not a copy).
-    sync_pending: HashMap<LineAddr, WordMask>,
+    sync_pending: FxHashMap<LineAddr, WordMask>,
     /// Eviction writebacks in flight, oldest first per line.
-    wb_pending: HashMap<LineAddr, VecDeque<(WordMask, LineData)>>,
+    wb_pending: FxHashMap<LineAddr, VecDeque<(WordMask, LineData)>>,
     /// Read-only-region markings awaiting their fill.
-    ro_intent: HashMap<LineAddr, WordMask>,
+    ro_intent: FxHashMap<LineAddr, WordMask>,
     /// Bumped by every global acquire; see `entry_epoch`.
     epoch: u64,
     /// The epoch each outstanding miss line was requested in. A read
     /// fill for an older epoch serves its (pre-acquire) waiters but
     /// installs nothing: post-acquire loads must re-fetch. Registration
     /// grants are exempt — ownership data is fresh by construction.
-    entry_epoch: HashMap<LineAddr, u64>,
+    entry_epoch: FxHashMap<LineAddr, u64>,
     /// Data-write words with registration in flight (releases wait on 0).
     outstanding_writes: u64,
     pending_releases: Vec<ReqId>,
     /// Per-word contention state (only populated with
     /// [`DnConfig::sync_read_backoff`]).
-    backoff: HashMap<WordAddr, BackoffState>,
+    backoff: FxHashMap<WordAddr, BackoffState>,
     counts: Counts,
     trace: TraceHandle,
     /// Whether an `SbFlushBegin` trace event is awaiting its matching
@@ -195,16 +195,16 @@ impl DnL1 {
         DnL1 {
             cache: CacheArray::new(config.l1.geometry),
             sb: StoreBuffer::new(config.l1.sb_entries),
-            reg_pending: HashMap::new(),
+            reg_pending: FxHashMap::default(),
             mshr: MshrFile::new(config.l1.mshr_entries),
-            sync_pending: HashMap::new(),
-            wb_pending: HashMap::new(),
-            ro_intent: HashMap::new(),
+            sync_pending: FxHashMap::default(),
+            wb_pending: FxHashMap::default(),
+            ro_intent: FxHashMap::default(),
             epoch: 0,
-            entry_epoch: HashMap::new(),
+            entry_epoch: FxHashMap::default(),
             outstanding_writes: 0,
             pending_releases: Vec::new(),
-            backoff: HashMap::new(),
+            backoff: FxHashMap::default(),
             counts: Counts::default(),
             trace: TraceHandle::disabled(),
             sb_draining: false,
@@ -214,8 +214,8 @@ impl DnL1 {
 
     /// Installs a trace handle; protocol, cache, store-buffer, and MSHR
     /// events flow through it from then on.
-    pub fn set_trace(&mut self, trace: TraceHandle) {
-        self.trace = trace;
+    pub fn set_trace(&mut self, trace: &TraceHandle) {
+        self.trace = trace.share();
     }
 
     /// Event counters accumulated so far.
@@ -275,21 +275,21 @@ impl DnL1 {
             }
         }
         let line = self.cache.lookup(word.line())?;
-        line.state[i].readable().then(|| line.data[i])
+        line.word(i).readable().then(|| line.data[i])
     }
 
     /// Whether `word` is Registered in the cache.
     fn is_owned(&self, word: WordAddr) -> bool {
         self.cache
             .peek(word.line())
-            .map(|l| l.state[word.index_in_line()] == WordState::Owned)
+            .map(|l| l.word(word.index_in_line()) == WordState::Owned)
             .unwrap_or(false)
     }
 
     /// A demand load of `word`; `region` is the software annotation the
     /// DD+RO configuration consumes (conveyed by an opcode bit in the
     /// paper).
-    pub fn load(&mut self, word: WordAddr, region: Region, req: ReqId) -> (Issue, Vec<Action>) {
+    pub fn load(&mut self, word: WordAddr, region: Region, req: ReqId) -> (Issue, ActionVec) {
         if let Some(v) = self.local_value(word) {
             self.counts.l1_accesses += 1;
             self.counts.l1_load_hits += 1;
@@ -298,14 +298,14 @@ impl DnL1 {
                     l.extra.0.insert(word.index_in_line());
                 }
             }
-            return (Issue::Hit(v), Vec::new());
+            return (Issue::Hit(v), ActionVec::new());
         }
         let line = word.line();
         let stale = self.entry_epoch.get(&line).is_some_and(|&e| e < self.epoch);
         if !self.mshr.has_room_for(line) || stale {
             // A post-acquire load must not coalesce with a pre-acquire
             // miss: wait for the stale entry to retire and re-fetch.
-            return (Issue::Retry, Vec::new());
+            return (Issue::Retry, ActionVec::new());
         }
         self.counts.l1_accesses += 1;
         self.counts.l1_load_misses += 1;
@@ -330,7 +330,7 @@ impl DnL1 {
         if !was_pending {
             self.emit_mshr_alloc(line);
         }
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         if !to_send.is_empty() {
             actions.push(Action::send(self.msg_to_home(
                 line,
@@ -347,7 +347,7 @@ impl DnL1 {
     /// A data store. Registered words are written in place (no store
     /// buffer); otherwise the value is buffered and registered lazily at
     /// the next release or on buffer overflow.
-    pub fn store(&mut self, word: WordAddr, value: Value) -> (Issue, Vec<Action>) {
+    pub fn store(&mut self, word: WordAddr, value: Value) -> (Issue, ActionVec) {
         self.counts.l1_accesses += 1;
         let i = word.index_in_line();
         if self.is_owned(word) {
@@ -357,15 +357,15 @@ impl DnL1 {
                 .lookup(word.line())
                 .expect("owned implies resident");
             l.data[i] = value;
-            return (Issue::Hit(0), Vec::new());
+            return (Issue::Hit(0), ActionVec::new());
         }
         if let Some(p) = self.reg_pending.get_mut(&word.line()) {
             if p.mask.contains(i) {
                 p.data[i] = value;
-                return (Issue::Hit(0), Vec::new());
+                return (Issue::Hit(0), ActionVec::new());
             }
         }
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         if let gsim_mem::StoreOutcome::Overflow(e) = self.sb.write(word, value) {
             self.counts.sb_overflow_flushes += 1;
             let pending = e.mask.count();
@@ -413,7 +413,7 @@ impl DnL1 {
         line: LineAddr,
         mask: WordMask,
         data: &LineData,
-        actions: &mut Vec<Action>,
+        actions: &mut ActionVec,
     ) {
         let p = self.reg_pending.entry(line).or_insert(RegPending {
             mask: WordMask::empty(),
@@ -458,7 +458,7 @@ impl DnL1 {
         operands: [Value; 2],
         local: bool,
         req: ReqId,
-    ) -> (Issue, Vec<Action>) {
+    ) -> (Issue, ActionVec) {
         if local && self.config.delayed_local_ownership {
             return self.delayed_atomic(word, op, operands, req);
         }
@@ -481,7 +481,7 @@ impl DnL1 {
             if op.writes() {
                 l.data[i] = new;
             }
-            return (Issue::Hit(old), Vec::new());
+            return (Issue::Hit(old), ActionVec::new());
         }
         assert!(
             self.sb.lookup(word).is_none(),
@@ -490,7 +490,7 @@ impl DnL1 {
         );
         let line = word.line();
         if !self.mshr.has_room_for(line) {
-            return (Issue::Retry, Vec::new());
+            return (Issue::Retry, ActionVec::new());
         }
         // DeNovoSync reader backoff: a contended sync read throttles
         // itself instead of re-joining the distributed queue — unless a
@@ -505,7 +505,7 @@ impl DnL1 {
                 if let Some(b) = self.backoff.get_mut(&word) {
                     if b.level > 0 && !b.primed {
                         b.primed = true; // the retried attempt goes through
-                        return (Issue::RetryAfter(BACKOFF_BASE << b.level), Vec::new());
+                        return (Issue::RetryAfter(BACKOFF_BASE << b.level), ActionVec::new());
                     }
                     b.primed = false;
                 }
@@ -534,7 +534,7 @@ impl DnL1 {
             self.emit_mshr_alloc(line);
         }
         let sp = self.sync_pending.entry(line).or_default();
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         if !sp.contains(i) {
             sp.insert(i);
             self.counts.registrations += 1;
@@ -558,13 +558,13 @@ impl DnL1 {
         op: AtomicOp,
         operands: [Value; 2],
         req: ReqId,
-    ) -> (Issue, Vec<Action>) {
+    ) -> (Issue, ActionVec) {
         if let Some(current) = self.local_value(word) {
             self.counts.l1_accesses += 1;
             self.counts.l1_atomics += 1;
             self.counts.l1_atomic_hits += 1;
             let (new, old) = op.apply(current, operands);
-            let mut actions = Vec::new();
+            let mut actions = ActionVec::new();
             if op.writes() {
                 if self.is_owned(word) {
                     let l = self
@@ -581,7 +581,7 @@ impl DnL1 {
         }
         let line = word.line();
         if !self.mshr.has_room_for(line) {
-            return (Issue::Retry, Vec::new());
+            return (Issue::Retry, ActionVec::new());
         }
         self.counts.l1_accesses += 1;
         self.counts.l1_atomics += 1;
@@ -602,7 +602,7 @@ impl DnL1 {
         if !was_pending {
             self.emit_mshr_alloc(line);
         }
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         if !to_send.is_empty() {
             actions.push(Action::send(self.msg_to_home(
                 line,
@@ -625,14 +625,14 @@ impl DnL1 {
         }
         self.epoch += 1; // in-flight read fills must not install
         let keep_ro = self.config.read_only_region;
-        let mut invalidated = 0;
+        let mut invalidated: u64 = 0;
         self.cache.for_each_line_mut(|l| {
-            for i in 0..WORDS_PER_LINE {
-                if l.state[i] == WordState::Valid && !(keep_ro && l.extra.0.contains(i)) {
-                    l.state[i] = WordState::Invalid;
-                    invalidated += 1;
-                }
+            let mut inv = l.mask_in(WordState::Valid);
+            if keep_ro {
+                inv = inv & !l.extra.0;
             }
+            invalidated += u64::from(inv.count());
+            l.set_mask(inv, WordState::Invalid);
         });
         self.counts.words_invalidated += invalidated;
         let node = self.config.l1.node;
@@ -647,9 +647,9 @@ impl DnL1 {
     /// A release: every buffered store obtains registration; completes
     /// when no data-write registration remains in flight. Locally scoped
     /// releases (DeNovo-H) are free.
-    pub fn release(&mut self, local: bool, req: ReqId) -> (Issue, Vec<Action>) {
+    pub fn release(&mut self, local: bool, req: ReqId) -> (Issue, ActionVec) {
         if local {
-            return (Issue::Hit(0), Vec::new());
+            return (Issue::Hit(0), ActionVec::new());
         }
         let node = self.config.l1.node;
         self.trace.emit(|| TraceEvent::SyncRelease {
@@ -657,8 +657,8 @@ impl DnL1 {
             scope: Scope::Global,
         });
         let pending = self.sb.len() as u32;
-        let mut actions = Vec::new();
-        for e in self.sb.drain() {
+        let mut actions = ActionVec::new();
+        while let Some(e) = self.sb.pop_oldest() {
             self.counts.sb_release_flushes += 1;
             self.register_entry(e.line, e.mask, &e.data, &mut actions);
         }
@@ -678,7 +678,7 @@ impl DnL1 {
     /// Panics on message kinds a DeNovo L1 never receives (writethrough
     /// acks, L2-executed atomics) and on forwards for words this L1 has
     /// no record of — protocol bugs.
-    pub fn handle(&mut self, msg: &Msg) -> Vec<Action> {
+    pub fn handle(&mut self, msg: &Msg) -> ActionVec {
         match msg.kind {
             MsgKind::ReadResp { line, mask, data } => self.fill_read(line, mask, &data),
             MsgKind::RegResp {
@@ -717,7 +717,7 @@ impl DnL1 {
                 if q.is_empty() {
                     self.wb_pending.remove(&line);
                 }
-                Vec::new()
+                ActionVec::new()
             }
             ref k => panic!("DeNovo L1 received unexpected message {k:?}"),
         }
@@ -725,7 +725,7 @@ impl DnL1 {
 
     /// Ensures `line` has a way, writing back any evicted Registered
     /// words (ownership returns to the registry).
-    fn ensure_way(&mut self, line: LineAddr, actions: &mut Vec<Action>) {
+    fn ensure_way(&mut self, line: LineAddr, actions: &mut ActionVec) {
         if let InsertOutcome::Evicted(victim) = self.cache.insert(line) {
             let owned = victim.mask_in(WordState::Owned);
             let node = self.config.l1.node;
@@ -756,20 +756,20 @@ impl DnL1 {
     /// Applies a data read fill (Valid words) and services waiters.
     /// Words with a sync registration in flight are skipped entirely:
     /// their fill is the registration grant.
-    fn fill_read(&mut self, line: LineAddr, mask: WordMask, data: &LineData) -> Vec<Action> {
+    fn fill_read(&mut self, line: LineAddr, mask: WordMask, data: &LineData) -> ActionVec {
         let mask = mask & !self.sync_pending.get(&line).copied().unwrap_or_default();
         let stale = self.entry_epoch.get(&line).is_some_and(|&e| e < self.epoch);
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         if !stale {
             self.ensure_way(line, &mut actions);
             let intent = self.ro_intent.remove(&line).unwrap_or_default();
             let l = self.cache.lookup(line).expect("just ensured");
             let mut installed = 0u32;
             for i in mask.iter() {
-                if l.state[i] == WordState::Owned {
+                if l.word(i) == WordState::Owned {
                     continue; // never downgrade a Registered word
                 }
-                l.state[i] = WordState::Valid;
+                l.set_word(i, WordState::Valid);
                 l.data[i] = data[i];
                 installed += 1;
                 if intent.contains(i) {
@@ -802,18 +802,18 @@ impl DnL1 {
     /// Applies a sync registration grant: the granted words become
     /// Registered with the grant's (freshest) values, then the waiting
     /// sync ops execute in arrival order.
-    fn fill_sync_grant(&mut self, line: LineAddr, mask: WordMask, data: &LineData) -> Vec<Action> {
+    fn fill_sync_grant(&mut self, line: LineAddr, mask: WordMask, data: &LineData) -> ActionVec {
         if let Some(sp) = self.sync_pending.get_mut(&line) {
             *sp = *sp & !mask;
             if sp.is_empty() {
                 self.sync_pending.remove(&line);
             }
         }
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         self.ensure_way(line, &mut actions);
         let l = self.cache.lookup(line).expect("just ensured");
         for i in mask.iter() {
-            l.state[i] = WordState::Owned;
+            l.set_word(i, WordState::Owned);
             l.data[i] = data[i];
             l.extra.0.remove(i);
         }
@@ -838,8 +838,8 @@ impl DnL1 {
 
     /// Applies a data registration grant: the buffered store values
     /// become Registered cache contents.
-    fn fill_data_grant(&mut self, line: LineAddr, mask: WordMask) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn fill_data_grant(&mut self, line: LineAddr, mask: WordMask) -> ActionVec {
+        let mut actions = ActionVec::new();
         self.ensure_way(line, &mut actions);
         let p = self
             .reg_pending
@@ -848,7 +848,7 @@ impl DnL1 {
         debug_assert!((mask & !p.mask).is_empty(), "grant exceeds pending words");
         let l = self.cache.lookup(line).expect("just ensured");
         for i in mask.iter() {
-            l.state[i] = WordState::Owned;
+            l.set_word(i, WordState::Owned);
             l.data[i] = p.data[i];
             l.extra.0.remove(i);
         }
@@ -889,7 +889,7 @@ impl DnL1 {
         line: LineAddr,
         mask: WordMask,
         fill_data: Option<&LineData>,
-        actions: &mut Vec<Action>,
+        actions: &mut ActionVec,
     ) {
         let (done, fwds) = self.mshr.complete(line, mask);
         if !self.mshr.is_pending(line) {
@@ -921,7 +921,7 @@ impl DnL1 {
                         .cache
                         .lookup(word.line())
                         .expect("granted word resident");
-                    debug_assert_eq!(l.state[i], WordState::Owned);
+                    debug_assert_eq!(l.word(i), WordState::Owned);
                     let (new, old) = op.apply(l.data[i], operands);
                     if op.writes() {
                         l.data[i] = new;
@@ -961,8 +961,8 @@ impl DnL1 {
     /// Handles a forwarded request from the registry: serve what is
     /// locally available (cache, then in-flight writebacks), queue the
     /// rest behind our own pending registration.
-    fn forward(&mut self, line: LineAddr, mask: WordMask, kind: FwdKind) -> Vec<Action> {
-        let mut actions = Vec::new();
+    fn forward(&mut self, line: LineAddr, mask: WordMask, kind: FwdKind) -> ActionVec {
+        let mut actions = ActionVec::new();
         let served = self.serve_forward(line, mask, kind, &mut actions);
         let rest = mask & !served;
         if !rest.is_empty() {
@@ -983,16 +983,15 @@ impl DnL1 {
         line: LineAddr,
         mask: WordMask,
         kind: FwdKind,
-        actions: &mut Vec<Action>,
+        actions: &mut ActionVec,
     ) -> WordMask {
         let mut avail = WordMask::empty();
         let mut data = [0; WORDS_PER_LINE];
         if let Some(l) = self.cache.lookup(line) {
-            for i in mask.iter() {
-                if l.state[i] == WordState::Owned {
-                    avail.insert(i);
-                    data[i] = l.data[i];
-                }
+            let here = mask & l.mask_in(WordState::Owned);
+            for i in here.iter() {
+                avail.insert(i);
+                data[i] = l.data[i];
             }
         }
         // Words in flight to the registry: the newest writeback element
@@ -1041,13 +1040,9 @@ impl DnL1 {
                     }
                 }
                 if let Some(l) = self.cache.lookup(line) {
-                    let mut stolen = 0u32;
-                    for i in avail.iter() {
-                        if l.state[i] == WordState::Owned {
-                            l.state[i] = WordState::Invalid;
-                            stolen += 1;
-                        }
-                    }
+                    let steal = avail & l.mask_in(WordState::Owned);
+                    let stolen = steal.count();
+                    l.set_mask(steal, WordState::Invalid);
                     if stolen > 0 {
                         let node = self.config.l1.node;
                         self.trace.emit(|| TraceEvent::StateChange {
@@ -1112,7 +1107,7 @@ pub struct DnL2 {
     /// makes the grant-before-forward and ack-before-forward invariants
     /// of the L1 controller hold.
     bank_busy: Vec<Cycle>,
-    overflow: HashMap<LineAddr, Owners>,
+    overflow: FxHashMap<LineAddr, Owners>,
     memory: MemoryImage,
     dram: Dram,
     counts: Counts,
@@ -1127,7 +1122,7 @@ impl DnL2 {
                 .map(|_| CacheArray::new(config.bank_geometry))
                 .collect(),
             bank_busy: vec![0; config.banks],
-            overflow: HashMap::new(),
+            overflow: FxHashMap::default(),
             dram: Dram::new(config.dram),
             memory,
             counts: Counts::default(),
@@ -1138,8 +1133,8 @@ impl DnL2 {
 
     /// Installs a trace handle; registry evictions and ownership
     /// transfers are traced from then on.
-    pub fn set_trace(&mut self, trace: TraceHandle) {
-        self.trace = trace;
+    pub fn set_trace(&mut self, trace: &TraceHandle) {
+        self.trace = trace.share();
     }
 
     /// Starts an in-order bank operation on `line` at `now`; returns the
@@ -1190,9 +1185,9 @@ impl DnL2 {
         let l = self.banks[bank].lookup(line).expect("just inserted");
         for (i, owner) in owners.0.iter().enumerate() {
             if owner.is_some() {
-                l.state[i] = WordState::Invalid;
+                l.set_word(i, WordState::Invalid);
             } else {
-                l.state[i] = WordState::Valid;
+                l.set_word(i, WordState::Valid);
                 l.data[i] = data[i];
             }
         }
@@ -1229,7 +1224,7 @@ impl DnL2 {
     ///
     /// Panics on GPU-only message kinds (writethroughs, L2 atomics) — a
     /// protocol bug.
-    pub fn handle(&mut self, now: Cycle, msg: &Msg) -> Vec<Action> {
+    pub fn handle(&mut self, now: Cycle, msg: &Msg) -> ActionVec {
         match msg.kind {
             MsgKind::ReadReq {
                 line,
@@ -1256,13 +1251,13 @@ impl DnL2 {
         line: LineAddr,
         mask: WordMask,
         requester: NodeId,
-    ) -> Vec<Action> {
+    ) -> ActionVec {
         self.counts.l2_accesses += 1;
         let delay = self.bank_op(now, line);
         let bank = self.bank_index(line);
         let l = self.banks[bank].lookup(line).expect("resident");
         let mut avail = WordMask::empty();
-        let mut by_owner: HashMap<NodeId, WordMask> = HashMap::new();
+        let mut by_owner: FxHashMap<NodeId, WordMask> = FxHashMap::default();
         for i in mask.iter() {
             match l.extra.0[i] {
                 Some(owner) => by_owner.entry(owner).or_default().insert(i),
@@ -1270,7 +1265,7 @@ impl DnL2 {
             }
         }
         let data = l.data;
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         if !avail.is_empty() {
             actions.push(Action::Send {
                 msg: Msg {
@@ -1316,20 +1311,20 @@ impl DnL2 {
         mask: WordMask,
         sync: bool,
         requester: NodeId,
-    ) -> Vec<Action> {
+    ) -> ActionVec {
         self.counts.l2_accesses += 1;
         let delay = self.bank_op(now, line);
         let bank = self.bank_index(line);
         let l = self.banks[bank].lookup(line).expect("resident");
         let mut granted = WordMask::empty();
-        let mut by_owner: HashMap<NodeId, WordMask> = HashMap::new();
+        let mut by_owner: FxHashMap<NodeId, WordMask> = FxHashMap::default();
         for i in mask.iter() {
             match l.extra.0[i] {
                 Some(prev) => by_owner.entry(prev).or_default().insert(i),
                 None => granted.insert(i),
             }
             l.extra.0[i] = Some(requester);
-            l.state[i] = WordState::Invalid; // the value now lives at the owner
+            l.set_word(i, WordState::Invalid); // the value now lives at the owner
         }
         self.trace.emit(|| TraceEvent::StateChange {
             node: bank_node,
@@ -1340,7 +1335,7 @@ impl DnL2 {
             to: WState::Invalid,
         });
         let data = l.data;
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         if !granted.is_empty() {
             // Sync grants carry the current value (the RMW reads it);
             // data grants are pure acks.
@@ -1406,7 +1401,7 @@ impl DnL2 {
         line: LineAddr,
         mask: WordMask,
         data: &LineData,
-    ) -> Vec<Action> {
+    ) -> ActionVec {
         self.counts.l2_accesses += 1;
         let delay = self.bank_op(now, line);
         let bank = self.bank_index(line);
@@ -1414,11 +1409,11 @@ impl DnL2 {
         for i in mask.iter() {
             if l.extra.0[i] == Some(msg.src) {
                 l.extra.0[i] = None;
-                l.state[i] = WordState::Owned; // dirty at the L2 now
+                l.set_word(i, WordState::Owned); // dirty at the L2 now
                 l.data[i] = data[i];
             }
         }
-        vec![Action::Send {
+        ActionVec::of(Action::Send {
             msg: Msg {
                 src: msg.dst,
                 dst: msg.src,
@@ -1426,7 +1421,7 @@ impl DnL2 {
                 kind: MsgKind::WbAck { line, mask },
             },
             delay,
-        }]
+        })
     }
 
     /// Flushes every dirty L2 word into the memory image (end of run).
@@ -1437,9 +1432,7 @@ impl DnL2 {
                 let dirty = l.mask_in(WordState::Owned);
                 if !dirty.is_empty() {
                     writes.push((l.tag, dirty, l.data));
-                    for i in dirty.iter() {
-                        l.state[i] = WordState::Valid;
-                    }
+                    l.set_mask(dirty, WordState::Valid);
                 }
             });
             for (tag, mask, data) in writes {
@@ -1450,7 +1443,7 @@ impl DnL2 {
 }
 
 /// Deterministic iteration order for per-owner forward maps.
-fn sorted(m: HashMap<NodeId, WordMask>) -> Vec<(NodeId, WordMask)> {
+fn sorted(m: FxHashMap<NodeId, WordMask>) -> Vec<(NodeId, WordMask)> {
     let mut v: Vec<_> = m.into_iter().collect();
     v.sort_by_key(|(n, _)| *n);
     v
@@ -1474,9 +1467,9 @@ mod tests {
 
     /// A tiny deterministic message pump over a set of L1s and the L2:
     /// delivers sends breadth-first and collects completions.
-    fn pump(l1s: &mut [&mut DnL1], l2: &mut DnL2, actions: Vec<Action>) -> Vec<Action> {
-        let mut queue: VecDeque<Action> = actions.into();
-        let mut out = Vec::new();
+    fn pump(l1s: &mut [&mut DnL1], l2: &mut DnL2, actions: ActionVec) -> ActionVec {
+        let mut queue: VecDeque<Action> = actions.into_iter().collect();
+        let mut out = ActionVec::new();
         while let Some(a) = queue.pop_front() {
             let Action::Send { msg, .. } = a else {
                 out.push(a);
@@ -1843,7 +1836,7 @@ mod tests {
         });
         let mut b = l1_at(1);
         let mut l2 = l2_with(&[(0, 0)]);
-        fn read(l1: &mut DnL1, req: u64) -> (Issue, Vec<Action>) {
+        fn read(l1: &mut DnL1, req: u64) -> (Issue, ActionVec) {
             l1.atomic(WordAddr(0), AtomicOp::Read, [0, 0], false, ReqId(req))
         }
         // CU0 registers the word via a sync read; CU1 steals it before

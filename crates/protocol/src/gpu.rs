@@ -21,17 +21,17 @@
 //! changes which operations the core model marks `local` (never, for
 //! DRF).
 
-use crate::action::{Action, Issue};
+use crate::action::{Action, ActionVec, Issue};
 use gsim_mem::{
     CacheArray, CacheGeometry, Dram, DramConfig, InsertOutcome, MemoryImage, MshrFile, StoreBuffer,
     WordState,
 };
 use gsim_trace::{FlushReason, Level, TraceEvent, TraceHandle, WState};
 use gsim_types::{
-    AtomicOp, Component, Counts, Cycle, LineAddr, Msg, MsgKind, NodeId, ReqId, Scope, SyncOrd,
-    Value, WordAddr, WordMask, WORDS_PER_LINE,
+    AtomicOp, Component, Counts, Cycle, FxHashMap, LineAddr, Msg, MsgKind, NodeId, ReqId, Scope,
+    SyncOrd, Value, WordAddr, WordMask, WORDS_PER_LINE,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What a thread block is waiting on when its line fill returns.
 #[derive(Clone, Copy, Debug)]
@@ -99,19 +99,19 @@ pub struct GpuL1 {
     /// are owed. A fill must not install these words: its data may
     /// predate the writethrough at the L2, and the store-buffer entry
     /// that would have shadowed it is already gone.
-    wt_inflight: HashMap<LineAddr, (u32, WordMask)>,
+    wt_inflight: FxHashMap<LineAddr, (u32, WordMask)>,
     /// Bumped by every global acquire. Fills for requests issued in an
     /// older epoch deliver data to their (pre-acquire) waiters but do
     /// not install it — installing would let post-acquire loads read
     /// pre-acquire line contents (stale under DRF).
     epoch: u64,
     /// The epoch each outstanding miss line was requested in.
-    entry_epoch: HashMap<LineAddr, u64>,
+    entry_epoch: FxHashMap<LineAddr, u64>,
     /// Releases blocked until `pending_wt` reaches zero.
     pending_releases: Vec<ReqId>,
     /// Globally scoped atomics outstanding at the L2, per word, in issue
     /// order (responses on one src/dst pair arrive in order).
-    pending_atomics: HashMap<WordAddr, VecDeque<ReqId>>,
+    pending_atomics: FxHashMap<WordAddr, VecDeque<ReqId>>,
     counts: Counts,
     trace: TraceHandle,
     /// Whether an `SbFlushBegin` trace event is awaiting its matching
@@ -127,11 +127,11 @@ impl GpuL1 {
             sb: StoreBuffer::new(config.sb_entries),
             mshr: MshrFile::new(config.mshr_entries),
             pending_wt: 0,
-            wt_inflight: HashMap::new(),
+            wt_inflight: FxHashMap::default(),
             epoch: 0,
-            entry_epoch: HashMap::new(),
+            entry_epoch: FxHashMap::default(),
             pending_releases: Vec::new(),
-            pending_atomics: HashMap::new(),
+            pending_atomics: FxHashMap::default(),
             counts: Counts::default(),
             trace: TraceHandle::disabled(),
             sb_draining: false,
@@ -141,8 +141,8 @@ impl GpuL1 {
 
     /// Installs a trace handle; protocol, cache, store-buffer, and MSHR
     /// events flow through it from then on.
-    pub fn set_trace(&mut self, trace: TraceHandle) {
-        self.trace = trace;
+    pub fn set_trace(&mut self, trace: &TraceHandle) {
+        self.trace = trace.share();
     }
 
     /// Emits the `SbFlushBegin` trace event and arms the matching end
@@ -190,7 +190,7 @@ impl GpuL1 {
 
     /// Sends one writethrough, recording its in-flight words so racing
     /// fills do not resurrect stale values.
-    fn send_writethrough(&mut self, e: gsim_mem::SbEntry, actions: &mut Vec<Action>) {
+    fn send_writethrough(&mut self, e: gsim_mem::SbEntry, actions: &mut ActionVec) {
         self.pending_wt += 1;
         let slot = self.wt_inflight.entry(e.line).or_default();
         slot.0 += 1;
@@ -207,7 +207,7 @@ impl GpuL1 {
 
     /// Buffers a store, emitting the overflow writethrough if the oldest
     /// entry is displaced.
-    fn buffer_store(&mut self, word: WordAddr, value: Value, actions: &mut Vec<Action>) {
+    fn buffer_store(&mut self, word: WordAddr, value: Value, actions: &mut ActionVec) {
         if let gsim_mem::StoreOutcome::Overflow(e) = self.sb.write(word, value) {
             self.counts.sb_overflow_flushes += 1;
             let pending = e.mask.count();
@@ -224,19 +224,19 @@ impl GpuL1 {
         }
         let line = self.cache.lookup(word.line())?;
         let i = word.index_in_line();
-        line.state[i].readable().then(|| line.data[i])
+        line.word(i).readable().then(|| line.data[i])
     }
 
     /// A demand load of `word`.
-    pub fn load(&mut self, word: WordAddr, req: ReqId) -> (Issue, Vec<Action>) {
+    pub fn load(&mut self, word: WordAddr, req: ReqId) -> (Issue, ActionVec) {
         if let Some(v) = self.local_value(word) {
             self.counts.l1_accesses += 1;
             self.counts.l1_load_hits += 1;
-            return (Issue::Hit(v), Vec::new());
+            return (Issue::Hit(v), ActionVec::new());
         }
         let line = word.line();
         if !self.mshr.has_room_for(line) || self.entry_is_stale(line) {
-            return (Issue::Retry, Vec::new());
+            return (Issue::Retry, ActionVec::new());
         }
         self.counts.l1_accesses += 1;
         self.counts.l1_load_misses += 1;
@@ -248,7 +248,7 @@ impl GpuL1 {
         if !was_pending {
             self.emit_mshr_alloc(line);
         }
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         if !to_send.is_empty() {
             actions.push(Action::send(self.msg_to_home(
                 line,
@@ -264,14 +264,14 @@ impl GpuL1 {
 
     /// A data store: write-update the local copy and buffer the
     /// writethrough. Never blocks (overflow evicts the oldest entry).
-    pub fn store(&mut self, word: WordAddr, value: Value) -> (Issue, Vec<Action>) {
+    pub fn store(&mut self, word: WordAddr, value: Value) -> (Issue, ActionVec) {
         self.counts.l1_accesses += 1;
         let i = word.index_in_line();
         if let Some(line) = self.cache.lookup(word.line()) {
             line.data[i] = value;
-            line.state[i] = WordState::Valid;
+            line.set_word(i, WordState::Valid);
         }
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         self.buffer_store(word, value, &mut actions);
         (Issue::Hit(0), actions)
     }
@@ -287,7 +287,7 @@ impl GpuL1 {
         ord: SyncOrd,
         local: bool,
         req: ReqId,
-    ) -> (Issue, Vec<Action>) {
+    ) -> (Issue, ActionVec) {
         if !local {
             let msg = self.msg_to_home(
                 word.line(),
@@ -301,20 +301,20 @@ impl GpuL1 {
                 },
             );
             self.pending_atomics.entry(word).or_default().push_back(req);
-            return (Issue::Pending, vec![Action::send(msg)]);
+            return (Issue::Pending, ActionVec::of(Action::send(msg)));
         }
         if let Some(current) = self.local_value(word) {
             self.counts.l1_accesses += 1;
             self.counts.l1_atomics += 1;
             self.counts.l1_atomic_hits += 1;
             let (new, old) = op.apply(current, operands);
-            let mut actions = Vec::new();
+            let mut actions = ActionVec::new();
             self.apply_local_write(word, new, op, &mut actions);
             return (Issue::Hit(old), actions);
         }
         let line = word.line();
         if !self.mshr.has_room_for(line) || self.entry_is_stale(line) {
-            return (Issue::Retry, Vec::new());
+            return (Issue::Retry, ActionVec::new());
         }
         self.counts.l1_accesses += 1;
         self.counts.l1_atomics += 1;
@@ -333,7 +333,7 @@ impl GpuL1 {
         if !was_pending {
             self.emit_mshr_alloc(line);
         }
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         if !to_send.is_empty() {
             actions.push(Action::send(self.msg_to_home(
                 line,
@@ -354,7 +354,7 @@ impl GpuL1 {
         word: WordAddr,
         new: Value,
         op: AtomicOp,
-        actions: &mut Vec<Action>,
+        actions: &mut ActionVec,
     ) {
         if !op.writes() {
             return;
@@ -362,7 +362,7 @@ impl GpuL1 {
         let i = word.index_in_line();
         if let Some(line) = self.cache.lookup(word.line()) {
             line.data[i] = new;
-            line.state[i] = WordState::Valid;
+            line.set_word(i, WordState::Valid);
         }
         self.buffer_store(word, new, actions);
     }
@@ -376,14 +376,11 @@ impl GpuL1 {
         }
         self.epoch += 1; // in-flight fills must not install post-acquire
         self.counts.flash_invalidations += 1;
-        let mut invalidated = 0;
+        let mut invalidated: u64 = 0;
         self.cache.for_each_line_mut(|l| {
-            for s in &mut l.state {
-                if *s == WordState::Valid {
-                    *s = WordState::Invalid;
-                    invalidated += 1;
-                }
-            }
+            let v = l.mask_in(WordState::Valid);
+            invalidated += u64::from(v.count());
+            l.set_mask(v, WordState::Invalid);
         });
         self.counts.words_invalidated += invalidated;
         let node = self.config.node;
@@ -398,9 +395,9 @@ impl GpuL1 {
     /// A release: flush the store buffer and wait for every writethrough
     /// (including earlier overflow flushes) to reach the L2. Locally
     /// scoped releases (GPU-H) complete immediately.
-    pub fn release(&mut self, local: bool, req: ReqId) -> (Issue, Vec<Action>) {
+    pub fn release(&mut self, local: bool, req: ReqId) -> (Issue, ActionVec) {
         if local {
-            return (Issue::Hit(0), Vec::new());
+            return (Issue::Hit(0), ActionVec::new());
         }
         let node = self.config.node;
         self.trace.emit(|| TraceEvent::SyncRelease {
@@ -408,8 +405,8 @@ impl GpuL1 {
             scope: Scope::Global,
         });
         let pending = self.sb.len() as u32;
-        let mut actions = Vec::new();
-        for e in self.sb.drain() {
+        let mut actions = ActionVec::new();
+        while let Some(e) = self.sb.pop_oldest() {
             self.counts.sb_release_flushes += 1;
             self.send_writethrough(e, &mut actions);
         }
@@ -428,7 +425,7 @@ impl GpuL1 {
     ///
     /// Panics on message kinds conventional GPU coherence never receives
     /// (registration grants, forwards, recalls) — a protocol bug.
-    pub fn handle(&mut self, msg: &Msg) -> Vec<Action> {
+    pub fn handle(&mut self, msg: &Msg) -> ActionVec {
         match msg.kind {
             MsgKind::ReadResp { line, mask, data } => self.fill(line, mask, &data),
             MsgKind::WtAck { line } => {
@@ -450,7 +447,7 @@ impl GpuL1 {
                         .map(|req| Action::complete(req, 0))
                         .collect()
                 } else {
-                    Vec::new()
+                    ActionVec::new()
                 }
             }
             MsgKind::AtomicResp { word, old } => {
@@ -459,7 +456,7 @@ impl GpuL1 {
                     .get_mut(&word)
                     .and_then(|q| q.pop_front())
                     .expect("atomic response without a pending request");
-                vec![Action::complete(req, old)]
+                ActionVec::of(Action::complete(req, old))
             }
             ref k => panic!("GPU L1 received unexpected message {k:?}"),
         }
@@ -492,7 +489,7 @@ impl GpuL1 {
         line: LineAddr,
         mask: WordMask,
         data: &[Value; WORDS_PER_LINE],
-    ) -> Vec<Action> {
+    ) -> ActionVec {
         let stale = self.entry_is_stale(line);
         if !stale {
             let skip = self.wt_inflight.get(&line).map(|s| s.1).unwrap_or_default();
@@ -526,7 +523,7 @@ impl GpuL1 {
             for i in mask.iter() {
                 if let Some(v) = self.sb.lookup(line.word(i)) {
                     entry.data[i] = v;
-                    entry.state[i] = WordState::Valid;
+                    entry.set_word(i, WordState::Valid);
                 }
             }
         }
@@ -540,7 +537,7 @@ impl GpuL1 {
                 waiters,
             });
         }
-        let mut actions = Vec::new();
+        let mut actions = ActionVec::new();
         for w in done {
             match w {
                 Waiter::Load { req, word } => {
@@ -628,8 +625,8 @@ impl GpuL2 {
     }
 
     /// Installs a trace handle; bank evictions are traced from then on.
-    pub fn set_trace(&mut self, trace: TraceHandle) {
-        self.trace = trace;
+    pub fn set_trace(&mut self, trace: &TraceHandle) {
+        self.trace = trace.share();
     }
 
     /// Starts a bank operation on `line` at `now`: waits for the bank,
@@ -702,7 +699,7 @@ impl GpuL2 {
     ///
     /// Panics on DeNovo-only message kinds (registrations, writebacks,
     /// recalls) — a protocol bug.
-    pub fn handle(&mut self, now: Cycle, msg: &Msg) -> Vec<Action> {
+    pub fn handle(&mut self, now: Cycle, msg: &Msg) -> ActionVec {
         match msg.kind {
             MsgKind::ReadReq {
                 line, requester, ..
@@ -712,7 +709,7 @@ impl GpuL2 {
                 let delay = self.bank_op(now, line);
                 let bank = (line.0 % self.config.banks as u64) as usize;
                 let data = self.banks[bank].peek(line).expect("resident").data;
-                vec![Action::Send {
+                ActionVec::of(Action::Send {
                     msg: Msg {
                         src: msg.dst,
                         dst: requester,
@@ -724,7 +721,7 @@ impl GpuL2 {
                         },
                     },
                     delay,
-                }]
+                })
             }
             MsgKind::WriteThrough { line, mask, data } => {
                 self.counts.l2_accesses += 1;
@@ -732,7 +729,7 @@ impl GpuL2 {
                 let bank = (line.0 % self.config.banks as u64) as usize;
                 let l = self.banks[bank].lookup(line).expect("resident");
                 l.fill(mask, &data, WordState::Owned);
-                vec![Action::Send {
+                ActionVec::of(Action::Send {
                     msg: Msg {
                         src: msg.dst,
                         dst: msg.src,
@@ -740,7 +737,7 @@ impl GpuL2 {
                         kind: MsgKind::WtAck { line },
                     },
                     delay,
-                }]
+                })
             }
             MsgKind::AtomicReq {
                 word,
@@ -759,9 +756,9 @@ impl GpuL2 {
                 let (new, old) = op.apply(l.data[i], operands);
                 if op.writes() {
                     l.data[i] = new;
-                    l.state[i] = WordState::Owned;
+                    l.set_word(i, WordState::Owned);
                 }
-                vec![Action::Send {
+                ActionVec::of(Action::Send {
                     msg: Msg {
                         src: msg.dst,
                         dst: requester,
@@ -769,7 +766,7 @@ impl GpuL2 {
                         kind: MsgKind::AtomicResp { word, old },
                     },
                     delay,
-                }]
+                })
             }
             ref k => panic!("GPU L2 received unexpected message {k:?}"),
         }
@@ -784,9 +781,7 @@ impl GpuL2 {
                 let dirty = l.mask_in(WordState::Owned);
                 if !dirty.is_empty() {
                     writes.push((l.tag, dirty, l.data));
-                    for i in dirty.iter() {
-                        l.state[i] = WordState::Valid;
-                    }
+                    l.set_mask(dirty, WordState::Valid);
                 }
             });
             for (tag, mask, data) in writes {
@@ -813,8 +808,8 @@ mod tests {
     }
 
     /// Runs a full L1 -> L2 -> L1 round trip for one message.
-    fn bounce(l1c: &mut GpuL1, l2c: &mut GpuL2, actions: Vec<Action>) -> Vec<Action> {
-        let mut out = Vec::new();
+    fn bounce(l1c: &mut GpuL1, l2c: &mut GpuL2, actions: ActionVec) -> ActionVec {
+        let mut out = ActionVec::new();
         for a in actions {
             let Action::Send { msg, .. } = a else {
                 out.push(a);

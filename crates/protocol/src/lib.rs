@@ -31,6 +31,6 @@ pub mod gpu;
 pub mod overhead;
 pub mod taxonomy;
 
-pub use action::{Action, Issue};
+pub use action::{Action, ActionVec, Issue};
 pub use denovo::{DnL1, DnL2};
 pub use gpu::{GpuL1, GpuL2, L1Config, L2Config};

@@ -44,7 +44,11 @@ impl ChaosNet {
         }
     }
 
-    fn push_actions(&mut self, actions: Vec<Action>, done: &mut Vec<(ReqId, Value)>) {
+    fn push_actions(
+        &mut self,
+        actions: impl IntoIterator<Item = Action>,
+        done: &mut Vec<(ReqId, Value)>,
+    ) {
         for a in actions {
             match a {
                 Action::Send { msg, .. } => self.push(msg),

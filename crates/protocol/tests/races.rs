@@ -21,8 +21,12 @@ fn sends(actions: &[Action]) -> Vec<Msg> {
 }
 
 /// Drives every send to quiescence, breadth first.
-fn pump_gpu(l1: &mut GpuL1, l2: &mut GpuL2, actions: Vec<Action>) -> Vec<(ReqId, Value)> {
-    let mut queue: std::collections::VecDeque<Action> = actions.into();
+fn pump_gpu(
+    l1: &mut GpuL1,
+    l2: &mut GpuL2,
+    actions: impl IntoIterator<Item = Action>,
+) -> Vec<(ReqId, Value)> {
+    let mut queue: std::collections::VecDeque<Action> = actions.into_iter().collect();
     let mut done = Vec::new();
     while let Some(a) = queue.pop_front() {
         match a {
@@ -39,8 +43,12 @@ fn pump_gpu(l1: &mut GpuL1, l2: &mut GpuL2, actions: Vec<Action>) -> Vec<(ReqId,
     done
 }
 
-fn pump_dn(l1s: &mut [&mut DnL1], l2: &mut DnL2, actions: Vec<Action>) -> Vec<(ReqId, Value)> {
-    let mut queue: std::collections::VecDeque<Action> = actions.into();
+fn pump_dn(
+    l1s: &mut [&mut DnL1],
+    l2: &mut DnL2,
+    actions: impl IntoIterator<Item = Action>,
+) -> Vec<(ReqId, Value)> {
+    let mut queue: std::collections::VecDeque<Action> = actions.into_iter().collect();
     let mut done = Vec::new();
     while let Some(a) = queue.pop_front() {
         match a {

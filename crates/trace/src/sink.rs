@@ -103,6 +103,15 @@ impl TraceHandle {
         }
     }
 
+    /// Another handle on the same shared sink and clock — what each
+    /// simulated component stores. Spelled as a method (rather than
+    /// `Clone`) at the call sites so wiring code reads as sharing one
+    /// sink, not copying a tracer.
+    #[inline]
+    pub fn share(&self) -> TraceHandle {
+        self.clone()
+    }
+
     /// Whether a sink is installed.
     #[inline]
     pub fn is_enabled(&self) -> bool {

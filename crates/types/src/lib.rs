@@ -29,8 +29,10 @@
 
 pub mod addr;
 pub mod config;
+pub mod fxhash;
 pub mod hist;
 pub mod ids;
+pub mod inline_vec;
 pub mod json;
 pub mod msg;
 pub mod rng;
@@ -40,8 +42,10 @@ pub mod sync;
 
 pub use addr::{Addr, LineAddr, WordAddr, WordMask, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use config::{Coherence, Consistency, ProtocolConfig};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hist::{LatencyBreakdown, LatencyHistogram};
 pub use ids::{Cycle, NodeId, ReqId, TbId};
+pub use inline_vec::InlineVec;
 pub use json::JsonValue;
 pub use msg::{Component, Msg, MsgClass, MsgKind, CTRL_FLITS, FLIT_BYTES};
 pub use rng::Rng64;

@@ -14,8 +14,8 @@ use gpu_denovo::types::{
 };
 
 /// Delivers queued sends until quiescence, narrating each hop.
-fn pump_gpu(l1: &mut GpuL1, l2: &mut GpuL2, actions: Vec<Action>) {
-    let mut queue: Vec<Action> = actions;
+fn pump_gpu(l1: &mut GpuL1, l2: &mut GpuL2, actions: impl IntoIterator<Item = Action>) {
+    let mut queue: Vec<Action> = actions.into_iter().collect();
     while let Some(a) = queue.pop() {
         match a {
             Action::Send { msg, .. } => {
@@ -33,8 +33,8 @@ fn pump_gpu(l1: &mut GpuL1, l2: &mut GpuL2, actions: Vec<Action>) {
     }
 }
 
-fn pump_dn(l1s: &mut [&mut DnL1], l2: &mut DnL2, actions: Vec<Action>) {
-    let mut queue: std::collections::VecDeque<Action> = actions.into();
+fn pump_dn(l1s: &mut [&mut DnL1], l2: &mut DnL2, actions: impl IntoIterator<Item = Action>) {
+    let mut queue: std::collections::VecDeque<Action> = actions.into_iter().collect();
     while let Some(a) = queue.pop_front() {
         match a {
             Action::Send { msg, .. } => {
