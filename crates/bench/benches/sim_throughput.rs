@@ -99,6 +99,16 @@ fn bench_matrix_baseline() {
 }
 
 fn main() {
+    // The committed baseline is only meaningful with the conformance
+    // checker off. Benches compile without debug assertions, so
+    // micro15's default must resolve to Off here — if this fires, a
+    // config change put checking (and its overhead) into the timed path.
+    let check = SystemConfig::micro15(ProtocolConfig::Gd).check;
+    assert_eq!(
+        check,
+        gsim_core::CheckLevel::Off,
+        "throughput bench must run with conformance checking off"
+    );
     println!("simulator throughput ({ITERS} iterations per case, Tiny scale)");
     for protocol in [ProtocolConfig::Gd, ProtocolConfig::Gh, ProtocolConfig::Dd] {
         bench_config("SPM_G", protocol);

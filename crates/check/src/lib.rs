@@ -1,0 +1,269 @@
+#![warn(missing_docs)]
+
+//! Runtime conformance checking for the gpu-denovo simulator.
+//!
+//! The paper's central claim is *semantic*: DeNovo-style coherence plus
+//! data-race-free software gives sequentially consistent executions with
+//! simple hardware. A performance model can silently break that claim —
+//! a stale word served after an acquire, an owned line dropped at an
+//! eviction, a store-buffer word that never drains — and every figure
+//! downstream would still look plausible. This crate is the in-process
+//! answer to that risk (the lightweight cousin of offline model
+//! checking à la GPUMC): a zero-dependency layer the engine consults at
+//! state-transition points.
+//!
+//! Three parts, selected by [`CheckLevel`]:
+//!
+//! 1. **Coherence invariants** ([`CheckLevel::Invariants`] and up) —
+//!    single-owner-per-word across L1s, LLC registry agreement,
+//!    valid/owned word-mask disjointness, store buffers empty once a
+//!    kernel's releases complete, and no readable word surviving a
+//!    GPU-coherence flash invalidate.
+//! 2. **A vector-clock happens-before race detector**
+//!    ([`CheckLevel::Full`]) over the kernel IR access stream — see
+//!    [`race`] for the event rules and the soundness argument.
+//! 3. **End-of-run quiesce audits** — MSHR entries, pending-table
+//!    slots, in-flight NoC traffic, and store-buffer words must all
+//!    drain to zero, and the report names the leaked resource together
+//!    with the trace event that allocated it.
+//!
+//! Violations accumulate into a [`CheckReport`]; the engine emits each
+//! one through the gsim-trace sink as it is found and fails the run at
+//! the end if the report is non-empty.
+
+pub mod race;
+
+pub use race::{RaceDetector, SyncKey};
+
+use std::fmt;
+
+/// How much conformance checking a run performs.
+///
+/// | Level        | Invariants | Quiesce audit | Race detector | Cost |
+/// |--------------|------------|---------------|---------------|------|
+/// | `Off`        | no         | no (asserts)  | no            | none |
+/// | `Invariants` | yes        | yes           | no            | tiny |
+/// | `Full`       | yes        | yes           | yes           | per-access |
+///
+/// The default is build-dependent: `Invariants` under
+/// `cfg(debug_assertions)` (so every test run is checked) and `Off` in
+/// release builds (so benchmark throughput is unaffected).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CheckLevel {
+    /// No checking; end-of-run drain is enforced by plain assertions.
+    Off,
+    /// Coherence invariants plus the end-of-run quiesce audit.
+    Invariants,
+    /// Everything, including the happens-before race detector.
+    Full,
+}
+
+impl CheckLevel {
+    /// The build-dependent default: `Invariants` in debug builds (which
+    /// includes `cargo test`), `Off` in release builds.
+    pub fn default_for_build() -> Self {
+        if cfg!(debug_assertions) {
+            CheckLevel::Invariants
+        } else {
+            CheckLevel::Off
+        }
+    }
+
+    /// Whether invariant checks and quiesce audits run.
+    #[inline]
+    pub fn invariants(self) -> bool {
+        self >= CheckLevel::Invariants
+    }
+
+    /// Whether the race detector runs.
+    #[inline]
+    pub fn races(self) -> bool {
+        self == CheckLevel::Full
+    }
+}
+
+impl Default for CheckLevel {
+    fn default() -> Self {
+        CheckLevel::default_for_build()
+    }
+}
+
+impl fmt::Display for CheckLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheckLevel::Off => "off",
+            CheckLevel::Invariants => "invariants",
+            CheckLevel::Full => "full",
+        })
+    }
+}
+
+/// The class of a conformance violation (stable labels for traces).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// Two conflicting accesses unordered by happens-before.
+    Race,
+    /// A resource survived the end-of-run drain.
+    QuiesceLeak,
+    /// A readable word survived an acquire that should have
+    /// invalidated it.
+    PostAcquireResidue,
+    /// A store buffer held words after the kernel's releases completed.
+    SbNotEmpty,
+    /// A word registered to more than one L1.
+    MultipleOwners,
+    /// The LLC registry and the L1s disagree about a word's owner.
+    RegistryMismatch,
+    /// A cache line's valid and owned word masks overlap.
+    StateMask,
+}
+
+impl CheckKind {
+    /// The lowercase label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckKind::Race => "race",
+            CheckKind::QuiesceLeak => "quiesce-leak",
+            CheckKind::PostAcquireResidue => "post-acquire-residue",
+            CheckKind::SbNotEmpty => "sb-not-empty",
+            CheckKind::MultipleOwners => "multiple-owners",
+            CheckKind::RegistryMismatch => "registry-mismatch",
+            CheckKind::StateMask => "state-mask",
+        }
+    }
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One conformance violation: what class, and the specifics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The violation class.
+    pub kind: CheckKind,
+    /// Human-readable specifics (which word, which node, which resource).
+    pub detail: String,
+}
+
+impl Violation {
+    /// Builds a violation.
+    pub fn new(kind: CheckKind, detail: impl Into<String>) -> Self {
+        Violation {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.detail)
+    }
+}
+
+/// The accumulated outcome of a checked run.
+///
+/// Collection is capped (see [`CheckReport::CAP`]) so a systematically
+/// broken run cannot balloon memory; the overflow count keeps the
+/// truncation honest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// The violations found, in detection order (up to [`Self::CAP`]).
+    pub violations: Vec<Violation>,
+    /// Violations dropped once the cap was reached.
+    pub truncated: u64,
+}
+
+impl CheckReport {
+    /// Maximum violations kept before counting instead of storing.
+    pub const CAP: usize = 64;
+
+    /// Records a violation, spilling to the overflow count past the cap.
+    pub fn push(&mut self, v: Violation) {
+        if self.violations.len() < Self::CAP {
+            self.violations.push(v);
+        } else {
+            self.truncated += 1;
+        }
+    }
+
+    /// Whether no violation was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.truncated == 0
+    }
+
+    /// Number of violations recorded (including truncated ones).
+    pub fn len(&self) -> u64 {
+        self.violations.len() as u64 + self.truncated
+    }
+
+    /// Whether the report is empty (alias of [`is_clean`](Self::is_clean)).
+    pub fn is_empty(&self) -> bool {
+        self.is_clean()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} conformance violation(s):", self.len())?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        if self.truncated > 0 {
+            writeln!(f, "  ... and {} more (truncated)", self.truncated)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_gates_the_layers() {
+        assert!(!CheckLevel::Off.invariants());
+        assert!(!CheckLevel::Off.races());
+        assert!(CheckLevel::Invariants.invariants());
+        assert!(!CheckLevel::Invariants.races());
+        assert!(CheckLevel::Full.invariants());
+        assert!(CheckLevel::Full.races());
+    }
+
+    #[test]
+    fn default_tracks_the_build_profile() {
+        let want = if cfg!(debug_assertions) {
+            CheckLevel::Invariants
+        } else {
+            CheckLevel::Off
+        };
+        assert_eq!(CheckLevel::default(), want);
+    }
+
+    #[test]
+    fn report_caps_and_counts_overflow() {
+        let mut r = CheckReport::default();
+        assert!(r.is_clean());
+        for i in 0..(CheckReport::CAP + 3) {
+            r.push(Violation::new(CheckKind::Race, format!("v{i}")));
+        }
+        assert_eq!(r.violations.len(), CheckReport::CAP);
+        assert_eq!(r.truncated, 3);
+        assert_eq!(r.len(), CheckReport::CAP as u64 + 3);
+        let text = r.to_string();
+        assert!(text.contains("67 conformance violation(s)"));
+        assert!(text.contains("3 more (truncated)"));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CheckKind::Race.label(), "race");
+        assert_eq!(CheckKind::QuiesceLeak.label(), "quiesce-leak");
+        assert_eq!(CheckLevel::Full.to_string(), "full");
+        let v = Violation::new(CheckKind::SbNotEmpty, "node cu3: 2 words");
+        assert_eq!(v.to_string(), "[sb-not-empty] node cu3: 2 words");
+    }
+}

@@ -2,6 +2,7 @@
 //! protocol/consistency configuration under study.
 
 use crate::equeue::QueueKind;
+use gsim_check::CheckLevel;
 use gsim_mem::CacheGeometry;
 use gsim_noc::MeshConfig;
 use gsim_protocol::L2Config;
@@ -56,6 +57,12 @@ pub struct SystemConfig {
     /// `event_queue_equivalence` differential test); `Heap` exists for
     /// that test and for triaging any suspected queue bug.
     pub event_queue: QueueKind,
+    /// How much runtime conformance checking the run performs. Defaults
+    /// to [`CheckLevel::Invariants`] in debug builds (so every test run
+    /// is checked) and [`CheckLevel::Off`] in release builds (so
+    /// benchmark throughput is unaffected). Checking never perturbs
+    /// timing — only observes — so results are identical across levels.
+    pub check: CheckLevel,
 }
 
 impl SystemConfig {
@@ -74,6 +81,7 @@ impl SystemConfig {
             denovo_sync_backoff: false,
             max_cycles: 2_000_000_000,
             event_queue: QueueKind::Calendar,
+            check: CheckLevel::default_for_build(),
         }
     }
 

@@ -477,6 +477,119 @@ mod tests {
         }
     }
 
+    /// The exact horizon boundary at the default 1024-cycle ring: a
+    /// delta of `horizon - 1` is the last direct-to-bucket push, a delta
+    /// of exactly `horizon` is the first overflow push (it would land in
+    /// the bucket the cursor is about to scan), and `horizon + 1` is
+    /// clearly overflow. All three must pop in time order regardless of
+    /// which side of the boundary they took.
+    #[test]
+    fn deltas_straddling_the_default_horizon_boundary() {
+        for base in [0u64, 1, 1023, 1024, 1025, 70_000] {
+            let mut q: CalendarQueue<&str> = CalendarQueue::new();
+            if base > 0 {
+                // Advance the cursor to `base` so the deltas are measured
+                // from a non-zero origin (exercises the `at - cur` maths).
+                q.push(base, "cursor");
+                assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((base, "cursor")));
+            }
+            q.push(base + 1025, "over+1");
+            q.push(base + 1023, "ring-edge");
+            q.push(base + 1024, "over-edge");
+            assert_eq!(q.len(), 3);
+            assert_eq!(
+                q.pop().map(|(at, _, v)| (at, v)),
+                Some((base + 1023, "ring-edge")),
+                "base {base}"
+            );
+            // Popping the edge event advanced the cursor; the two
+            // overflow events migrate in and pop in cycle order.
+            assert_eq!(
+                q.pop().map(|(at, _, v)| (at, v)),
+                Some((base + 1024, "over-edge")),
+                "base {base}"
+            );
+            assert_eq!(
+                q.pop().map(|(at, _, v)| (at, v)),
+                Some((base + 1025, "over+1")),
+                "base {base}"
+            );
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    /// Same-cycle FIFO order must hold even when the cycle sits exactly
+    /// on the horizon boundary, so some of its events went to the ring
+    /// and some to the overflow heap.
+    #[test]
+    fn same_cycle_fifo_across_the_boundary_split() {
+        let mut q: CalendarQueue<u32> = CalendarQueue::new();
+        q.push(1024, 0); // delta 1024 from cursor 0: overflow
+        q.push(1, 100); // keeps the ring busy
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((1, 100)));
+        // Cursor is now 1, so delta to 1024 is 1023: direct to bucket.
+        q.push(1024, 1);
+        q.push(1024, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, _, v)| v).collect();
+        assert_eq!(order, [0, 1, 2], "same-cycle events must pop in push order");
+    }
+
+    /// Far-future stress against the heap reference: every event is
+    /// pushed far beyond the horizon, so every pop goes through a cursor
+    /// jump and an overflow migration. Strides are multiples of the
+    /// horizon (the worst case for `at & mask` aliasing: every event of
+    /// a wave maps to the same bucket).
+    #[test]
+    fn far_future_stress_matches_heap_model() {
+        let mut rng = Rng64::seed_from_u64(0xbeef_cafe);
+        for horizon in [4u64, 64, 1024] {
+            let mut cal: CalendarQueue<u64> = CalendarQueue::with_horizon(horizon);
+            let mut heap: HeapQueue<u64> = HeapQueue::new();
+            let mut now = 0u64;
+            for i in 0..2000u64 {
+                // Always at least one horizon ahead; often an exact
+                // multiple of the horizon (bucket aliasing).
+                let delay = horizon * rng.gen_u64(1, 50) + rng.gen_u64(0, 2);
+                cal.push(now + delay, i);
+                heap.push(now + delay, i);
+                if rng.gen_u32(0, 2) == 0 {
+                    let (got, want) = (cal.pop(), heap.pop());
+                    assert_eq!(got, want, "divergent pop (horizon {horizon})");
+                    if let Some((at, _, _)) = got {
+                        now = at;
+                    }
+                }
+            }
+            loop {
+                let (got, want) = (cal.pop(), heap.pop());
+                assert_eq!(got, want, "divergent drain (horizon {horizon})");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Ring wrap mid-migration: a migrated overflow event lands in a
+    /// bucket *behind* the cursor's ring index (its cycle modulo the
+    /// horizon is smaller than the cursor's), which is only reachable
+    /// after the cursor wraps the ring. The scan must still find it at
+    /// the right cycle, and later pushes onto the same bucket must not
+    /// shadow it.
+    #[test]
+    fn migrated_event_behind_the_cursor_index_pops_in_order() {
+        let mut q: CalendarQueue<&str> = CalendarQueue::with_horizon(8);
+        q.push(6, "warm"); // cursor will sit at ring index 6
+        q.push(9, "wrapped"); // delta 9 > 8: overflow; ring index 1 < 6
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((6, "warm")));
+        // Migration at this pop put "wrapped" into bucket 1, behind the
+        // cursor index. Push a nearer event into a bucket between them.
+        q.push(7, "between");
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((7, "between")));
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((9, "wrapped")));
+        assert_eq!(q.pop(), None);
+    }
+
     #[test]
     fn dispatcher_routes_both_kinds() {
         for kind in [QueueKind::Calendar, QueueKind::Heap] {

@@ -28,5 +28,6 @@ pub mod workload;
 
 pub use config::SystemConfig;
 pub use equeue::QueueKind;
+pub use gsim_check::{CheckLevel, CheckReport};
 pub use sim::{SimError, Simulator};
 pub use workload::{KernelLaunch, TbSpec, Workload};

@@ -130,6 +130,58 @@ impl L1 {
             L1::Dn(c) => c.owned_words(),
         }
     }
+
+    /// Readable words that illegally survived a global acquire (checker
+    /// hook; see the per-protocol definitions).
+    pub fn post_acquire_residue(&self) -> u64 {
+        match self {
+            L1::Gpu(c) => c.post_acquire_residue(),
+            L1::Dn(c) => c.post_acquire_residue(),
+        }
+    }
+
+    /// Words whose valid and owned masks overlap (checker hook; always
+    /// zero with the current line representation).
+    pub fn state_mask_overlaps(&self) -> u64 {
+        match self {
+            L1::Gpu(c) => c.state_mask_overlaps(),
+            L1::Dn(c) => c.state_mask_overlaps(),
+        }
+    }
+
+    /// Store-buffer entries currently pending (line, dirty mask).
+    pub fn sb_entries(&self) -> Vec<(gsim_types::LineAddr, gsim_types::WordMask)> {
+        match self {
+            L1::Gpu(c) => c.sb_entries(),
+            L1::Dn(c) => c.sb_entries(),
+        }
+    }
+
+    /// Names every undrained resource for the end-of-run quiesce audit.
+    pub fn quiesce_leaks(&self) -> Vec<String> {
+        match self {
+            L1::Gpu(c) => c.quiesce_leaks(),
+            L1::Dn(c) => c.quiesce_leaks(),
+        }
+    }
+
+    /// Test-only: plants an MSHR entry that never completes.
+    #[doc(hidden)]
+    pub fn debug_leak_mshr_entry(&mut self, line: gsim_types::LineAddr) {
+        match self {
+            L1::Gpu(c) => c.debug_leak_mshr_entry(line),
+            L1::Dn(c) => c.debug_leak_mshr_entry(line),
+        }
+    }
+
+    /// Test-only: plants an undrainable store-buffer word.
+    #[doc(hidden)]
+    pub fn debug_leak_sb_word(&mut self, word: WordAddr, value: Value) {
+        match self {
+            L1::Gpu(c) => c.debug_leak_sb_word(word, value),
+            L1::Dn(c) => c.debug_leak_sb_word(word, value),
+        }
+    }
 }
 
 /// The shared L2 (all banks).
@@ -195,6 +247,16 @@ impl L2 {
         match self {
             L2::Gpu(c) => c.flush_to_memory(),
             L2::Dn(c) => c.flush_to_memory(),
+        }
+    }
+
+    /// The registry's (word, owner) records — empty for the GPU L2,
+    /// which has no registry. The checker compares this against the
+    /// L1s' Registered words at end of run.
+    pub fn registry_owners(&self) -> Vec<(WordAddr, gsim_types::NodeId)> {
+        match self {
+            L2::Gpu(_) => Vec::new(),
+            L2::Dn(c) => c.registry_owners(),
         }
     }
 }

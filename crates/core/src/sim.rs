@@ -29,13 +29,15 @@ use crate::kernel::{Instr, NUM_REGS};
 use crate::pending::PendingTable;
 use crate::proto::{L1, L2};
 use crate::workload::{KernelLaunch, Workload};
+use gsim_check::{CheckKind, CheckLevel, CheckReport, RaceDetector, SyncKey, Violation};
 use gsim_energy::EnergyModel;
 use gsim_mem::MemoryImage;
 use gsim_noc::Mesh;
 use gsim_protocol::{Action, ActionVec, Issue, L1Config};
 use gsim_trace::{TraceEvent, TraceHandle};
 use gsim_types::{
-    Component, Counts, Cycle, LatencyBreakdown, Msg, NodeId, ReqId, Scope, SimStats, TbId, Value,
+    AtomicOp, Component, Counts, Cycle, FxHashMap, LatencyBreakdown, Msg, NodeId, ReqId, Scope,
+    SimStats, TbId, Value, WordAddr,
 };
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -53,6 +55,11 @@ pub enum SimError {
     },
     /// The workload's verifier rejected the final memory image.
     Verify(String),
+    /// The conformance checker found violations (see [`gsim_check`]).
+    Check {
+        /// The rendered [`CheckReport`]: one line per violation.
+        report: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -65,6 +72,7 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::Verify(msg) => write!(f, "verification failed: {msg}"),
+            SimError::Check { report } => write!(f, "conformance check failed: {report}"),
         }
     }
 }
@@ -255,6 +263,14 @@ struct Machine {
     /// Engine-attributed latency histograms.
     latency: LatencyBreakdown,
     trace: TraceHandle,
+
+    /// Conformance-checking level for this run.
+    check: CheckLevel,
+    /// The happens-before race detector (only under [`CheckLevel::Full`];
+    /// boxed because its maps dwarf the rest of the machine).
+    races: Option<Box<RaceDetector>>,
+    /// Violations accumulated by every checker layer.
+    report: CheckReport,
 }
 
 impl Machine {
@@ -312,6 +328,45 @@ impl Machine {
             counts: Counts::default(),
             latency: LatencyBreakdown::default(),
             trace,
+            check: config.check,
+            races: config.check.races().then(|| Box::new(RaceDetector::new())),
+            report: CheckReport::default(),
+        }
+    }
+
+    /// Records a checker violation: one trace instant plus a report line.
+    fn violation(&mut self, kind: CheckKind, detail: String) {
+        self.trace
+            .emit(|| TraceEvent::CheckViolation { kind: kind.label() });
+        self.report.push(Violation::new(kind, detail));
+    }
+
+    /// Moves races found so far from the detector into the report.
+    fn drain_races(&mut self) {
+        if let Some(mut r) = self.races.take() {
+            for v in r.take_found() {
+                self.trace.emit(|| TraceEvent::CheckViolation {
+                    kind: v.kind.label(),
+                });
+                self.report.push(v);
+            }
+            self.races = Some(r);
+        }
+    }
+
+    /// Invariant: right after a *global* acquire, no stale word may
+    /// remain readable (GPU: flash invalidate leaves nothing; DeNovo:
+    /// only Owned and read-only-region words survive).
+    fn check_post_acquire(&mut self, cu: usize) {
+        if !self.check.invariants() {
+            return;
+        }
+        let residue = self.l1s[cu].post_acquire_residue();
+        if residue > 0 {
+            self.violation(
+                CheckKind::PostAcquireResidue,
+                format!("node {cu}: {residue} readable word(s) survived a global acquire"),
+            );
         }
     }
 
@@ -362,6 +417,10 @@ impl Machine {
         // start of the kernel).
         for cu in 0..self.gpu_cus {
             self.l1s[cu].acquire(false);
+            self.check_post_acquire(cu);
+        }
+        if let Some(r) = &mut self.races {
+            r.begin_kernel(launch.tbs.len());
         }
         self.tbs.clear();
         self.tbs_finished = 0;
@@ -422,9 +481,32 @@ impl Machine {
         }
         self.process_actions(all);
         if self.drain_left == 0 {
-            self.kernels_done += 1;
-            let index = self.kernel_index as u32;
-            self.trace.emit(|| TraceEvent::KernelEnd { index });
+            self.on_kernel_drained();
+        }
+    }
+
+    /// Every end-of-kernel release completed. Invariant: a completed
+    /// release leaves the store buffer empty — anything still pending
+    /// here is a word the flush silently dropped.
+    fn on_kernel_drained(&mut self) {
+        self.kernels_done += 1;
+        let index = self.kernel_index as u32;
+        self.trace.emit(|| TraceEvent::KernelEnd { index });
+        if self.check.invariants() {
+            let mut dirty = Vec::new();
+            for (cu, l1) in self.l1s.iter().enumerate() {
+                let sb = l1.sb_entries();
+                if !sb.is_empty() {
+                    let words: u32 = sb.iter().map(|(_, m)| m.count()).sum();
+                    dirty.push(format!(
+                        "node {cu}: store buffer holds {words} word(s) across {} line(s) after kernel {index} drained",
+                        sb.len()
+                    ));
+                }
+            }
+            for detail in dirty {
+                self.violation(CheckKind::SbNotEmpty, detail);
+            }
         }
     }
 
@@ -473,6 +555,11 @@ impl Machine {
                 let word = addr.word(&self.tbs[tb].regs);
                 let req = self.alloc_req();
                 let (issue, actions) = self.l1s[cu].load(word, region, req);
+                if matches!(issue, Issue::Hit(_) | Issue::Pending) {
+                    if let Some(r) = &mut self.races {
+                        r.data_read(tb, word);
+                    }
+                }
                 match issue {
                     Issue::Hit(v) => {
                         self.counts.instructions += 1;
@@ -509,6 +596,9 @@ impl Machine {
                 let regs = &self.tbs[tb].regs;
                 let (word, v) = (addr.word(regs), src.eval(regs));
                 let (_, actions) = self.l1s[cu].store(word, v);
+                if let Some(r) = &mut self.races {
+                    r.data_write(tb, word);
+                }
                 self.tbs[tb].pc += 1;
                 self.process_actions(actions);
             }
@@ -567,6 +657,19 @@ impl Machine {
                         ord,
                         scope,
                     });
+                    if let Some(r) = &mut self.races {
+                        let key = if local {
+                            SyncKey::Local(NodeId(cu as u8))
+                        } else {
+                            SyncKey::Global
+                        };
+                        let writes = !matches!(op, AtomicOp::Read);
+                        if matches!(issue, Issue::Hit(_)) {
+                            r.sync_hit(tb, word, key, ord, writes);
+                        } else {
+                            r.sync_pending(req, tb, word, key, ord, writes);
+                        }
+                    }
                 }
                 match issue {
                     Issue::Hit(old) => {
@@ -580,6 +683,9 @@ impl Machine {
                         // younger access issues.
                         if ord.acquires() {
                             self.l1s[cu].acquire(local);
+                            if !local {
+                                self.check_post_acquire(cu);
+                            }
                         }
                         self.tbs[tb].released = false;
                         self.tbs[tb].pc += 1;
@@ -700,9 +806,7 @@ impl Machine {
                 self.latency.sb_drain.record(self.now - issued_at);
                 self.drain_left -= 1;
                 if self.drain_left == 0 {
-                    self.kernels_done += 1;
-                    let index = self.kernel_index as u32;
-                    self.trace.emit(|| TraceEvent::KernelEnd { index });
+                    self.on_kernel_drained();
                 }
             }
             Target::Tb { tb, cont } => {
@@ -717,9 +821,15 @@ impl Machine {
                         let started = self.tbs[tb].sync_started.take().unwrap_or(issued_at);
                         self.latency.barrier_wait.record(self.now - started);
                         self.tbs[tb].regs[dst as usize] = value;
+                        if let Some(r) = &mut self.races {
+                            r.sync_finish(req);
+                        }
                         if let Some(local) = acquire {
                             let cu = self.tbs[tb].cu;
                             self.l1s[cu].acquire(local);
+                            if !local {
+                                self.check_post_acquire(cu);
+                            }
                         }
                         self.tbs[tb].released = false;
                         self.tbs[tb].pc += 1;
@@ -794,11 +904,21 @@ impl Machine {
             self.kernels_done, total_kernels,
             "event queue drained before every kernel completed (deadlock)"
         );
-        for l1 in &self.l1s {
-            assert!(
-                l1.quiesced(),
-                "an L1 still has in-flight state at end of run"
-            );
+        if self.check.invariants() {
+            self.end_of_run_audit();
+        } else {
+            for l1 in &self.l1s {
+                assert!(
+                    l1.quiesced(),
+                    "an L1 still has in-flight state at end of run"
+                );
+            }
+        }
+        self.drain_races();
+        if !self.report.is_clean() {
+            return Err(SimError::Check {
+                report: self.report.to_string(),
+            });
         }
         // Functional drain: registered words and dirty L2 words reach the
         // memory image so the verifier sees the complete final state.
@@ -812,6 +932,104 @@ impl Machine {
         self.l2.flush_to_memory();
         (workload.verify)(self.l2.memory()).map_err(SimError::Verify)?;
         Ok(self.stats())
+    }
+
+    /// The end-of-run audit (replaces the bare quiesce assertions when
+    /// checking is on): every structure that holds in-flight state must
+    /// have drained to zero, the valid/owned word masks must be
+    /// disjoint, at most one L1 may hold each word registered, and the
+    /// LLC registry must agree with the L1s about every owner.
+    fn end_of_run_audit(&mut self) {
+        let mut found: Vec<(CheckKind, String)> = Vec::new();
+
+        // Quiesce: leaked resources, each named with its allocating
+        // trace event.
+        for l1 in &self.l1s {
+            for leak in l1.quiesce_leaks() {
+                found.push((CheckKind::QuiesceLeak, leak));
+            }
+        }
+        if !self.pending.is_empty() {
+            let mut detail = format!(
+                "{} engine pending-table slot(s) never completed:",
+                self.pending.len()
+            );
+            for (req, (target, at)) in self.pending.iter().take(4) {
+                use std::fmt::Write as _;
+                let _ = write!(detail, " {req:?} issued at {at} for {target:?};");
+            }
+            found.push((CheckKind::QuiesceLeak, detail));
+        }
+        let busy = self.mesh.links_busy_after(self.now);
+        if busy > 0 {
+            found.push((
+                CheckKind::QuiesceLeak,
+                format!("{busy} NoC link(s) busy past the final cycle (alloc event: msg-send)"),
+            ));
+        }
+
+        // Valid/owned disjointness per L1.
+        for (cu, l1) in self.l1s.iter().enumerate() {
+            let n = l1.state_mask_overlaps();
+            if n > 0 {
+                found.push((
+                    CheckKind::StateMask,
+                    format!("node {cu}: {n} word(s) marked both valid and owned"),
+                ));
+            }
+        }
+
+        // Single owner per word across L1s, then registry agreement in
+        // both directions.
+        let mut owners: FxHashMap<WordAddr, usize> = FxHashMap::default();
+        for (cu, l1) in self.l1s.iter().enumerate() {
+            for (w, _) in l1.owned_words() {
+                if let Some(prev) = owners.insert(w, cu) {
+                    found.push((
+                        CheckKind::MultipleOwners,
+                        format!("word {}: registered at both node {prev} and node {cu}", w.0),
+                    ));
+                }
+            }
+        }
+        let registry = self.l2.registry_owners();
+        for &(w, n) in &registry {
+            match owners.get(&w) {
+                Some(&cu) if cu == n.index() => {}
+                Some(&cu) => found.push((
+                    CheckKind::RegistryMismatch,
+                    format!(
+                        "word {}: registry records owner node {}, but node {cu} holds it",
+                        w.0,
+                        n.index()
+                    ),
+                )),
+                None => found.push((
+                    CheckKind::RegistryMismatch,
+                    format!(
+                        "word {}: registry records owner node {}, but no L1 owns it",
+                        w.0,
+                        n.index()
+                    ),
+                )),
+            }
+        }
+        let registered: FxHashMap<WordAddr, NodeId> = registry.into_iter().collect();
+        for (&w, &cu) in &owners {
+            if !registered.contains_key(&w) {
+                found.push((
+                    CheckKind::RegistryMismatch,
+                    format!(
+                        "word {}: node {cu} holds a registration the registry lost",
+                        w.0
+                    ),
+                ));
+            }
+        }
+
+        for (kind, detail) in found {
+            self.violation(kind, detail);
+        }
     }
 
     /// Summarizes thread-block and request state when the watchdog fires.
@@ -1176,5 +1394,133 @@ mod tests {
             .run(&mk())
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quiesce_audit_names_a_leaked_mshr_entry() {
+        // Plant an MSHR entry that no fill will ever retire, run a real
+        // workload to completion, and check the audit (a) fails the run
+        // and (b) names the resource together with its allocating trace
+        // event.
+        for p in ProtocolConfig::ALL {
+            let mut b = KernelBuilder::new();
+            b.mov(1, imm(0));
+            b.st(b.at(1, 3), imm(7));
+            b.ld(2, b.at(1, 3));
+            b.halt();
+            let w = one_tb(b, 3, 7);
+            let mut cfg = SystemConfig::micro15(p);
+            cfg.check = CheckLevel::Invariants;
+            let mut m = Machine::new(&cfg, &w, TraceHandle::disabled());
+            // A line far outside the workload's footprint.
+            m.l1s[0].debug_leak_mshr_entry(gsim_types::LineAddr(0xdead0));
+            let err = m.run(&w).expect_err("the quiesce audit must fail the run");
+            let msg = err.to_string();
+            assert!(matches!(err, SimError::Check { .. }), "{p}: {msg}");
+            assert!(msg.contains("quiesce-leak"), "{p}: {msg}");
+            assert!(msg.contains("MSHR entry"), "{p}: {msg}");
+            assert!(msg.contains("mshr-alloc"), "{p}: {msg}");
+        }
+    }
+
+    #[test]
+    fn quiesce_audit_names_a_leaked_store_buffer_word() {
+        // A planted store-buffer word cannot survive a full run (the
+        // kernel-end release drains the buffer), so exercise the leak
+        // naming directly on the controller.
+        use gsim_protocol::L1Config;
+        for p in ProtocolConfig::ALL {
+            let mut l1 = L1::build(p, L1Config::micro15(NodeId(0)), false, false);
+            l1.debug_leak_sb_word(WordAddr(40), 1);
+            assert!(!l1.quiesced(), "{p}");
+            let leaks = l1.quiesce_leaks();
+            assert_eq!(leaks.len(), 1, "{p}: {leaks:?}");
+            assert!(leaks[0].contains("store-buffer"), "{p}: {}", leaks[0]);
+            assert!(leaks[0].contains("sb-flush"), "{p}: {}", leaks[0]);
+        }
+    }
+
+    #[test]
+    fn full_check_flags_unsynchronized_stores() {
+        // Two thread blocks store the same word with no ordering: the
+        // race detector must fail the run under every configuration.
+        for p in ProtocolConfig::ALL {
+            let mut b = KernelBuilder::new();
+            b.mov(1, imm(0));
+            b.st(b.at(1, 0), imm(1));
+            b.halt();
+            let w = Workload {
+                name: "racy".into(),
+                init: Box::new(|_| {}),
+                kernels: vec![KernelLaunch {
+                    program: b.build(),
+                    tbs: vec![crate::workload::TbSpec::with_regs(&[]); 2],
+                }],
+                verify: Box::new(|_| Ok(())),
+            };
+            let mut cfg = SystemConfig::micro15(p);
+            cfg.check = CheckLevel::Full;
+            let err = Simulator::new(cfg)
+                .run(&w)
+                .expect_err("racy stores must be flagged");
+            let msg = err.to_string();
+            assert!(matches!(err, SimError::Check { .. }), "{p}: {msg}");
+            assert!(msg.contains("[race]"), "{p}: {msg}");
+            assert!(msg.contains("unordered by happens-before"), "{p}: {msg}");
+        }
+    }
+
+    #[test]
+    fn full_check_is_silent_on_drf_programs() {
+        // Contended atomics and lock-protected plain accesses are DRF:
+        // zero races, zero invariant violations, under every config.
+        const TBS: u32 = 30;
+        for p in ProtocolConfig::ALL {
+            let mut b = KernelBuilder::new();
+            b.mov(1, imm(0)); // lock word 0, counter word 1
+            b.label("spin");
+            b.atomic(
+                2,
+                b.at(1, 0),
+                AtomicOp::Exch,
+                imm(1),
+                imm(0),
+                SyncOrd::AcqRel,
+                Scope::Global,
+            );
+            b.bnz(r(2), "spin");
+            b.ld(3, b.at(1, 1));
+            b.alu_add(3, r(3), imm(1));
+            b.st(b.at(1, 1), r(3));
+            b.atomic(
+                2,
+                b.at(1, 0),
+                AtomicOp::Write,
+                imm(0),
+                imm(0),
+                SyncOrd::Release,
+                Scope::Global,
+            );
+            b.halt();
+            let w = Workload {
+                name: "drf-lock".into(),
+                init: Box::new(|_| {}),
+                kernels: vec![KernelLaunch {
+                    program: b.build(),
+                    tbs: vec![crate::workload::TbSpec::with_regs(&[]); TBS as usize],
+                }],
+                verify: Box::new(|mem| {
+                    let got = mem.read_word(WordAddr(1));
+                    (got == TBS)
+                        .then_some(())
+                        .ok_or_else(|| format!("counter: got {got}, want {TBS}"))
+                }),
+            };
+            let mut cfg = SystemConfig::micro15(p);
+            cfg.check = CheckLevel::Full;
+            Simulator::new(cfg)
+                .run(&w)
+                .unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
     }
 }

@@ -94,6 +94,15 @@ impl<W, F> MshrFile<W, F> {
         self.entries.contains_key(&line) || self.entries.len() < self.capacity
     }
 
+    /// The outstanding lines with their pending word masks, sorted by
+    /// line address (the quiesce audit names leaked entries with this).
+    pub fn outstanding_lines(&self) -> Vec<(LineAddr, WordMask)> {
+        let mut v: Vec<(LineAddr, WordMask)> =
+            self.entries.iter().map(|(&l, e)| (l, e.pending)).collect();
+        v.sort_by_key(|&(l, _)| l);
+        v
+    }
+
     /// Registers a core request for `mask` words of `line` and returns
     /// the subset of words that must actually be requested from the next
     /// level (words already pending coalesce and return empty).

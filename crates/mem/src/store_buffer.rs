@@ -75,6 +75,15 @@ impl StoreBuffer {
         }
     }
 
+    /// The buffered lines and their dirty word masks, oldest first (the
+    /// quiesce audit names leaked words with this).
+    pub fn pending_entries(&self) -> Vec<(LineAddr, WordMask)> {
+        self.fifo
+            .iter()
+            .filter_map(|l| self.entries.get(l).map(|e| (e.line, e.mask)))
+            .collect()
+    }
+
     /// Number of occupied entries.
     pub fn len(&self) -> usize {
         self.entries.len()

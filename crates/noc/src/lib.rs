@@ -171,6 +171,15 @@ impl Mesh {
         self.messages
     }
 
+    /// Number of links still occupied past `now`. A message's tail flit
+    /// clears its last link no later than the message's delivery, so
+    /// once the event queue has drained this must be zero — a non-zero
+    /// count at end of run is leaked in-flight traffic, and the quiesce
+    /// audit reports it.
+    pub fn links_busy_after(&self, now: Cycle) -> usize {
+        self.link_free.iter().filter(|&&t| t > now).count()
+    }
+
     fn link_index(&self, link: Link) -> usize {
         link.from.index() * self.config.nodes() + link.to.index()
     }

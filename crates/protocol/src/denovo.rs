@@ -230,7 +230,8 @@ impl DnL1 {
 
     /// Whether every fill, registration, and writeback has completed.
     pub fn quiesced(&self) -> bool {
-        self.mshr.outstanding() == 0
+        self.sb.is_empty()
+            && self.mshr.outstanding() == 0
             && self.reg_pending.is_empty()
             && self.sync_pending.is_empty()
             && self.wb_pending.is_empty()
@@ -250,6 +251,124 @@ impl DnL1 {
             }
         }
         out
+    }
+
+    /// Valid words left outside the read-only region right after a
+    /// global acquire — must be zero: the self-invalidation sweep clears
+    /// every Valid word except RO-region words (DD+RO), and only
+    /// Registered words legally survive.
+    pub fn post_acquire_residue(&self) -> u64 {
+        let keep_ro = self.config.read_only_region;
+        let mut words = 0u64;
+        for l in self.cache.iter() {
+            let mut v = l.mask_in(WordState::Valid);
+            if keep_ro {
+                v = v & !l.extra.0;
+            }
+            words += u64::from(v.count());
+        }
+        words
+    }
+
+    /// Words whose valid and owned masks overlap, across all lines.
+    /// Structurally impossible with the two-bitmap line representation;
+    /// audited anyway so a future representation change cannot silently
+    /// break the three-state model.
+    pub fn state_mask_overlaps(&self) -> u64 {
+        let mut words = 0u64;
+        for l in self.cache.iter() {
+            words += u64::from((l.mask_in(WordState::Valid) & l.mask_in(WordState::Owned)).count());
+        }
+        words
+    }
+
+    /// Store-buffer entries currently pending (line, dirty mask).
+    pub fn sb_entries(&self) -> Vec<(LineAddr, WordMask)> {
+        self.sb.pending_entries()
+    }
+
+    /// Names every resource still allocated after the run drained, each
+    /// paired with the trace event that allocated it. Empty iff
+    /// [`quiesced`](Self::quiesced) and the store buffer is empty.
+    pub fn quiesce_leaks(&self) -> Vec<String> {
+        let n = self.config.l1.node;
+        let mut leaks = Vec::new();
+        for (line, mask) in self.mshr.outstanding_lines() {
+            leaks.push(format!(
+                "{n}: MSHR entry for line {} ({} word(s) pending; alloc event: mshr-alloc)",
+                line.0,
+                mask.count()
+            ));
+        }
+        for (line, mask) in self.sb.pending_entries() {
+            leaks.push(format!(
+                "{n}: store-buffer entry for line {} ({} dirty word(s); alloc event: sb-flush)",
+                line.0,
+                mask.count()
+            ));
+        }
+        let sorted_lines = |keys: Vec<LineAddr>| {
+            let mut k = keys;
+            k.sort();
+            k
+        };
+        for line in sorted_lines(self.reg_pending.keys().copied().collect()) {
+            leaks.push(format!(
+                "{n}: registration in flight for line {} (alloc event: msg-send)",
+                line.0
+            ));
+        }
+        for line in sorted_lines(self.sync_pending.keys().copied().collect()) {
+            leaks.push(format!(
+                "{n}: sync registration in flight for line {} (alloc event: atomic)",
+                line.0
+            ));
+        }
+        for line in sorted_lines(self.wb_pending.keys().copied().collect()) {
+            leaks.push(format!(
+                "{n}: eviction writeback in flight for line {} (alloc event: eviction)",
+                line.0
+            ));
+        }
+        for line in sorted_lines(self.entry_epoch.keys().copied().collect()) {
+            leaks.push(format!(
+                "{n}: miss-epoch record for line {} (alloc event: mshr-alloc)",
+                line.0
+            ));
+        }
+        if self.outstanding_writes > 0 {
+            leaks.push(format!(
+                "{n}: {} data-write registration(s) outstanding (alloc event: msg-send)",
+                self.outstanding_writes
+            ));
+        }
+        for req in &self.pending_releases {
+            leaks.push(format!(
+                "{n}: release {req:?} never completed (alloc event: release)"
+            ));
+        }
+        leaks
+    }
+
+    /// Test-only: plants an MSHR entry that will never complete, so the
+    /// quiesce audit's leak naming can be exercised end to end.
+    #[doc(hidden)]
+    pub fn debug_leak_mshr_entry(&mut self, line: LineAddr) {
+        self.mshr.request(
+            line,
+            WordMask::single(0),
+            Waiter::Load {
+                req: ReqId(u64::MAX),
+                word: line.word(0),
+            },
+        );
+    }
+
+    /// Test-only: plants a store-buffer word that no release will drain
+    /// (bypassing the registration path), for the leak-naming tests.
+    #[doc(hidden)]
+    pub fn debug_leak_sb_word(&mut self, word: WordAddr, value: Value) {
+        let _ = self.sb.write(word, value);
     }
 
     fn msg_to_home(&self, line: LineAddr, kind: MsgKind) -> Msg {
@@ -1156,6 +1275,32 @@ impl DnL2 {
     /// L1s until the simulator drains them at end of run.
     pub fn memory(&self) -> &MemoryImage {
         &self.memory
+    }
+
+    /// Every word the registry currently records as registered, with its
+    /// owner — bank arrays and the overflow spill table combined, sorted
+    /// by word. The conformance checker compares this against the L1s'
+    /// actual Registered words at end of run.
+    pub fn registry_owners(&self) -> Vec<(WordAddr, NodeId)> {
+        let mut out = Vec::new();
+        for bank in &self.banks {
+            for line in bank.iter() {
+                for (i, owner) in line.extra.0.iter().enumerate() {
+                    if let Some(n) = owner {
+                        out.push((line.tag.word(i), *n));
+                    }
+                }
+            }
+        }
+        for (line, owners) in &self.overflow {
+            for (i, owner) in owners.0.iter().enumerate() {
+                if let Some(n) = owner {
+                    out.push((line.word(i), *n));
+                }
+            }
+        }
+        out.sort_by_key(|&(w, _)| w);
+        out
     }
 
     /// Mutable access to the memory image (host-side initialization and

@@ -157,7 +157,9 @@ pub fn chrome_json(events: &[(Cycle, TraceEvent)], dropped: u64) -> String {
             TraceEvent::MsgSend { src, .. } | TraceEvent::MsgDeliver { src, .. } => {
                 nodes.insert(src.index() as u64);
             }
-            TraceEvent::KernelBegin { .. } | TraceEvent::KernelEnd { .. } => {}
+            TraceEvent::KernelBegin { .. }
+            | TraceEvent::KernelEnd { .. }
+            | TraceEvent::CheckViolation { .. } => {}
         }
     }
     for &n in &nodes {
@@ -384,6 +386,15 @@ pub fn chrome_json(events: &[(Cycle, TraceEvent)], dropped: u64) -> String {
                 PID_MEM,
                 dst.index() as u64,
                 &format!("\"src\":\"{src}\",\"dst\":\"{dst}\",\"class\":\"{}\"", class.label()),
+            ),
+            TraceEvent::CheckViolation { kind } => w.event(
+                name,
+                cat,
+                'i',
+                ts,
+                PID_KERNEL,
+                0,
+                &format!("\"kind\":\"{}\"", esc(kind)),
             ),
         }
     }

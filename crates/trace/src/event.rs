@@ -28,11 +28,13 @@ pub enum Category {
     Mshr,
     /// Network-on-chip message traffic.
     Noc,
+    /// Conformance-checker violations (gsim-check).
+    Check,
 }
 
 impl Category {
     /// All categories, in display order.
-    pub const ALL: [Category; 8] = [
+    pub const ALL: [Category; 9] = [
         Category::Tb,
         Category::Kernel,
         Category::Sync,
@@ -41,6 +43,7 @@ impl Category {
         Category::Sb,
         Category::Mshr,
         Category::Noc,
+        Category::Check,
     ];
 
     /// The lowercase label used in exported traces.
@@ -54,6 +57,7 @@ impl Category {
             Category::Sb => "sb",
             Category::Mshr => "mshr",
             Category::Noc => "noc",
+            Category::Check => "check",
         }
     }
 }
@@ -281,6 +285,15 @@ pub enum TraceEvent {
         /// Traffic class.
         class: MsgClass,
     },
+    /// The conformance checker recorded a violation. The full detail
+    /// string lives in the [`CheckReport`](../gsim_check) the run
+    /// returns; the event carries the violation's kind label so a trace
+    /// timeline shows *when* the check tripped.
+    CheckViolation {
+        /// The violation kind's kebab-case label (e.g. "race",
+        /// "quiesce-leak").
+        kind: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -297,6 +310,7 @@ impl TraceEvent {
             TraceEvent::SbFlushBegin { .. } | TraceEvent::SbFlushEnd { .. } => Category::Sb,
             TraceEvent::MshrAlloc { .. } | TraceEvent::MshrRetire { .. } => Category::Mshr,
             TraceEvent::MsgSend { .. } | TraceEvent::MsgDeliver { .. } => Category::Noc,
+            TraceEvent::CheckViolation { .. } => Category::Check,
         }
     }
 
@@ -318,6 +332,7 @@ impl TraceEvent {
             TraceEvent::MshrRetire { .. } => "mshr-retire",
             TraceEvent::MsgSend { .. } => "msg-send",
             TraceEvent::MsgDeliver { .. } => "msg-deliver",
+            TraceEvent::CheckViolation { .. } => "check-violation",
         }
     }
 }
@@ -328,7 +343,7 @@ mod tests {
 
     #[test]
     fn categories_cover_the_taxonomy() {
-        assert_eq!(Category::ALL.len(), 8);
+        assert_eq!(Category::ALL.len(), 9);
         let ev = TraceEvent::TbLaunch {
             tb: TbId(1),
             cu: NodeId(0),

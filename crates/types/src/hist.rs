@@ -6,9 +6,9 @@
 //! that, so the simulator folds four always-on latency histograms into
 //! [`SimStats`](crate::SimStats) as a [`LatencyBreakdown`].
 //!
-//! A histogram is a fixed array of 32 power-of-two buckets: bucket `k`
-//! holds samples in `[2^(k-1), 2^k)` (bucket 0 holds 0 and 1 together
-//! with bucket 1; see [`LatencyHistogram::bucket_index`]). Recording a
+//! A histogram is a fixed array of 32 power-of-two buckets: bucket 0
+//! holds samples 0 and 1, and bucket `k` (for `k ≥ 1`) holds samples in
+//! `[2^k, 2^(k+1))` (see [`LatencyHistogram::bucket_index`]). Recording a
 //! sample is two adds and a `leading_zeros` — cheap enough to leave on
 //! in every run — and percentiles are answered from the bucket counts
 //! with a worst-case error of one bucket width (≤ 2x, which is exactly
@@ -19,7 +19,8 @@ use std::fmt;
 use std::ops::AddAssign;
 
 /// Number of log2 buckets. Bucket 31 is a saturating catch-all, so the
-/// histogram covers `[0, 2^30)` exactly and everything above approximately.
+/// histogram covers `[0, 2^31)` exactly (buckets 0–30) and everything
+/// above approximately.
 pub const BUCKETS: usize = 32;
 
 /// A fixed-size log2-bucketed histogram of cycle latencies.
@@ -293,6 +294,75 @@ mod tests {
         assert_eq!(LatencyHistogram::bucket_upper_bound(1), 3);
         assert_eq!(LatencyHistogram::bucket_upper_bound(2), 7);
         assert_eq!(LatencyHistogram::bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    /// Exhaustive sweep of every power-of-two boundary in the domain:
+    /// `2^k - 1`, `2^k`, and `2^k + 1` must land where the bucket
+    /// contract says, all the way up to the saturating catch-all.
+    #[test]
+    fn bucket_index_at_every_power_of_two_boundary() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        for k in 1..64u32 {
+            let p = 1u64 << k;
+            let expect = (k as usize).min(BUCKETS - 1);
+            assert_eq!(
+                LatencyHistogram::bucket_index(p - 1),
+                (k as usize - 1).min(BUCKETS - 1),
+                "2^{k} - 1"
+            );
+            assert_eq!(LatencyHistogram::bucket_index(p), expect, "2^{k}");
+            assert_eq!(LatencyHistogram::bucket_index(p + 1), expect, "2^{k} + 1");
+        }
+        assert_eq!(LatencyHistogram::bucket_index(Cycle::MAX), BUCKETS - 1);
+    }
+
+    /// `bucket_upper_bound` is the exact inverse of `bucket_index`: the
+    /// bound itself is the last value mapping to the bucket, and the
+    /// next value maps to the bucket after it (except the catch-all,
+    /// whose bound is `u64::MAX` with nothing beyond it).
+    #[test]
+    fn bucket_upper_bound_is_inclusive_and_tight() {
+        for k in 0..BUCKETS {
+            let ub = LatencyHistogram::bucket_upper_bound(k);
+            assert_eq!(LatencyHistogram::bucket_index(ub), k, "bound of bucket {k}");
+            if k < BUCKETS - 1 {
+                assert_eq!(
+                    LatencyHistogram::bucket_index(ub + 1),
+                    k + 1,
+                    "value past bucket {k}"
+                );
+            } else {
+                assert_eq!(ub, u64::MAX, "catch-all bound saturates");
+            }
+        }
+        // Out-of-range indices also saturate instead of shifting past
+        // the word width (`2u64 << 63` would overflow).
+        assert_eq!(LatencyHistogram::bucket_upper_bound(BUCKETS), u64::MAX);
+        assert_eq!(LatencyHistogram::bucket_upper_bound(usize::MAX), u64::MAX);
+        // The exactly-covered range: bucket 30 ends at 2^31 - 1.
+        assert_eq!(
+            LatencyHistogram::bucket_upper_bound(BUCKETS - 2),
+            (1u64 << 31) - 1
+        );
+    }
+
+    /// Recording the extreme values must not overflow or misfile.
+    #[test]
+    fn extreme_samples_record_cleanly() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(Cycle::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets()[0], 2, "0 and 1 share bucket 0");
+        assert_eq!(h.buckets()[BUCKETS - 1], 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), Cycle::MAX);
+        // sum saturates rather than wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        h.record(Cycle::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates on repeat overflow");
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`uts`] — Unbalanced Tree Search with local queues and global work
 //!   stealing (Figure 4).
 //!
+//! [`litmus`] adds the SC-for-DRF litmus shapes (message passing,
+//! Dekker, IRIW, ...) shared by the consistency integration tests and
+//! the CLI `check` subcommand.
+//!
 //! [`registry`] enumerates all of them as Table 4 rows; every workload
 //! functionally verifies its final memory image, so the simulation is a
 //! correctness check of the protocols as much as a performance model.
@@ -20,6 +24,7 @@
 pub mod apps;
 pub mod graph;
 pub mod layout;
+pub mod litmus;
 pub mod params;
 pub mod registry;
 pub mod sync;

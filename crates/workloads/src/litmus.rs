@@ -1,0 +1,630 @@
+//! SC-for-DRF litmus programs: the classic consistency-model shapes as
+//! reusable [`Workload`]s.
+//!
+//! The [`battery`] programs are data-race-free (all cross-thread
+//! communication goes through synchronization accesses), so every
+//! configuration must give the sequentially consistent outcome — DRF
+//! and HRF agree on race-free programs. A protocol that reorders a data
+//! write past its release, or serves stale data after an acquire, fails
+//! their verifiers; the conformance checker
+//! (`gsim-check`) must additionally report **zero** races and
+//! invariant violations on them. [`racy_negative`] is the deliberate
+//! exception: a two-store data race the race detector must flag.
+//!
+//! The litmus integration tests and the CLI `check` subcommand both run
+//! this battery, so the shapes live here rather than in a test file.
+
+use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
+use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_types::{AtomicOp, Scope, SyncOrd, WordAddr};
+
+/// One litmus shape: a name and a fresh-workload constructor.
+#[derive(Clone, Copy)]
+pub struct Litmus {
+    /// Short stable name ("mp", "iriw", ...).
+    pub name: &'static str,
+    /// Builds a fresh instance of the workload.
+    pub build: fn() -> Workload,
+}
+
+/// The DRF-clean battery, in documentation order. Every program here
+/// must pass its verifier *and* stay silent under `CheckLevel::Full`
+/// on every protocol configuration.
+pub fn battery() -> [Litmus; 8] {
+    [
+        Litmus {
+            name: "mp",
+            build: message_passing,
+        },
+        Litmus {
+            name: "ring",
+            build: ring_handoff,
+        },
+        Litmus {
+            name: "mp-local",
+            build: local_scope_message_passing,
+        },
+        Litmus {
+            name: "sb",
+            build: store_buffering,
+        },
+        Litmus {
+            name: "lb",
+            build: load_buffering,
+        },
+        Litmus {
+            name: "iriw",
+            build: iriw,
+        },
+        Litmus {
+            name: "corr-coww",
+            build: coherence_corr_coww,
+        },
+        Litmus {
+            name: "kernel-boundary",
+            build: kernel_boundary_publication,
+        },
+    ]
+}
+
+/// Message passing: T0 writes data then releases a flag; T1 acquires
+/// the flag then reads data. The read must see the write.
+pub fn message_passing() -> Workload {
+    // Word 0: flag (own line). Word 16: data.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.mov(2, imm(16));
+    b.bnz(r(0), "consumer");
+    // Producer.
+    b.st(b.at(2, 0), imm(41));
+    b.st(b.at(2, 1), imm(42));
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    // Consumer.
+    b.label("consumer");
+    b.label("spin");
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.bz(r(3), "spin");
+    b.ld(4, b.at(2, 0));
+    b.ld(5, b.at(2, 1));
+    b.st(b.at(2, 2), r(4));
+    b.st(b.at(2, 3), r(5));
+    b.halt();
+    Workload {
+        name: "mp".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            // TB 0 on CU 0, TB 1 on CU 1: true cross-CU communication.
+            tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+        }],
+        verify: Box::new(|mem| {
+            let (a, b) = (mem.read_word(WordAddr(18)), mem.read_word(WordAddr(19)));
+            ((a, b) == (41, 42))
+                .then_some(())
+                .ok_or_else(|| format!("consumer observed ({a}, {b}), want (41, 42)"))
+        }),
+    }
+}
+
+/// The same handoff, chained around a ring of 15 CUs: each thread block
+/// waits for its predecessor's flag, increments the datum, and releases
+/// its own flag. The final value counts every hop.
+pub fn ring_handoff() -> Workload {
+    const N: u32 = 15;
+    // Flags at words 0, 16, ..., data at word 16 * N.
+    let mut b = KernelBuilder::new();
+    // r1 = my flag addr, r2 = predecessor's flag addr, r3 = data.
+    b.mov(3, imm(16 * N));
+    b.bz(r(0), "leader");
+    b.label("spin");
+    b.atomic(
+        4,
+        b.at(2, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.bz(r(4), "spin");
+    b.label("leader");
+    b.ld(5, b.at(3, 0));
+    b.alu_add(5, r(5), imm(1));
+    b.st(b.at(3, 0), r(5));
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    let tbs = (0..N)
+        .map(|i| {
+            let my_flag = 16 * i;
+            let pred_flag = 16 * (i.wrapping_sub(1) % N);
+            TbSpec::with_regs(&[i, my_flag, pred_flag])
+        })
+        .collect();
+    Workload {
+        name: "ring".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs,
+        }],
+        verify: Box::new(move |mem| {
+            let got = mem.read_word(WordAddr(16 * N as u64));
+            (got == N)
+                .then_some(())
+                .ok_or_else(|| format!("ring counted {got}, want {N}"))
+        }),
+    }
+}
+
+/// HRF-local handoff: the producer and consumer share a CU, so the flag
+/// can be locally scoped. GPU-H must still deliver the data (through
+/// the shared L1), and DRF configurations must treat the scope as
+/// global and also deliver it.
+pub fn local_scope_message_passing() -> Workload {
+    // Roles in r6: 0 = idle, 1 = producer, 2 = consumer. TB ids 0
+    // and 15 both map to CU 0, so the pair shares an L1.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0)); // flag
+    b.mov(2, imm(16)); // data
+    b.bz(r(6), "idle");
+    b.alu(3, r(6), AluOp::CmpEq, imm(2));
+    b.bnz(r(3), "consumer");
+    b.st(b.at(2, 0), imm(7));
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Local,
+    );
+    b.halt();
+    b.label("consumer");
+    b.label("spin");
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Local,
+    );
+    b.bz(r(3), "spin");
+    b.ld(4, b.at(2, 0));
+    b.st(b.at(2, 1), r(4));
+    b.label("idle");
+    b.halt();
+    let mut tbs = vec![TbSpec::with_regs(&[0; 7]); 16];
+    tbs[0] = TbSpec::with_regs(&[0, 0, 0, 0, 0, 0, 1]); // producer
+    tbs[15] = TbSpec::with_regs(&[15, 0, 0, 0, 0, 0, 2]); // consumer
+    Workload {
+        name: "mp-local".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs,
+        }],
+        verify: Box::new(|mem| {
+            let got = mem.read_word(WordAddr(17));
+            (got == 7)
+                .then_some(())
+                .ok_or_else(|| format!("consumer observed {got}, want 7"))
+        }),
+    }
+}
+
+/// Store buffering (Dekker): each thread sync-writes its own flag and
+/// then sync-reads the other's. Sync accesses are mutually ordered (SC
+/// among syncs, paper §2), so at least one thread must observe the
+/// other's write: the relaxed-memory outcome (0, 0) is forbidden under
+/// every configuration — scoped or not.
+pub fn store_buffering() -> Workload {
+    // Word 0: x (own line). Word 16: y. Words 32/33: observations.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.mov(2, imm(16));
+    b.mov(5, imm(32));
+    b.bnz(r(0), "t1");
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.atomic(
+        4,
+        b.at(2, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.st(b.at(5, 0), r(4));
+    b.halt();
+    b.label("t1");
+    b.atomic(
+        3,
+        b.at(2, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.st(b.at(5, 1), r(4));
+    b.halt();
+    Workload {
+        name: "sb".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+        }],
+        verify: Box::new(|mem| {
+            let (a, b) = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+            ((a, b) != (0, 0))
+                .then_some(())
+                .ok_or_else(|| format!("SB forbidden outcome (0, 0); got ({a}, {b})"))
+        }),
+    }
+}
+
+/// Load buffering: each thread sync-reads the other's flag and then
+/// sync-writes its own. The forbidden outcome is both reads returning 1
+/// (each load observing the other thread's *later* store) — impossible
+/// when sync accesses block their thread block, under every config.
+pub fn load_buffering() -> Workload {
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0)); // x
+    b.mov(2, imm(16)); // y
+    b.mov(5, imm(32)); // observations
+    b.bnz(r(0), "t1");
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.atomic(
+        3,
+        b.at(2, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.st(b.at(5, 0), r(4));
+    b.halt();
+    b.label("t1");
+    b.atomic(
+        4,
+        b.at(2, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.st(b.at(5, 1), r(4));
+    b.halt();
+    Workload {
+        name: "lb".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+        }],
+        verify: Box::new(|mem| {
+            let (a, b) = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+            ((a, b) != (1, 1))
+                .then_some(())
+                .ok_or_else(|| format!("LB forbidden outcome (1, 1); got ({a}, {b})"))
+        }),
+    }
+}
+
+/// IRIW (independent reads of independent writes): two writers touch
+/// different locations; two readers read both in opposite orders. The
+/// forbidden outcome is the readers *disagreeing* on the write order
+/// (both see their first location written but the other not) — exactly
+/// the multi-copy-atomicity scoped models weaken, and exactly what the
+/// paper's single sync order preserves.
+pub fn iriw() -> Workload {
+    // Word 0: x. Word 16: y. Words 32..36: reader observations.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.mov(2, imm(16));
+    b.mov(5, imm(32));
+    b.alu(6, r(0), AluOp::CmpEq, imm(1));
+    b.bnz(r(6), "w1");
+    b.alu(6, r(0), AluOp::CmpEq, imm(2));
+    b.bnz(r(6), "r0");
+    b.bnz(r(0), "r1");
+    // TB 0: x := 1.
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    // TB 1: y := 1.
+    b.label("w1");
+    b.atomic(
+        3,
+        b.at(2, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    // TB 2: read x then y.
+    b.label("r0");
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.atomic(
+        4,
+        b.at(2, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.st(b.at(5, 0), r(3));
+    b.st(b.at(5, 1), r(4));
+    b.halt();
+    // TB 3: read y then x.
+    b.label("r1");
+    b.atomic(
+        3,
+        b.at(2, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.st(b.at(5, 2), r(3));
+    b.st(b.at(5, 3), r(4));
+    b.halt();
+    Workload {
+        name: "iriw".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs: (0..4).map(|i| TbSpec::with_regs(&[i])).collect(),
+        }],
+        verify: Box::new(|mem| {
+            let r0 = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+            let r1 = (mem.read_word(WordAddr(34)), mem.read_word(WordAddr(35)));
+            // r0 = (x, y) in x-then-y order; r1 = (y, x).
+            let disagree = r0 == (1, 0) && r1 == (1, 0);
+            (!disagree).then_some(()).ok_or_else(|| {
+                format!("IRIW readers disagree on write order: r0={r0:?}, r1={r1:?}")
+            })
+        }),
+    }
+}
+
+/// Coherence axioms on a single location: the writer sync-writes 1 then
+/// 2 (CoWW: the final value must be 2 — same-location writes never
+/// reorder); the reader sync-reads twice (CoRR: it must never observe
+/// the writes backwards, `(2, 1)` or `(*, 0)` after seeing a write).
+pub fn coherence_corr_coww() -> Workload {
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0)); // x
+    b.mov(5, imm(32)); // observations
+    b.bnz(r(0), "reader");
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(2),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    b.label("reader");
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.st(b.at(5, 0), r(3));
+    b.st(b.at(5, 1), r(4));
+    b.halt();
+    Workload {
+        name: "corr-coww".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+        }],
+        verify: Box::new(|mem| {
+            let (a, b) = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+            let backwards = matches!((a, b), (1, 0) | (2, 0) | (2, 1));
+            if backwards {
+                return Err(format!("CoRR violated: reader saw {a} then {b}"));
+            }
+            let x = mem.read_word(WordAddr(0));
+            (x == 2)
+                .then_some(())
+                .ok_or_else(|| format!("CoWW violated: final x = {x}, want 2"))
+        }),
+    }
+}
+
+/// Kernel boundaries are synchronization: writes from kernel 1 are
+/// visible to every thread block of kernel 2 without any atomics.
+pub fn kernel_boundary_publication() -> Workload {
+    let mut b1 = KernelBuilder::new();
+    b1.mov(1, imm(0));
+    // Each TB writes its own word: tb id in r0.
+    b1.alu_add(2, r(1), r(0));
+    b1.st(b1.at(2, 0), r(0));
+    b1.halt();
+    let mut b2 = KernelBuilder::new();
+    // Each TB reads its *successor's* word (cross-CU) and republishes.
+    b2.mov(1, imm(0));
+    b2.alu_add(2, r(1), r(3)); // r3 = successor id
+    b2.ld(4, b2.at(2, 0));
+    b2.alu_add(5, r(1), r(0));
+    b2.st(b2.at(5, 64), r(4));
+    b2.halt();
+    const N: u32 = 30;
+    Workload {
+        name: "kernel-boundary".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![
+            KernelLaunch {
+                program: b1.build(),
+                tbs: (0..N).map(|i| TbSpec::with_regs(&[i])).collect(),
+            },
+            KernelLaunch {
+                program: b2.build(),
+                tbs: (0..N)
+                    .map(|i| TbSpec::with_regs(&[i, 0, 0, (i + 1) % N]))
+                    .collect(),
+            },
+        ],
+        verify: Box::new(|mem| {
+            for i in 0..N as u64 {
+                let got = mem.read_word(WordAddr(64 + i));
+                let want = ((i + 1) % N as u64) as u32;
+                if got != want {
+                    return Err(format!("out[{i}] = {got}, want {want}"));
+                }
+            }
+            Ok(())
+        }),
+    }
+}
+
+/// A *negative* litmus: this program has a data race (two plain stores
+/// to the same word, no synchronization), so DRF promises nothing about
+/// which write wins — only that the outcome is one of the written
+/// values, not a mix or an out-of-thin-air value. Its verifier accepts
+/// either winner; the race detector must *flag* it under
+/// `CheckLevel::Full`.
+pub fn racy_negative() -> Workload {
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.bnz(r(0), "t1");
+    b.st(b.at(1, 0), imm(41));
+    b.halt();
+    b.label("t1");
+    b.st(b.at(1, 0), imm(17));
+    b.halt();
+    Workload {
+        name: "racy".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+        }],
+        verify: Box::new(|mem| {
+            let got = mem.read_word(WordAddr(0));
+            matches!(got, 41 | 17)
+                .then_some(())
+                .ok_or_else(|| format!("racy word holds {got}, not one of the stored values"))
+        }),
+    }
+}

@@ -13,12 +13,23 @@
 //! gpu-denovo compare UTS --paper
 //! gpu-denovo sweep --group global --paper --jobs 8 --out results.csv
 //! gpu-denovo matrix --paper --jobs 8 --out results.json
+//! gpu-denovo check
+//! gpu-denovo check --bench SPM_G
 //! ```
+//!
+//! `check` runs the conformance battery: every litmus shape under
+//! `CheckLevel::Full` on every configuration (coherence invariants,
+//! quiesce audits, and the happens-before race detector all armed),
+//! verifies the deliberately racy negative *is* flagged, and optionally
+//! puts one Table 4 benchmark under the same microscope.
 
 use gpu_denovo::harness::{self, Cell, CellResult, ResultCache};
 use gpu_denovo::trace::{to_chrome_json, RingRecorder, TraceHandle};
 use gpu_denovo::types::MsgClass;
-use gpu_denovo::{registry, ProtocolConfig, Scale, SimStats, Simulator, SystemConfig};
+use gpu_denovo::workloads::litmus;
+use gpu_denovo::{
+    registry, CheckLevel, ProtocolConfig, Scale, SimError, SimStats, Simulator, SystemConfig,
+};
 use std::process::ExitCode;
 
 const CONFIG_NAMES: &str = "GD, GH, DD, DD+RO, DH";
@@ -33,7 +44,8 @@ fn usage() -> ExitCode {
          gpu-denovo sweep [--group nosync|global|local] [--paper] [--jobs N]\n                   \
          [--out FILE.csv|FILE.json] [--no-cache]\n  \
          gpu-denovo matrix [--paper] [--jobs N] [--out FILE.csv|FILE.json] [--no-cache]\n  \
-         gpu-denovo trace <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] --out <FILE>\n\n\
+         gpu-denovo trace <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] --out <FILE>\n  \
+         gpu-denovo check [--bench <BENCH>] [--paper]\n\n\
          <BENCH> is a Table 4 abbreviation (see `gpu-denovo list`).\n\
          `sweep` prints per-benchmark tables; `matrix` emits the full\n\
          benchmark x config grid as CSV (or JSON with --out FILE.json).\n\
@@ -41,7 +53,10 @@ fn usage() -> ExitCode {
          cores) and cache results in target/gsim-cache/; output is\n\
          byte-identical regardless of --jobs.\n\
          `trace` writes a Chrome/Perfetto trace (load it at ui.perfetto.dev\n\
-         or chrome://tracing)."
+         or chrome://tracing).\n\
+         `check` runs the conformance battery (litmus shapes under\n\
+         CheckLevel::Full on every config, racy negative flagged), plus\n\
+         one benchmark under full checking with --bench."
     );
     ExitCode::FAILURE
 }
@@ -390,6 +405,83 @@ fn main() -> ExitCode {
                 }
             }
             ExitCode::SUCCESS
+        }
+        "check" => {
+            let mut failures: Vec<String> = Vec::new();
+            let full = |p: ProtocolConfig| {
+                let mut cfg = SystemConfig::micro15(p);
+                cfg.check = CheckLevel::Full;
+                cfg
+            };
+            println!(
+                "conformance battery: {} litmus shapes x {} configs under CheckLevel::Full",
+                litmus::battery().len(),
+                ProtocolConfig::ALL.len()
+            );
+            for shape in litmus::battery() {
+                let mut bad = 0;
+                for p in ProtocolConfig::ALL {
+                    if let Err(e) = Simulator::new(full(p)).run(&(shape.build)()) {
+                        bad += 1;
+                        failures.push(format!("{} under {p}: {e}", shape.name));
+                    }
+                }
+                match bad {
+                    0 => println!("  {:<16} clean under every config", shape.name),
+                    n => println!("  {:<16} FAILED under {n} config(s)", shape.name),
+                }
+            }
+            // The negative control: the detector must flag the race.
+            let mut bad = 0;
+            for p in ProtocolConfig::ALL {
+                match Simulator::new(full(p)).run(&litmus::racy_negative()) {
+                    Err(SimError::Check { .. }) => {}
+                    Ok(_) => {
+                        bad += 1;
+                        failures.push(format!("racy-negative under {p}: race not detected"));
+                    }
+                    Err(e) => {
+                        bad += 1;
+                        failures.push(format!("racy-negative under {p}: wrong failure: {e}"));
+                    }
+                }
+            }
+            match bad {
+                0 => println!(
+                    "  {:<16} flagged as racy under every config",
+                    "racy-negative"
+                ),
+                n => println!("  {:<16} MISSED under {n} config(s)", "racy-negative"),
+            }
+            // Optionally a Table 4 benchmark under the same microscope.
+            if let Some(name) = match flag_value(&args, "--bench") {
+                Ok(v) => v.map(str::to_string),
+                Err(e) => return fail(format!("{e} (a Table 4 name)")),
+            } {
+                let b = match lookup_bench(&name) {
+                    Ok(b) => b,
+                    Err(e) => return fail(e),
+                };
+                let s = scale(&args);
+                println!("benchmark {name} at {s:?} scale under CheckLevel::Full:");
+                for p in ProtocolConfig::ALL {
+                    match Simulator::new(full(p)).run(&(b.build)(s)) {
+                        Ok(stats) => {
+                            println!("  {:<8} clean ({} cycles)", p.to_string(), stats.cycles)
+                        }
+                        Err(e) => failures.push(format!("{name} under {p}: {e}")),
+                    }
+                }
+            }
+            if failures.is_empty() {
+                println!("conformance check passed.");
+                ExitCode::SUCCESS
+            } else {
+                for f in &failures {
+                    eprintln!("FAIL {f}");
+                }
+                fail(format!("{} conformance failure(s)", failures.len()))
+            }
         }
         "matrix" => {
             let cells = harness::full_matrix(scale(&args));

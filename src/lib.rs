@@ -43,12 +43,14 @@
 //! | energy | [`energy`] | GPUWattch/McPAT-style per-event model |
 //! | workloads | [`workloads`] | all 23 Table 4 benchmarks, functionally verified |
 //! | tracing | [`trace`] | structured events, ring recorder, Chrome/Perfetto export |
+//! | conformance | [`check`] | coherence invariants, happens-before race detection, quiesce audits |
 //! | experiment harness | [`harness`] | parallel matrix runner, content-addressed result cache |
 //!
 //! Every table and figure of the paper regenerates from the benches in
 //! `crates/bench` (see EXPERIMENTS.md for the index and the measured
 //! results).
 
+pub use gsim_check as check;
 pub use gsim_core as sim;
 pub use gsim_energy as energy;
 pub use gsim_harness as harness;
@@ -59,6 +61,7 @@ pub use gsim_trace as trace;
 pub use gsim_types as types;
 pub use gsim_workloads as workloads;
 
+pub use gsim_check::CheckLevel;
 pub use gsim_core::{KernelLaunch, SimError, Simulator, SystemConfig, TbSpec, Workload};
 pub use gsim_types::{ProtocolConfig, SimStats};
 pub use gsim_workloads::{registry, Scale};

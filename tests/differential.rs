@@ -319,6 +319,41 @@ fn all_configs_agree_on_random_drf_programs() {
     assert!(failures.is_empty(), "{}", failures.join("\n\n"));
 }
 
+/// MSHR-capacity regression: the same generated DRF programs, but with
+/// the L1 MSHR squeezed to one or two entries. Every miss-issuing path
+/// must check for a free entry and stall (retry) instead of assuming
+/// room — a missing check panics or loses a request under this config
+/// long before it would at the default 32 entries. The final memory
+/// image must still match the host model on every configuration.
+#[test]
+fn tiny_mshr_stalls_instead_of_overflowing() {
+    let mut rng = Rng64::seed_from_u64(0x3511);
+    let mut cases: Vec<(u64, usize)> = Vec::new();
+    for _ in 0..4 {
+        for entries in [1usize, 2] {
+            cases.push((rng.next_u64(), entries));
+        }
+    }
+    let failures: Vec<String> = run_parallel(&cases, 0, |&(seed, entries)| {
+        let per_tb = gen_per_tb(seed, GLOBAL_OPS);
+        for p in ProtocolConfig::ALL {
+            let w = build_from_ops(format!("diff-mshr{entries}"), &per_tb);
+            let mut cfg = SystemConfig::micro15(p);
+            cfg.mshr_entries = entries;
+            if let Err(e) = Simulator::new(cfg).run(&w) {
+                return Some(format!(
+                    "seed {seed:#x} with {entries} MSHR entr(ies) under {p}: {e}"
+                ));
+            }
+        }
+        None
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
 /// A fixed-seed smoke case with hand-picked seeds.
 #[test]
 fn fixed_seed_differential() {
