@@ -109,6 +109,12 @@ fn main() {
         gsim_core::CheckLevel::Off,
         "throughput bench must run with conformance checking off"
     );
+    // Same for the profiler: it defaults to off in every build, and the
+    // committed baseline must never include its hook overhead.
+    assert!(
+        !SystemConfig::micro15(ProtocolConfig::Gd).prof.enabled(),
+        "throughput bench must run with profiling off"
+    );
     println!("simulator throughput ({ITERS} iterations per case, Tiny scale)");
     for protocol in [ProtocolConfig::Gd, ProtocolConfig::Gh, ProtocolConfig::Dd] {
         bench_config("SPM_G", protocol);

@@ -5,6 +5,7 @@ use crate::equeue::QueueKind;
 use gsim_check::CheckLevel;
 use gsim_mem::CacheGeometry;
 use gsim_noc::MeshConfig;
+use gsim_prof::ProfSpec;
 use gsim_protocol::L2Config;
 use gsim_types::{Cycle, ProtocolConfig};
 
@@ -63,6 +64,12 @@ pub struct SystemConfig {
     /// benchmark throughput is unaffected). Checking never perturbs
     /// timing — only observes — so results are identical across levels.
     pub check: CheckLevel,
+    /// How much profiling the run collects (cycle attribution, hot-line
+    /// sketches, interval time-series). Defaults to off in **every**
+    /// build; like checking, profiling only observes and never perturbs
+    /// timing, so stats are identical with it on or off (asserted by the
+    /// root crate's `profiler` tests).
+    pub prof: ProfSpec,
 }
 
 impl SystemConfig {
@@ -82,6 +89,7 @@ impl SystemConfig {
             max_cycles: 2_000_000_000,
             event_queue: QueueKind::Calendar,
             check: CheckLevel::default_for_build(),
+            prof: ProfSpec::default_for_build(),
         }
     }
 

@@ -49,6 +49,30 @@ impl L1 {
         }
     }
 
+    /// Installs a profiling handle on the controller.
+    pub fn set_prof(&mut self, prof: &gsim_prof::ProfHandle) {
+        match self {
+            L1::Gpu(c) => c.set_prof(prof),
+            L1::Dn(c) => c.set_prof(prof),
+        }
+    }
+
+    /// Store-buffer entries currently occupied (profiler gauge).
+    pub fn sb_occupancy(&self) -> usize {
+        match self {
+            L1::Gpu(c) => c.sb_occupancy(),
+            L1::Dn(c) => c.sb_occupancy(),
+        }
+    }
+
+    /// MSHR lines currently outstanding (profiler gauge).
+    pub fn mshr_outstanding(&self) -> usize {
+        match self {
+            L1::Gpu(c) => c.mshr_outstanding(),
+            L1::Dn(c) => c.mshr_outstanding(),
+        }
+    }
+
     /// A demand load.
     pub fn load(&mut self, word: WordAddr, region: Region, req: ReqId) -> (Issue, ActionVec) {
         match self {
@@ -207,6 +231,14 @@ impl L2 {
         match self {
             L2::Gpu(c) => c.set_trace(trace),
             L2::Dn(c) => c.set_trace(trace),
+        }
+    }
+
+    /// Installs a profiling handle on every bank.
+    pub fn set_prof(&mut self, prof: &gsim_prof::ProfHandle) {
+        match self {
+            L2::Gpu(c) => c.set_prof(prof),
+            L2::Dn(c) => c.set_prof(prof),
         }
     }
 

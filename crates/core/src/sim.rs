@@ -33,6 +33,7 @@ use gsim_check::{CheckKind, CheckLevel, CheckReport, RaceDetector, SyncKey, Viol
 use gsim_energy::EnergyModel;
 use gsim_mem::MemoryImage;
 use gsim_noc::Mesh;
+use gsim_prof::{IntervalSample, ProfHandle, ProfileReport, ReportInputs, StallKind};
 use gsim_protocol::{Action, ActionVec, Issue, L1Config};
 use gsim_trace::{TraceEvent, TraceHandle};
 use gsim_types::{
@@ -150,6 +151,36 @@ impl Simulator {
         workload: &Workload,
         trace: TraceHandle,
     ) -> Result<SimStats, SimError> {
+        self.run_traced_profiled(workload, trace).map(|(s, _)| s)
+    }
+
+    /// As [`run`](Self::run), additionally returning the profile report
+    /// when [`SystemConfig::prof`] enables collection (`None` otherwise).
+    ///
+    /// Profiling only observes: the returned `SimStats` are identical
+    /// to what [`run`](Self::run) produces with profiling off.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_profiled(
+        &self,
+        workload: &Workload,
+    ) -> Result<(SimStats, Option<ProfileReport>), SimError> {
+        self.run_traced_profiled(workload, TraceHandle::disabled())
+    }
+
+    /// Tracing and profiling together (each independently optional via
+    /// its handle/config).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_traced_profiled(
+        &self,
+        workload: &Workload,
+        trace: TraceHandle,
+    ) -> Result<(SimStats, Option<ProfileReport>), SimError> {
         Machine::new(&self.config, workload, trace).run(workload)
     }
 }
@@ -175,8 +206,10 @@ enum Target {
         tb: usize,
         cont: Cont,
     },
-    /// An end-of-kernel release.
-    KernelDrain,
+    /// An end-of-kernel release on `cu`.
+    KernelDrain {
+        cu: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -205,6 +238,9 @@ struct Tb {
     /// When the currently stalled sync operation first issued (spans
     /// retries and backoff; feeds the barrier-wait histogram).
     sync_started: Option<Cycle>,
+    /// Why this thread block is blocked, when it is (profiler cycle
+    /// attribution; meaningless while `Ready`).
+    wait: StallKind,
 }
 
 /// Per-CU scheduling state.
@@ -263,6 +299,16 @@ struct Machine {
     /// Engine-attributed latency histograms.
     latency: LatencyBreakdown,
     trace: TraceHandle,
+    /// The profiler (disabled: every hook is one branch).
+    prof: ProfHandle,
+    /// The next interval-sample boundary (`Cycle::MAX` when not
+    /// profiling, so the hot-loop test never fires).
+    prof_next_sample: Cycle,
+    /// The sampling period, cached off the handle.
+    prof_interval: Cycle,
+    /// Sync operations (atomics) currently in flight — a profiler
+    /// gauge, maintained unconditionally (one integer).
+    sync_inflight: u64,
 
     /// Conformance-checking level for this run.
     check: CheckLevel,
@@ -277,6 +323,7 @@ impl Machine {
     fn new(config: &SystemConfig, workload: &Workload, trace: TraceHandle) -> Machine {
         let mut memory = MemoryImage::new();
         (workload.init)(&mut memory);
+        let prof = ProfHandle::new(config.prof, config.gpu_cus, NodeId::all().count());
         let l1s = NodeId::all()
             .map(|n| {
                 let mut l1 = L1::build(
@@ -292,6 +339,7 @@ impl Machine {
                     config.denovo_sync_backoff,
                 );
                 l1.set_trace(&trace);
+                l1.set_prof(&prof);
                 l1
             })
             .collect();
@@ -307,6 +355,8 @@ impl Machine {
         mesh.set_trace(&trace);
         let mut l2 = L2::build(config.protocol, config.l2, memory);
         l2.set_trace(&trace);
+        l2.set_prof(&prof);
+        let prof_interval = prof.sample_interval();
         Machine {
             protocol: config.protocol,
             gpu_cus: config.gpu_cus,
@@ -328,6 +378,10 @@ impl Machine {
             counts: Counts::default(),
             latency: LatencyBreakdown::default(),
             trace,
+            prof,
+            prof_next_sample: prof_interval,
+            prof_interval,
+            sync_inflight: 0,
             check: config.check,
             races: config.check.races().then(|| Box::new(RaceDetector::new())),
             report: CheckReport::default(),
@@ -442,6 +496,7 @@ impl Machine {
                 status: TbStatus::Ready,
                 released: false,
                 sync_started: None,
+                wait: StallKind::Issue,
             });
             self.cus[cu].queue.push_back(i);
         }
@@ -461,6 +516,9 @@ impl Machine {
             if self.cus[cu].slots.iter().any(Option::is_some) {
                 let at = self.now + 1;
                 self.ensure_tick(cu, at);
+                self.prof.set_state(cu, self.now, StallKind::Issue);
+            } else {
+                self.prof.set_state(cu, self.now, StallKind::Idle);
             }
         }
     }
@@ -474,8 +532,12 @@ impl Machine {
             let req = self.alloc_req();
             let (issue, actions) = self.l1s[cu].release(false, req);
             if issue == Issue::Pending {
-                self.pending.insert(req, (Target::KernelDrain, self.now));
+                self.pending
+                    .insert(req, (Target::KernelDrain { cu }, self.now));
                 self.drain_left += 1;
+                self.prof.set_state(cu, self.now, StallKind::SbDrain);
+            } else {
+                self.prof.set_state(cu, self.now, StallKind::Idle);
             }
             all.append(&actions);
         }
@@ -527,49 +589,67 @@ impl Machine {
                 cu: NodeId(cu as u8),
             });
         }
+        if self.cus[cu].slots.iter().all(Option::is_none) {
+            // The CU emptied mid-kernel: idle until the next kernel
+            // (end_kernel below may override to a drain wait).
+            self.prof.set_state(cu, self.now, StallKind::Idle);
+        }
         if self.tbs_finished == self.tbs.len() {
             self.end_kernel();
         }
     }
 
     /// Executes one instruction (or one phase of a releasing sync op)
-    /// for `tb`.
-    fn exec_step(&mut self, tb: usize) {
+    /// for `tb`, and returns the attribution bucket the issuing cycle
+    /// is charged to (almost always [`StallKind::Issue`]; a cycle
+    /// burned retrying a full resource charges the resource's bucket).
+    /// When the step blocks the thread block, it also records *why* in
+    /// [`Tb::wait`] so the CU-level stall state can be derived.
+    fn exec_step(&mut self, tb: usize) -> StallKind {
         let instr = self.tbs[tb].program.instr(self.tbs[tb].pc);
         let cu = self.tbs[tb].cu;
         match instr {
             Instr::Mov { dst, src } => {
                 self.counts.instructions += 1;
+                self.prof.instr(cu);
                 let v = src.eval(&self.tbs[tb].regs);
                 self.tbs[tb].regs[dst as usize] = v;
                 self.tbs[tb].pc += 1;
+                StallKind::Issue
             }
             Instr::Alu { dst, a, op, b } => {
                 self.counts.instructions += 1;
+                self.prof.instr(cu);
                 let regs = &self.tbs[tb].regs;
                 let v = op.apply(a.eval(regs), b.eval(regs));
                 self.tbs[tb].regs[dst as usize] = v;
                 self.tbs[tb].pc += 1;
+                StallKind::Issue
             }
             Instr::Ld { dst, addr, region } => {
                 let word = addr.word(&self.tbs[tb].regs);
                 let req = self.alloc_req();
                 let (issue, actions) = self.l1s[cu].load(word, region, req);
                 if matches!(issue, Issue::Hit(_) | Issue::Pending) {
+                    self.prof.line_access(cu, word.line());
                     if let Some(r) = &mut self.races {
                         r.data_read(tb, word);
                     }
                 }
-                match issue {
+                let bucket = match issue {
                     Issue::Hit(v) => {
                         self.counts.instructions += 1;
+                        self.prof.instr(cu);
                         self.latency.load_to_use.record(1);
                         self.tbs[tb].regs[dst as usize] = v;
                         self.tbs[tb].pc += 1;
+                        StallKind::Issue
                     }
                     Issue::Pending => {
                         self.counts.instructions += 1;
+                        self.prof.instr(cu);
                         self.tbs[tb].status = TbStatus::Blocked;
+                        self.tbs[tb].wait = StallKind::LoadUse;
                         self.pending.insert(
                             req,
                             (
@@ -580,27 +660,49 @@ impl Machine {
                                 self.now,
                             ),
                         );
+                        StallKind::Issue
                     }
-                    Issue::Retry => {} // reissued next time this TB is picked
+                    // A cycle burned on a full MSHR: reissued next time
+                    // this TB is picked.
+                    Issue::Retry => StallKind::LoadUse,
                     Issue::RetryAfter(d) => {
                         // Backoff: sleep, then reissue the same load.
                         self.tbs[tb].status = TbStatus::Blocked;
+                        self.tbs[tb].wait = StallKind::LoadUse;
                         let at = self.now + d;
                         self.schedule(at, Event::TbWake { tb });
+                        StallKind::LoadUse
                     }
-                }
+                };
                 self.process_actions(actions);
+                bucket
             }
             Instr::St { addr, src } => {
                 self.counts.instructions += 1;
+                self.prof.instr(cu);
                 let regs = &self.tbs[tb].regs;
                 let (word, v) = (addr.word(regs), src.eval(regs));
+                let overflows_before = if self.prof.is_enabled() {
+                    self.l1s[cu].counts().sb_overflow_flushes
+                } else {
+                    0
+                };
                 let (_, actions) = self.l1s[cu].store(word, v);
+                self.prof.line_access(cu, word.line());
                 if let Some(r) = &mut self.races {
                     r.data_write(tb, word);
                 }
                 self.tbs[tb].pc += 1;
                 self.process_actions(actions);
+                // A store that forced an overflow flush spent its cycle
+                // on a full store buffer, not useful issue.
+                if self.prof.is_enabled()
+                    && self.l1s[cu].counts().sb_overflow_flushes > overflows_before
+                {
+                    StallKind::SbFull
+                } else {
+                    StallKind::Issue
+                }
             }
             Instr::Atomic {
                 dst,
@@ -621,12 +723,14 @@ impl Machine {
                 // release — run the release phase first, once.
                 if ord.releases() && !self.tbs[tb].released {
                     self.counts.instructions += 1;
+                    self.prof.instr(cu);
                     let req = self.alloc_req();
                     let (issue, actions) = self.l1s[cu].release(local, req);
                     match issue {
                         Issue::Hit(_) => self.tbs[tb].released = true,
                         Issue::Pending => {
                             self.tbs[tb].status = TbStatus::Blocked;
+                            self.tbs[tb].wait = StallKind::SbDrain;
                             self.pending.insert(
                                 req,
                                 (
@@ -643,13 +747,24 @@ impl Machine {
                         }
                     }
                     self.process_actions(actions);
-                    return;
+                    return StallKind::Issue;
                 }
+                // Which sync wait this operation represents if it has
+                // to spin or block: a sync *read* is a barrier-style
+                // flag wait; writes/RMWs spin on an acquire.
+                let sync_kind = if matches!(op, AtomicOp::Read) {
+                    StallKind::Barrier
+                } else if local {
+                    StallKind::LocalSpin
+                } else {
+                    StallKind::GlobalSpin
+                };
                 let regs = &self.tbs[tb].regs;
                 let (word, operands) = (addr.word(regs), [a.eval(regs), b.eval(regs)]);
                 let req = self.alloc_req();
                 let (issue, actions) = self.l1s[cu].atomic(word, op, operands, ord, local, req);
                 if matches!(issue, Issue::Hit(_) | Issue::Pending) {
+                    self.prof.line_access(cu, word.line());
                     self.trace.emit(|| TraceEvent::AtomicIssue {
                         tb: TbId(tb as u32),
                         cu: NodeId(cu as u8),
@@ -671,9 +786,10 @@ impl Machine {
                         }
                     }
                 }
-                match issue {
+                let bucket = match issue {
                     Issue::Hit(old) => {
                         self.counts.instructions += 1;
+                        self.prof.instr(cu);
                         self.latency.atomic_rtt.record(1);
                         let started = self.tbs[tb].sync_started.take().unwrap_or(self.now);
                         self.latency.barrier_wait.record(self.now - started);
@@ -689,10 +805,14 @@ impl Machine {
                         }
                         self.tbs[tb].released = false;
                         self.tbs[tb].pc += 1;
+                        StallKind::Issue
                     }
                     Issue::Pending => {
                         self.counts.instructions += 1;
+                        self.prof.instr(cu);
                         self.tbs[tb].status = TbStatus::Blocked;
+                        self.tbs[tb].wait = sync_kind;
+                        self.sync_inflight += 1;
                         self.pending.insert(
                             req,
                             (
@@ -706,61 +826,85 @@ impl Machine {
                                 self.now,
                             ),
                         );
+                        sync_kind
                     }
-                    Issue::Retry => {}
+                    // A cycle burned on a contended registration.
+                    Issue::Retry => sync_kind,
                     Issue::RetryAfter(d) => {
                         // DeNovoSync backoff: sleep, then reissue the
                         // same sync operation (the release latch stays).
                         self.tbs[tb].status = TbStatus::Blocked;
+                        self.tbs[tb].wait = sync_kind;
                         let at = self.now + d;
                         self.schedule(at, Event::TbWake { tb });
+                        sync_kind
                     }
-                }
+                };
                 self.process_actions(actions);
+                bucket
             }
             Instr::LdScratch { dst, addr } => {
                 self.counts.instructions += 1;
                 self.counts.scratch_accesses += 1;
+                self.prof.instr(cu);
+                self.prof.scratch(cu);
                 let idx = addr.word(&self.tbs[tb].regs).0 as usize;
                 let v = self.tbs[tb].scratch[idx];
                 self.tbs[tb].regs[dst as usize] = v;
                 self.tbs[tb].pc += 1;
+                StallKind::Issue
             }
             Instr::StScratch { addr, src } => {
                 self.counts.instructions += 1;
                 self.counts.scratch_accesses += 1;
+                self.prof.instr(cu);
+                self.prof.scratch(cu);
                 let regs = &self.tbs[tb].regs;
                 let (idx, v) = (addr.word(regs).0 as usize, src.eval(regs));
                 self.tbs[tb].scratch[idx] = v;
                 self.tbs[tb].pc += 1;
+                StallKind::Issue
             }
             Instr::Compute { cycles } => {
                 self.counts.instructions += 1;
+                self.prof.instr(cu);
                 let n = cycles.eval(&self.tbs[tb].regs) as Cycle;
                 self.tbs[tb].pc += 1;
                 if n > 0 {
                     self.tbs[tb].status = TbStatus::Blocked;
+                    // Compute latency counts as useful execution, not a
+                    // stall.
+                    self.tbs[tb].wait = StallKind::Issue;
                     let at = self.now + n;
                     self.schedule(at, Event::TbWake { tb });
                 }
+                StallKind::Issue
             }
             Instr::Jmp { target } => {
                 self.counts.instructions += 1;
+                self.prof.instr(cu);
                 self.tbs[tb].pc = target;
+                StallKind::Issue
             }
             Instr::Bnz { cond, target } => {
                 self.counts.instructions += 1;
+                self.prof.instr(cu);
                 let taken = cond.eval(&self.tbs[tb].regs) != 0;
                 self.tbs[tb].pc = if taken { target } else { self.tbs[tb].pc + 1 };
+                StallKind::Issue
             }
             Instr::Bz { cond, target } => {
                 self.counts.instructions += 1;
+                self.prof.instr(cu);
                 let taken = cond.eval(&self.tbs[tb].regs) == 0;
                 self.tbs[tb].pc = if taken { target } else { self.tbs[tb].pc + 1 };
+                StallKind::Issue
             }
             Instr::Halt => {
                 self.counts.instructions += 1;
+                self.prof.instr(cu);
                 self.on_tb_finished(tb);
+                StallKind::Issue
             }
         }
     }
@@ -783,7 +927,8 @@ impl Machine {
         };
         self.cus[cu].rr = (s + 1) % slots;
         self.counts.cu_active_cycles += 1;
-        self.exec_step(tb);
+        self.prof.cu_active(cu);
+        let bucket = self.exec_step(tb);
         // Keep issuing while any resident block is ready.
         let any_ready = self.cus[cu]
             .slots
@@ -794,6 +939,26 @@ impl Machine {
             let at = self.now + 1;
             self.ensure_tick(cu, at);
         }
+        if self.prof.is_enabled() {
+            // What the CU does after this cycle: keep issuing, wait on
+            // the highest-priority reason among its blocked thread
+            // blocks, or — when the step emptied the CU — whatever
+            // state the kernel boundary set during the step (`None`).
+            let next = if self.cus[cu].slots.iter().all(Option::is_none) {
+                None
+            } else if any_ready {
+                Some(StallKind::Issue)
+            } else {
+                let mut k = StallKind::Idle;
+                for &t in self.cus[cu].slots.iter().flatten() {
+                    if self.tbs[t].status == TbStatus::Blocked {
+                        k = k.max_priority(self.tbs[t].wait);
+                    }
+                }
+                Some(k)
+            };
+            self.prof.tick(cu, self.now, bucket, next);
+        }
     }
 
     fn finish_req(&mut self, req: ReqId, value: Value) {
@@ -802,8 +967,9 @@ impl Machine {
             .remove(req)
             .expect("completion for an unknown request");
         match target {
-            Target::KernelDrain => {
+            Target::KernelDrain { cu } => {
                 self.latency.sb_drain.record(self.now - issued_at);
+                self.prof.set_state(cu, self.now, StallKind::Idle);
                 self.drain_left -= 1;
                 if self.drain_left == 0 {
                     self.on_kernel_drained();
@@ -817,6 +983,7 @@ impl Machine {
                         self.tbs[tb].pc += 1;
                     }
                     Cont::AtomicDone { dst, acquire } => {
+                        self.sync_inflight -= 1;
                         self.latency.atomic_rtt.record(self.now - issued_at);
                         let started = self.tbs[tb].sync_started.take().unwrap_or(issued_at);
                         self.latency.barrier_wait.record(self.now - started);
@@ -846,7 +1013,7 @@ impl Machine {
         }
     }
 
-    fn run(mut self, workload: &Workload) -> Result<SimStats, SimError> {
+    fn run(mut self, workload: &Workload) -> Result<(SimStats, Option<ProfileReport>), SimError> {
         let total_kernels = workload.kernels.len();
         if total_kernels > 0 {
             self.start_kernel(0, &workload.kernels[0]);
@@ -870,6 +1037,13 @@ impl Machine {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.trace.set_now(self.now);
+            // Lazy interval sampling: catch up on every boundary the
+            // event gap crossed (identical snapshots over an idle gap
+            // honestly render as zero-delta intervals).
+            while self.now >= self.prof_next_sample {
+                self.record_sample();
+                self.prof_next_sample += self.prof_interval;
+            }
             if self.now > self.max_cycles {
                 return Err(SimError::Watchdog {
                     cycles: self.max_cycles,
@@ -931,7 +1105,51 @@ impl Machine {
         }
         self.l2.flush_to_memory();
         (workload.verify)(self.l2.memory()).map_err(SimError::Verify)?;
-        Ok(self.stats())
+        let stats = self.stats();
+        let profile = self.take_profile();
+        Ok((stats, profile))
+    }
+
+    /// One interval snapshot: cumulative counters plus instantaneous
+    /// occupancies, gathered across the engine, the L1s, and the mesh.
+    fn record_sample(&mut self) {
+        let mut l1_load_hits = 0;
+        let mut l1_load_misses = 0;
+        let mut mshr_occupancy = 0;
+        let mut sb_occupancy = 0;
+        for l1 in &self.l1s {
+            let c = l1.counts();
+            l1_load_hits += c.l1_load_hits;
+            l1_load_misses += c.l1_load_misses;
+            mshr_occupancy += l1.mshr_outstanding() as u64;
+            sb_occupancy += l1.sb_occupancy() as u64;
+        }
+        self.prof.record_sample(IntervalSample {
+            cycle: self.prof_next_sample,
+            instructions: self.counts.instructions,
+            l1_load_hits,
+            l1_load_misses,
+            messages: self.mesh.messages_sent(),
+            flits: self.mesh.flit_hops(),
+            mshr_occupancy,
+            sb_occupancy,
+            outstanding_syncs: self.sync_inflight,
+        });
+    }
+
+    /// Assembles the profile report (`None` when profiling is off).
+    fn take_profile(&mut self) -> Option<ProfileReport> {
+        if !self.prof.is_enabled() {
+            return None;
+        }
+        let l1_counts: Vec<Counts> = self.l1s.iter().map(|l| *l.counts()).collect();
+        self.prof.take_report(ReportInputs {
+            end: self.now,
+            l1_counts,
+            l2_counts: *self.l2.counts(),
+            messages_sent: self.mesh.messages_sent(),
+            flit_hops: self.mesh.flit_hops(),
+        })
     }
 
     /// The end-of-run audit (replaces the bare quiesce assertions when

@@ -18,6 +18,7 @@
 //! concurrent *processes* — racing on the same cell at worst both
 //! compute it; neither can observe a torn file.
 
+use gsim_prof::ProfileReport;
 use gsim_types::{JsonValue, ProtocolConfig, SimStats};
 use gsim_workloads::Scale;
 use std::path::{Path, PathBuf};
@@ -25,7 +26,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bumped whenever the serialized schema or the meaning of a key
 /// changes; every bump invalidates the whole cache.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: cells can carry an optional profile report alongside the stats,
+/// and profiled keys embed the profiling parameters.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit: tiny, dependency-free, stable across platforms and
 /// releases (unlike `DefaultHasher`, whose output is explicitly not
@@ -126,6 +130,12 @@ impl ResultCache {
     /// fingerprint collision (stored canonical key differs) all count
     /// as misses — the caller recomputes and overwrites.
     pub fn get(&self, key: &CacheKey) -> Option<SimStats> {
+        self.get_profiled(key).map(|(stats, _)| stats)
+    }
+
+    /// As [`get`](Self::get), additionally returning the stored profile
+    /// report when the cell was cached by a profiled run.
+    pub fn get_profiled(&self, key: &CacheKey) -> Option<(SimStats, Option<ProfileReport>)> {
         let found = self.lookup(key);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -134,23 +144,41 @@ impl ResultCache {
         found
     }
 
-    fn lookup(&self, key: &CacheKey) -> Option<SimStats> {
+    fn lookup(&self, key: &CacheKey) -> Option<(SimStats, Option<ProfileReport>)> {
         let text = std::fs::read_to_string(self.path_of(key)).ok()?;
         let doc = JsonValue::parse(&text).ok()?;
         if doc.get("key")?.as_str()? != key.canonical() {
             return None; // fingerprint collision or stale schema
         }
-        SimStats::from_json_value(doc.get("stats")?).ok()
+        let stats = SimStats::from_json_value(doc.get("stats")?).ok()?;
+        // A present-but-unparsable profile poisons the whole entry: the
+        // caller would otherwise silently lose its profile to a schema
+        // drift.
+        let profile = match doc.get("profile") {
+            None => None,
+            Some(p) => Some(ProfileReport::from_json_value(p).ok()?),
+        };
+        Some((stats, profile))
     }
 
     /// Stores a cell's result. Errors are deliberately swallowed — a
     /// read-only or full disk degrades to "no cache", never to a failed
     /// sweep.
     pub fn put(&self, key: &CacheKey, stats: &SimStats) {
-        let doc = JsonValue::Obj(vec![
+        self.put_profiled(key, stats, None);
+    }
+
+    /// As [`put`](Self::put), additionally storing a profile report so a
+    /// later [`get_profiled`](Self::get_profiled) is served whole.
+    pub fn put_profiled(&self, key: &CacheKey, stats: &SimStats, profile: Option<&ProfileReport>) {
+        let mut fields = vec![
             ("key".into(), JsonValue::Str(key.canonical())),
             ("stats".into(), stats.to_json_value()),
-        ]);
+        ];
+        if let Some(p) = profile {
+            fields.push(("profile".into(), p.to_json_value()));
+        }
+        let doc = JsonValue::Obj(fields);
         let tmp = self.dir.join(format!(
             "{:016x}.tmp.{}.{}",
             key.fingerprint(),

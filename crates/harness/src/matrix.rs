@@ -11,6 +11,7 @@
 use crate::cache::{CacheKey, ResultCache};
 use crate::pool;
 use gsim_core::{Simulator, SystemConfig};
+use gsim_prof::{ProfSpec, ProfileReport};
 use gsim_types::{JsonValue, ProtocolConfig, SimStats};
 use gsim_workloads::registry::{self, Group};
 use gsim_workloads::Scale;
@@ -33,6 +34,10 @@ pub struct CellResult {
     pub cell: Cell,
     /// Its (functionally verified) statistics.
     pub stats: SimStats,
+    /// The profile report, when the cell ran under
+    /// [`run_cells_profiled`] (hot lines already annotated with the
+    /// benchmark's regions). Always `None` from [`run_cells`].
+    pub profile: Option<ProfileReport>,
     /// Whether the result came from the cache instead of a fresh run.
     pub from_cache: bool,
 }
@@ -85,6 +90,15 @@ pub fn cell_key(cell: &Cell) -> Result<CacheKey, String> {
     })
 }
 
+/// The cache key of a *profiled* cell: [`cell_key`] plus the profiling
+/// parameters, so runs with different intervals or sketch sizes never
+/// serve each other's reports.
+pub fn cell_key_profiled(cell: &Cell, prof: &ProfSpec) -> Result<CacheKey, String> {
+    let mut key = cell_key(cell)?;
+    key.params = format!("{};{}", key.params, prof.cache_token());
+    Ok(key)
+}
+
 /// Runs one cell, consulting the cache first. Fresh results are
 /// functionally verified by the simulator before they are stored.
 pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, String> {
@@ -94,6 +108,7 @@ pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, 
             return Ok(CellResult {
                 cell: cell.clone(),
                 stats,
+                profile: None,
                 from_cache: true,
             });
         }
@@ -108,6 +123,51 @@ pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, 
     Ok(CellResult {
         cell: cell.clone(),
         stats,
+        profile: None,
+        from_cache: false,
+    })
+}
+
+/// Runs one cell with profiling, consulting the cache first. The hot
+/// lines of the resulting report are annotated with the benchmark's
+/// named regions (when it declares any) before caching, so cached and
+/// fresh reports are identical. A `prof` with profiling off degrades to
+/// [`run_cell`].
+pub fn run_cell_profiled(
+    cell: &Cell,
+    cache: Option<&ResultCache>,
+    prof: ProfSpec,
+) -> Result<CellResult, String> {
+    if !prof.enabled() {
+        return run_cell(cell, cache);
+    }
+    let key = cell_key_profiled(cell, &prof)?;
+    if let Some(c) = cache {
+        if let Some((stats, profile @ Some(_))) = c.get_profiled(&key) {
+            return Ok(CellResult {
+                cell: cell.clone(),
+                stats,
+                profile,
+                from_cache: true,
+            });
+        }
+    }
+    let b = registry::by_name(&cell.bench).expect("checked by cell_key");
+    let mut config = SystemConfig::micro15(cell.config);
+    config.prof = prof;
+    let (stats, mut profile) = Simulator::new(config)
+        .run_profiled(&(b.build)(cell.scale))
+        .map_err(|e| format!("{} under {}: {e}", cell.bench, cell.config))?;
+    if let (Some(p), Some(regions)) = (profile.as_mut(), b.regions) {
+        p.annotate(&regions(cell.scale));
+    }
+    if let Some(c) = cache {
+        c.put_profiled(&key, &stats, profile.as_ref());
+    }
+    Ok(CellResult {
+        cell: cell.clone(),
+        stats,
+        profile,
         from_cache: false,
     })
 }
@@ -121,6 +181,21 @@ pub fn run_cells(
     cache: Option<&ResultCache>,
 ) -> Result<Vec<CellResult>, String> {
     pool::run_parallel(cells, jobs, |cell| run_cell(cell, cache))
+        .into_iter()
+        .collect()
+}
+
+/// [`run_cells`] with profiling: every cell runs under `prof`, and each
+/// result carries its annotated [`ProfileReport`]. Deterministic in the
+/// cell list like [`run_cells`] (profiling never perturbs the
+/// simulation, and reports are themselves deterministic).
+pub fn run_cells_profiled(
+    cells: &[Cell],
+    jobs: usize,
+    cache: Option<&ResultCache>,
+    prof: ProfSpec,
+) -> Result<Vec<CellResult>, String> {
+    pool::run_parallel(cells, jobs, |cell| run_cell_profiled(cell, cache, prof))
         .into_iter()
         .collect()
 }
@@ -156,7 +231,7 @@ pub fn to_json(results: &[CellResult]) -> String {
     let cells = results
         .iter()
         .map(|r| {
-            JsonValue::Obj(vec![
+            let mut fields = vec![
                 ("benchmark".into(), JsonValue::Str(r.cell.bench.clone())),
                 (
                     "config".into(),
@@ -164,7 +239,11 @@ pub fn to_json(results: &[CellResult]) -> String {
                 ),
                 ("scale".into(), JsonValue::Str(scale_slug(r.cell.scale))),
                 ("stats".into(), r.stats.to_json_value()),
-            ])
+            ];
+            if let Some(p) = &r.profile {
+                fields.push(("profile".into(), p.to_json_value()));
+            }
+            JsonValue::Obj(fields)
         })
         .collect();
     JsonValue::Obj(vec![
@@ -217,6 +296,49 @@ mod tests {
         assert!(csv.starts_with("benchmark,config,scale,cycles,"));
         assert_eq!(csv.lines().count(), 1 + 10, "header + one row per cell");
         assert!(csv.contains("SPM_G,DD+RO,tiny,"));
+    }
+
+    #[test]
+    fn profiled_cells_reconcile_cache_and_leave_stats_untouched() {
+        let dir = std::env::temp_dir().join(format!("gsim-prof-matrix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let cells = matrix_of(&["SPM_L"], &[ProtocolConfig::Dd], Scale::Tiny);
+        let prof = ProfSpec::on();
+
+        let first = run_cells_profiled(&cells, 1, Some(&cache), prof).unwrap();
+        let r = &first[0];
+        assert!(!r.from_cache);
+        let p = r.profile.as_ref().expect("profile collected");
+        p.reconcile(r.stats.cycles, &r.stats.counts).unwrap();
+        assert!(
+            p.hot_lines
+                .iter()
+                .any(|h| h.region.as_deref().is_some_and(|s| s.starts_with("lock"))),
+            "hot lines annotated with the benchmark's regions"
+        );
+
+        // Zero perturbation: the plain runner sees identical stats.
+        let plain = run_cells(&cells, 1, None).unwrap();
+        assert_eq!(plain[0].stats, r.stats);
+        assert_eq!(plain[0].profile, None);
+
+        // Second profiled sweep is served whole from the cache.
+        let second = run_cells_profiled(&cells, 1, Some(&cache), prof).unwrap();
+        assert!(second[0].from_cache);
+        assert_eq!(second[0].profile, r.profile);
+        assert_eq!(second[0].stats, r.stats);
+
+        // The profiled key is distinct from the plain key.
+        assert_ne!(
+            cell_key(&cells[0]).unwrap().fingerprint(),
+            cell_key_profiled(&cells[0], &prof).unwrap().fingerprint()
+        );
+
+        // Profiled results surface the report in the JSON emitter.
+        assert!(to_json(&first).contains("\"profile\""));
+        assert!(!to_json(&plain).contains("\"profile\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -89,6 +89,12 @@ impl<W, F> MshrFile<W, F> {
         self.high_water
     }
 
+    /// The configured capacity in outstanding lines (pairs with
+    /// [`outstanding`](Self::outstanding) for occupancy reporting).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether a new line can be accepted.
     pub fn has_room_for(&self, line: LineAddr) -> bool {
         self.entries.contains_key(&line) || self.entries.len() < self.capacity

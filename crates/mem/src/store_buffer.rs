@@ -94,6 +94,12 @@ impl StoreBuffer {
         self.entries.is_empty()
     }
 
+    /// The configured capacity in line entries (pairs with
+    /// [`len`](Self::len) for occupancy reporting).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Buffers a store, coalescing with an existing entry for the same
     /// line. On overflow the oldest entry is evicted and returned.
     pub fn write(&mut self, word: WordAddr, value: Value) -> StoreOutcome {

@@ -171,6 +171,13 @@ impl Mesh {
         self.messages
     }
 
+    /// Total flit-hop crossings, all classes (shorthand for
+    /// `traffic().total()`; the engine samples this every profiling
+    /// interval).
+    pub fn flit_hops(&self) -> u64 {
+        self.traffic.total()
+    }
+
     /// Number of links still occupied past `now`. A message's tail flit
     /// clears its last link no later than the message's delivery, so
     /// once the event queue has drained this must be zero — a non-zero

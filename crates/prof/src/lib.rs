@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! **gsim-prof** — the opt-in profiling layer of the gpu-denovo
+//! simulator.
+//!
+//! The paper's headline claims are *attribution* claims: DeNovo wins on
+//! locally synchronized benchmarks because acquire spins stay in the L1
+//! and flash invalidations disappear. Whole-run aggregates
+//! ([`SimStats`](gsim_types::SimStats)) cannot show that; this crate
+//! can. It adds three views, all wired through `SystemConfig::prof` and
+//! all *observation-only* — a profiled run produces byte-identical
+//! statistics to an unprofiled one:
+//!
+//! 1. **Cycle attribution** ([`StallKind`], [`CuRow`]): the engine
+//!    charges every cycle of every CU to exactly one of eight buckets
+//!    (compute/issue, load-use stall, store-buffer full, SB release
+//!    drain, global-acquire spin, local-acquire spin, barrier wait,
+//!    idle), alongside per-CU copies of the engine counters. The
+//!    invariant — checked by [`ProfileReport::reconcile`] — is that
+//!    per-CU rows sum *exactly* to the global totals.
+//! 2. **Hot-line contention** ([`SpaceSaving`], [`HotLine`]): a
+//!    fixed-capacity heavy-hitter sketch per L1 and one at the L2
+//!    registry track the top lines by accesses, invalidations received,
+//!    ownership transfers (ping-pong), and registry forwards. Reports
+//!    annotate lines with workload region names (`lock[3]`, `data[]`)
+//!    via [`RegionMap`].
+//! 3. **Interval time-series** ([`IntervalSample`]): every `interval`
+//!    cycles the engine snapshots cumulative counters and instantaneous
+//!    occupancies into a bounded ring, exported as delta CSV and as
+//!    Perfetto counter tracks.
+//!
+//! The engine talks to the profiler through a [`ProfHandle`] — an
+//! `Option<Rc<RefCell<...>>>` mirroring `gsim-trace`'s `TraceHandle`,
+//! so a disabled handle costs one branch per hook and the profiler
+//! never schedules events or mutates simulation state.
+
+mod attr;
+mod handle;
+mod interval;
+mod region;
+mod report;
+mod sketch;
+mod spec;
+
+pub use attr::{CuAttr, StallKind, NUM_STALL_KINDS, STALL_KINDS};
+pub use handle::{ProfHandle, Profiler, ReportInputs};
+pub use interval::{IntervalRing, IntervalSample, MAX_SAMPLES};
+pub use region::RegionMap;
+pub use report::{CuRow, HotLine, ProfileReport};
+pub use sketch::{LineTally, SpaceSaving};
+pub use spec::{ProfLevel, ProfSpec};

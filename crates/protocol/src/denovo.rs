@@ -41,6 +41,7 @@
 use crate::action::{Action, ActionVec, Issue};
 use crate::gpu::{L1Config, L2Config};
 use gsim_mem::{CacheArray, Dram, InsertOutcome, MemoryImage, MshrFile, StoreBuffer, WordState};
+use gsim_prof::ProfHandle;
 use gsim_trace::{FlushReason, Level, TraceEvent, TraceHandle, WState};
 use gsim_types::{
     AtomicOp, Component, Counts, Cycle, FxHashMap, LineAddr, Msg, MsgKind, NodeId, Region, ReqId,
@@ -184,6 +185,7 @@ pub struct DnL1 {
     backoff: FxHashMap<WordAddr, BackoffState>,
     counts: Counts,
     trace: TraceHandle,
+    prof: ProfHandle,
     /// Whether an `SbFlushBegin` trace event is awaiting its matching
     /// end (emitted when `outstanding_writes` returns to zero).
     sb_draining: bool,
@@ -207,6 +209,7 @@ impl DnL1 {
             backoff: FxHashMap::default(),
             counts: Counts::default(),
             trace: TraceHandle::disabled(),
+            prof: ProfHandle::disabled(),
             sb_draining: false,
             config,
         }
@@ -216,6 +219,22 @@ impl DnL1 {
     /// events flow through it from then on.
     pub fn set_trace(&mut self, trace: &TraceHandle) {
         self.trace = trace.share();
+    }
+
+    /// Installs a profiler handle; acquire invalidations feed the
+    /// hot-line sketch from then on. Observation-only.
+    pub fn set_prof(&mut self, prof: &ProfHandle) {
+        self.prof = prof.share();
+    }
+
+    /// Store-buffer entries currently held (profiler occupancy gauge).
+    pub fn sb_occupancy(&self) -> usize {
+        self.sb.len()
+    }
+
+    /// Outstanding MSHR lines (profiler occupancy gauge).
+    pub fn mshr_outstanding(&self) -> usize {
+        self.mshr.outstanding()
     }
 
     /// Event counters accumulated so far.
@@ -745,12 +764,15 @@ impl DnL1 {
         self.epoch += 1; // in-flight read fills must not install
         let keep_ro = self.config.read_only_region;
         let mut invalidated: u64 = 0;
+        let prof = &self.prof;
+        let prof_node = self.config.l1.node.index();
         self.cache.for_each_line_mut(|l| {
             let mut inv = l.mask_in(WordState::Valid);
             if keep_ro {
                 inv = inv & !l.extra.0;
             }
             invalidated += u64::from(inv.count());
+            prof.line_invalidated(prof_node, l.tag, u64::from(inv.count()));
             l.set_mask(inv, WordState::Invalid);
         });
         self.counts.words_invalidated += invalidated;
@@ -1231,6 +1253,7 @@ pub struct DnL2 {
     dram: Dram,
     counts: Counts,
     trace: TraceHandle,
+    prof: ProfHandle,
 }
 
 impl DnL2 {
@@ -1246,6 +1269,7 @@ impl DnL2 {
             memory,
             counts: Counts::default(),
             trace: TraceHandle::disabled(),
+            prof: ProfHandle::disabled(),
             config,
         }
     }
@@ -1254,6 +1278,13 @@ impl DnL2 {
     /// transfers are traced from then on.
     pub fn set_trace(&mut self, trace: &TraceHandle) {
         self.trace = trace.share();
+    }
+
+    /// Installs a profiler handle; registry operations, ownership
+    /// transfers, and forwards feed the L2 hot-line sketch from then on.
+    /// Observation-only.
+    pub fn set_prof(&mut self, prof: &ProfHandle) {
+        self.prof = prof.share();
     }
 
     /// Starts an in-order bank operation on `line` at `now`; returns the
@@ -1398,6 +1429,7 @@ impl DnL2 {
         requester: NodeId,
     ) -> ActionVec {
         self.counts.l2_accesses += 1;
+        self.prof.l2_access(line);
         let delay = self.bank_op(now, line);
         let bank = self.bank_index(line);
         let l = self.banks[bank].lookup(line).expect("resident");
@@ -1428,6 +1460,7 @@ impl DnL2 {
         }
         for (owner, m) in sorted(by_owner) {
             self.counts.reg_forwards += 1;
+            self.prof.registry_forward(line);
             actions.push(Action::Send {
                 msg: Msg {
                     src: bank_node,
@@ -1458,6 +1491,7 @@ impl DnL2 {
         requester: NodeId,
     ) -> ActionVec {
         self.counts.l2_accesses += 1;
+        self.prof.l2_access(line);
         let delay = self.bank_op(now, line);
         let bank = self.bank_index(line);
         let l = self.banks[bank].lookup(line).expect("resident");
@@ -1501,6 +1535,10 @@ impl DnL2 {
         }
         for (prev, m) in sorted(by_owner) {
             self.counts.reg_forwards += 1;
+            // The words in `m` change registered owner (ping-pong) and
+            // the previous owner takes a forward.
+            self.prof.registry_forward(line);
+            self.prof.ownership_transfer(line, u64::from(m.count()));
             actions.push(Action::Send {
                 msg: Msg {
                     src: bank_node,
@@ -1548,6 +1586,7 @@ impl DnL2 {
         data: &LineData,
     ) -> ActionVec {
         self.counts.l2_accesses += 1;
+        self.prof.l2_access(line);
         let delay = self.bank_op(now, line);
         let bank = self.bank_index(line);
         let l = self.banks[bank].lookup(line).expect("resident");

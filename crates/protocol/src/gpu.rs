@@ -26,6 +26,7 @@ use gsim_mem::{
     CacheArray, CacheGeometry, Dram, DramConfig, InsertOutcome, MemoryImage, MshrFile, StoreBuffer,
     WordState,
 };
+use gsim_prof::ProfHandle;
 use gsim_trace::{FlushReason, Level, TraceEvent, TraceHandle, WState};
 use gsim_types::{
     AtomicOp, Component, Counts, Cycle, FxHashMap, LineAddr, Msg, MsgKind, NodeId, ReqId, Scope,
@@ -114,6 +115,7 @@ pub struct GpuL1 {
     pending_atomics: FxHashMap<WordAddr, VecDeque<ReqId>>,
     counts: Counts,
     trace: TraceHandle,
+    prof: ProfHandle,
     /// Whether an `SbFlushBegin` trace event is awaiting its matching
     /// end (emitted when `pending_wt` returns to zero).
     sb_draining: bool,
@@ -134,6 +136,7 @@ impl GpuL1 {
             pending_atomics: FxHashMap::default(),
             counts: Counts::default(),
             trace: TraceHandle::disabled(),
+            prof: ProfHandle::disabled(),
             sb_draining: false,
             config,
         }
@@ -143,6 +146,22 @@ impl GpuL1 {
     /// events flow through it from then on.
     pub fn set_trace(&mut self, trace: &TraceHandle) {
         self.trace = trace.share();
+    }
+
+    /// Installs a profiler handle; acquire invalidations feed the
+    /// hot-line sketch from then on. Observation-only.
+    pub fn set_prof(&mut self, prof: &ProfHandle) {
+        self.prof = prof.share();
+    }
+
+    /// Store-buffer entries currently held (profiler occupancy gauge).
+    pub fn sb_occupancy(&self) -> usize {
+        self.sb.len()
+    }
+
+    /// Outstanding MSHR lines (profiler occupancy gauge).
+    pub fn mshr_outstanding(&self) -> usize {
+        self.mshr.outstanding()
     }
 
     /// Emits the `SbFlushBegin` trace event and arms the matching end
@@ -491,9 +510,12 @@ impl GpuL1 {
         self.epoch += 1; // in-flight fills must not install post-acquire
         self.counts.flash_invalidations += 1;
         let mut invalidated: u64 = 0;
+        let prof = &self.prof;
+        let prof_node = self.config.node.index();
         self.cache.for_each_line_mut(|l| {
             let v = l.mask_in(WordState::Valid);
             invalidated += u64::from(v.count());
+            prof.line_invalidated(prof_node, l.tag, u64::from(v.count()));
             l.set_mask(v, WordState::Invalid);
         });
         self.counts.words_invalidated += invalidated;
@@ -720,6 +742,7 @@ pub struct GpuL2 {
     dram: Dram,
     counts: Counts,
     trace: TraceHandle,
+    prof: ProfHandle,
 }
 
 impl GpuL2 {
@@ -734,6 +757,7 @@ impl GpuL2 {
             memory,
             counts: Counts::default(),
             trace: TraceHandle::disabled(),
+            prof: ProfHandle::disabled(),
             config,
         }
     }
@@ -741,6 +765,12 @@ impl GpuL2 {
     /// Installs a trace handle; bank evictions are traced from then on.
     pub fn set_trace(&mut self, trace: &TraceHandle) {
         self.trace = trace.share();
+    }
+
+    /// Installs a profiler handle; bank operations feed the L2 hot-line
+    /// sketch from then on. Observation-only.
+    pub fn set_prof(&mut self, prof: &ProfHandle) {
+        self.prof = prof.share();
     }
 
     /// Starts a bank operation on `line` at `now`: waits for the bank,
@@ -820,6 +850,7 @@ impl GpuL2 {
             } => {
                 debug_assert_eq!(msg.dst, self.bank_node(line), "misrouted L2 request");
                 self.counts.l2_accesses += 1;
+                self.prof.l2_access(line);
                 let delay = self.bank_op(now, line);
                 let bank = (line.0 % self.config.banks as u64) as usize;
                 let data = self.banks[bank].peek(line).expect("resident").data;
@@ -839,6 +870,7 @@ impl GpuL2 {
             }
             MsgKind::WriteThrough { line, mask, data } => {
                 self.counts.l2_accesses += 1;
+                self.prof.l2_access(line);
                 let delay = self.bank_op(now, line);
                 let bank = (line.0 % self.config.banks as u64) as usize;
                 let l = self.banks[bank].lookup(line).expect("resident");
@@ -863,6 +895,7 @@ impl GpuL2 {
                 self.counts.l2_accesses += 1;
                 self.counts.l2_atomics += 1;
                 let line = word.line();
+                self.prof.l2_access(line);
                 let delay = self.bank_op(now, line);
                 let bank = (line.0 % self.config.banks as u64) as usize;
                 let l = self.banks[bank].lookup(line).expect("resident");

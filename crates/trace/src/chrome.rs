@@ -30,6 +30,44 @@ use std::fmt::Write as _;
 const PID_MEM: u32 = 0;
 const PID_TB: u32 = 1;
 const PID_KERNEL: u32 = 2;
+const PID_COUNTER: u32 = 3;
+
+/// One named counter series — rendered under **pid 3, "counters"** as
+/// `ph:"C"` events, which Perfetto draws as a step-line track. The
+/// profiler's interval time-series export produces these (IPC, hit
+/// rate, occupancy gauges); any `(cycle, value)` series works.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterTrack {
+    /// Track name shown in the UI (e.g. `"ipc"`).
+    pub name: String,
+    /// `(cycle, value)` samples, oldest first.
+    pub points: Vec<(Cycle, f64)>,
+}
+
+impl CounterTrack {
+    /// An empty track named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CounterTrack {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, cycle: Cycle, value: f64) {
+        self.points.push((cycle, value));
+    }
+}
+
+/// Renders an `f64` as a JSON number (JSON has no NaN/inf literals, so
+/// non-finite values are written as 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
 
 /// Escapes a string for inclusion in a JSON string literal.
 fn esc(s: &str) -> String {
@@ -127,12 +165,31 @@ pub fn to_chrome_json(rec: &RingRecorder) -> String {
 /// Renders `(cycle, event)` pairs (oldest first) as Chrome trace-event
 /// JSON; `dropped` is reported in `otherData`.
 pub fn chrome_json(events: &[(Cycle, TraceEvent)], dropped: u64) -> String {
+    chrome_json_with_counters(events, dropped, &[])
+}
+
+/// As [`chrome_json`], additionally emitting the given counter tracks
+/// under pid 3. With an empty `counters` slice the output is
+/// byte-identical to [`chrome_json`] (asserted by the golden tests),
+/// so existing traces never change shape.
+pub fn chrome_json_with_counters(
+    events: &[(Cycle, TraceEvent)],
+    dropped: u64,
+    counters: &[CounterTrack],
+) -> String {
     let mut w = Writer::new();
 
-    // Name the processes and every track that will appear.
+    // Name the processes and every track that will appear. Each
+    // process_name / thread_name pair is emitted exactly once.
     w.metadata("process_name", PID_MEM, 0, "memory-system");
     w.metadata("process_name", PID_TB, 0, "thread-blocks");
     w.metadata("process_name", PID_KERNEL, 0, "kernels");
+    if !counters.is_empty() {
+        w.metadata("process_name", PID_COUNTER, 0, "counters");
+        for (tid, track) in counters.iter().enumerate() {
+            w.metadata("thread_name", PID_COUNTER, tid as u64, &track.name);
+        }
+    }
     let mut nodes: BTreeSet<u64> = BTreeSet::new();
     let mut tbs: BTreeSet<u64> = BTreeSet::new();
     for (_, ev) in events {
@@ -399,6 +456,20 @@ pub fn chrome_json(events: &[(Cycle, TraceEvent)], dropped: u64) -> String {
         }
     }
 
+    for (tid, track) in counters.iter().enumerate() {
+        for &(ts, value) in &track.points {
+            w.event(
+                &track.name,
+                "counter",
+                'C',
+                ts,
+                PID_COUNTER,
+                tid as u64,
+                &format!("\"value\":{}", json_num(value)),
+            );
+        }
+    }
+
     w.finish(dropped, events.len() as u64 + dropped)
 }
 
@@ -453,6 +524,54 @@ mod tests {
             json.contains("\"name\":\"tb3\""),
             "thread named after the block"
         );
+    }
+
+    #[test]
+    fn empty_counters_are_byte_identical() {
+        let events = [(
+            3,
+            TraceEvent::TbLaunch {
+                tb: TbId(0),
+                cu: NodeId(2),
+            },
+        )];
+        assert_eq!(
+            chrome_json(&events, 0),
+            chrome_json_with_counters(&events, 0, &[]),
+        );
+    }
+
+    #[test]
+    fn counter_tracks_emit_counter_events_and_metadata_once() {
+        let mut ipc = CounterTrack::new("ipc");
+        ipc.push(0, 0.5);
+        ipc.push(1024, 1.25);
+        let mut hits = CounterTrack::new("l1-hit-rate");
+        hits.push(1024, 0.875);
+        let json = chrome_json_with_counters(&[], 0, &[ipc, hits]);
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 3);
+        assert_eq!(json.matches("\"name\":\"counters\"").count(), 1);
+        assert_eq!(
+            json.matches("\"name\":\"ipc\"").count(),
+            3,
+            "meta + 2 samples"
+        );
+        assert!(json.contains("\"args\":{\"value\":1.25}"));
+        assert!(
+            json.contains("\"pid\":3,\"tid\":1"),
+            "second track on tid 1"
+        );
+    }
+
+    #[test]
+    fn non_finite_counter_values_stay_valid_json() {
+        let mut t = CounterTrack::new("bad");
+        t.push(0, f64::NAN);
+        t.push(1, f64::INFINITY);
+        let json = chrome_json_with_counters(&[], 0, &[t]);
+        assert!(!json.contains("NaN"));
+        assert!(!json.contains("inf"));
+        assert_eq!(json.matches("\"value\":0").count(), 2);
     }
 
     #[test]

@@ -31,7 +31,10 @@
 //! Implement [`TraceSink`] for streaming consumption, or use the
 //! bounded [`RingRecorder`] and export with [`to_chrome_json`] for
 //! visual analysis in [Perfetto](https://ui.perfetto.dev) or
-//! `chrome://tracing`:
+//! `chrome://tracing`. [`chrome_json_with_counters`] additionally
+//! renders [`CounterTrack`] time-series (the profiler's interval
+//! samples — IPC, hit rates, occupancies) as Perfetto counter tracks
+//! alongside the events:
 //!
 //! ```
 //! use gsim_trace::{to_chrome_json, RingRecorder, TraceEvent, TraceHandle};
@@ -49,6 +52,6 @@ pub mod chrome;
 pub mod event;
 pub mod sink;
 
-pub use chrome::{chrome_json, to_chrome_json};
+pub use chrome::{chrome_json, chrome_json_with_counters, to_chrome_json, CounterTrack};
 pub use event::{Category, FlushReason, Level, TraceEvent, WState};
 pub use sink::{RingRecorder, TraceHandle, TraceSink};

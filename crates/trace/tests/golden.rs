@@ -12,7 +12,9 @@
 //! UPDATE_GOLDEN=1 cargo test -p gsim-trace --test golden
 //! ```
 
-use gsim_trace::{chrome_json, FlushReason, Level, TraceEvent, WState};
+use gsim_trace::{
+    chrome_json, chrome_json_with_counters, CounterTrack, FlushReason, Level, TraceEvent, WState,
+};
 use gsim_types::{Cycle, LineAddr, MsgClass, NodeId, Scope, SyncOrd, TbId, WordAddr};
 
 /// One event of every variant, with balanced begin/end pairs, spread
@@ -166,6 +168,73 @@ fn chrome_export_matches_golden() {
     assert_eq!(
         json, golden,
         "Chrome export changed; rerun with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+/// Two counter tracks mimicking the profiler's interval export.
+fn counter_fixture() -> Vec<CounterTrack> {
+    vec![
+        CounterTrack {
+            name: "ipc".into(),
+            points: vec![(0, 0.0), (16, 1.5), (32, 0.75)],
+        },
+        CounterTrack {
+            name: "l1-hit-rate".into(),
+            points: vec![(16, 0.875), (32, 0.9375)],
+        },
+    ]
+}
+
+#[test]
+fn chrome_counter_export_matches_golden() {
+    let json = chrome_json_with_counters(&fixture(), 3, &counter_fixture());
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_counters.json"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file exists");
+    assert_eq!(
+        json, golden,
+        "Chrome counter export changed; rerun with UPDATE_GOLDEN=1 if intentional"
+    );
+}
+
+#[test]
+fn counter_tracks_are_well_formed() {
+    let json = chrome_json_with_counters(&fixture(), 3, &counter_fixture());
+    // Every sample becomes one ph:"C" event.
+    assert_eq!(json.matches("\"ph\":\"C\"").count(), 5);
+    // The counters process and each track are named exactly once.
+    assert_eq!(json.matches("\"name\":\"counters\"").count(), 1);
+    assert_eq!(
+        json.matches(
+            "\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,\"pid\":3"
+        )
+        .count(),
+        1
+    );
+    assert_eq!(
+        json.matches(
+            "\"name\":\"thread_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,\"pid\":3"
+        )
+        .count(),
+        2
+    );
+    // Counter values travel in args.value.
+    assert!(json.contains("\"args\":{\"value\":1.5}"));
+    assert!(json.contains("\"args\":{\"value\":0.9375}"));
+}
+
+#[test]
+fn empty_counter_list_matches_plain_export() {
+    assert_eq!(
+        chrome_json_with_counters(&fixture(), 3, &[]),
+        chrome_json(&fixture(), 3),
+        "no counters must mean no format change"
     );
 }
 

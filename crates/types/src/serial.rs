@@ -92,6 +92,23 @@ fn counts_from_json(v: &JsonValue) -> Result<Counts, String> {
     Ok(c)
 }
 
+impl Counts {
+    /// Serializes the counter record with the same stable field set and
+    /// order as [`SimStats::to_json`] (per-CU profiler rows reuse this).
+    pub fn to_json_value(&self) -> JsonValue {
+        counts_to_json(self)
+    }
+
+    /// The inverse of [`Counts::to_json_value`].
+    ///
+    /// # Errors
+    ///
+    /// If any counter field is missing or not a `u64`.
+    pub fn from_json_value(v: &JsonValue) -> Result<Counts, String> {
+        counts_from_json(v)
+    }
+}
+
 fn hist_to_json(h: &LatencyHistogram) -> JsonValue {
     JsonValue::Obj(vec![
         (

@@ -4,7 +4,12 @@
 //! Every allocation is line-aligned so distinct arrays never share a
 //! cache line (the paper's benchmarks are similarly padded), and
 //! synchronization variables can be given lines of their own.
+//!
+//! [`Layout::alloc_named`] additionally records the allocation in a
+//! [`RegionMap`], which the profiler's hot-line report uses to print
+//! `lock[3]` instead of a raw line address.
 
+use gsim_prof::RegionMap;
 use gsim_types::{Addr, Value, WORDS_PER_LINE};
 
 /// Line-aligned bump allocator over word addresses.
@@ -23,6 +28,7 @@ use gsim_types::{Addr, Value, WORDS_PER_LINE};
 #[derive(Debug, Default)]
 pub struct Layout {
     next_word: u64,
+    regions: RegionMap,
 }
 
 impl Layout {
@@ -53,6 +59,19 @@ impl Layout {
         self.alloc(1)
     }
 
+    /// As [`alloc`](Self::alloc), additionally recording the region
+    /// under `name` for profiler annotation.
+    pub fn alloc_named(&mut self, name: impl Into<String>, words: usize) -> Value {
+        let base = self.alloc(words);
+        self.regions.add(name, base as u64, words as u64);
+        base
+    }
+
+    /// The named regions recorded by [`alloc_named`](Self::alloc_named).
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
     /// The byte address of a word address (what the memory image's
     /// `write_u32_slice`/`read_u32_slice` helpers take).
     pub fn byte_addr(word: Value) -> Addr {
@@ -74,5 +93,17 @@ mod tests {
         assert_eq!(b, a + 32);
         assert_eq!(c, b + 16);
         assert_eq!(Layout::byte_addr(c), Addr(c as u64 * 4));
+    }
+
+    #[test]
+    fn named_allocations_are_recorded() {
+        let mut l = Layout::new();
+        let lock = l.alloc_named("lock[]", 2);
+        let data = l.alloc_named("data[]", 10);
+        let anon = l.alloc(4);
+        assert_eq!(l.regions().len(), 2);
+        assert_eq!(l.regions().label_word(lock as u64), Some("lock[]"));
+        assert_eq!(l.regions().label_word(data as u64 + 9), Some("data[]"));
+        assert_eq!(l.regions().label_word(anon as u64), None);
     }
 }

@@ -6,6 +6,7 @@ use crate::params::Scale;
 use crate::sync::{barrier, mutex, semaphore};
 use crate::uts;
 use gsim_core::Workload;
+use gsim_prof::RegionMap;
 
 /// Which part of the evaluation a benchmark belongs to (Table 4's three
 /// sections, which are also the figure groupings, plus our extensions).
@@ -33,6 +34,10 @@ pub struct Benchmark {
     pub table4_input: &'static str,
     /// Builds the workload at the given scale.
     pub build: fn(Scale) -> Workload,
+    /// Named memory regions of the workload's layout at the given
+    /// scale, for profiler hot-line annotation (`None`: report raw
+    /// addresses).
+    pub regions: Option<fn(Scale) -> RegionMap>,
 }
 
 impl std::fmt::Debug for Benchmark {
@@ -55,60 +60,70 @@ pub fn all() -> Vec<Benchmark> {
             group: Group::NoSync,
             table4_input: "32 KB",
             build: apps::backprop::backprop,
+            regions: None,
         },
         Benchmark {
             name: "PF",
             group: Group::NoSync,
             table4_input: "10 x 100K matrix",
             build: apps::pathfinder::pathfinder,
+            regions: None,
         },
         Benchmark {
             name: "LUD",
             group: Group::NoSync,
             table4_input: "256x256 matrix",
             build: apps::lud::lud,
+            regions: None,
         },
         Benchmark {
             name: "NW",
             group: Group::NoSync,
             table4_input: "512x512 matrix",
             build: apps::nw::nw,
+            regions: None,
         },
         Benchmark {
             name: "SGEMM",
             group: Group::NoSync,
             table4_input: "medium",
             build: apps::sgemm::sgemm,
+            regions: None,
         },
         Benchmark {
             name: "ST",
             group: Group::NoSync,
             table4_input: "128x128x4, 4 iters",
             build: apps::stencil::stencil,
+            regions: None,
         },
         Benchmark {
             name: "HS",
             group: Group::NoSync,
             table4_input: "512x512 matrix",
             build: apps::hotspot::hotspot,
+            regions: None,
         },
         Benchmark {
             name: "NN",
             group: Group::NoSync,
             table4_input: "171K records",
             build: apps::nn::nn,
+            regions: None,
         },
         Benchmark {
             name: "SRAD",
             group: Group::NoSync,
             table4_input: "256x256 matrix",
             build: apps::srad::srad,
+            regions: None,
         },
         Benchmark {
             name: "LAVA",
             group: Group::NoSync,
             table4_input: "2x2x2 matrix",
             build: apps::lavamd::lavamd,
+            regions: None,
         },
         // -- Global synchronization --
         Benchmark {
@@ -116,24 +131,28 @@ pub fn all() -> Vec<Benchmark> {
             group: Group::GlobalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| mutex::global(FetchAdd, s),
+            regions: Some(mutex::global_regions),
         },
         Benchmark {
             name: "SLM_G",
             group: Group::GlobalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| mutex::global(Sleep, s),
+            regions: Some(mutex::global_regions),
         },
         Benchmark {
             name: "SPM_G",
             group: Group::GlobalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| mutex::global(Spin, s),
+            regions: Some(mutex::global_regions),
         },
         Benchmark {
             name: "SPMBO_G",
             group: Group::GlobalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| mutex::global(SpinBackoff, s),
+            regions: Some(mutex::global_regions),
         },
         // -- Local or hybrid synchronization --
         Benchmark {
@@ -141,54 +160,63 @@ pub fn all() -> Vec<Benchmark> {
             group: Group::LocalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| mutex::local(FetchAdd, s),
+            regions: Some(mutex::local_regions),
         },
         Benchmark {
             name: "SLM_L",
             group: Group::LocalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| mutex::local(Sleep, s),
+            regions: Some(mutex::local_regions),
         },
         Benchmark {
             name: "SPM_L",
             group: Group::LocalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| mutex::local(Spin, s),
+            regions: Some(mutex::local_regions),
         },
         Benchmark {
             name: "SPMBO_L",
             group: Group::LocalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| mutex::local(SpinBackoff, s),
+            regions: Some(mutex::local_regions),
         },
         Benchmark {
             name: "SS_L",
             group: Group::LocalSync,
             table4_input: "readers 10 Ld, writers 20 St",
             build: |s| semaphore::spin_semaphore(s, false),
+            regions: None,
         },
         Benchmark {
             name: "SSBO_L",
             group: Group::LocalSync,
             table4_input: "readers 10 Ld, writers 20 St",
             build: |s| semaphore::spin_semaphore(s, true),
+            regions: None,
         },
         Benchmark {
             name: "TBEX_LG",
             group: Group::LocalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| barrier::tree_barrier(s, true),
+            regions: None,
         },
         Benchmark {
             name: "TB_LG",
             group: Group::LocalSync,
             table4_input: "3 TBs/CU, 100 iters, 10 Ld&St",
             build: |s| barrier::tree_barrier(s, false),
+            regions: None,
         },
         Benchmark {
             name: "UTS",
             group: Group::LocalSync,
             table4_input: "16K nodes",
             build: uts::uts,
+            regions: None,
         },
     ]
 }
@@ -201,12 +229,14 @@ pub fn extensions() -> Vec<Benchmark> {
             group: Group::Extension,
             table4_input: "4096 vertices, ~16K edges (extension)",
             build: crate::graph::bfs,
+            regions: None,
         },
         Benchmark {
             name: "SSSP",
             group: Group::Extension,
             table4_input: "4096 vertices, ~16K edges (extension)",
             build: crate::graph::sssp,
+            regions: None,
         },
     ]
 }

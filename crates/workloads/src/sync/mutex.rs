@@ -28,6 +28,7 @@ use crate::layout::Layout;
 use crate::params::{Scale, SyncParams};
 use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
 use gsim_core::{KernelLaunch, TbSpec, Workload};
+use gsim_prof::RegionMap;
 use gsim_types::{AtomicOp, Scope, SyncOrd, Value};
 use std::sync::Arc;
 
@@ -199,12 +200,51 @@ fn mutex_program(algo: MutexAlgo, scope: Scope, p: &SyncParams) -> Arc<gsim_core
     b.build()
 }
 
+/// The `*_G` memory layout: one lock line, one shared data array.
+fn global_layout(layout: &mut Layout, p: &SyncParams) -> (Value, Value) {
+    let lock = layout.alloc_named("lock[]", 2); // ticket+turn for FAM; word 0 otherwise
+    let data = layout.alloc_named("data[]", p.ld_st);
+    (lock, data)
+}
+
+/// The `*_L` memory layout: a lock line and data array per CU.
+///
+/// Lock and data allocations interleave so CU c's lock lands on L2 bank
+/// 2c mod 16 — decorrelated from the CU's own node, as arbitrary heap
+/// addresses would be (only CU 0 is "lucky").
+fn local_layout(layout: &mut Layout, p: &SyncParams) -> (Vec<Value>, Vec<Value>) {
+    (0..p.cus)
+        .map(|cu| {
+            (
+                layout.alloc_named(format!("lock[{cu}]"), 2),
+                layout.alloc_named(format!("data[{cu}]"), p.ld_st),
+            )
+        })
+        .unzip()
+}
+
+/// The named regions of the `*_G` layout at `scale` (profiler
+/// annotation; identical across the four algorithms).
+pub fn global_regions(scale: Scale) -> RegionMap {
+    let p = SyncParams::new(scale);
+    let mut layout = Layout::new();
+    global_layout(&mut layout, &p);
+    layout.regions().clone()
+}
+
+/// The named regions of the `*_L` layout at `scale`.
+pub fn local_regions(scale: Scale) -> RegionMap {
+    let p = SyncParams::new(scale);
+    let mut layout = Layout::new();
+    local_layout(&mut layout, &p);
+    layout.regions().clone()
+}
+
 /// Builds the globally scoped variant (`*_G`): one lock, shared data.
 pub fn global(algo: MutexAlgo, scale: Scale) -> Workload {
     let p = SyncParams::new(scale);
     let mut layout = Layout::new();
-    let lock = layout.alloc(2); // ticket+turn for FAM; word 0 otherwise
-    let data = layout.alloc(p.ld_st);
+    let (lock, data) = global_layout(&mut layout, &p);
     let program = mutex_program(algo, Scope::Global, &p);
     let tbs = (0..p.total_tbs() as u32)
         .map(|i| TbSpec::with_regs(&[i, lock, data, 0]))
@@ -231,12 +271,7 @@ pub fn global(algo: MutexAlgo, scale: Scale) -> Workload {
 pub fn local(algo: MutexAlgo, scale: Scale) -> Workload {
     let p = SyncParams::new(scale);
     let mut layout = Layout::new();
-    // Interleave lock and data allocations so CU c's lock lands on L2
-    // bank 2c mod 16 — decorrelated from the CU's own node, as arbitrary
-    // heap addresses would be (only CU 0 is "lucky").
-    let (locks, datas): (Vec<Value>, Vec<Value>) = (0..p.cus)
-        .map(|_| (layout.alloc(2), layout.alloc(p.ld_st)))
-        .unzip();
+    let (locks, datas) = local_layout(&mut layout, &p);
     let program = mutex_program(algo, Scope::Local, &p);
     let tbs = (0..p.total_tbs() as u32)
         .map(|i| {

@@ -24,11 +24,14 @@
 //! puts one Table 4 benchmark under the same microscope.
 
 use gpu_denovo::harness::{self, Cell, CellResult, ResultCache};
-use gpu_denovo::trace::{to_chrome_json, RingRecorder, TraceHandle};
-use gpu_denovo::types::MsgClass;
+use gpu_denovo::trace::{
+    chrome_json_with_counters, to_chrome_json, CounterTrack, RingRecorder, TraceHandle,
+};
+use gpu_denovo::types::{JsonValue, MsgClass};
 use gpu_denovo::workloads::litmus;
 use gpu_denovo::{
-    registry, CheckLevel, ProtocolConfig, Scale, SimError, SimStats, Simulator, SystemConfig,
+    registry, CheckLevel, ProfSpec, ProfileReport, ProtocolConfig, Scale, SimError, SimStats,
+    Simulator, StallKind, SystemConfig,
 };
 use std::process::ExitCode;
 
@@ -45,6 +48,8 @@ fn usage() -> ExitCode {
          [--out FILE.csv|FILE.json] [--no-cache]\n  \
          gpu-denovo matrix [--paper] [--jobs N] [--out FILE.csv|FILE.json] [--no-cache]\n  \
          gpu-denovo trace <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] --out <FILE>\n  \
+         gpu-denovo profile <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--interval N]\n                     \
+         [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
          gpu-denovo check [--bench <BENCH>] [--paper]\n\n\
          <BENCH> is a Table 4 abbreviation (see `gpu-denovo list`).\n\
          `sweep` prints per-benchmark tables; `matrix` emits the full\n\
@@ -54,6 +59,11 @@ fn usage() -> ExitCode {
          byte-identical regardless of --jobs.\n\
          `trace` writes a Chrome/Perfetto trace (load it at ui.perfetto.dev\n\
          or chrome://tracing).\n\
+         `profile` attributes every CU cycle to a stall bucket and tracks\n\
+         contended lines. Without --config it compares the stall mix of all\n\
+         five configurations; with --config it prints the per-CU matrix and\n\
+         the hot-line table. --out exports the interval time-series (.csv:\n\
+         delta CSV; .perfetto.json: counter tracks; .json: the full report).\n\
          `check` runs the conformance battery (litmus shapes under\n\
          CheckLevel::Full on every config, racy negative flagged), plus\n\
          one benchmark under full checking with --bench."
@@ -163,6 +173,60 @@ fn trace_one(name: &str, p: ProtocolConfig, s: Scale) -> Result<(SimStats, Trace
         .run_traced(&(b.build)(s), handle.clone())
         .map_err(|e| format!("{name} under {p}: {e}"))?;
     Ok((stats, handle))
+}
+
+/// One profiled run: build, run, annotate hot lines with the
+/// benchmark's regions, and sanity-check the report against the stats.
+fn profile_one(
+    b: &registry::Benchmark,
+    p: ProtocolConfig,
+    s: Scale,
+    spec: ProfSpec,
+) -> Result<(SimStats, ProfileReport), String> {
+    let mut cfg = SystemConfig::micro15(p);
+    cfg.prof = spec;
+    let (stats, profile) = Simulator::new(cfg)
+        .run_profiled(&(b.build)(s))
+        .map_err(|e| format!("{} under {p}: {e}", b.name))?;
+    let mut profile = profile.expect("profiling enabled");
+    if let Some(regions) = b.regions {
+        profile.annotate(&regions(s));
+    }
+    profile
+        .reconcile(stats.cycles, &stats.counts)
+        .map_err(|e| format!("{} under {p}: profile does not reconcile: {e}", b.name))?;
+    Ok((stats, profile))
+}
+
+/// The cross-config comparison table: one row per configuration with
+/// the acquire-spin buckets front and center (the paper's §5 story).
+fn print_profile_compare(rows: &[(ProtocolConfig, SimStats, ProfileReport)]) {
+    println!(
+        "{:<8} {:>12} {:>7} {:>12} {:>7} {:>12} {:>7} {:>7} {:>7}",
+        "config", "cycles", "issue%", "g-spin", "g-spin%", "l-spin", "l-spin%", "barr%", "idle%"
+    );
+    for (p, stats, r) in rows {
+        let grand: u64 = r.bucket_totals().iter().sum();
+        let pct = |k: StallKind| {
+            if grand > 0 {
+                100.0 * r.bucket(k) as f64 / grand as f64
+            } else {
+                0.0
+            }
+        };
+        println!(
+            "{:<8} {:>12} {:>6.1}% {:>12} {:>6.1}% {:>12} {:>6.1}% {:>6.1}% {:>6.1}%",
+            p.to_string(),
+            stats.cycles,
+            pct(StallKind::Issue),
+            r.bucket(StallKind::GlobalSpin),
+            pct(StallKind::GlobalSpin),
+            r.bucket(StallKind::LocalSpin),
+            pct(StallKind::LocalSpin),
+            pct(StallKind::Barrier),
+            pct(StallKind::Idle),
+        );
+    }
 }
 
 fn print_row(p: ProtocolConfig, stats: &SimStats) {
@@ -370,6 +434,123 @@ fn main() -> ExitCode {
                 }
                 Err(e) => fail(e),
             }
+        }
+        "profile" => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let b = match lookup_bench(name) {
+                Ok(b) => b,
+                Err(e) => return fail(e),
+            };
+            let s = scale(&args);
+            let mut spec = ProfSpec::on();
+            match flag_value(&args, "--interval") {
+                Ok(Some(v)) => match v.parse::<u64>() {
+                    Ok(n) if n > 0 => spec.interval = n,
+                    _ => {
+                        return fail(format!(
+                            "invalid --interval value {v:?}: expected a positive cycle count"
+                        ))
+                    }
+                },
+                Ok(None) => {}
+                Err(e) => return fail(format!("{e} (a cycle count)")),
+            }
+            let topn = match flag_value(&args, "--topn") {
+                Ok(Some(v)) => match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return fail(format!("invalid --topn value {v:?}: expected an integer"))
+                    }
+                },
+                Ok(None) => 10,
+                Err(e) => return fail(format!("{e} (a line count)")),
+            };
+            let single = args.iter().any(|a| a == "--config");
+            let configs: Vec<ProtocolConfig> = if single {
+                match parse_config(&args) {
+                    Ok(c) => vec![c],
+                    Err(e) => return fail(e),
+                }
+            } else {
+                ProtocolConfig::ALL.to_vec()
+            };
+            let mut rows = Vec::new();
+            for p in &configs {
+                match profile_one(&b, *p, s, spec) {
+                    Ok((stats, profile)) => rows.push((*p, stats, profile)),
+                    Err(e) => return fail(e),
+                }
+            }
+            if args.iter().any(|a| a == "--json") {
+                let doc = JsonValue::Arr(
+                    rows.iter()
+                        .map(|(p, _, r)| {
+                            JsonValue::Obj(vec![
+                                ("config".into(), JsonValue::Str(p.abbrev().into())),
+                                ("profile".into(), r.to_json_value()),
+                            ])
+                        })
+                        .collect(),
+                );
+                println!("{doc}");
+                return ExitCode::SUCCESS;
+            }
+            if let Some(path) = match flag_value(&args, "--out") {
+                Ok(v) => v.map(str::to_string),
+                Err(e) => return fail(format!("{e} (an output file)")),
+            } {
+                if rows.len() != 1 {
+                    return fail("profile --out needs a single run: add --config".into());
+                }
+                let r = &rows[0].2;
+                let text = if path.ends_with(".perfetto.json") {
+                    let tracks: Vec<CounterTrack> = r
+                        .counter_series()
+                        .into_iter()
+                        .map(|(name, points)| CounterTrack { name, points })
+                        .collect();
+                    chrome_json_with_counters(&[], 0, &tracks)
+                } else if path.ends_with(".json") {
+                    r.to_json()
+                } else if path.ends_with(".csv") {
+                    r.intervals_csv()
+                } else {
+                    return fail(format!(
+                        "unsupported --out file {path:?}: expected .csv, .json, or .perfetto.json"
+                    ));
+                };
+                if let Err(e) = std::fs::write(&path, text) {
+                    return fail(format!("writing {path}: {e}"));
+                }
+                eprintln!("wrote {path} ({} interval samples)", r.samples.len());
+            }
+            println!(
+                "profile of {name} at {s:?} scale (interval {} cycles, sketch {} lines)\n",
+                spec.interval, spec.sketch_lines
+            );
+            if single {
+                let (p, stats, r) = &rows[0];
+                println!("== {p} ({} cycles) ==", stats.cycles);
+                print!("{}", r.render_stalls());
+                println!();
+                print!("{}", r.render_cus());
+                println!();
+                print!("{}", r.render_hot_lines(topn));
+                println!(
+                    "\n{} interval samples ({} dropped); export with --out FILE.csv",
+                    r.samples.len(),
+                    r.dropped_samples
+                );
+            } else {
+                print_profile_compare(&rows);
+                println!(
+                    "\n(g-spin/l-spin: cycles CUs spent retrying global/local acquires,\n\
+                     summed over CUs; every CU cycle lands in exactly one bucket.)"
+                );
+            }
+            ExitCode::SUCCESS
         }
         "compare" => {
             let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {

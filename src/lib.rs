@@ -43,6 +43,7 @@
 //! | energy | [`energy`] | GPUWattch/McPAT-style per-event model |
 //! | workloads | [`workloads`] | all 23 Table 4 benchmarks, functionally verified |
 //! | tracing | [`trace`] | structured events, ring recorder, Chrome/Perfetto export |
+//! | profiling | [`prof`] | cycle attribution, hot-line sketches, interval time-series |
 //! | conformance | [`check`] | coherence invariants, happens-before race detection, quiesce audits |
 //! | experiment harness | [`harness`] | parallel matrix runner, content-addressed result cache |
 //!
@@ -56,6 +57,7 @@ pub use gsim_energy as energy;
 pub use gsim_harness as harness;
 pub use gsim_mem as mem;
 pub use gsim_noc as noc;
+pub use gsim_prof as prof;
 pub use gsim_protocol as protocol;
 pub use gsim_trace as trace;
 pub use gsim_types as types;
@@ -63,6 +65,7 @@ pub use gsim_workloads as workloads;
 
 pub use gsim_check::CheckLevel;
 pub use gsim_core::{KernelLaunch, SimError, Simulator, SystemConfig, TbSpec, Workload};
+pub use gsim_prof::{ProfSpec, ProfileReport, StallKind};
 pub use gsim_types::{ProtocolConfig, SimStats};
 pub use gsim_workloads::{registry, Scale};
 
