@@ -115,6 +115,12 @@ fn main() {
         !SystemConfig::micro15(ProtocolConfig::Gd).prof.enabled(),
         "throughput bench must run with profiling off"
     );
+    // And for flow observation: off in every build, never in the timed
+    // path.
+    assert!(
+        !SystemConfig::micro15(ProtocolConfig::Gd).flow.enabled(),
+        "throughput bench must run with flow collection off"
+    );
     println!("simulator throughput ({ITERS} iterations per case, Tiny scale)");
     for protocol in [ProtocolConfig::Gd, ProtocolConfig::Gh, ProtocolConfig::Dd] {
         bench_config("SPM_G", protocol);

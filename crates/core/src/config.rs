@@ -3,6 +3,7 @@
 
 use crate::equeue::QueueKind;
 use gsim_check::CheckLevel;
+use gsim_flow::FlowSpec;
 use gsim_mem::CacheGeometry;
 use gsim_noc::MeshConfig;
 use gsim_prof::ProfSpec;
@@ -70,6 +71,13 @@ pub struct SystemConfig {
     /// timing, so stats are identical with it on or off (asserted by the
     /// root crate's `profiler` tests).
     pub prof: ProfSpec,
+    /// How much memory-system flow observation the run collects
+    /// (per-link traffic attribution, occupancy time-series, sampled
+    /// request journeys). Defaults to off in **every** build; like
+    /// profiling, flow collection only observes and never perturbs
+    /// timing, so stats are identical with it on or off (asserted by
+    /// the root crate's `flow` tests).
+    pub flow: FlowSpec,
 }
 
 impl SystemConfig {
@@ -90,6 +98,7 @@ impl SystemConfig {
             event_queue: QueueKind::Calendar,
             check: CheckLevel::default_for_build(),
             prof: ProfSpec::default_for_build(),
+            flow: FlowSpec::default_for_build(),
         }
     }
 

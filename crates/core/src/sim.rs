@@ -31,6 +31,7 @@ use crate::proto::{L1, L2};
 use crate::workload::{KernelLaunch, Workload};
 use gsim_check::{CheckKind, CheckLevel, CheckReport, RaceDetector, SyncKey, Violation};
 use gsim_energy::EnergyModel;
+use gsim_flow::{FlowHandle, FlowReport, JourneyKind};
 use gsim_mem::MemoryImage;
 use gsim_noc::Mesh;
 use gsim_prof::{IntervalSample, ProfHandle, ProfileReport, ReportInputs, StallKind};
@@ -181,7 +182,27 @@ impl Simulator {
         workload: &Workload,
         trace: TraceHandle,
     ) -> Result<(SimStats, Option<ProfileReport>), SimError> {
-        Machine::new(&self.config, workload, trace).run(workload)
+        Machine::new(&self.config, workload, trace)
+            .run(workload)
+            .map(|(s, p, _)| (s, p))
+    }
+
+    /// As [`run`](Self::run), additionally returning the flow report
+    /// when [`SystemConfig::flow`] enables collection (`None` otherwise).
+    ///
+    /// Flow collection only observes: the returned `SimStats` are
+    /// identical to what [`run`](Self::run) produces with it off.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_flow(
+        &self,
+        workload: &Workload,
+    ) -> Result<(SimStats, Option<FlowReport>), SimError> {
+        Machine::new(&self.config, workload, TraceHandle::disabled())
+            .run(workload)
+            .map(|(s, _, f)| (s, f))
     }
 }
 
@@ -306,6 +327,13 @@ struct Machine {
     prof_next_sample: Cycle,
     /// The sampling period, cached off the handle.
     prof_interval: Cycle,
+    /// The flow collector (disabled: every hook is one branch).
+    flow: FlowHandle,
+    /// The next flow-sample boundary (`Cycle::MAX` when flow collection
+    /// is off, so the hot-loop test never fires).
+    flow_next_sample: Cycle,
+    /// The flow sampling period, cached off the handle.
+    flow_interval: Cycle,
     /// Sync operations (atomics) currently in flight — a profiler
     /// gauge, maintained unconditionally (one integer).
     sync_inflight: u64,
@@ -351,12 +379,15 @@ impl Machine {
                 tick_scheduled: false,
             })
             .collect();
+        let flow = FlowHandle::new(config.flow, config.mesh.nodes(), config.l2.latency);
         let mut mesh = Mesh::new(config.mesh);
         mesh.set_trace(&trace);
+        mesh.set_flow(&flow);
         let mut l2 = L2::build(config.protocol, config.l2, memory);
         l2.set_trace(&trace);
         l2.set_prof(&prof);
         let prof_interval = prof.sample_interval();
+        let flow_interval = flow.sample_interval();
         Machine {
             protocol: config.protocol,
             gpu_cus: config.gpu_cus,
@@ -381,6 +412,9 @@ impl Machine {
             prof,
             prof_next_sample: prof_interval,
             prof_interval,
+            flow,
+            flow_next_sample: flow_interval,
+            flow_interval,
             sync_inflight: 0,
             check: config.check,
             races: config.check.races().then(|| Box::new(RaceDetector::new())),
@@ -650,6 +684,13 @@ impl Machine {
                         self.prof.instr(cu);
                         self.tbs[tb].status = TbStatus::Blocked;
                         self.tbs[tb].wait = StallKind::LoadUse;
+                        self.flow.begin_journey(
+                            req,
+                            NodeId(cu as u8),
+                            word.line(),
+                            JourneyKind::Load,
+                            self.now,
+                        );
                         self.pending.insert(
                             req,
                             (
@@ -813,6 +854,13 @@ impl Machine {
                         self.tbs[tb].status = TbStatus::Blocked;
                         self.tbs[tb].wait = sync_kind;
                         self.sync_inflight += 1;
+                        self.flow.begin_journey(
+                            req,
+                            NodeId(cu as u8),
+                            word.line(),
+                            JourneyKind::Atomic,
+                            self.now,
+                        );
                         self.pending.insert(
                             req,
                             (
@@ -962,6 +1010,7 @@ impl Machine {
     }
 
     fn finish_req(&mut self, req: ReqId, value: Value) {
+        self.flow.end_journey(req, self.now);
         let (target, issued_at) = self
             .pending
             .remove(req)
@@ -1013,7 +1062,10 @@ impl Machine {
         }
     }
 
-    fn run(mut self, workload: &Workload) -> Result<(SimStats, Option<ProfileReport>), SimError> {
+    fn run(
+        mut self,
+        workload: &Workload,
+    ) -> Result<(SimStats, Option<ProfileReport>, Option<FlowReport>), SimError> {
         let total_kernels = workload.kernels.len();
         if total_kernels > 0 {
             self.start_kernel(0, &workload.kernels[0]);
@@ -1044,6 +1096,10 @@ impl Machine {
                 self.record_sample();
                 self.prof_next_sample += self.prof_interval;
             }
+            while self.now >= self.flow_next_sample {
+                self.record_flow_sample();
+                self.flow_next_sample += self.flow_interval;
+            }
             if self.now > self.max_cycles {
                 return Err(SimError::Watchdog {
                     cycles: self.max_cycles,
@@ -1060,7 +1116,10 @@ impl Machine {
                     });
                     let actions = match msg.dst_comp {
                         Component::L1 => self.l1s[msg.dst.index()].handle(&msg),
-                        Component::L2 => self.l2.handle(self.now, &msg),
+                        Component::L2 => {
+                            self.flow.l2_delivery(msg.dst);
+                            self.l2.handle(self.now, &msg)
+                        }
                     };
                     self.process_actions(actions);
                 }
@@ -1107,7 +1166,17 @@ impl Machine {
         (workload.verify)(self.l2.memory()).map_err(SimError::Verify)?;
         let stats = self.stats();
         let profile = self.take_profile();
-        Ok((stats, profile))
+        let flow = self.take_flow();
+        Ok((stats, profile, flow))
+    }
+
+    /// The two mesh-side cumulative counters every snapshot path reads:
+    /// `(messages sent, flit crossings)`. The single source of truth for
+    /// flit accounting is the per-class traffic breakdown — the mesh
+    /// asserts its scalar `flit_hops` counter always equals the
+    /// breakdown's total.
+    fn mesh_counters(&self) -> (u64, u64) {
+        (self.mesh.messages_sent(), self.mesh.flit_hops())
     }
 
     /// One interval snapshot: cumulative counters plus instantaneous
@@ -1124,17 +1193,32 @@ impl Machine {
             mshr_occupancy += l1.mshr_outstanding() as u64;
             sb_occupancy += l1.sb_occupancy() as u64;
         }
+        let (messages, flits) = self.mesh_counters();
         self.prof.record_sample(IntervalSample {
             cycle: self.prof_next_sample,
             instructions: self.counts.instructions,
             l1_load_hits,
             l1_load_misses,
-            messages: self.mesh.messages_sent(),
-            flits: self.mesh.flit_hops(),
+            messages,
+            flits,
             mshr_occupancy,
             sb_occupancy,
             outstanding_syncs: self.sync_inflight,
         });
+    }
+
+    /// One flow occupancy snapshot: the collector holds the cumulative
+    /// network counters; the engine contributes the instantaneous
+    /// resource gauges.
+    fn record_flow_sample(&mut self) {
+        let mut mshr = 0;
+        let mut sb = 0;
+        for l1 in &self.l1s {
+            mshr += l1.mshr_outstanding() as u64;
+            sb += l1.sb_occupancy() as u64;
+        }
+        self.flow
+            .record_sample(self.flow_next_sample, mshr, sb, self.pending.len() as u64);
     }
 
     /// Assembles the profile report (`None` when profiling is off).
@@ -1143,13 +1227,19 @@ impl Machine {
             return None;
         }
         let l1_counts: Vec<Counts> = self.l1s.iter().map(|l| *l.counts()).collect();
+        let (messages_sent, flit_hops) = self.mesh_counters();
         self.prof.take_report(ReportInputs {
             end: self.now,
             l1_counts,
             l2_counts: *self.l2.counts(),
-            messages_sent: self.mesh.messages_sent(),
-            flit_hops: self.mesh.flit_hops(),
+            messages_sent,
+            flit_hops,
         })
+    }
+
+    /// Assembles the flow report (`None` when flow collection is off).
+    fn take_flow(&mut self) -> Option<FlowReport> {
+        self.flow.take_report(self.now)
     }
 
     /// The end-of-run audit (replaces the bare quiesce assertions when
@@ -1288,8 +1378,9 @@ impl Machine {
             counts += *l1.counts();
         }
         counts += *self.l2.counts();
-        counts.messages_sent = self.mesh.messages_sent();
-        counts.flit_hops = self.mesh.traffic().total();
+        let (messages_sent, flit_hops) = self.mesh_counters();
+        counts.messages_sent = messages_sent;
+        counts.flit_hops = flit_hops;
         let traffic = *self.mesh.traffic();
         let energy = EnergyModel::micro15().energy(&counts, &traffic);
         SimStats {
@@ -1578,6 +1669,34 @@ mod tests {
         cfg.max_cycles = 10_000;
         let err = Simulator::new(cfg).run(&w).unwrap_err();
         assert!(matches!(err, SimError::Watchdog { cycles: 10_000, .. }));
+    }
+
+    #[test]
+    fn flit_hops_counter_matches_traffic_breakdown_total() {
+        // `Counts::flit_hops` and the per-class `TrafficBreakdown` are
+        // maintained by different code paths in the mesh; stats must
+        // agree between them under every configuration.
+        let mk = || {
+            let mut b = KernelBuilder::new();
+            b.mov(1, imm(0));
+            b.st(b.at(1, 3), imm(7));
+            b.ld(2, b.at(1, 3));
+            b.atomic(
+                3,
+                b.at(1, 16),
+                AtomicOp::Add,
+                imm(1),
+                imm(0),
+                SyncOrd::AcqRel,
+                Scope::Global,
+            );
+            b.halt();
+            one_tb(b, 3, 7)
+        };
+        for stats in run_all_configs(mk) {
+            assert_eq!(stats.counts.flit_hops, stats.traffic.total());
+            assert!(stats.counts.flit_hops > 0);
+        }
     }
 
     #[test]

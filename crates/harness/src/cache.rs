@@ -18,6 +18,7 @@
 //! concurrent *processes* — racing on the same cell at worst both
 //! compute it; neither can observe a torn file.
 
+use gsim_flow::FlowReport;
 use gsim_prof::ProfileReport;
 use gsim_types::{JsonValue, ProtocolConfig, SimStats};
 use gsim_workloads::Scale;
@@ -29,7 +30,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// v2: cells can carry an optional profile report alongside the stats,
 /// and profiled keys embed the profiling parameters.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: cells can additionally carry an optional flow report, and flowed
+/// keys embed the flow parameters (interval and journey period).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// FNV-1a 64-bit: tiny, dependency-free, stable across platforms and
 /// releases (unlike `DefaultHasher`, whose output is explicitly not
@@ -136,6 +140,20 @@ impl ResultCache {
     /// As [`get`](Self::get), additionally returning the stored profile
     /// report when the cell was cached by a profiled run.
     pub fn get_profiled(&self, key: &CacheKey) -> Option<(SimStats, Option<ProfileReport>)> {
+        self.get_full(key)
+            .map(|(stats, profile, _)| (stats, profile))
+    }
+
+    /// As [`get`](Self::get), additionally returning the stored flow
+    /// report when the cell was cached by a flow-observed run.
+    pub fn get_flowed(&self, key: &CacheKey) -> Option<(SimStats, Option<FlowReport>)> {
+        self.get_full(key).map(|(stats, _, flow)| (stats, flow))
+    }
+
+    fn get_full(
+        &self,
+        key: &CacheKey,
+    ) -> Option<(SimStats, Option<ProfileReport>, Option<FlowReport>)> {
         let found = self.lookup(key);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -144,21 +162,28 @@ impl ResultCache {
         found
     }
 
-    fn lookup(&self, key: &CacheKey) -> Option<(SimStats, Option<ProfileReport>)> {
+    fn lookup(
+        &self,
+        key: &CacheKey,
+    ) -> Option<(SimStats, Option<ProfileReport>, Option<FlowReport>)> {
         let text = std::fs::read_to_string(self.path_of(key)).ok()?;
         let doc = JsonValue::parse(&text).ok()?;
         if doc.get("key")?.as_str()? != key.canonical() {
             return None; // fingerprint collision or stale schema
         }
         let stats = SimStats::from_json_value(doc.get("stats")?).ok()?;
-        // A present-but-unparsable profile poisons the whole entry: the
-        // caller would otherwise silently lose its profile to a schema
-        // drift.
+        // A present-but-unparsable report blob poisons the whole entry:
+        // the caller would otherwise silently lose its report to a
+        // schema drift.
         let profile = match doc.get("profile") {
             None => None,
             Some(p) => Some(ProfileReport::from_json_value(p).ok()?),
         };
-        Some((stats, profile))
+        let flow = match doc.get("flow") {
+            None => None,
+            Some(f) => Some(FlowReport::from_json_value(f).ok()?),
+        };
+        Some((stats, profile, flow))
     }
 
     /// Stores a cell's result. Errors are deliberately swallowed — a
@@ -171,12 +196,31 @@ impl ResultCache {
     /// As [`put`](Self::put), additionally storing a profile report so a
     /// later [`get_profiled`](Self::get_profiled) is served whole.
     pub fn put_profiled(&self, key: &CacheKey, stats: &SimStats, profile: Option<&ProfileReport>) {
+        self.put_full(key, stats, profile, None);
+    }
+
+    /// As [`put`](Self::put), additionally storing a flow report so a
+    /// later [`get_flowed`](Self::get_flowed) is served whole.
+    pub fn put_flowed(&self, key: &CacheKey, stats: &SimStats, flow: Option<&FlowReport>) {
+        self.put_full(key, stats, None, flow);
+    }
+
+    fn put_full(
+        &self,
+        key: &CacheKey,
+        stats: &SimStats,
+        profile: Option<&ProfileReport>,
+        flow: Option<&FlowReport>,
+    ) {
         let mut fields = vec![
             ("key".into(), JsonValue::Str(key.canonical())),
             ("stats".into(), stats.to_json_value()),
         ];
         if let Some(p) = profile {
             fields.push(("profile".into(), p.to_json_value()));
+        }
+        if let Some(f) = flow {
+            fields.push(("flow".into(), f.to_json_value()));
         }
         let doc = JsonValue::Obj(fields);
         let tmp = self.dir.join(format!(

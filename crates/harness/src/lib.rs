@@ -38,7 +38,8 @@ pub mod pool;
 
 pub use cache::{CacheKey, ResultCache, SCHEMA_VERSION};
 pub use matrix::{
-    cell_key, cell_key_profiled, full_matrix, group_matrix, matrix_of, run_cell, run_cell_profiled,
-    run_cells, run_cells_profiled, to_csv, to_json, Cell, CellResult,
+    cell_key, cell_key_flowed, cell_key_profiled, full_matrix, group_matrix, matrix_of, run_cell,
+    run_cell_flowed, run_cell_profiled, run_cells, run_cells_flowed, run_cells_profiled, to_csv,
+    to_json, Cell, CellResult,
 };
 pub use pool::{default_jobs, run_parallel};

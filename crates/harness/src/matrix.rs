@@ -11,6 +11,7 @@
 use crate::cache::{CacheKey, ResultCache};
 use crate::pool;
 use gsim_core::{Simulator, SystemConfig};
+use gsim_flow::{FlowReport, FlowSpec};
 use gsim_prof::{ProfSpec, ProfileReport};
 use gsim_types::{JsonValue, ProtocolConfig, SimStats};
 use gsim_workloads::registry::{self, Group};
@@ -38,6 +39,9 @@ pub struct CellResult {
     /// [`run_cells_profiled`] (hot lines already annotated with the
     /// benchmark's regions). Always `None` from [`run_cells`].
     pub profile: Option<ProfileReport>,
+    /// The flow report, when the cell ran under [`run_cells_flowed`].
+    /// Always `None` from [`run_cells`].
+    pub flow: Option<FlowReport>,
     /// Whether the result came from the cache instead of a fresh run.
     pub from_cache: bool,
 }
@@ -99,6 +103,15 @@ pub fn cell_key_profiled(cell: &Cell, prof: &ProfSpec) -> Result<CacheKey, Strin
     Ok(key)
 }
 
+/// The cache key of a *flow-observed* cell: [`cell_key`] plus the flow
+/// parameters, so runs with different sampling intervals or journey
+/// periods never serve each other's reports.
+pub fn cell_key_flowed(cell: &Cell, flow: &FlowSpec) -> Result<CacheKey, String> {
+    let mut key = cell_key(cell)?;
+    key.params = format!("{};{}", key.params, flow.cache_token());
+    Ok(key)
+}
+
 /// Runs one cell, consulting the cache first. Fresh results are
 /// functionally verified by the simulator before they are stored.
 pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, String> {
@@ -109,6 +122,7 @@ pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, 
                 cell: cell.clone(),
                 stats,
                 profile: None,
+                flow: None,
                 from_cache: true,
             });
         }
@@ -124,6 +138,7 @@ pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, 
         cell: cell.clone(),
         stats,
         profile: None,
+        flow: None,
         from_cache: false,
     })
 }
@@ -148,6 +163,7 @@ pub fn run_cell_profiled(
                 cell: cell.clone(),
                 stats,
                 profile,
+                flow: None,
                 from_cache: true,
             });
         }
@@ -168,6 +184,47 @@ pub fn run_cell_profiled(
         cell: cell.clone(),
         stats,
         profile,
+        flow: None,
+        from_cache: false,
+    })
+}
+
+/// Runs one cell with flow observation, consulting the cache first. A
+/// `flow` spec with collection off degrades to [`run_cell`].
+pub fn run_cell_flowed(
+    cell: &Cell,
+    cache: Option<&ResultCache>,
+    flow: FlowSpec,
+) -> Result<CellResult, String> {
+    if !flow.enabled() {
+        return run_cell(cell, cache);
+    }
+    let key = cell_key_flowed(cell, &flow)?;
+    if let Some(c) = cache {
+        if let Some((stats, report @ Some(_))) = c.get_flowed(&key) {
+            return Ok(CellResult {
+                cell: cell.clone(),
+                stats,
+                profile: None,
+                flow: report,
+                from_cache: true,
+            });
+        }
+    }
+    let b = registry::by_name(&cell.bench).expect("checked by cell_key");
+    let mut config = SystemConfig::micro15(cell.config);
+    config.flow = flow;
+    let (stats, report) = Simulator::new(config)
+        .run_flow(&(b.build)(cell.scale))
+        .map_err(|e| format!("{} under {}: {e}", cell.bench, cell.config))?;
+    if let Some(c) = cache {
+        c.put_flowed(&key, &stats, report.as_ref());
+    }
+    Ok(CellResult {
+        cell: cell.clone(),
+        stats,
+        profile: None,
+        flow: report,
         from_cache: false,
     })
 }
@@ -196,6 +253,21 @@ pub fn run_cells_profiled(
     prof: ProfSpec,
 ) -> Result<Vec<CellResult>, String> {
     pool::run_parallel(cells, jobs, |cell| run_cell_profiled(cell, cache, prof))
+        .into_iter()
+        .collect()
+}
+
+/// [`run_cells`] with flow observation: every cell runs under `flow`,
+/// and each result carries its [`FlowReport`]. Deterministic in the cell
+/// list like [`run_cells`] (flow collection never perturbs the
+/// simulation, and reports are themselves deterministic).
+pub fn run_cells_flowed(
+    cells: &[Cell],
+    jobs: usize,
+    cache: Option<&ResultCache>,
+    flow: FlowSpec,
+) -> Result<Vec<CellResult>, String> {
+    pool::run_parallel(cells, jobs, |cell| run_cell_flowed(cell, cache, flow))
         .into_iter()
         .collect()
 }
@@ -242,6 +314,9 @@ pub fn to_json(results: &[CellResult]) -> String {
             ];
             if let Some(p) = &r.profile {
                 fields.push(("profile".into(), p.to_json_value()));
+            }
+            if let Some(f) = &r.flow {
+                fields.push(("flow".into(), f.to_json_value()));
             }
             JsonValue::Obj(fields)
         })
@@ -338,6 +413,49 @@ mod tests {
         // Profiled results surface the report in the JSON emitter.
         assert!(to_json(&first).contains("\"profile\""));
         assert!(!to_json(&plain).contains("\"profile\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flowed_cells_reconcile_traffic_and_round_trip_the_cache() {
+        let dir = std::env::temp_dir().join(format!("gsim-flow-matrix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let cells = matrix_of(&["SPM_G"], &[ProtocolConfig::Dd], Scale::Tiny);
+        let flow = FlowSpec::on();
+
+        let first = run_cells_flowed(&cells, 1, Some(&cache), flow).unwrap();
+        let r = &first[0];
+        assert!(!r.from_cache);
+        let f = r.flow.as_ref().expect("flow report collected");
+        f.reconcile(&r.stats.traffic).unwrap();
+
+        // Zero perturbation: the plain runner sees identical stats.
+        let plain = run_cells(&cells, 1, None).unwrap();
+        assert_eq!(plain[0].stats, r.stats);
+        assert_eq!(plain[0].flow, None);
+
+        // Second flowed sweep is served whole from the cache.
+        let second = run_cells_flowed(&cells, 1, Some(&cache), flow).unwrap();
+        assert!(second[0].from_cache);
+        assert_eq!(second[0].flow, r.flow);
+        assert_eq!(second[0].stats, r.stats);
+
+        // The flowed key is distinct from the plain and profiled keys.
+        assert_ne!(
+            cell_key(&cells[0]).unwrap().fingerprint(),
+            cell_key_flowed(&cells[0], &flow).unwrap().fingerprint()
+        );
+        assert_ne!(
+            cell_key_profiled(&cells[0], &ProfSpec::on())
+                .unwrap()
+                .fingerprint(),
+            cell_key_flowed(&cells[0], &flow).unwrap().fingerprint()
+        );
+
+        // Flowed results surface the report in the JSON emitter.
+        assert!(to_json(&first).contains("\"flow\""));
+        assert!(!to_json(&plain).contains("\"flow\""));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

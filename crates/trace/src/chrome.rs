@@ -31,6 +31,7 @@ const PID_MEM: u32 = 0;
 const PID_TB: u32 = 1;
 const PID_KERNEL: u32 = 2;
 const PID_COUNTER: u32 = 3;
+const PID_JOURNEY: u32 = 4;
 
 /// One named counter series — rendered under **pid 3, "counters"** as
 /// `ph:"C"` events, which Perfetto draws as a step-line track. The
@@ -57,6 +58,22 @@ impl CounterTrack {
     pub fn push(&mut self, cycle: Cycle, value: f64) {
         self.points.push((cycle, value));
     }
+}
+
+/// One sampled request journey rendered under **pid 4, "journeys"**:
+/// each journey gets its own track, every pipeline stage becomes a
+/// duration slice, and a flow arrow (`ph:"s"`/`ph:"f"`) with the
+/// journey's id connects issue to completion. `gsim-flow`'s report
+/// produces these; any contiguous `(label, start, end)` stage list
+/// works.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JourneySpan {
+    /// Flow-event id (the request id for simulator journeys).
+    pub id: u64,
+    /// Track name shown in the UI (e.g. `"load req 65 cu3"`).
+    pub name: String,
+    /// `(label, start, end)` stages, oldest first, non-overlapping.
+    pub stages: Vec<(String, Cycle, Cycle)>,
 }
 
 /// Renders an `f64` as a JSON number (JSON has no NaN/inf literals, so
@@ -135,6 +152,39 @@ impl Writer {
         self.out.push('}');
     }
 
+    /// Like [`event`](Self::event) but with a top-level `id` field (flow
+    /// and async phases); `extra` is raw JSON appended after the id,
+    /// e.g. `,"bp":"e"`.
+    #[allow(clippy::too_many_arguments)]
+    fn event_id(
+        &mut self,
+        name: &str,
+        cat: &str,
+        ph: char,
+        ts: Cycle,
+        pid: u32,
+        tid: u64,
+        id: u64,
+        extra: &str,
+    ) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        let _ = write!(
+            self.out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{},\"id\":{}{}}}",
+            esc(name),
+            esc(cat),
+            ph,
+            ts,
+            pid,
+            tid,
+            id,
+            extra
+        );
+    }
+
     fn metadata(&mut self, name: &str, pid: u32, tid: u64, value: &str) {
         self.event(
             name,
@@ -177,6 +227,20 @@ pub fn chrome_json_with_counters(
     dropped: u64,
     counters: &[CounterTrack],
 ) -> String {
+    chrome_json_full(events, dropped, counters, &[])
+}
+
+/// As [`chrome_json_with_counters`], additionally emitting the given
+/// journey spans under pid 4 (duration slices per stage, one track per
+/// journey, flow arrows from issue to completion). With an empty
+/// `journeys` slice the output is byte-identical to
+/// [`chrome_json_with_counters`] (asserted by the golden tests).
+pub fn chrome_json_full(
+    events: &[(Cycle, TraceEvent)],
+    dropped: u64,
+    counters: &[CounterTrack],
+    journeys: &[JourneySpan],
+) -> String {
     let mut w = Writer::new();
 
     // Name the processes and every track that will appear. Each
@@ -188,6 +252,12 @@ pub fn chrome_json_with_counters(
         w.metadata("process_name", PID_COUNTER, 0, "counters");
         for (tid, track) in counters.iter().enumerate() {
             w.metadata("thread_name", PID_COUNTER, tid as u64, &track.name);
+        }
+    }
+    if !journeys.is_empty() {
+        w.metadata("process_name", PID_JOURNEY, 0, "journeys");
+        for (tid, j) in journeys.iter().enumerate() {
+            w.metadata("thread_name", PID_JOURNEY, tid as u64, &j.name);
         }
     }
     let mut nodes: BTreeSet<u64> = BTreeSet::new();
@@ -470,6 +540,39 @@ pub fn chrome_json_with_counters(
         }
     }
 
+    for (tid, j) in journeys.iter().enumerate() {
+        let tid = tid as u64;
+        for (label, start, end) in &j.stages {
+            w.event(label, "journey", 'B', *start, PID_JOURNEY, tid, "");
+            w.event(label, "journey", 'E', *end, PID_JOURNEY, tid, "");
+        }
+        // A flow arrow from the first stage to the last, carrying the
+        // request id, so issue and completion link up even when a UI
+        // collapses the track.
+        if let (Some(first), Some(last)) = (j.stages.first(), j.stages.last()) {
+            w.event_id(
+                "journey",
+                "journey",
+                's',
+                first.1,
+                PID_JOURNEY,
+                tid,
+                j.id,
+                "",
+            );
+            w.event_id(
+                "journey",
+                "journey",
+                'f',
+                last.2,
+                PID_JOURNEY,
+                tid,
+                j.id,
+                ",\"bp\":\"e\"",
+            );
+        }
+    }
+
     w.finish(dropped, events.len() as u64 + dropped)
 }
 
@@ -539,6 +642,54 @@ mod tests {
             chrome_json(&events, 0),
             chrome_json_with_counters(&events, 0, &[]),
         );
+    }
+
+    #[test]
+    fn empty_journeys_are_byte_identical() {
+        let events = [(
+            3,
+            TraceEvent::TbLaunch {
+                tb: TbId(0),
+                cu: NodeId(2),
+            },
+        )];
+        let mut ipc = CounterTrack::new("ipc");
+        ipc.push(8, 1.5);
+        let counters = [ipc];
+        assert_eq!(
+            chrome_json_with_counters(&events, 2, &counters),
+            chrome_json_full(&events, 2, &counters, &[]),
+        );
+    }
+
+    #[test]
+    fn journey_spans_export_golden_json() {
+        let j = JourneySpan {
+            id: 65,
+            name: "load req 65 cu3".into(),
+            stages: vec![
+                ("l1-issue".into(), 100, 102),
+                ("req-transit".into(), 102, 110),
+            ],
+        };
+        let json = chrome_json_full(&[], 0, &[], &[j]);
+        let expected = concat!(
+            "{\"traceEvents\":[\n",
+            "{\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"name\":\"memory-system\"}},\n",
+            "{\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"name\":\"thread-blocks\"}},\n",
+            "{\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,\"pid\":2,\"tid\":0,\"args\":{\"name\":\"kernels\"}},\n",
+            "{\"name\":\"process_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,\"pid\":4,\"tid\":0,\"args\":{\"name\":\"journeys\"}},\n",
+            "{\"name\":\"thread_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,\"pid\":4,\"tid\":0,\"args\":{\"name\":\"load req 65 cu3\"}},\n",
+            "{\"name\":\"thread_name\",\"cat\":\"__metadata\",\"ph\":\"M\",\"ts\":0,\"pid\":2,\"tid\":0,\"args\":{\"name\":\"launches\"}},\n",
+            "{\"name\":\"l1-issue\",\"cat\":\"journey\",\"ph\":\"B\",\"ts\":100,\"pid\":4,\"tid\":0},\n",
+            "{\"name\":\"l1-issue\",\"cat\":\"journey\",\"ph\":\"E\",\"ts\":102,\"pid\":4,\"tid\":0},\n",
+            "{\"name\":\"req-transit\",\"cat\":\"journey\",\"ph\":\"B\",\"ts\":102,\"pid\":4,\"tid\":0},\n",
+            "{\"name\":\"req-transit\",\"cat\":\"journey\",\"ph\":\"E\",\"ts\":110,\"pid\":4,\"tid\":0},\n",
+            "{\"name\":\"journey\",\"cat\":\"journey\",\"ph\":\"s\",\"ts\":100,\"pid\":4,\"tid\":0,\"id\":65},\n",
+            "{\"name\":\"journey\",\"cat\":\"journey\",\"ph\":\"f\",\"ts\":110,\"pid\":4,\"tid\":0,\"id\":65,\"bp\":\"e\"}\n",
+            "],\"otherData\":{\"recorded\":0,\"dropped\":0}}",
+        );
+        assert_eq!(json, expected);
     }
 
     #[test]

@@ -34,7 +34,9 @@
 //! `chrome://tracing`. [`chrome_json_with_counters`] additionally
 //! renders [`CounterTrack`] time-series (the profiler's interval
 //! samples — IPC, hit rates, occupancies) as Perfetto counter tracks
-//! alongside the events:
+//! alongside the events, and [`chrome_json_full`] also renders
+//! [`JourneySpan`] request journeys (gsim-flow's sampled per-request
+//! waterfalls) as per-journey span tracks with flow arrows:
 //!
 //! ```
 //! use gsim_trace::{to_chrome_json, RingRecorder, TraceEvent, TraceHandle};
@@ -52,6 +54,9 @@ pub mod chrome;
 pub mod event;
 pub mod sink;
 
-pub use chrome::{chrome_json, chrome_json_with_counters, to_chrome_json, CounterTrack};
+pub use chrome::{
+    chrome_json, chrome_json_full, chrome_json_with_counters, to_chrome_json, CounterTrack,
+    JourneySpan,
+};
 pub use event::{Category, FlushReason, Level, TraceEvent, WState};
 pub use sink::{RingRecorder, TraceHandle, TraceSink};

@@ -25,13 +25,14 @@
 
 use gpu_denovo::harness::{self, Cell, CellResult, ResultCache};
 use gpu_denovo::trace::{
-    chrome_json_with_counters, to_chrome_json, CounterTrack, RingRecorder, TraceHandle,
+    chrome_json_full, chrome_json_with_counters, to_chrome_json, CounterTrack, JourneySpan,
+    RingRecorder, TraceHandle,
 };
 use gpu_denovo::types::{JsonValue, MsgClass};
 use gpu_denovo::workloads::litmus;
 use gpu_denovo::{
-    registry, CheckLevel, ProfSpec, ProfileReport, ProtocolConfig, Scale, SimError, SimStats,
-    Simulator, StallKind, SystemConfig,
+    registry, CheckLevel, FlowReport, FlowSpec, ProfSpec, ProfileReport, ProtocolConfig, Scale,
+    SimError, SimStats, Simulator, StallKind, SystemConfig,
 };
 use std::process::ExitCode;
 
@@ -50,6 +51,8 @@ fn usage() -> ExitCode {
          gpu-denovo trace <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] --out <FILE>\n  \
          gpu-denovo profile <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--interval N]\n                     \
          [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
+         gpu-denovo flow <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--interval N]\n                  \
+         [--period N] [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
          gpu-denovo check [--bench <BENCH>] [--paper]\n\n\
          <BENCH> is a Table 4 abbreviation (see `gpu-denovo list`).\n\
          `sweep` prints per-benchmark tables; `matrix` emits the full\n\
@@ -64,6 +67,13 @@ fn usage() -> ExitCode {
          five configurations; with --config it prints the per-CU matrix and\n\
          the hot-line table. --out exports the interval time-series (.csv:\n\
          delta CSV; .perfetto.json: counter tracks; .json: the full report).\n\
+         `flow` attributes NoC traffic to directed mesh links per message\n\
+         class and follows every --period'th memory request hop by hop.\n\
+         Without --config it prints the cross-config traffic matrix (the\n\
+         paper's writethrough-vs-registration story); with --config the\n\
+         per-link table, L2 bank occupancy, and journey waterfall. --out\n\
+         exports .csv (per-link table), .json (full report), or\n\
+         .perfetto.json (occupancy counter tracks + journey flow spans).\n\
          `check` runs the conformance battery (litmus shapes under\n\
          CheckLevel::Full on every config, racy negative flagged), plus\n\
          one benchmark under full checking with --bench."
@@ -196,6 +206,60 @@ fn profile_one(
         .reconcile(stats.cycles, &stats.counts)
         .map_err(|e| format!("{} under {p}: profile does not reconcile: {e}", b.name))?;
     Ok((stats, profile))
+}
+
+/// One flow-observed run: build, run, and sanity-check the report's
+/// per-link sums against the aggregate traffic breakdown.
+fn flow_one(
+    b: &registry::Benchmark,
+    p: ProtocolConfig,
+    s: Scale,
+    spec: FlowSpec,
+) -> Result<(SimStats, FlowReport), String> {
+    let mut cfg = SystemConfig::micro15(p);
+    cfg.flow = spec;
+    let (stats, report) = Simulator::new(cfg)
+        .run_flow(&(b.build)(s))
+        .map_err(|e| format!("{} under {p}: {e}", b.name))?;
+    let report = report.expect("flow collection enabled");
+    report
+        .reconcile(&stats.traffic)
+        .map_err(|e| format!("{} under {p}: flow does not reconcile: {e}", b.name))?;
+    Ok((stats, report))
+}
+
+/// The cross-config traffic matrix: per-class flit totals per
+/// configuration (the paper's §5.2 story: DeNovo trades the GPU
+/// protocols' writethrough traffic for registration traffic), plus the
+/// share of link time spent queueing and the journey sample count.
+fn print_flow_compare(rows: &[(ProtocolConfig, SimStats, FlowReport)]) {
+    println!(
+        "{:<8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9}",
+        "config", "flits", "read", "regist.", "wb/wt", "atomics", "queue%", "journeys"
+    );
+    for (p, stats, r) in rows {
+        let (mut queue, mut transit) = (0u64, 0u64);
+        for l in &r.links {
+            queue += l.queue_cycles;
+            transit += l.transit_cycles;
+        }
+        let queue_pct = if queue + transit > 0 {
+            100.0 * queue as f64 / (queue + transit) as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>7.1}% {:>9}",
+            p.to_string(),
+            stats.traffic.total(),
+            stats.traffic.class(MsgClass::Read),
+            stats.traffic.class(MsgClass::Registration),
+            stats.traffic.class(MsgClass::WbWt),
+            stats.traffic.class(MsgClass::Atomic),
+            queue_pct,
+            r.journeys.len(),
+        );
+    }
 }
 
 /// The cross-config comparison table: one row per configuration with
@@ -548,6 +612,145 @@ fn main() -> ExitCode {
                 println!(
                     "\n(g-spin/l-spin: cycles CUs spent retrying global/local acquires,\n\
                      summed over CUs; every CU cycle lands in exactly one bucket.)"
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "flow" => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let b = match lookup_bench(name) {
+                Ok(b) => b,
+                Err(e) => return fail(e),
+            };
+            let s = scale(&args);
+            let mut spec = FlowSpec::on();
+            match flag_value(&args, "--interval") {
+                Ok(Some(v)) => match v.parse::<u64>() {
+                    Ok(n) if n > 0 => spec.interval = n,
+                    _ => {
+                        return fail(format!(
+                            "invalid --interval value {v:?}: expected a positive cycle count"
+                        ))
+                    }
+                },
+                Ok(None) => {}
+                Err(e) => return fail(format!("{e} (a cycle count)")),
+            }
+            match flag_value(&args, "--period") {
+                Ok(Some(v)) => match v.parse::<u64>() {
+                    Ok(n) if n > 0 => spec.journey_period = n,
+                    _ => {
+                        return fail(format!(
+                            "invalid --period value {v:?}: expected a positive request count"
+                        ))
+                    }
+                },
+                Ok(None) => {}
+                Err(e) => return fail(format!("{e} (a request count)")),
+            }
+            let topn = match flag_value(&args, "--topn") {
+                Ok(Some(v)) => match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return fail(format!("invalid --topn value {v:?}: expected an integer"))
+                    }
+                },
+                Ok(None) => 10,
+                Err(e) => return fail(format!("{e} (a link count)")),
+            };
+            let single = args.iter().any(|a| a == "--config");
+            let configs: Vec<ProtocolConfig> = if single {
+                match parse_config(&args) {
+                    Ok(c) => vec![c],
+                    Err(e) => return fail(e),
+                }
+            } else {
+                ProtocolConfig::ALL.to_vec()
+            };
+            let mut rows = Vec::new();
+            for p in &configs {
+                match flow_one(&b, *p, s, spec) {
+                    Ok((stats, report)) => rows.push((*p, stats, report)),
+                    Err(e) => return fail(e),
+                }
+            }
+            if args.iter().any(|a| a == "--json") {
+                let doc = JsonValue::Arr(
+                    rows.iter()
+                        .map(|(p, _, r)| {
+                            JsonValue::Obj(vec![
+                                ("config".into(), JsonValue::Str(p.abbrev().into())),
+                                ("flow".into(), r.to_json_value()),
+                            ])
+                        })
+                        .collect(),
+                );
+                println!("{doc}");
+                return ExitCode::SUCCESS;
+            }
+            if let Some(path) = match flag_value(&args, "--out") {
+                Ok(v) => v.map(str::to_string),
+                Err(e) => return fail(format!("{e} (an output file)")),
+            } {
+                if rows.len() != 1 {
+                    return fail("flow --out needs a single run: add --config".into());
+                }
+                let r = &rows[0].2;
+                let text = if path.ends_with(".perfetto.json") {
+                    let tracks: Vec<CounterTrack> = r
+                        .counter_series()
+                        .into_iter()
+                        .map(|(name, points)| CounterTrack { name, points })
+                        .collect();
+                    let spans: Vec<JourneySpan> = r.journey_spans();
+                    chrome_json_full(&[], 0, &tracks, &spans)
+                } else if path.ends_with(".json") {
+                    r.to_json()
+                } else if path.ends_with(".csv") {
+                    r.links_csv()
+                } else {
+                    return fail(format!(
+                        "unsupported --out file {path:?}: expected .csv, .json, or .perfetto.json"
+                    ));
+                };
+                if let Err(e) = std::fs::write(&path, text) {
+                    return fail(format!("writing {path}: {e}"));
+                }
+                eprintln!(
+                    "wrote {path} ({} links, {} journeys, {} interval samples)",
+                    r.links.len(),
+                    r.journeys.len(),
+                    r.samples.len()
+                );
+            }
+            println!(
+                "flow of {name} at {s:?} scale (interval {} cycles, journey period {})\n",
+                spec.interval, spec.journey_period
+            );
+            if single {
+                let (p, stats, r) = &rows[0];
+                println!("== {p} ({} cycles) ==", stats.cycles);
+                print!("{}", r.render_links(topn));
+                println!();
+                print!("{}", r.render_banks());
+                println!();
+                print!("{}", r.render_waterfall());
+                println!(
+                    "\n{} journeys sampled ({} dropped); {} interval samples ({} dropped);\n\
+                     export with --out FILE.csv|FILE.json|FILE.perfetto.json",
+                    r.journeys.len(),
+                    r.dropped_journeys,
+                    r.samples.len(),
+                    r.dropped_samples
+                );
+            } else {
+                print_flow_compare(&rows);
+                println!(
+                    "\n(per-link flit sums reconcile with the aggregate traffic breakdown\n\
+                     class-for-class; queue%: share of link time spent waiting for a\n\
+                     busy link rather than traversing it.)"
                 );
             }
             ExitCode::SUCCESS

@@ -44,6 +44,7 @@
 //! | workloads | [`workloads`] | all 23 Table 4 benchmarks, functionally verified |
 //! | tracing | [`trace`] | structured events, ring recorder, Chrome/Perfetto export |
 //! | profiling | [`prof`] | cycle attribution, hot-line sketches, interval time-series |
+//! | flow observation | [`flow`] | per-link traffic attribution, occupancy series, request journeys |
 //! | conformance | [`check`] | coherence invariants, happens-before race detection, quiesce audits |
 //! | experiment harness | [`harness`] | parallel matrix runner, content-addressed result cache |
 //!
@@ -54,6 +55,7 @@
 pub use gsim_check as check;
 pub use gsim_core as sim;
 pub use gsim_energy as energy;
+pub use gsim_flow as flow;
 pub use gsim_harness as harness;
 pub use gsim_mem as mem;
 pub use gsim_noc as noc;
@@ -65,6 +67,7 @@ pub use gsim_workloads as workloads;
 
 pub use gsim_check::CheckLevel;
 pub use gsim_core::{KernelLaunch, SimError, Simulator, SystemConfig, TbSpec, Workload};
+pub use gsim_flow::{FlowReport, FlowSpec};
 pub use gsim_prof::{ProfSpec, ProfileReport, StallKind};
 pub use gsim_types::{ProtocolConfig, SimStats};
 pub use gsim_workloads::{registry, Scale};
