@@ -121,6 +121,14 @@ fn main() {
         !SystemConfig::micro15(ProtocolConfig::Gd).flow.enabled(),
         "throughput bench must run with flow collection off"
     );
+    // The schedule explorer's controlled event queue is opt-in via
+    // Simulator::run_explored; the production pop path (and so this
+    // baseline) stays on the calendar queue.
+    assert_eq!(
+        SystemConfig::micro15(ProtocolConfig::Gd).event_queue,
+        gsim_core::QueueKind::Calendar,
+        "throughput bench must run on the calendar event queue"
+    );
     println!("simulator throughput ({ITERS} iterations per case, Tiny scale)");
     for protocol in [ProtocolConfig::Gd, ProtocolConfig::Gh, ProtocolConfig::Dd] {
         bench_config("SPM_G", protocol);

@@ -38,13 +38,16 @@
 
 use gsim_types::Cycle;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Which event-queue implementation a run uses.
 ///
 /// `Calendar` is the production default; `Heap` is kept as the simple
 /// reference model so differential tests can prove the two agree on
-/// every pop and every statistic.
+/// every pop and every statistic. `Controlled` is the exploration
+/// queue: same ordering contract by default, but it additionally
+/// exposes the set of same-cycle candidates at the queue head so a
+/// schedule controller can pick which one pops first (`gsim-explore`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum QueueKind {
     /// Bucketed calendar queue (O(1) push/pop for near-future events).
@@ -52,6 +55,10 @@ pub enum QueueKind {
     Calendar,
     /// `BinaryHeap<(cycle, seq)>` reference implementation.
     Heap,
+    /// Decision-point queue for schedule exploration: `pop_nth(0)`
+    /// reproduces the `(cycle, seq)` contract exactly; `pop_nth(k)`
+    /// reorders same-cycle events under explorer control.
+    Controlled,
 }
 
 /// Ring width: how many cycles ahead of the cursor get their own FIFO
@@ -287,6 +294,126 @@ impl<T> HeapQueue<T> {
     }
 }
 
+/// The decision-point queue used by schedule exploration
+/// (`gsim-explore`).
+///
+/// A `BTreeMap` from cycle to that cycle's FIFO of `(seq, item)` pairs.
+/// The head bucket (minimum cycle) is the *candidate set*: every event
+/// there is legally poppable this cycle, and a schedule controller may
+/// pop any of them via [`ControlledQueue::pop_nth`]. `pop_nth(0)` always
+/// takes the lowest `seq`, so an identity schedule reproduces the
+/// `(cycle, seq)` ordering contract of [`CalendarQueue`] exactly
+/// (asserted by the `identity_schedule_matches_*` property tests).
+///
+/// Within a bucket, entries are kept sorted by `seq` for free: `push`
+/// assigns monotonically increasing seqs, so appending preserves order
+/// (debug-asserted). There is no horizon/overflow split — exploration
+/// runs are tiny litmus programs, so O(log n) map ops are irrelevant,
+/// and a single structure keeps the candidate-set semantics obvious.
+#[derive(Debug)]
+pub struct ControlledQueue<T> {
+    /// cycle -> FIFO of `(seq, item)`, each FIFO sorted ascending by seq.
+    buckets: BTreeMap<Cycle, VecDeque<(u64, T)>>,
+    /// Total queued events across all buckets.
+    len: usize,
+    /// Push serial, shared tie-breaker of the ordering contract.
+    seq: u64,
+}
+
+impl<T> Default for ControlledQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ControlledQueue<T> {
+    /// Creates an empty controlled queue.
+    pub fn new() -> Self {
+        ControlledQueue {
+            buckets: BTreeMap::new(),
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `item` at cycle `at`, returning the assigned `seq`.
+    pub fn push(&mut self, at: Cycle, item: T) -> u64 {
+        self.seq += 1;
+        let seq = self.seq;
+        let bucket = self.buckets.entry(at).or_default();
+        debug_assert!(
+            bucket.back().is_none_or(|&(s, _)| s < seq),
+            "push seq regressed within a bucket"
+        );
+        bucket.push_back((seq, item));
+        self.len += 1;
+        seq
+    }
+
+    /// The candidate set: the minimum queued cycle and, in `seq` order,
+    /// every event scheduled at it. Empty queue returns `None`. A
+    /// decision point exists iff the returned bucket has >= 2 entries.
+    pub fn candidates(&self) -> Option<(Cycle, &VecDeque<(u64, T)>)> {
+        self.buckets
+            .first_key_value()
+            .map(|(&at, bucket)| (at, bucket))
+    }
+
+    /// Number of events poppable at the minimum queued cycle (0 when
+    /// empty).
+    pub fn candidate_count(&self) -> usize {
+        self.buckets
+            .first_key_value()
+            .map_or(0, |(_, bucket)| bucket.len())
+    }
+
+    /// Pops the `k`-th candidate (in `seq` order) of the minimum queued
+    /// cycle. `k == 0` is the default/identity choice — the same event
+    /// [`CalendarQueue::pop`] would return. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is non-empty and `k` is out of range for the
+    /// candidate set — a schedule word must only index real candidates.
+    pub fn pop_nth(&mut self, k: usize) -> Option<(Cycle, u64, T)> {
+        let mut entry = self.buckets.first_entry()?;
+        let at = *entry.key();
+        let bucket = entry.get_mut();
+        let n = bucket.len();
+        let (seq, item) = bucket
+            .remove(k)
+            .unwrap_or_else(|| panic!("schedule choice {k} out of range ({n} candidates)"));
+        if bucket.is_empty() {
+            entry.remove();
+        }
+        self.len -= 1;
+        Some((at, seq, item))
+    }
+
+    /// Removes and returns the earliest event as `(cycle, seq, item)`;
+    /// ties on cycle break by push order (identity choice).
+    pub fn pop(&mut self) -> Option<(Cycle, u64, T)> {
+        self.pop_nth(0)
+    }
+
+    /// Iterates over queued events in no particular order (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.buckets
+            .iter()
+            .flat_map(|(&at, bucket)| bucket.iter().map(move |(_, item)| (at, item)))
+    }
+}
+
 /// The engine-facing queue, dispatching to the implementation selected
 /// by [`crate::SystemConfig::event_queue`].
 #[derive(Debug)]
@@ -295,6 +422,8 @@ pub enum EventQueue<T> {
     Calendar(CalendarQueue<T>),
     /// Reference heap queue (differential testing).
     Heap(HeapQueue<T>),
+    /// Decision-point queue (schedule exploration).
+    Controlled(ControlledQueue<T>),
 }
 
 impl<T> EventQueue<T> {
@@ -303,6 +432,7 @@ impl<T> EventQueue<T> {
         match kind {
             QueueKind::Calendar => EventQueue::Calendar(CalendarQueue::new()),
             QueueKind::Heap => EventQueue::Heap(HeapQueue::new()),
+            QueueKind::Controlled => EventQueue::Controlled(ControlledQueue::new()),
         }
     }
 
@@ -311,6 +441,7 @@ impl<T> EventQueue<T> {
         match self {
             EventQueue::Calendar(q) => q.len(),
             EventQueue::Heap(q) => q.len(),
+            EventQueue::Controlled(q) => q.len(),
         }
     }
 
@@ -325,6 +456,7 @@ impl<T> EventQueue<T> {
         match self {
             EventQueue::Calendar(q) => q.push(at, item),
             EventQueue::Heap(q) => q.push(at, item),
+            EventQueue::Controlled(q) => q.push(at, item),
         }
     }
 
@@ -334,6 +466,24 @@ impl<T> EventQueue<T> {
         match self {
             EventQueue::Calendar(q) => q.pop(),
             EventQueue::Heap(q) => q.pop(),
+            EventQueue::Controlled(q) => q.pop(),
+        }
+    }
+
+    /// The controlled implementation, if this queue is one. The engine's
+    /// scheduled-pop path uses this to reach the candidate-set API.
+    pub fn as_controlled_mut(&mut self) -> Option<&mut ControlledQueue<T>> {
+        match self {
+            EventQueue::Controlled(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// Immutable view of the controlled implementation, if any.
+    pub fn as_controlled(&self) -> Option<&ControlledQueue<T>> {
+        match self {
+            EventQueue::Controlled(q) => Some(q),
+            _ => None,
         }
     }
 
@@ -342,6 +492,7 @@ impl<T> EventQueue<T> {
         match self {
             EventQueue::Calendar(q) => Box::new(q.iter()),
             EventQueue::Heap(q) => Box::new(q.iter()),
+            EventQueue::Controlled(q) => Box::new(q.iter()),
         }
     }
 }
@@ -591,8 +742,8 @@ mod tests {
     }
 
     #[test]
-    fn dispatcher_routes_both_kinds() {
-        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+    fn dispatcher_routes_all_kinds() {
+        for kind in [QueueKind::Calendar, QueueKind::Heap, QueueKind::Controlled] {
             let mut q: EventQueue<u32> = EventQueue::new(kind);
             assert_eq!(q.len(), 0);
             q.push(2, 20);
@@ -601,6 +752,174 @@ mod tests {
             assert_eq!(q.pop(), Some((1, 2, 10)));
             assert_eq!(q.pop(), Some((2, 1, 20)));
             assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn controlled_candidates_are_the_min_cycle_in_seq_order() {
+        let mut q: ControlledQueue<&str> = ControlledQueue::new();
+        assert_eq!(q.candidate_count(), 0);
+        assert!(q.candidates().is_none());
+        q.push(9, "later");
+        q.push(4, "a");
+        q.push(4, "b");
+        q.push(4, "c");
+        let (at, bucket) = q.candidates().expect("non-empty");
+        assert_eq!(at, 4);
+        let names: Vec<&str> = bucket.iter().map(|&(_, v)| v).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(q.candidate_count(), 3);
+    }
+
+    #[test]
+    fn controlled_pop_nth_reorders_only_within_the_cycle() {
+        let mut q: ControlledQueue<u32> = ControlledQueue::new();
+        q.push(1, 10);
+        q.push(1, 11);
+        q.push(1, 12);
+        q.push(2, 20);
+        // Pick the middle candidate, then the (new) second, then the rest.
+        assert_eq!(q.pop_nth(1).map(|(at, _, v)| (at, v)), Some((1, 11)));
+        assert_eq!(q.pop_nth(1).map(|(at, _, v)| (at, v)), Some((1, 12)));
+        assert_eq!(q.pop_nth(0).map(|(at, _, v)| (at, v)), Some((1, 10)));
+        // Cycle 2 was never a candidate while cycle 1 had events.
+        assert_eq!(q.pop_nth(0).map(|(at, _, v)| (at, v)), Some((2, 20)));
+        assert_eq!(q.pop_nth(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn controlled_pop_nth_rejects_out_of_range_choice() {
+        let mut q: ControlledQueue<u32> = ControlledQueue::new();
+        q.push(1, 10);
+        q.pop_nth(1);
+    }
+
+    /// Property test for the decision-point API: over random event
+    /// streams, controller-driven pops with the identity schedule word
+    /// (always choice 0) produce the exact `(cycle, seq)` order of
+    /// `CalendarQueue` — and of `HeapQueue` — so an exploration run that
+    /// never deviates from the default schedule is bit-identical to a
+    /// production run.
+    #[test]
+    fn identity_schedule_matches_calendar_and_heap_order() {
+        let mut rng = Rng64::seed_from_u64(0xdec1_510e);
+        for round in 0..40 {
+            let horizon = [4u64, 64, 1024][round % 3];
+            let mut cal: CalendarQueue<u64> = CalendarQueue::with_horizon(horizon);
+            let mut heap: HeapQueue<u64> = HeapQueue::new();
+            let mut ctl: ControlledQueue<u64> = ControlledQueue::new();
+            let mut now = 0u64;
+            let mut payload = 0u64;
+            for _ in 0..rng.gen_usize(10, 300) {
+                if rng.gen_u32(0, 3) == 0 {
+                    let want = cal.pop();
+                    assert_eq!(heap.pop(), want, "heap diverged");
+                    // Identity choice: pop_nth(0), i.e. lowest seq at the
+                    // minimum cycle.
+                    assert_eq!(ctl.pop_nth(0), want, "controlled diverged");
+                    if let Some((at, _, _)) = want {
+                        now = at;
+                    }
+                } else {
+                    let delay = if rng.gen_u32(0, 10) == 0 {
+                        rng.gen_u64(0, 1 << 20)
+                    } else {
+                        rng.gen_u64(0, 300)
+                    };
+                    payload += 1;
+                    let s1 = cal.push(now + delay, payload);
+                    assert_eq!(heap.push(now + delay, payload), s1);
+                    assert_eq!(ctl.push(now + delay, payload), s1, "seq diverged");
+                }
+                assert_eq!(cal.len(), ctl.len());
+            }
+            loop {
+                let want = cal.pop();
+                assert_eq!(heap.pop(), want);
+                assert_eq!(ctl.pop(), want, "controlled drain diverged");
+                if want.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Horizon-boundary audit for the overflow-migration merge
+    /// (`partition_point` in `migrate_overflow`): a cycle exactly at the
+    /// 1024-bucket horizon receives events from *both* sides of the
+    /// split — direct pushes (late seqs) and overflow migrations (early
+    /// seqs) — in permuted push orders. The merged bucket must always
+    /// pop in global seq order, for every permutation of which path each
+    /// event took.
+    #[test]
+    fn permuted_same_cycle_events_merge_in_seq_order_at_the_horizon() {
+        // Each mask bit decides whether event i is pushed before (1) or
+        // after (0) the cursor advance that flips cycle `base + 1024`
+        // from overflow to direct — 2^5 path permutations.
+        for mask in 0u32..32 {
+            let mut cal: CalendarQueue<u32> = CalendarQueue::new();
+            let mut heap: HeapQueue<u32> = HeapQueue::new();
+            let base = 7u64; // non-zero cursor origin
+            cal.push(base, 0);
+            heap.push(base, 0);
+            let target = base + 1024;
+            // Phase 1: cursor at 0..=base-ish, target is overflow.
+            for i in 0..5u32 {
+                if mask & (1 << i) != 0 {
+                    cal.push(target, i + 1);
+                    heap.push(target, i + 1);
+                }
+            }
+            // Advance the cursor past `base`: delta to target becomes
+            // 1023 and phase-2 pushes go direct to the bucket while the
+            // phase-1 events still sit in the overflow heap.
+            assert_eq!(cal.pop().map(|(at, _, v)| (at, v)), Some((base, 0)));
+            assert_eq!(heap.pop().map(|(at, _, v)| (at, v)), Some((base, 0)));
+            for i in 0..5u32 {
+                if mask & (1 << i) == 0 {
+                    cal.push(target, i + 1);
+                    heap.push(target, i + 1);
+                }
+            }
+            // Seq order == value order here only when the overflow subset
+            // was pushed first; in general the heap model defines truth.
+            loop {
+                let (got, want) = (cal.pop(), heap.pop());
+                assert_eq!(got, want, "mask {mask:05b}: merge broke seq order");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The same horizon-straddling merge, driven through the dispatcher
+    /// with interleaved pops so migration happens while the target
+    /// bucket is mid-drain.
+    #[test]
+    fn migration_into_a_draining_bucket_keeps_fifo() {
+        let mut cal: CalendarQueue<u32> = CalendarQueue::with_horizon(8);
+        let mut heap: HeapQueue<u32> = HeapQueue::new();
+        for (at, v) in [(10u64, 0u32), (3, 1), (10, 2), (4, 3), (10, 4)] {
+            cal.push(at, v);
+            heap.push(at, v);
+        }
+        // Pops at 3 and 4 advance the cursor, migrating the cycle-10
+        // events (pushed to overflow at delta >= 8) one wave at a time
+        // into a bucket that also receives fresh direct pushes.
+        assert_eq!(cal.pop(), heap.pop());
+        cal.push(10, 5);
+        heap.push(10, 5);
+        assert_eq!(cal.pop(), heap.pop());
+        cal.push(10, 6);
+        heap.push(10, 6);
+        loop {
+            let (got, want) = (cal.pop(), heap.pop());
+            assert_eq!(got, want, "mid-drain migration broke FIFO");
+            if got.is_none() {
+                break;
+            }
         }
     }
 }

@@ -29,5 +29,5 @@ pub mod workload;
 pub use config::SystemConfig;
 pub use equeue::QueueKind;
 pub use gsim_check::{CheckLevel, CheckReport};
-pub use sim::{SimError, Simulator};
+pub use sim::{Candidate, Decision, ExploredRun, Footprint, SimError, Simulator};
 pub use workload::{KernelLaunch, TbSpec, Workload};

@@ -113,6 +113,15 @@ impl<T> PendingTable<T> {
         Some(value)
     }
 
+    /// Returns the entry for `req` without removing it.
+    #[inline]
+    pub fn get(&self, req: ReqId) -> Option<&T> {
+        if req.0 < self.base {
+            return None;
+        }
+        self.slots.get((req.0 - self.base) as usize)?.as_ref()
+    }
+
     /// Iterates over in-flight entries in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ReqId, &T)> {
         self.slots

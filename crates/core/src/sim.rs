@@ -24,7 +24,7 @@
 //! completion, on every CU.
 
 use crate::config::SystemConfig;
-use crate::equeue::EventQueue;
+use crate::equeue::{EventQueue, QueueKind};
 use crate::kernel::{Instr, NUM_REGS};
 use crate::pending::PendingTable;
 use crate::proto::{L1, L2};
@@ -80,6 +80,78 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Where an event's synchronous state mutation lands — the conflict
+/// granularity the schedule explorer (`gsim-explore`) prunes on.
+///
+/// Every engine event mutates exactly one component's state when it is
+/// processed: a `CuTick`/`TbWake`/`Finish` touches one CU and its
+/// private L1; a `Deliver` touches its destination L1 or L2 bank.
+/// Two same-cycle events with *different* footprints commute up to
+/// event-sequence renumbering: any downstream ordering effect surfaces
+/// as a later same-cycle tie, which is itself a decision point the
+/// explorer can flip. (Cross-component coupling through NoC link
+/// arbitration is the one deliberate approximation — see DESIGN.md
+/// §7h; the explorer's naive mode branches on every candidate and is
+/// differentially compared against DPOR in `tests/explore.rs`.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Footprint {
+    /// One node's CU + private L1 state.
+    L1Node(u8),
+    /// One shared L2 bank (home of the lines it serves).
+    L2Bank(u8),
+}
+
+impl Footprint {
+    /// Whether two same-cycle events may influence each other's effect.
+    pub fn conflicts(self, other: Footprint) -> bool {
+        self == other
+    }
+}
+
+/// One poppable event at a decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The queue push serial — the event's stable identity in this run.
+    pub seq: u64,
+    /// Conflict footprint (see [`Footprint`]).
+    pub fp: Footprint,
+}
+
+/// One decision point of a scheduled run: a cycle at which ≥ 2 events
+/// were simultaneously poppable, and which one the schedule picked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The cycle of the tie.
+    pub cycle: Cycle,
+    /// The candidate set, in `seq` (program/default) order.
+    pub candidates: Vec<Candidate>,
+    /// Index into `candidates` that the schedule popped first.
+    pub chosen: u32,
+}
+
+/// The result of a scheduled (exploration/replay) run: the usual stats,
+/// the full decision trace (one entry per same-cycle tie, including
+/// those the schedule left at the default choice 0), and the final
+/// values of the requested observation words.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploredRun {
+    /// Run statistics, byte-comparable via `SimStats::to_json` for
+    /// replay-determinism assertions.
+    pub stats: SimStats,
+    /// Every decision point encountered, in order.
+    pub decisions: Vec<Decision>,
+    /// Final memory values of the observation words, in request order.
+    pub observed: Vec<Value>,
+}
+
+/// The schedule controller state of an exploration/replay run.
+struct SchedState {
+    /// Choice at decision point `i` (`0` = default past the end).
+    prefix: Vec<u32>,
+    /// Decisions recorded so far.
+    decisions: Vec<Decision>,
+}
 
 /// The public entry point: runs workloads under one [`SystemConfig`].
 ///
@@ -184,7 +256,7 @@ impl Simulator {
     ) -> Result<(SimStats, Option<ProfileReport>), SimError> {
         Machine::new(&self.config, workload, trace)
             .run(workload)
-            .map(|(s, p, _)| (s, p))
+            .map(|out| (out.stats, out.profile))
     }
 
     /// As [`run`](Self::run), additionally returning the flow report
@@ -202,8 +274,58 @@ impl Simulator {
     ) -> Result<(SimStats, Option<FlowReport>), SimError> {
         Machine::new(&self.config, workload, TraceHandle::disabled())
             .run(workload)
-            .map(|(s, _, f)| (s, f))
+            .map(|out| (out.stats, out.flow))
     }
+
+    /// Runs `workload` under explorer control: the run uses the
+    /// [`QueueKind::Controlled`] queue, and at every cycle where ≥ 2
+    /// events are simultaneously poppable, the event at index
+    /// `prefix[i]` (in `seq` order; default `0` past the prefix's end)
+    /// pops first at the `i`-th such decision point. The identity
+    /// schedule (`prefix = &[]`) reproduces the production
+    /// `(cycle, seq)` order exactly.
+    ///
+    /// Returns the stats, the full decision trace (the explorer's
+    /// branching input), and the final values of the `obs` words.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run). Note the configured [`SystemConfig::check`]
+    /// level applies; explorers of racy shapes should use
+    /// `CheckLevel::Invariants` so the race detector does not fail the
+    /// run before the outcome is observed.
+    pub fn run_explored(
+        &self,
+        workload: &Workload,
+        prefix: &[u32],
+        obs: &[WordAddr],
+    ) -> Result<ExploredRun, SimError> {
+        let mut cfg = self.config;
+        cfg.event_queue = QueueKind::Controlled;
+        let mut m = Machine::new(&cfg, workload, TraceHandle::disabled());
+        m.sched = Some(SchedState {
+            prefix: prefix.to_vec(),
+            decisions: Vec::new(),
+        });
+        m.obs_words = obs.to_vec();
+        m.run(workload).map(|out| ExploredRun {
+            stats: out.stats,
+            decisions: out.decisions,
+            observed: out.observed,
+        })
+    }
+}
+
+/// What [`Machine::run`] hands back on success.
+#[derive(Debug)]
+struct RunOut {
+    stats: SimStats,
+    profile: Option<ProfileReport>,
+    flow: Option<FlowReport>,
+    /// Decision trace (empty unless the run was scheduled).
+    decisions: Vec<Decision>,
+    /// Final values of `Machine::obs_words` (empty unless requested).
+    observed: Vec<Value>,
 }
 
 /// What a completing request should do.
@@ -345,6 +467,11 @@ struct Machine {
     races: Option<Box<RaceDetector>>,
     /// Violations accumulated by every checker layer.
     report: CheckReport,
+    /// Schedule controller for exploration/replay runs (`None` on the
+    /// production path: the hot loop pays one branch).
+    sched: Option<SchedState>,
+    /// Words whose final memory values the caller wants reported.
+    obs_words: Vec<WordAddr>,
 }
 
 impl Machine {
@@ -419,6 +546,89 @@ impl Machine {
             check: config.check,
             races: config.check.races().then(|| Box::new(RaceDetector::new())),
             report: CheckReport::default(),
+            sched: None,
+            obs_words: Vec::new(),
+        }
+    }
+
+    /// Pops the next event: the production path is a straight
+    /// `events.pop()`; scheduled runs detour through the decision-point
+    /// recorder.
+    #[inline]
+    fn next_event(&mut self) -> Option<(Cycle, u64, Event)> {
+        if self.sched.is_none() {
+            return self.events.pop();
+        }
+        self.pop_scheduled()
+    }
+
+    /// The scheduled pop: when ≥ 2 events are poppable at the head
+    /// cycle, record a [`Decision`] (candidates with their conflict
+    /// footprints, in `seq` order) and pop the one the schedule prefix
+    /// picks — default choice 0, which is exactly what a production pop
+    /// would return.
+    fn pop_scheduled(&mut self) -> Option<(Cycle, u64, Event)> {
+        let decision = {
+            let q = self
+                .events
+                .as_controlled()
+                .expect("scheduled runs use the controlled queue");
+            let (cycle, bucket) = q.candidates()?;
+            if bucket.len() < 2 {
+                None
+            } else {
+                let candidates: Vec<Candidate> = bucket
+                    .iter()
+                    .map(|&(seq, ref ev)| Candidate {
+                        seq,
+                        fp: self.event_footprint(ev),
+                    })
+                    .collect();
+                Some((cycle, candidates))
+            }
+        };
+        let Some((cycle, candidates)) = decision else {
+            return self.events.pop();
+        };
+        let sched = self.sched.as_mut().expect("checked by next_event");
+        let idx = sched.decisions.len();
+        let chosen = sched.prefix.get(idx).copied().unwrap_or(0);
+        assert!(
+            (chosen as usize) < candidates.len(),
+            "schedule choice {chosen} at decision {idx} out of range ({} candidates)",
+            candidates.len()
+        );
+        sched.decisions.push(Decision {
+            cycle,
+            candidates,
+            chosen,
+        });
+        self.events
+            .as_controlled_mut()
+            .expect("scheduled runs use the controlled queue")
+            .pop_nth(chosen as usize)
+    }
+
+    /// The conflict footprint of a queued event (see [`Footprint`]).
+    fn event_footprint(&self, ev: &Event) -> Footprint {
+        match ev {
+            Event::CuTick(cu) => Footprint::L1Node(*cu as u8),
+            Event::TbWake { tb } => Footprint::L1Node(self.tbs[*tb].cu as u8),
+            Event::Deliver(msg) => match msg.dst_comp {
+                Component::L1 => Footprint::L1Node(msg.dst.0),
+                Component::L2 => Footprint::L2Bank(msg.dst.0),
+            },
+            Event::Finish { req, .. } => {
+                let cu = match self
+                    .pending
+                    .get(*req)
+                    .expect("queued completion for an unknown request")
+                {
+                    (Target::Tb { tb, .. }, _) => self.tbs[*tb].cu,
+                    (Target::KernelDrain { cu }, _) => *cu,
+                };
+                Footprint::L1Node(cu as u8)
+            }
         }
     }
 
@@ -1062,10 +1272,7 @@ impl Machine {
         }
     }
 
-    fn run(
-        mut self,
-        workload: &Workload,
-    ) -> Result<(SimStats, Option<ProfileReport>, Option<FlowReport>), SimError> {
+    fn run(mut self, workload: &Workload) -> Result<RunOut, SimError> {
         let total_kernels = workload.kernels.len();
         if total_kernels > 0 {
             self.start_kernel(0, &workload.kernels[0]);
@@ -1083,7 +1290,7 @@ impl Machine {
                 }
                 started += 1;
             }
-            let Some((at, _seq, ev)) = self.events.pop() else {
+            let Some((at, _seq, ev)) = self.next_event() else {
                 break;
             };
             debug_assert!(at >= self.now, "time went backwards");
@@ -1164,10 +1371,22 @@ impl Machine {
         }
         self.l2.flush_to_memory();
         (workload.verify)(self.l2.memory()).map_err(SimError::Verify)?;
+        let observed = self
+            .obs_words
+            .iter()
+            .map(|&w| self.l2.memory().read_word(w))
+            .collect();
         let stats = self.stats();
         let profile = self.take_profile();
         let flow = self.take_flow();
-        Ok((stats, profile, flow))
+        let decisions = self.sched.take().map_or(Vec::new(), |s| s.decisions);
+        Ok(RunOut {
+            stats,
+            profile,
+            flow,
+            decisions,
+            observed,
+        })
     }
 
     /// The two mesh-side cumulative counters every snapshot path reads:

@@ -16,53 +16,178 @@
 
 use gsim_core::kernel::{imm, r, AluOp, KernelBuilder};
 use gsim_core::{KernelLaunch, TbSpec, Workload};
-use gsim_types::{AtomicOp, Scope, SyncOrd, WordAddr};
+use gsim_types::{AtomicOp, Coherence, ProtocolConfig, Scope, SyncOrd, WordAddr};
 
-/// One litmus shape: a name and a fresh-workload constructor.
+/// The declared outcome space of a litmus shape: which final memory
+/// words form the outcome tuple, the *full* set of tuples the engine
+/// can reach under each protocol configuration, and the canonical
+/// forbidden tuples.
+///
+/// `allowed` is the exact reachable set over every same-cycle event
+/// ordering, as enumerated by `gsim-explore` and pinned here (it is
+/// always a subset of what SC-for-DRF permits; shapes whose engine
+/// timing makes an SC-allowed tuple unreachable say so in their doc
+/// comment). Exploration tests assert observed == allowed *exactly*,
+/// so any engine change that widens or narrows a reachable set fails
+/// loudly. `forbidden` lists the tuples the consistency model itself
+/// rules out — the interesting ones to watch for; any tuple outside
+/// `allowed` fails the exploration test, forbidden or not.
+#[derive(Clone, Copy)]
+pub struct OutcomeSpec {
+    /// Word addresses whose final values form the outcome tuple.
+    pub words: &'static [u64],
+    /// The full reachable outcome set under the given configuration.
+    pub allowed: fn(ProtocolConfig) -> &'static [&'static [u32]],
+    /// Model-forbidden tuples (documentation + explicit test targets).
+    pub forbidden: &'static [&'static [u32]],
+}
+
+impl OutcomeSpec {
+    /// The declared reachable set under `config`.
+    pub fn allowed_for(&self, config: ProtocolConfig) -> &'static [&'static [u32]] {
+        (self.allowed)(config)
+    }
+
+    /// Renders an outcome tuple as `"(a, b)"`.
+    pub fn fmt_tuple(tuple: &[u32]) -> String {
+        let inner: Vec<String> = tuple.iter().map(u32::to_string).collect();
+        format!("({})", inner.join(", "))
+    }
+}
+
+/// One litmus shape: a name, a fresh-workload constructor, and its
+/// declared outcome space.
 #[derive(Clone, Copy)]
 pub struct Litmus {
     /// Short stable name ("mp", "iriw", ...).
     pub name: &'static str,
     /// Builds a fresh instance of the workload.
     pub build: fn() -> Workload,
+    /// Observation words + allowed/forbidden outcome sets.
+    pub spec: OutcomeSpec,
 }
 
 /// The DRF-clean battery, in documentation order. Every program here
 /// must pass its verifier *and* stay silent under `CheckLevel::Full`
 /// on every protocol configuration.
-pub fn battery() -> [Litmus; 8] {
+pub fn battery() -> [Litmus; 13] {
     [
         Litmus {
             name: "mp",
             build: message_passing,
+            spec: OutcomeSpec {
+                words: &[18, 19],
+                allowed: |_| &[&[41, 42]],
+                forbidden: &[&[0, 0], &[41, 0], &[0, 42]],
+            },
         },
         Litmus {
             name: "ring",
             build: ring_handoff,
+            spec: OutcomeSpec {
+                words: &[240],
+                allowed: |_| &[&[15]],
+                forbidden: &[&[0]],
+            },
         },
         Litmus {
             name: "mp-local",
             build: local_scope_message_passing,
+            spec: OutcomeSpec {
+                words: &[17],
+                allowed: |_| &[&[7]],
+                forbidden: &[&[0]],
+            },
         },
         Litmus {
             name: "sb",
             build: store_buffering,
+            spec: OutcomeSpec {
+                words: &[32, 33],
+                allowed: sb_allowed,
+                forbidden: &[&[0, 0]],
+            },
         },
         Litmus {
             name: "lb",
             build: load_buffering,
+            spec: OutcomeSpec {
+                words: &[32, 33],
+                allowed: lb_allowed,
+                forbidden: &[&[1, 1]],
+            },
         },
         Litmus {
             name: "iriw",
             build: iriw,
+            spec: OutcomeSpec {
+                words: &[32, 33, 34, 35],
+                allowed: iriw_allowed,
+                forbidden: &[&[1, 0, 1, 0]],
+            },
         },
         Litmus {
             name: "corr-coww",
             build: coherence_corr_coww,
+            spec: OutcomeSpec {
+                words: &[32, 33, 0],
+                allowed: corr_allowed,
+                forbidden: &[&[1, 0, 2], &[2, 0, 2], &[2, 1, 2]],
+            },
         },
         Litmus {
             name: "kernel-boundary",
             build: kernel_boundary_publication,
+            spec: OutcomeSpec {
+                words: &[64, 93],
+                allowed: |_| &[&[1, 0]],
+                forbidden: &[&[0, 0]],
+            },
+        },
+        Litmus {
+            name: "mp-ctrl",
+            build: message_passing_ctrl,
+            spec: OutcomeSpec {
+                words: &[32, 33],
+                allowed: mp_ctrl_allowed,
+                forbidden: &[&[1, 0]],
+            },
+        },
+        Litmus {
+            name: "wrc",
+            build: write_read_causality,
+            spec: OutcomeSpec {
+                words: &[32],
+                allowed: |_| &[&[1]],
+                forbidden: &[&[0]],
+            },
+        },
+        Litmus {
+            name: "s",
+            build: s_shape,
+            spec: OutcomeSpec {
+                words: &[16],
+                allowed: |_| &[&[1]],
+                forbidden: &[&[2], &[0]],
+            },
+        },
+        Litmus {
+            name: "2+2w",
+            build: two_plus_two_w,
+            spec: OutcomeSpec {
+                words: &[0, 1],
+                allowed: two_plus_two_w_allowed,
+                forbidden: &[&[1, 1]],
+            },
+        },
+        Litmus {
+            name: "exch-race",
+            build: exch_race,
+            spec: OutcomeSpec {
+                words: &[32, 33],
+                allowed: exch_race_allowed,
+                forbidden: &[&[0, 0]],
+            },
         },
     ]
 }
@@ -598,6 +723,346 @@ pub fn kernel_boundary_publication() -> Workload {
     }
 }
 
+/// MP with a control dependency: the consumer reads the flag *once*
+/// (acquire) and only dereferences the data if it saw the flag set.
+/// SC-for-DRF allows `(0, 0)` (read the flag too early) and `(1, 42)`;
+/// the forbidden outcome is `(1, 0)` — flag observed but stale data —
+/// which the acquire's invalidation must prevent on every schedule.
+/// Engine timing note: the consumer's single flag read always beats the
+/// producer's flag write (the producer first drains its store buffer),
+/// so only `(0, 0)` is reachable; exploration pins that exactly.
+pub fn message_passing_ctrl() -> Workload {
+    // Word 0: flag. Word 16: data. Words 32/33: (flag seen, data seen).
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.mov(2, imm(16));
+    b.mov(5, imm(32));
+    b.bnz(r(0), "consumer");
+    b.st(b.at(2, 0), imm(42));
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    b.label("consumer");
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.st(b.at(5, 0), r(3));
+    b.bz(r(3), "miss");
+    // Control-dependent data read: only runs when the flag was seen.
+    b.ld(4, b.at(2, 0));
+    b.st(b.at(5, 1), r(4));
+    b.label("miss");
+    b.halt();
+    Workload {
+        name: "mp-ctrl".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+        }],
+        verify: Box::new(|mem| {
+            let (f, d) = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+            // The ctrl dependency forbids exactly flag-without-data.
+            ((f, d) != (1, 0))
+                .then_some(())
+                .ok_or_else(|| format!("mp-ctrl: flag seen but data stale ({f}, {d})"))
+        }),
+    }
+}
+
+/// WRC (write-to-read causality): T0 sync-writes x; T1 observes x and
+/// then sync-writes y; T2 observes y and then reads x. Causality (the
+/// paper's single global sync order) requires T2 to see x = 1 — on
+/// every schedule, under every configuration.
+pub fn write_read_causality() -> Workload {
+    // Word 0: x. Word 16: y. Word 32: T2's observation of x.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.mov(2, imm(16));
+    b.mov(5, imm(32));
+    b.alu(6, r(0), AluOp::CmpEq, imm(1));
+    b.bnz(r(6), "relay");
+    b.bnz(r(0), "reader");
+    // TB 0: x := 1.
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    // TB 1: wait for x, then y := 1.
+    b.label("relay");
+    b.label("spin-x");
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.bz(r(3), "spin-x");
+    b.atomic(
+        3,
+        b.at(2, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    // TB 2: wait for y, then read x once.
+    b.label("reader");
+    b.label("spin-y");
+    b.atomic(
+        3,
+        b.at(2, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.bz(r(3), "spin-y");
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.st(b.at(5, 0), r(4));
+    b.halt();
+    Workload {
+        name: "wrc".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs: (0..3).map(|i| TbSpec::with_regs(&[i])).collect(),
+        }],
+        verify: Box::new(|mem| {
+            let x = mem.read_word(WordAddr(32));
+            (x == 1)
+                .then_some(())
+                .ok_or_else(|| format!("WRC causality violated: T2 saw x = {x}, want 1"))
+        }),
+    }
+}
+
+/// S shape: T0 plain-writes x = 2 then releases a flag; T1 acquires the
+/// flag and plain-writes x = 1. The release/acquire edge orders the two
+/// plain writes (keeping the program DRF), so the final value of x must
+/// be 1 — T0's write can never land "late" past the handoff.
+pub fn s_shape() -> Workload {
+    // Word 0: flag y. Word 16: x.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.mov(2, imm(16));
+    b.bnz(r(0), "t1");
+    b.st(b.at(2, 0), imm(2));
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    b.label("t1");
+    b.label("spin");
+    b.atomic(
+        3,
+        b.at(1, 0),
+        AtomicOp::Read,
+        imm(0),
+        imm(0),
+        SyncOrd::Acquire,
+        Scope::Global,
+    );
+    b.bz(r(3), "spin");
+    b.st(b.at(2, 0), imm(1));
+    b.halt();
+    Workload {
+        name: "s".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs: vec![TbSpec::with_regs(&[0]), TbSpec::with_regs(&[1])],
+        }],
+        verify: Box::new(|mem| {
+            let x = mem.read_word(WordAddr(16));
+            (x == 1)
+                .then_some(())
+                .ok_or_else(|| format!("S shape: final x = {x}, want 1"))
+        }),
+    }
+}
+
+/// 2+2W: two threads sync-write the same two words (same cache line,
+/// so one L2 bank serializes all four writes) in opposite orders.
+/// SC forbids the final state `(x, y) = (1, 1)` — both *first* writes
+/// surviving both *second* writes contradicts any single total order.
+/// The writers sit on CUs 1 and 4, both one mesh hop from the line's
+/// home bank (node 0), so their write waves arrive in the same cycle
+/// and exploration exercises every arbitration order.
+pub fn two_plus_two_w() -> Workload {
+    // Words 0 (x) and 1 (y): same line, home bank 0. Roles in r6:
+    // 0 = idle, 1 = x-then-y writer, 2 = y-then-x writer.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.mov(2, imm(1));
+    b.bz(r(6), "idle");
+    b.alu(3, r(6), AluOp::CmpEq, imm(2));
+    b.bnz(r(3), "t2");
+    // Role 1: x := 1; y := 2.
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.atomic(
+        4,
+        b.at(2, 0),
+        AtomicOp::Write,
+        imm(2),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.halt();
+    // Role 2: y := 1; x := 2. Same instruction count to the first
+    // atomic as role 1 (taken branch vs. fall-through), so the two
+    // first writes issue in the same cycle.
+    b.label("t2");
+    b.atomic(
+        4,
+        b.at(2, 0),
+        AtomicOp::Write,
+        imm(1),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Write,
+        imm(2),
+        imm(0),
+        SyncOrd::Release,
+        Scope::Global,
+    );
+    b.label("idle");
+    b.halt();
+    let mut tbs = vec![TbSpec::with_regs(&[0; 7]); 5];
+    tbs[1] = TbSpec::with_regs(&[1, 0, 0, 0, 0, 0, 1]); // CU 1
+    tbs[4] = TbSpec::with_regs(&[4, 0, 0, 0, 0, 0, 2]); // CU 4
+    Workload {
+        name: "2+2w".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs,
+        }],
+        verify: Box::new(|mem| {
+            let (x, y) = (mem.read_word(WordAddr(0)), mem.read_word(WordAddr(1)));
+            ((x, y) != (1, 1))
+                .then_some(())
+                .ok_or_else(|| format!("2+2W forbidden outcome ({x}, {y})"))
+        }),
+    }
+}
+
+/// Who-wins race on one sync word: two thread blocks on CUs equidistant
+/// from the word's home bank exchange their id into it in the same
+/// cycle. The loser's exchange observes the winner's id, the winner's
+/// observes 0 — so the outcome pair names the arbitration winner, and
+/// *both* outcomes are reachable: flipping the single same-cycle
+/// arbitration decision at the bank flips the winner. This is the
+/// battery's reachability workhorse: it proves exploration actually
+/// drives both sides of a real tie, not just replays the default order.
+pub fn exch_race() -> Workload {
+    // Word 0: the contended word. Words 32/33: what each racer saw.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.mov(5, imm(32));
+    b.bz(r(6), "idle");
+    b.alu(3, r(6), AluOp::CmpEq, imm(2));
+    b.bnz(r(3), "t2");
+    // Role 1 (CU 1): exch(word0, 1); publish the old value.
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Exch,
+        imm(1),
+        imm(0),
+        SyncOrd::AcqRel,
+        Scope::Global,
+    );
+    b.st(b.at(5, 0), r(4));
+    b.halt();
+    // Role 2 (CU 4): exch(word0, 2); publish the old value.
+    b.label("t2");
+    b.atomic(
+        4,
+        b.at(1, 0),
+        AtomicOp::Exch,
+        imm(2),
+        imm(0),
+        SyncOrd::AcqRel,
+        Scope::Global,
+    );
+    b.st(b.at(5, 1), r(4));
+    b.label("idle");
+    b.halt();
+    let mut tbs = vec![TbSpec::with_regs(&[0; 7]); 5];
+    tbs[1] = TbSpec::with_regs(&[1, 0, 0, 0, 0, 0, 1]); // CU 1: 1 hop to bank 0
+    tbs[4] = TbSpec::with_regs(&[4, 0, 0, 0, 0, 0, 2]); // CU 4: 1 hop to bank 0
+    Workload {
+        name: "exch-race".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs,
+        }],
+        verify: Box::new(|mem| {
+            let (a, b) = (mem.read_word(WordAddr(32)), mem.read_word(WordAddr(33)));
+            // Exactly one racer observes 0 (the initial value); the
+            // other observes the winner's id.
+            ((a == 0) != (b == 0))
+                .then_some(())
+                .ok_or_else(|| format!("exch-race: observed ({a}, {b}), no unique winner"))
+        }),
+    }
+}
+
 /// A *negative* litmus: this program has a data race (two plain stores
 /// to the same word, no synchronization), so DRF promises nothing about
 /// which write wins — only that the outcome is one of the written
@@ -627,4 +1092,121 @@ pub fn racy_negative() -> Workload {
                 .ok_or_else(|| format!("racy word holds {got}, not one of the stored values"))
         }),
     }
+}
+
+/// Exploration's racy negative: [`racy_negative`]'s two-store data race
+/// relocated onto CUs 1 and 4, both one mesh hop from word 0's home
+/// bank, so the conflicting plain stores contend at the bank in the
+/// same cycle. Both final values are reachable, but the identity
+/// schedule only ever shows one of them; `spec.forbidden` names the
+/// *other* — the outcome only schedule exploration can surface. The
+/// exploration tests assert the explorer finds it, and `gsim-check`
+/// must flag the race on every schedule.
+pub fn racy_explore() -> Litmus {
+    Litmus {
+        name: "racy-explore",
+        build: racy_explore_workload,
+        spec: OutcomeSpec {
+            words: &[0],
+            allowed: |_| &[&[17], &[41]],
+            forbidden: &[&[41]],
+        },
+    }
+}
+
+fn racy_explore_workload() -> Workload {
+    // Word 0: the raced word. Roles in r6: 1 stores 41, 2 stores 17.
+    let mut b = KernelBuilder::new();
+    b.mov(1, imm(0));
+    b.bz(r(6), "idle");
+    b.alu(3, r(6), AluOp::CmpEq, imm(2));
+    b.bnz(r(3), "t2");
+    b.st(b.at(1, 0), imm(41));
+    b.halt();
+    b.label("t2");
+    b.st(b.at(1, 0), imm(17));
+    b.label("idle");
+    b.halt();
+    let mut tbs = vec![TbSpec::with_regs(&[0; 7]); 5];
+    tbs[1] = TbSpec::with_regs(&[1, 0, 0, 0, 0, 0, 1]); // CU 1
+    tbs[4] = TbSpec::with_regs(&[4, 0, 0, 0, 0, 0, 2]); // CU 4
+    Workload {
+        name: "racy-explore".into(),
+        init: Box::new(|_| {}),
+        kernels: vec![KernelLaunch {
+            program: b.build(),
+            tbs,
+        }],
+        verify: Box::new(|mem| {
+            let got = mem.read_word(WordAddr(0));
+            matches!(got, 41 | 17)
+                .then_some(())
+                .ok_or_else(|| format!("racy word holds {got}, not one of the stored values"))
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-configuration reachable outcome sets, pinned by `gsim-explore`.
+//
+// Each function returns the *exact* set of outcome tuples the engine
+// can produce for the shape over every same-cycle event ordering under
+// the given protocol configuration. The exploration tests re-derive
+// these sets and assert equality, so they are empirical facts about the
+// engine, kept in sync mechanically — not aspirations. Where the
+// engine's wave timing makes an SC-allowed tuple unreachable (one-shot
+// reads always trail the racing write's round trip), the set is
+// narrower than SC's and the shape's doc comment says so.
+// ---------------------------------------------------------------------
+
+/// `sb`: both one-shot reads run after both releases complete.
+fn sb_allowed(_config: ProtocolConfig) -> &'static [&'static [u32]] {
+    &[&[1, 1]]
+}
+
+/// `lb`: both one-shot reads run before either store lands.
+fn lb_allowed(_config: ProtocolConfig) -> &'static [&'static [u32]] {
+    &[&[0, 0]]
+}
+
+/// `iriw`: both readers see both writes by the time they read.
+fn iriw_allowed(_config: ProtocolConfig) -> &'static [&'static [u32]] {
+    &[&[1, 1, 1, 1]]
+}
+
+/// `corr-coww`: the reads never run backwards (`forbidden` above), but
+/// where they land between the two writes is a protocol property. GPU
+/// writethrough lands `x = 2` at the L2 before the second read;
+/// DeNovo's ownership keeps both reads at `x = 1` (the second write is
+/// still registered at the writer's L1 when the reader's misses
+/// resolve). Both writes always retire, so the final word is 2 either
+/// way.
+fn corr_allowed(config: ProtocolConfig) -> &'static [&'static [u32]] {
+    match config.coherence() {
+        Coherence::Gpu => &[&[1, 2, 2]],
+        Coherence::DeNovo => &[&[1, 1, 2]],
+    }
+}
+
+/// `mp-ctrl`: the consumer's single flag read beats the producer's
+/// release (the producer drains its data store first), so the
+/// control-dependent branch never takes the data-read path.
+fn mp_ctrl_allowed(_config: ProtocolConfig) -> &'static [&'static [u32]] {
+    &[&[0, 0]]
+}
+
+/// `2+2w`: same-cycle write waves from equidistant CUs; SC forbids
+/// `(1, 1)` and the bank's serialization indeed never produces it. The
+/// engine narrows further: each sync write blocks its thread until it
+/// completes, so both first writes land before either second write and
+/// the second writes always win — `(2, 2)` is the *only* reachable
+/// tuple, on every schedule, under every configuration.
+fn two_plus_two_w_allowed(_config: ProtocolConfig) -> &'static [&'static [u32]] {
+    &[&[2, 2]]
+}
+
+/// `exch-race`: the arbitration winner reads 0, the loser reads the
+/// winner's id — both orders reachable.
+fn exch_race_allowed(_config: ProtocolConfig) -> &'static [&'static [u32]] {
+    &[&[0, 1], &[2, 0]]
 }

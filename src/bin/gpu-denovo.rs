@@ -23,6 +23,7 @@
 //! verifies the deliberately racy negative *is* flagged, and optionally
 //! puts one Table 4 benchmark under the same microscope.
 
+use gpu_denovo::explore::{self, Budget, ExploreMode, ScheduleId};
 use gpu_denovo::harness::{self, Cell, CellResult, ResultCache};
 use gpu_denovo::trace::{
     chrome_json_full, chrome_json_with_counters, to_chrome_json, CounterTrack, JourneySpan,
@@ -53,7 +54,9 @@ fn usage() -> ExitCode {
          [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
          gpu-denovo flow <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--interval N]\n                  \
          [--period N] [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
-         gpu-denovo check [--bench <BENCH>] [--paper]\n\n\
+         gpu-denovo check [--bench <BENCH>] [--paper]\n  \
+         gpu-denovo explore [--shape <NAME>] [--config GD|GH|DD|DD+RO|DH] [--budget N]\n                     \
+         [--naive] [--json] [--replay <ID>]\n\n\
          <BENCH> is a Table 4 abbreviation (see `gpu-denovo list`).\n\
          `sweep` prints per-benchmark tables; `matrix` emits the full\n\
          benchmark x config grid as CSV (or JSON with --out FILE.json).\n\
@@ -76,7 +79,14 @@ fn usage() -> ExitCode {
          .perfetto.json (occupancy counter tracks + journey flow spans).\n\
          `check` runs the conformance battery (litmus shapes under\n\
          CheckLevel::Full on every config, racy negative flagged), plus\n\
-         one benchmark under full checking with --bench."
+         one benchmark under full checking with --bench.\n\
+         `explore` enumerates every same-cycle event ordering of each\n\
+         litmus shape (all shapes x all configs by default; narrow with\n\
+         --shape/--config) and reports the exact reachable outcome set\n\
+         with a replayable schedule id per outcome. --naive disables\n\
+         DPOR pruning (ground truth); --budget caps schedules per cell\n\
+         (default 4096); --replay ID re-runs one schedule (requires\n\
+         --shape, and --config unless the default DD is meant)."
     );
     ExitCode::FAILURE
 }
@@ -866,6 +876,156 @@ fn main() -> ExitCode {
                 }
                 fail(format!("{} conformance failure(s)", failures.len()))
             }
+        }
+        "explore" => {
+            // All battery shapes plus the exploration racy negative;
+            // --shape narrows to one.
+            let shapes: Vec<litmus::Litmus> = {
+                let mut v: Vec<litmus::Litmus> = litmus::battery().to_vec();
+                v.push(litmus::racy_explore());
+                v
+            };
+            let shapes: Vec<litmus::Litmus> = match flag_value(&args, "--shape") {
+                Ok(Some(name)) => match shapes.iter().find(|l| l.name == name) {
+                    Some(l) => vec![*l],
+                    None => {
+                        let names: Vec<&str> = shapes.iter().map(|l| l.name).collect();
+                        return fail(format!(
+                            "unknown shape {name:?}: valid shapes are {}",
+                            names.join(", ")
+                        ));
+                    }
+                },
+                Ok(None) => shapes,
+                Err(e) => return fail(format!("{e} (a litmus shape name)")),
+            };
+            let configs: Vec<ProtocolConfig> = if args.iter().any(|a| a == "--config") {
+                match parse_config(&args) {
+                    Ok(c) => vec![c],
+                    Err(e) => return fail(e),
+                }
+            } else {
+                ProtocolConfig::ALL.to_vec()
+            };
+            // --replay short-circuits: one schedule, one shape, one config.
+            match flag_value(&args, "--replay") {
+                Ok(Some(id)) => {
+                    let id = match ScheduleId::parse(id) {
+                        Ok(id) => id,
+                        Err(e) => return fail(format!("bad --replay id: {e}")),
+                    };
+                    if shapes.len() != 1 || configs.len() != 1 {
+                        return fail("explore --replay needs --shape and --config".into());
+                    }
+                    let (shape, p) = (&shapes[0], configs[0]);
+                    return match explore::replay(shape, p, &id) {
+                        Ok(run) => {
+                            let tuple: Vec<u32> = run.observed.clone();
+                            if args.iter().any(|a| a == "--json") {
+                                println!(
+                                    "{{\"shape\":\"{}\",\"config\":\"{p}\",\"schedule\":\"{id}\",\
+                                     \"outcome\":{:?},\"decisions\":{},\"stats\":{}}}",
+                                    shape.name,
+                                    tuple,
+                                    run.decisions.len(),
+                                    run.stats.to_json()
+                                );
+                            } else {
+                                println!(
+                                    "{} under {p}, schedule {id}: outcome {} after {} decisions, {} cycles",
+                                    shape.name,
+                                    litmus::OutcomeSpec::fmt_tuple(&tuple),
+                                    run.decisions.len(),
+                                    run.stats.cycles
+                                );
+                            }
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => fail(format!("{} under {p}, schedule {id}: {e}", shape.name)),
+                    };
+                }
+                Ok(None) => {}
+                Err(e) => return fail(format!("{e} (a schedule id)")),
+            }
+            let budget = match flag_value(&args, "--budget") {
+                Ok(Some(v)) => match v.parse::<u64>() {
+                    Ok(n) if n > 0 => Budget::schedules(n),
+                    _ => {
+                        return fail(format!(
+                            "invalid --budget value {v:?}: expected a positive schedule count"
+                        ))
+                    }
+                },
+                Ok(None) => Budget::default(),
+                Err(e) => return fail(format!("{e} (a schedule count)")),
+            };
+            let mode = if args.iter().any(|a| a == "--naive") {
+                ExploreMode::Naive
+            } else {
+                ExploreMode::Dpor
+            };
+            let json = args.iter().any(|a| a == "--json");
+            if !json {
+                println!(
+                    "schedule exploration ({mode} mode, budget {} schedules per cell)\n",
+                    budget.max_schedules
+                );
+                println!(
+                    "{:<14} {:<8} {:>9} {:>9} {:>5} {:<6} outcomes (schedules each; ! = forbidden, ? = undeclared)",
+                    "shape", "config", "explored", "pruned", "dec", "set"
+                );
+            }
+            let mut docs: Vec<String> = Vec::new();
+            let mut bad = 0u32;
+            for shape in &shapes {
+                for &p in &configs {
+                    let r = explore::explore(shape, p, mode, budget);
+                    if json {
+                        docs.push(r.to_json());
+                        continue;
+                    }
+                    let set = if r.conforms(&shape.spec) {
+                        "exact"
+                    } else {
+                        bad += 1;
+                        "DIFFS"
+                    };
+                    let trunc = if r.truncated {
+                        format!(" (truncated, {} schedules left)", r.frontier_left)
+                    } else {
+                        String::new()
+                    };
+                    println!(
+                        "{:<14} {:<8} {:>9} {:>9} {:>5} {:<6} {}{}",
+                        shape.name,
+                        p.to_string(),
+                        r.explored,
+                        r.pruned(),
+                        r.max_decisions,
+                        set,
+                        r.outcome_cell(),
+                        trunc
+                    );
+                    for v in &r.violations {
+                        println!("    schedule {}: {}", v.id, v.error);
+                    }
+                }
+            }
+            if json {
+                println!("[{}]", docs.join(","));
+                return ExitCode::SUCCESS;
+            }
+            println!(
+                "\n(set column: `exact` = observed outcome set matches the shape's declared\n\
+                 allowed set for that config; replay any witness with\n\
+                 `gpu-denovo explore --shape S --config C --replay ID`.)"
+            );
+            if bad > 0 {
+                return fail(format!(
+                    "{bad} shape/config cell(s) diverge from their declared outcome sets"
+                ));
+            }
+            ExitCode::SUCCESS
         }
         "matrix" => {
             let cells = harness::full_matrix(scale(&args));

@@ -46,6 +46,7 @@
 //! | profiling | [`prof`] | cycle attribution, hot-line sketches, interval time-series |
 //! | flow observation | [`flow`] | per-link traffic attribution, occupancy series, request journeys |
 //! | conformance | [`check`] | coherence invariants, happens-before race detection, quiesce audits |
+//! | schedule exploration | [`explore`] | DPOR enumeration of same-cycle orderings, replayable schedules |
 //! | experiment harness | [`harness`] | parallel matrix runner, content-addressed result cache |
 //!
 //! Every table and figure of the paper regenerates from the benches in
@@ -55,6 +56,7 @@
 pub use gsim_check as check;
 pub use gsim_core as sim;
 pub use gsim_energy as energy;
+pub use gsim_explore as explore;
 pub use gsim_flow as flow;
 pub use gsim_harness as harness;
 pub use gsim_mem as mem;
@@ -67,6 +69,7 @@ pub use gsim_workloads as workloads;
 
 pub use gsim_check::CheckLevel;
 pub use gsim_core::{KernelLaunch, SimError, Simulator, SystemConfig, TbSpec, Workload};
+pub use gsim_explore::{Budget, ExploreMode, ScheduleId, ShapeReport};
 pub use gsim_flow::{FlowReport, FlowSpec};
 pub use gsim_prof::{ProfSpec, ProfileReport, StallKind};
 pub use gsim_types::{ProtocolConfig, SimStats};

@@ -67,6 +67,69 @@ fn kernel_boundary_publication() {
     run_all(litmus::kernel_boundary_publication);
 }
 
+#[test]
+fn message_passing_ctrl() {
+    run_all(litmus::message_passing_ctrl);
+}
+
+#[test]
+fn write_read_causality() {
+    run_all(litmus::write_read_causality);
+}
+
+#[test]
+fn s_shape() {
+    run_all(litmus::s_shape);
+}
+
+#[test]
+fn two_plus_two_w() {
+    run_all(litmus::two_plus_two_w);
+}
+
+#[test]
+fn exch_race() {
+    run_all(litmus::exch_race);
+}
+
+/// Every battery shape's declared outcome spec is internally coherent:
+/// tuple widths match the observation-word count, and no allowed tuple
+/// is simultaneously declared forbidden.
+#[test]
+fn outcome_specs_are_well_formed() {
+    let mut shapes: Vec<litmus::Litmus> = litmus::battery().to_vec();
+    shapes.push(litmus::racy_explore());
+    for shape in shapes {
+        let w = shape.spec.words.len();
+        assert!(w > 0, "{}: no observation words", shape.name);
+        for t in shape.spec.forbidden {
+            assert_eq!(t.len(), w, "{}: forbidden tuple width", shape.name);
+        }
+        for p in ProtocolConfig::ALL {
+            let allowed = shape.spec.allowed_for(p);
+            assert!(
+                !allowed.is_empty(),
+                "{} under {p}: empty allowed set",
+                shape.name
+            );
+            for t in allowed {
+                assert_eq!(t.len(), w, "{} under {p}: allowed tuple width", shape.name);
+                // racy-explore deliberately lists its non-default
+                // outcome as both reachable and "forbidden" (it is the
+                // one only exploration can surface); every DRF-clean
+                // shape keeps the two sets disjoint.
+                if shape.name != "racy-explore" {
+                    assert!(
+                        !shape.spec.forbidden.contains(t),
+                        "{} under {p}: tuple {t:?} both allowed and forbidden",
+                        shape.name
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The negative control still *completes* under the default check level
 /// (a racy program is legal — DRF just promises nothing), and the
 /// winning value is one of the stored ones.
