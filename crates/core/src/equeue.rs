@@ -229,6 +229,34 @@ impl<T> CalendarQueue<T> {
         }
     }
 
+    /// The cycle of the earliest queued event, without removing it.
+    ///
+    /// Non-mutating: the cursor does not advance and no overflow
+    /// migration happens, so the ring scan is O(horizon) worst case.
+    /// Callers use this at cycle/kernel boundaries (the sequential
+    /// engine's deferred kernel transitions, the sharded coordinator's
+    /// epoch scheduling), not on the per-event hot path.
+    ///
+    /// The overflow heap must be consulted even when the ring is
+    /// non-empty: pops migrate overflow *before* advancing the cursor,
+    /// so after a long cursor jump the heap can briefly hold events
+    /// that now fall inside the ring window — and beat a ring event
+    /// pushed after the jump.
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        let overflow_min = self.overflow.peek().map(|e| e.at);
+        if self.ring_len == 0 {
+            return overflow_min;
+        }
+        for k in 0..=self.mask {
+            let c = self.cur + k;
+            if let Some(&(at, _, _)) = self.buckets[(c & self.mask) as usize].front() {
+                debug_assert_eq!(at, c, "bucket holds a foreign cycle");
+                return Some(overflow_min.map_or(at, |o| o.min(at)));
+            }
+        }
+        unreachable!("ring_len > 0 but no ring bucket is populated");
+    }
+
     /// Iterates over queued events in no particular order (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
         self.buckets
@@ -286,6 +314,11 @@ impl<T> HeapQueue<T> {
     /// Removes and returns the earliest event as `(cycle, seq, item)`.
     pub fn pop(&mut self) -> Option<(Cycle, u64, T)> {
         self.heap.pop().map(|e| (e.at, e.seq, e.item))
+    }
+
+    /// The cycle of the earliest queued event, without removing it.
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
     }
 
     /// Iterates over queued events in no particular order (diagnostics).
@@ -406,6 +439,11 @@ impl<T> ControlledQueue<T> {
         self.pop_nth(0)
     }
 
+    /// The cycle of the earliest queued event, without removing it.
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        self.buckets.first_key_value().map(|(&at, _)| at)
+    }
+
     /// Iterates over queued events in no particular order (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = (Cycle, &T)> {
         self.buckets
@@ -467,6 +505,18 @@ impl<T> EventQueue<T> {
             EventQueue::Calendar(q) => q.pop(),
             EventQueue::Heap(q) => q.pop(),
             EventQueue::Controlled(q) => q.pop(),
+        }
+    }
+
+    /// The cycle of the earliest queued event, without removing it.
+    /// Calendar queues answer with a non-mutating ring scan (see
+    /// [`CalendarQueue::next_cycle`]); the engine only asks at cycle
+    /// boundaries, never per event.
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        match self {
+            EventQueue::Calendar(q) => q.next_cycle(),
+            EventQueue::Heap(q) => q.next_cycle(),
+            EventQueue::Controlled(q) => q.next_cycle(),
         }
     }
 
@@ -920,6 +970,95 @@ mod tests {
             if got.is_none() {
                 break;
             }
+        }
+    }
+
+    /// `next_cycle` must agree with the next `pop` on all three
+    /// implementations, across random schedules, without mutating.
+    #[test]
+    fn next_cycle_agrees_with_pop_on_all_kinds() {
+        let mut rng = Rng64::seed_from_u64(0x9eec);
+        for kind in [QueueKind::Calendar, QueueKind::Heap, QueueKind::Controlled] {
+            let mut q: EventQueue<u64> = EventQueue::new(kind);
+            let mut now = 0u64;
+            for i in 0..500u64 {
+                if rng.gen_u32(0, 3) == 0 {
+                    let peek = q.next_cycle();
+                    let peek2 = q.next_cycle(); // idempotent
+                    assert_eq!(peek, peek2, "peek mutated the queue ({kind:?})");
+                    let got = q.pop();
+                    assert_eq!(got.map(|(at, _, _)| at), peek, "peek != pop ({kind:?})");
+                    if let Some((at, _, _)) = got {
+                        now = at;
+                    }
+                } else {
+                    let delay = if rng.gen_u32(0, 10) == 0 {
+                        rng.gen_u64(0, 1 << 20)
+                    } else {
+                        rng.gen_u64(0, 300)
+                    };
+                    q.push(now + delay, i);
+                }
+            }
+            while let Some(peek) = q.next_cycle() {
+                assert_eq!(q.pop().map(|(at, _, _)| at), Some(peek));
+            }
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    /// The subtle calendar case: after a long cursor jump, the overflow
+    /// heap can hold an event *inside* the ring window (migration only
+    /// runs at pop), and that event can be earlier than a ring event
+    /// pushed after the jump. `next_cycle` must report the overflow one.
+    #[test]
+    fn next_cycle_sees_unmigrated_overflow_inside_the_window() {
+        let mut q: CalendarQueue<&str> = CalendarQueue::with_horizon(8);
+        q.push(0, "warm");
+        q.push(100, "jump target");
+        q.push(104, "stale overflow"); // delta 104 >= 8: overflow
+        assert_eq!(q.pop().map(|(_, _, v)| v), Some("warm"));
+        // This pop migrates with cur=0 (nothing fits), then jumps the
+        // cursor to 100 and pops. "stale overflow" (at=104) now lies
+        // inside [100, 108) but still sits in the overflow heap.
+        assert_eq!(q.pop().map(|(_, _, v)| v), Some("jump target"));
+        q.push(106, "ring late"); // direct to bucket, later cycle
+        assert_eq!(q.next_cycle(), Some(104), "missed unmigrated overflow");
+        assert_eq!(
+            q.pop().map(|(at, _, v)| (at, v)),
+            Some((104, "stale overflow"))
+        );
+        assert_eq!(q.next_cycle(), Some(106));
+        assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((106, "ring late")));
+        assert_eq!(q.next_cycle(), None);
+    }
+
+    /// Epoch-boundary shape used by the sharded engine: events exactly at
+    /// `epoch + lookahead` must be visible to `next_cycle` and pop after
+    /// every event of the current cycle, for all three implementations.
+    #[test]
+    fn events_exactly_at_epoch_plus_lookahead_order_after_current_cycle() {
+        const LOOKAHEAD: u64 = 3; // mesh router + one hop (min_remote_latency)
+        for kind in [QueueKind::Calendar, QueueKind::Heap, QueueKind::Controlled] {
+            let mut q: EventQueue<u32> = EventQueue::new(kind);
+            let epoch = 41u64;
+            q.push(epoch, 0);
+            q.push(epoch + LOOKAHEAD, 10); // cross-shard delivery, earliest legal
+            q.push(epoch, 1); // same-cycle tie: FIFO after 0
+            q.push(epoch + LOOKAHEAD, 11);
+            assert_eq!(q.next_cycle(), Some(epoch));
+            assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((epoch, 0)));
+            assert_eq!(q.pop().map(|(at, _, v)| (at, v)), Some((epoch, 1)));
+            assert_eq!(q.next_cycle(), Some(epoch + LOOKAHEAD), "{kind:?}");
+            assert_eq!(
+                q.pop().map(|(at, _, v)| (at, v)),
+                Some((epoch + LOOKAHEAD, 10))
+            );
+            assert_eq!(
+                q.pop().map(|(at, _, v)| (at, v)),
+                Some((epoch + LOOKAHEAD, 11))
+            );
+            assert_eq!(q.pop(), None);
         }
     }
 }

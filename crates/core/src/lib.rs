@@ -23,10 +23,11 @@ pub mod equeue;
 pub mod kernel;
 pub mod pending;
 pub mod proto;
+mod sharded;
 pub mod sim;
 pub mod workload;
 
-pub use config::SystemConfig;
+pub use config::{EngineKind, SystemConfig};
 pub use equeue::QueueKind;
 pub use gsim_check::{CheckLevel, CheckReport};
 pub use sim::{Candidate, Decision, ExploredRun, Footprint, SimError, Simulator};

@@ -39,10 +39,11 @@ use gsim_protocol::{Action, ActionVec, Issue, L1Config};
 use gsim_trace::{TraceEvent, TraceHandle};
 use gsim_types::{
     AtomicOp, Component, Counts, Cycle, FxHashMap, LatencyBreakdown, Msg, NodeId, ReqId, Scope,
-    SimStats, TbId, Value, WordAddr,
+    SimStats, SyncOrd, TbId, Value, WordAddr,
 };
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Why a run failed.
@@ -153,6 +154,154 @@ struct SchedState {
     decisions: Vec<Decision>,
 }
 
+/// Shard-local [`ReqId`]s carry their shard in the top byte so the ids
+/// minted by different workers never collide (the protocol treats ids
+/// opaquely; the sequential engine uses base 0, i.e. the same ids as
+/// before).
+pub(crate) const REQ_SHARD_SHIFT: u32 = 56;
+
+/// Where the engine stands in the kernel-launch lifecycle. Transitions
+/// happen only at *cycle boundaries* (no event left at the current
+/// cycle) — identically in the sequential and sharded engines, which is
+/// what lets a shard run a whole cycle without observing the others
+/// mid-cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum KernelPhase {
+    /// About to launch kernel `i` (or finish, if `i` is past the end).
+    Launch(usize),
+    /// Thread blocks executing; ready to advance when all have retired.
+    Running,
+    /// End-of-kernel releases issued; ready when every drain completed.
+    Draining,
+    /// All kernels done.
+    Finished,
+}
+
+/// A race-detector operation recorded by a worker shard for the
+/// coordinator to apply, in the global event order, to the one shared
+/// [`RaceDetector`]. Thread blocks are identified by their *global* id
+/// (equal to the engine-local index on the sequential engine).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RaceOp {
+    DataRead {
+        tb: usize,
+        word: WordAddr,
+    },
+    DataWrite {
+        tb: usize,
+        word: WordAddr,
+    },
+    SyncHit {
+        tb: usize,
+        word: WordAddr,
+        key: SyncKey,
+        ord: SyncOrd,
+        writes: bool,
+    },
+    SyncPending {
+        req: ReqId,
+        tb: usize,
+        word: WordAddr,
+        key: SyncKey,
+        ord: SyncOrd,
+        writes: bool,
+    },
+    SyncFinish {
+        req: ReqId,
+    },
+}
+
+impl RaceOp {
+    pub(crate) fn apply(self, r: &mut RaceDetector) {
+        match self {
+            RaceOp::DataRead { tb, word } => r.data_read(tb, word),
+            RaceOp::DataWrite { tb, word } => r.data_write(tb, word),
+            RaceOp::SyncHit {
+                tb,
+                word,
+                key,
+                ord,
+                writes,
+            } => r.sync_hit(tb, word, key, ord, writes),
+            RaceOp::SyncPending {
+                req,
+                tb,
+                word,
+                key,
+                ord,
+                writes,
+            } => r.sync_pending(req, tb, word, key, ord, writes),
+            RaceOp::SyncFinish { req } => r.sync_finish(req),
+        }
+    }
+}
+
+/// One side effect a worker shard recorded while processing an event
+/// (or running a kernel-boundary step), for the coordinator to replay
+/// in the global order.
+#[derive(Debug)]
+pub(crate) enum FxItem {
+    /// A same-cycle event was pushed onto this shard's own queue (and
+    /// will be processed later in the same phase). The coordinator only
+    /// needs the marker: it spawns the interleaver token that keeps the
+    /// global pop order reconstructible.
+    LocalPush,
+    /// A future-cycle event for this shard's own queue. Never pushed
+    /// locally: the coordinator pushes it so the interleaver sees the
+    /// global push order.
+    Future { at: Cycle, ev: Event },
+    /// A mesh send. The coordinator routes it through the one global
+    /// mesh (link arbitration is shared state) and schedules the
+    /// `Deliver` on the destination's shard.
+    Send { delay: Cycle, msg: Msg },
+    /// A race-detector operation (only recorded under
+    /// [`CheckLevel::Full`]).
+    Race(RaceOp),
+}
+
+/// Everything one event (or boundary step) did, in order.
+pub(crate) type EventFx = Vec<FxItem>;
+
+/// Worker-shard recording state. `Some` turns the [`Machine`] into a
+/// shard worker: scheduling and mesh sends are captured into `cur`
+/// instead of (or in addition to) acting locally.
+#[derive(Debug, Default)]
+struct ShardCtx {
+    /// The side effects of the event currently being processed.
+    cur: EventFx,
+    /// Inside `run_phase` (same-cycle pushes may act locally) vs. a
+    /// boundary step (everything is deferred to the coordinator).
+    in_phase: bool,
+}
+
+/// Per-shard progress the coordinator polls to drive kernel boundaries.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardStatus {
+    pub tbs_finished: usize,
+    pub tbs_total: usize,
+    pub drain_left: usize,
+}
+
+/// What a worker shard hands back at the end of a run: its slice of the
+/// audit/stats/memory state for the coordinator to merge.
+#[derive(Debug)]
+pub(crate) struct ShardFinish {
+    /// Violations this shard's checkers found (shard-local audits).
+    pub report: CheckReport,
+    /// Engine + L1 + L2 counters for this shard's nodes.
+    pub counts: Counts,
+    /// Engine-attributed latency histograms for this shard's requests.
+    pub latency: LatencyBreakdown,
+    /// Registered words still owned by this shard's L1s at the end,
+    /// with their owning node: `(word, node, value)`.
+    pub owned: Vec<(WordAddr, usize, Value)>,
+    /// The L2 registry entries of this shard's banks.
+    pub registry: Vec<(WordAddr, NodeId)>,
+    /// This shard's final memory image (its banks' lines are
+    /// authoritative; other lines hold only initial values).
+    pub memory: MemoryImage,
+}
+
 /// The public entry point: runs workloads under one [`SystemConfig`].
 ///
 /// # Examples
@@ -254,9 +403,28 @@ impl Simulator {
         workload: &Workload,
         trace: TraceHandle,
     ) -> Result<(SimStats, Option<ProfileReport>), SimError> {
+        if let Some((shards, lookahead)) = self.sharded_engine(&trace) {
+            return crate::sharded::run_sharded(&self.config, workload, shards, lookahead)
+                .map(|stats| (stats, None));
+        }
         Machine::new(&self.config, workload, trace)
             .run(workload)
             .map(|out| (out.stats, out.profile))
+    }
+
+    /// Whether this run goes to the sharded engine: configured for it,
+    /// and no observer or controlled queue is attached (those paths
+    /// need the single-machine engine; results are byte-identical
+    /// either way, so falling back only costs wall-clock).
+    fn sharded_engine(&self, trace: &TraceHandle) -> Option<(usize, Cycle)> {
+        let crate::config::EngineKind::Sharded { shards, lookahead } = self.config.engine else {
+            return None;
+        };
+        let sequential_only = trace.is_enabled()
+            || self.config.prof.enabled()
+            || self.config.flow.enabled()
+            || matches!(self.config.event_queue, QueueKind::Controlled);
+        (!sequential_only).then_some((shards, lookahead))
     }
 
     /// As [`run`](Self::run), additionally returning the flow report
@@ -272,7 +440,12 @@ impl Simulator {
         &self,
         workload: &Workload,
     ) -> Result<(SimStats, Option<FlowReport>), SimError> {
-        Machine::new(&self.config, workload, TraceHandle::disabled())
+        let trace = TraceHandle::disabled();
+        if let Some((shards, lookahead)) = self.sharded_engine(&trace) {
+            return crate::sharded::run_sharded(&self.config, workload, shards, lookahead)
+                .map(|stats| (stats, None));
+        }
+        Machine::new(&self.config, workload, trace)
             .run(workload)
             .map(|out| (out.stats, out.flow))
     }
@@ -365,9 +538,10 @@ enum TbStatus {
 /// One resident or queued thread block.
 #[derive(Debug)]
 struct Tb {
-    /// Thread-block id (register 0 by workload convention; kept for
-    /// debug output).
-    #[allow(dead_code)]
+    /// The *global* thread-block id (register 0 by workload
+    /// convention). On a worker shard the engine-local index only runs
+    /// over the shard's own thread blocks, so traces and race-detector
+    /// keys go through this id instead.
     id: TbId,
     cu: usize,
     slot: usize,
@@ -399,7 +573,7 @@ struct Cu {
 }
 
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     /// Issue one instruction on the CU.
     CuTick(usize),
     /// A network message arrives.
@@ -410,7 +584,7 @@ enum Event {
     TbWake { tb: usize },
 }
 
-struct Machine {
+pub(crate) struct Machine {
     protocol: gsim_types::ProtocolConfig,
     gpu_cus: usize,
     tbs_per_cu: usize,
@@ -431,12 +605,22 @@ struct Machine {
     /// histograms), slot-indexed by the densely minted [`ReqId`]s.
     pending: PendingTable<(Target, Cycle)>,
     next_req: u64,
+    /// OR-ed into every minted [`ReqId`]: `shard << REQ_SHARD_SHIFT`
+    /// on a worker shard, `0` on the sequential engine.
+    req_base: u64,
 
     kernels_done: usize,
     tbs_finished: usize,
     drain_left: usize,
     /// Index of the kernel currently executing (for trace events).
     kernel_index: usize,
+    /// Where the engine stands in the kernel lifecycle (advanced only
+    /// at cycle boundaries; see [`KernelPhase`]).
+    phase: KernelPhase,
+    /// First mesh node this machine owns (0 on the sequential engine).
+    node_lo: usize,
+    /// One past the last owned node (`mesh.nodes()` when sequential).
+    node_hi: usize,
     /// Engine-side counters (instructions, scratch, active cycles).
     counts: Counts,
     /// Engine-attributed latency histograms.
@@ -463,8 +647,16 @@ struct Machine {
     /// Conformance-checking level for this run.
     check: CheckLevel,
     /// The happens-before race detector (only under [`CheckLevel::Full`];
-    /// boxed because its maps dwarf the rest of the machine).
+    /// boxed because its maps dwarf the rest of the machine). On worker
+    /// shards this is `None` — the coordinator owns the one detector
+    /// and workers record [`RaceOp`]s instead (see `race_hooks`).
     races: Option<Box<RaceDetector>>,
+    /// Race hooks are live: either `races` is `Some` (sequential) or
+    /// the shard context records the ops (worker under `Full`).
+    race_hooks: bool,
+    /// Worker-shard recording state (`None` on the sequential engine:
+    /// the hot paths pay one branch).
+    shard: Option<ShardCtx>,
     /// Violations accumulated by every checker layer.
     report: CheckReport,
     /// Schedule controller for exploration/replay runs (`None` on the
@@ -529,10 +721,14 @@ impl Machine {
             tbs: Vec::new(),
             pending: PendingTable::new(),
             next_req: 0,
+            req_base: 0,
             kernels_done: 0,
             tbs_finished: 0,
             drain_left: 0,
             kernel_index: 0,
+            phase: KernelPhase::Launch(0),
+            node_lo: 0,
+            node_hi: config.mesh.nodes(),
             counts: Counts::default(),
             latency: LatencyBreakdown::default(),
             trace,
@@ -545,10 +741,34 @@ impl Machine {
             sync_inflight: 0,
             check: config.check,
             races: config.check.races().then(|| Box::new(RaceDetector::new())),
+            race_hooks: config.check.races(),
+            shard: None,
             report: CheckReport::default(),
             sched: None,
             obs_words: Vec::new(),
         }
+    }
+
+    /// Builds a worker machine for one shard of a sharded run: it owns
+    /// the mesh nodes in `nodes` (CUs/L1s and the L2 banks homed
+    /// there), mints shard-prefixed request ids, and records every
+    /// cross-cutting side effect into its [`ShardCtx`] instead of (or
+    /// in addition to) acting locally. The race detector, the mesh, and
+    /// the trace/prof/flow observers all live on the coordinator side —
+    /// a worker's own copies stay disabled/unused.
+    pub(crate) fn new_worker(
+        config: &SystemConfig,
+        workload: &Workload,
+        shard: usize,
+        nodes: Range<usize>,
+    ) -> Machine {
+        let mut m = Machine::new(config, workload, TraceHandle::disabled());
+        m.node_lo = nodes.start;
+        m.node_hi = nodes.end;
+        m.req_base = (shard as u64) << REQ_SHARD_SHIFT;
+        m.races = None; // the coordinator owns the one detector
+        m.shard = Some(ShardCtx::default());
+        m
     }
 
     /// Pops the next event: the production path is a straight
@@ -670,18 +890,56 @@ impl Machine {
 
     #[inline]
     fn schedule(&mut self, at: Cycle, ev: Event) {
+        if let Some(ctx) = &mut self.shard {
+            if !ctx.in_phase || at > self.now {
+                // Future events go through the coordinator so its
+                // interleaver sees the global push order; so do *all*
+                // pushes from kernel-boundary steps.
+                ctx.cur.push(FxItem::Future { at, ev });
+                return;
+            }
+            // A same-cycle push during a phase stays local (it is
+            // processed later in this very phase); the marker lets the
+            // coordinator keep the global pop order reconstructible.
+            ctx.cur.push(FxItem::LocalPush);
+        }
         self.events.push(at, ev);
     }
 
     fn alloc_req(&mut self) -> ReqId {
         self.next_req += 1;
-        ReqId(self.next_req)
+        ReqId(self.req_base | self.next_req)
+    }
+
+    /// Feeds one race-detector operation to wherever it belongs: the
+    /// local detector (sequential engine) or the shard log (worker).
+    /// Callers gate on [`Machine::race_hooks`] so the argument is never
+    /// built when checking is off.
+    fn race_op(&mut self, op: RaceOp) {
+        if let Some(ctx) = &mut self.shard {
+            ctx.cur.push(FxItem::Race(op));
+        } else if let Some(r) = &mut self.races {
+            op.apply(r);
+        }
+    }
+
+    /// The *global* thread-block id race operations are keyed by (the
+    /// engine-local index only equals it on the sequential engine).
+    fn global_tb(&self, tb: usize) -> usize {
+        self.tbs[tb].id.0 as usize
     }
 
     /// Maps a program-level scope to the effective locality under the
     /// configured consistency model (DRF ignores scopes).
     fn effective_local(&self, scope: Scope) -> bool {
         self.protocol.honours_scopes() && scope == Scope::Local
+    }
+
+    /// The CUs this machine owns: all of them on the sequential engine,
+    /// the shard's node slice (clipped to the CU count — the last node
+    /// is the CPU/L2-only node) on a worker.
+    fn cu_range(&self) -> Range<usize> {
+        self.node_lo..self.node_hi.min(self.gpu_cus)
     }
 
     fn ensure_tick(&mut self, cu: usize, at: Cycle) {
@@ -695,8 +953,16 @@ impl Machine {
         for a in actions {
             match a {
                 Action::Send { msg, delay } => {
-                    let arrival = self.mesh.send(self.now + delay, &msg);
-                    self.schedule(arrival, Event::Deliver(msg));
+                    if let Some(ctx) = &mut self.shard {
+                        // Link arbitration is global state: the
+                        // coordinator replays this send through the one
+                        // mesh, in the global order, and schedules the
+                        // `Deliver` on the destination's shard.
+                        ctx.cur.push(FxItem::Send { delay, msg });
+                    } else {
+                        let arrival = self.mesh.send(self.now + delay, &msg);
+                        self.schedule(arrival, Event::Deliver(msg));
+                    }
                 }
                 Action::Complete { req, value, delay } => {
                     self.schedule(self.now + delay, Event::Finish { req, value });
@@ -711,9 +977,9 @@ impl Machine {
             index: index as u32,
             tbs: launch.tbs.len() as u32,
         });
-        // Kernel-launch acquire on every CU (paper §1: invalidate at the
-        // start of the kernel).
-        for cu in 0..self.gpu_cus {
+        // Kernel-launch acquire on every owned CU (paper §1: invalidate
+        // at the start of the kernel).
+        for cu in self.cu_range() {
             self.l1s[cu].acquire(false);
             self.check_post_acquire(cu);
         }
@@ -727,8 +993,13 @@ impl Machine {
             c.queue.clear();
             c.rr = 0;
         }
+        let cu_range = self.cu_range();
         for (i, spec) in launch.tbs.iter().enumerate() {
             let cu = i % self.gpu_cus;
+            if !cu_range.contains(&cu) {
+                continue; // another shard's thread block
+            }
+            let tb = self.tbs.len();
             self.tbs.push(Tb {
                 id: TbId(i as u32),
                 cu,
@@ -742,15 +1013,16 @@ impl Machine {
                 sync_started: None,
                 wait: StallKind::Issue,
             });
-            self.cus[cu].queue.push_back(i);
+            self.cus[cu].queue.push_back(tb);
         }
-        for cu in 0..self.gpu_cus {
+        for cu in self.cu_range() {
             for slot in 0..self.tbs_per_cu {
                 if let Some(tb) = self.cus[cu].queue.pop_front() {
                     self.cus[cu].slots[slot] = Some(tb);
                     self.tbs[tb].slot = slot;
+                    let id = self.tbs[tb].id;
                     self.trace.emit(|| TraceEvent::TbLaunch {
-                        tb: TbId(tb as u32),
+                        tb: id,
                         cu: NodeId(cu as u8),
                     });
                 } else {
@@ -767,12 +1039,12 @@ impl Machine {
         }
     }
 
-    /// End-of-kernel release on every CU; the next kernel starts when
-    /// every flush completes.
+    /// End-of-kernel release on every owned CU; the next kernel starts
+    /// when every flush completes (a [`KernelPhase::Draining`] boundary).
     fn end_kernel(&mut self) {
         debug_assert_eq!(self.drain_left, 0);
         let mut all = ActionVec::new();
-        for cu in 0..self.gpu_cus {
+        for cu in self.cu_range() {
             let req = self.alloc_req();
             let (issue, actions) = self.l1s[cu].release(false, req);
             if issue == Issue::Pending {
@@ -786,18 +1058,21 @@ impl Machine {
             all.append(&actions);
         }
         self.process_actions(all);
-        if self.drain_left == 0 {
-            self.on_kernel_drained();
-        }
     }
 
-    /// Every end-of-kernel release completed. Invariant: a completed
+    /// Every end-of-kernel release completed (the
+    /// [`KernelPhase::Draining`] boundary fired). Invariant: a completed
     /// release leaves the store buffer empty — anything still pending
     /// here is a word the flush silently dropped.
     fn on_kernel_drained(&mut self) {
         self.kernels_done += 1;
         let index = self.kernel_index as u32;
         self.trace.emit(|| TraceEvent::KernelEnd { index });
+        self.audit_kernel_drain(index);
+    }
+
+    /// The drained-kernel store-buffer audit, shared by both engines.
+    fn audit_kernel_drain(&mut self, index: u32) {
         if self.check.invariants() {
             let mut dirty = Vec::new();
             for (cu, l1) in self.l1s.iter().enumerate() {
@@ -821,26 +1096,29 @@ impl Machine {
         self.tbs[tb].status = TbStatus::Done;
         self.cus[cu].slots[slot] = None;
         self.tbs_finished += 1;
+        let id = self.tbs[tb].id;
         self.trace.emit(|| TraceEvent::TbRetire {
-            tb: TbId(tb as u32),
+            tb: id,
             cu: NodeId(cu as u8),
         });
         if let Some(next) = self.cus[cu].queue.pop_front() {
             self.cus[cu].slots[slot] = Some(next);
             self.tbs[next].slot = slot;
+            let id = self.tbs[next].id;
             self.trace.emit(|| TraceEvent::TbLaunch {
-                tb: TbId(next as u32),
+                tb: id,
                 cu: NodeId(cu as u8),
             });
         }
         if self.cus[cu].slots.iter().all(Option::is_none) {
             // The CU emptied mid-kernel: idle until the next kernel
-            // (end_kernel below may override to a drain wait).
+            // boundary (which may override to a drain wait).
             self.prof.set_state(cu, self.now, StallKind::Idle);
         }
-        if self.tbs_finished == self.tbs.len() {
-            self.end_kernel();
-        }
+        // The last retirement does NOT end the kernel here: that is a
+        // cycle-boundary step (the run loop fires it once no event
+        // remains at the current cycle), so a shard can finish a whole
+        // cycle without observing the other shards' progress.
     }
 
     /// Executes one instruction (or one phase of a releasing sync op)
@@ -876,8 +1154,9 @@ impl Machine {
                 let (issue, actions) = self.l1s[cu].load(word, region, req);
                 if matches!(issue, Issue::Hit(_) | Issue::Pending) {
                     self.prof.line_access(cu, word.line());
-                    if let Some(r) = &mut self.races {
-                        r.data_read(tb, word);
+                    if self.race_hooks {
+                        let t = self.global_tb(tb);
+                        self.race_op(RaceOp::DataRead { tb: t, word });
                     }
                 }
                 let bucket = match issue {
@@ -940,8 +1219,9 @@ impl Machine {
                 };
                 let (_, actions) = self.l1s[cu].store(word, v);
                 self.prof.line_access(cu, word.line());
-                if let Some(r) = &mut self.races {
-                    r.data_write(tb, word);
+                if self.race_hooks {
+                    let t = self.global_tb(tb);
+                    self.race_op(RaceOp::DataWrite { tb: t, word });
                 }
                 self.tbs[tb].pc += 1;
                 self.process_actions(actions);
@@ -1016,24 +1296,39 @@ impl Machine {
                 let (issue, actions) = self.l1s[cu].atomic(word, op, operands, ord, local, req);
                 if matches!(issue, Issue::Hit(_) | Issue::Pending) {
                     self.prof.line_access(cu, word.line());
+                    let id = self.tbs[tb].id;
                     self.trace.emit(|| TraceEvent::AtomicIssue {
-                        tb: TbId(tb as u32),
+                        tb: id,
                         cu: NodeId(cu as u8),
                         word,
                         ord,
                         scope,
                     });
-                    if let Some(r) = &mut self.races {
+                    if self.race_hooks {
                         let key = if local {
                             SyncKey::Local(NodeId(cu as u8))
                         } else {
                             SyncKey::Global
                         };
                         let writes = !matches!(op, AtomicOp::Read);
+                        let t = self.global_tb(tb);
                         if matches!(issue, Issue::Hit(_)) {
-                            r.sync_hit(tb, word, key, ord, writes);
+                            self.race_op(RaceOp::SyncHit {
+                                tb: t,
+                                word,
+                                key,
+                                ord,
+                                writes,
+                            });
                         } else {
-                            r.sync_pending(req, tb, word, key, ord, writes);
+                            self.race_op(RaceOp::SyncPending {
+                                req,
+                                tb: t,
+                                word,
+                                key,
+                                ord,
+                                writes,
+                            });
                         }
                     }
                 }
@@ -1229,10 +1524,9 @@ impl Machine {
             Target::KernelDrain { cu } => {
                 self.latency.sb_drain.record(self.now - issued_at);
                 self.prof.set_state(cu, self.now, StallKind::Idle);
+                // `drain_left == 0` fires `on_kernel_drained` at the
+                // next cycle boundary (see `kernel_boundary_step`).
                 self.drain_left -= 1;
-                if self.drain_left == 0 {
-                    self.on_kernel_drained();
-                }
             }
             Target::Tb { tb, cont } => {
                 match cont {
@@ -1247,8 +1541,8 @@ impl Machine {
                         let started = self.tbs[tb].sync_started.take().unwrap_or(issued_at);
                         self.latency.barrier_wait.record(self.now - started);
                         self.tbs[tb].regs[dst as usize] = value;
-                        if let Some(r) = &mut self.races {
-                            r.sync_finish(req);
+                        if self.race_hooks {
+                            self.race_op(RaceOp::SyncFinish { req });
                         }
                         if let Some(local) = acquire {
                             let cu = self.tbs[tb].cu;
@@ -1272,23 +1566,83 @@ impl Machine {
         }
     }
 
-    fn run(mut self, workload: &Workload) -> Result<RunOut, SimError> {
-        let total_kernels = workload.kernels.len();
-        if total_kernels > 0 {
-            self.start_kernel(0, &workload.kernels[0]);
-            if workload.kernels[0].tbs.is_empty() {
+    /// Whether the kernel lifecycle can advance at the next cycle
+    /// boundary (all thread blocks retired, all drains completed, or a
+    /// launch is simply due).
+    fn boundary_ready(&self) -> bool {
+        match self.phase {
+            KernelPhase::Launch(_) => true,
+            KernelPhase::Running => self.tbs_finished == self.tbs.len(),
+            KernelPhase::Draining => self.drain_left == 0,
+            KernelPhase::Finished => false,
+        }
+    }
+
+    /// One kernel-lifecycle transition, fired at a cycle boundary (no
+    /// event left at the current cycle, [`Self::boundary_ready`]). A
+    /// kernel with no thread blocks cascades through launch → end →
+    /// drained → next launch at a single boundary.
+    fn kernel_boundary_step(&mut self, workload: &Workload) {
+        match self.phase {
+            KernelPhase::Launch(i) => {
+                if i < workload.kernels.len() {
+                    self.start_kernel(i, &workload.kernels[i]);
+                    self.phase = KernelPhase::Running;
+                } else {
+                    self.phase = KernelPhase::Finished;
+                }
+            }
+            KernelPhase::Running => {
                 self.end_kernel();
+                self.phase = KernelPhase::Draining;
+            }
+            KernelPhase::Draining => {
+                self.on_kernel_drained();
+                self.phase = KernelPhase::Launch(self.kernel_index + 1);
+            }
+            KernelPhase::Finished => unreachable!("no boundary past the last kernel"),
+        }
+    }
+
+    /// Processes one popped event (shared by the sequential run loop
+    /// and a worker shard's phase loop).
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::CuTick(cu) => self.on_cu_tick(cu),
+            Event::Deliver(msg) => {
+                self.trace.emit(|| TraceEvent::MsgDeliver {
+                    src: msg.src,
+                    dst: msg.dst,
+                    class: msg.class(),
+                });
+                let actions = match msg.dst_comp {
+                    Component::L1 => self.l1s[msg.dst.index()].handle(&msg),
+                    Component::L2 => {
+                        self.flow.l2_delivery(msg.dst);
+                        self.l2.handle(self.now, &msg)
+                    }
+                };
+                self.process_actions(actions);
+            }
+            Event::Finish { req, value } => self.finish_req(req, value),
+            Event::TbWake { tb } => {
+                if self.tbs[tb].status == TbStatus::Blocked {
+                    self.tbs[tb].status = TbStatus::Ready;
+                }
+                let (cu, at) = (self.tbs[tb].cu, self.now);
+                self.ensure_tick(cu, at);
             }
         }
-        let mut started = 1;
+    }
+
+    fn run(mut self, workload: &Workload) -> Result<RunOut, SimError> {
+        let total_kernels = workload.kernels.len();
         loop {
-            // Launch the next kernel as soon as the previous drained.
-            if self.kernels_done == started && started < total_kernels {
-                self.start_kernel(started, &workload.kernels[started]);
-                if workload.kernels[started].tbs.is_empty() {
-                    self.end_kernel();
-                }
-                started += 1;
+            // Kernel transitions fire only once the current cycle has
+            // fully drained — the same boundary the sharded engine
+            // synchronizes its shards on.
+            while self.boundary_ready() && self.events.next_cycle() != Some(self.now) {
+                self.kernel_boundary_step(workload);
             }
             let Some((at, _seq, ev)) = self.next_event() else {
                 break;
@@ -1313,32 +1667,7 @@ impl Machine {
                     report: self.watchdog_report(),
                 });
             }
-            match ev {
-                Event::CuTick(cu) => self.on_cu_tick(cu),
-                Event::Deliver(msg) => {
-                    self.trace.emit(|| TraceEvent::MsgDeliver {
-                        src: msg.src,
-                        dst: msg.dst,
-                        class: msg.class(),
-                    });
-                    let actions = match msg.dst_comp {
-                        Component::L1 => self.l1s[msg.dst.index()].handle(&msg),
-                        Component::L2 => {
-                            self.flow.l2_delivery(msg.dst);
-                            self.l2.handle(self.now, &msg)
-                        }
-                    };
-                    self.process_actions(actions);
-                }
-                Event::Finish { req, value } => self.finish_req(req, value),
-                Event::TbWake { tb } => {
-                    if self.tbs[tb].status == TbStatus::Blocked {
-                        self.tbs[tb].status = TbStatus::Ready;
-                    }
-                    let (cu, at) = (self.tbs[tb].cu, self.now);
-                    self.ensure_tick(cu, at);
-                }
-            }
+            self.handle_event(ev);
         }
         assert_eq!(
             self.kernels_done, total_kernels,
@@ -1467,6 +1796,31 @@ impl Machine {
     /// disjoint, at most one L1 may hold each word registered, and the
     /// LLC registry must agree with the L1s about every owner.
     fn end_of_run_audit(&mut self) {
+        self.audit_quiesce_and_masks();
+        let busy = self.mesh.links_busy_after(self.now);
+        if busy > 0 {
+            self.violation(
+                CheckKind::QuiesceLeak,
+                format!("{busy} NoC link(s) busy past the final cycle (alloc event: msg-send)"),
+            );
+        }
+        let mut owned = Vec::new();
+        for (cu, l1) in self.l1s.iter().enumerate() {
+            owned.extend(l1.owned_words().into_iter().map(|(w, _)| (w, cu)));
+        }
+        let registry = self.l2.registry_owners();
+        for (kind, detail) in audit_ownership(&owned, &registry) {
+            self.violation(kind, detail);
+        }
+    }
+
+    /// The shard-local half of the end-of-run audit: every structure
+    /// that holds in-flight state must have drained to zero, and the
+    /// valid/owned word masks must be disjoint. (Mesh-link and
+    /// cross-shard ownership checks live with whoever owns the mesh and
+    /// the full owner view: [`Self::end_of_run_audit`] sequentially,
+    /// the coordinator on a sharded run.)
+    fn audit_quiesce_and_masks(&mut self) {
         let mut found: Vec<(CheckKind, String)> = Vec::new();
 
         // Quiesce: leaked resources, each named with its allocating
@@ -1487,13 +1841,6 @@ impl Machine {
             }
             found.push((CheckKind::QuiesceLeak, detail));
         }
-        let busy = self.mesh.links_busy_after(self.now);
-        if busy > 0 {
-            found.push((
-                CheckKind::QuiesceLeak,
-                format!("{busy} NoC link(s) busy past the final cycle (alloc event: msg-send)"),
-            ));
-        }
 
         // Valid/owned disjointness per L1.
         for (cu, l1) in self.l1s.iter().enumerate() {
@@ -1506,61 +1853,135 @@ impl Machine {
             }
         }
 
-        // Single owner per word across L1s, then registry agreement in
-        // both directions.
-        let mut owners: FxHashMap<WordAddr, usize> = FxHashMap::default();
-        for (cu, l1) in self.l1s.iter().enumerate() {
-            for (w, _) in l1.owned_words() {
-                if let Some(prev) = owners.insert(w, cu) {
-                    found.push((
-                        CheckKind::MultipleOwners,
-                        format!("word {}: registered at both node {prev} and node {cu}", w.0),
-                    ));
-                }
-            }
-        }
-        let registry = self.l2.registry_owners();
-        for &(w, n) in &registry {
-            match owners.get(&w) {
-                Some(&cu) if cu == n.index() => {}
-                Some(&cu) => found.push((
-                    CheckKind::RegistryMismatch,
-                    format!(
-                        "word {}: registry records owner node {}, but node {cu} holds it",
-                        w.0,
-                        n.index()
-                    ),
-                )),
-                None => found.push((
-                    CheckKind::RegistryMismatch,
-                    format!(
-                        "word {}: registry records owner node {}, but no L1 owns it",
-                        w.0,
-                        n.index()
-                    ),
-                )),
-            }
-        }
-        let registered: FxHashMap<WordAddr, NodeId> = registry.into_iter().collect();
-        for (&w, &cu) in &owners {
-            if !registered.contains_key(&w) {
-                found.push((
-                    CheckKind::RegistryMismatch,
-                    format!(
-                        "word {}: node {cu} holds a registration the registry lost",
-                        w.0
-                    ),
-                ));
-            }
-        }
-
         for (kind, detail) in found {
             self.violation(kind, detail);
         }
     }
 
+    /// Runs one synchronized phase on a worker shard: processes `batch`
+    /// (this shard's events at cycle `now`, already in the global
+    /// order) plus whatever same-cycle events they push locally, and
+    /// returns one [`EventFx`] log per processed event, in processing
+    /// order. The queue is empty again when the phase returns — every
+    /// future-cycle push was captured for the coordinator instead.
+    pub(crate) fn run_phase(&mut self, now: Cycle, batch: Vec<Event>) -> Vec<EventFx> {
+        debug_assert_eq!(self.events.len(), 0, "a phase starts with an empty queue");
+        self.now = now;
+        {
+            let ctx = self.shard.as_mut().expect("run_phase needs a worker");
+            debug_assert!(ctx.cur.is_empty());
+            ctx.in_phase = true;
+        }
+        for ev in batch {
+            self.events.push(now, ev);
+        }
+        let mut log = Vec::new();
+        while let Some((at, _seq, ev)) = self.events.pop() {
+            debug_assert_eq!(at, now, "a phase only processes its own cycle");
+            self.handle_event(ev);
+            let ctx = self.shard.as_mut().expect("run_phase needs a worker");
+            log.push(std::mem::take(&mut ctx.cur));
+        }
+        self.shard
+            .as_mut()
+            .expect("run_phase needs a worker")
+            .in_phase = false;
+        log
+    }
+
+    /// Kernel-launch boundary on a worker shard: launches this shard's
+    /// slice of the kernel's thread blocks and returns the deferred
+    /// side effects (the initial CU ticks) for the coordinator to
+    /// replay.
+    pub(crate) fn shard_start_kernel(
+        &mut self,
+        now: Cycle,
+        index: usize,
+        launch: &KernelLaunch,
+    ) -> EventFx {
+        self.now = now;
+        self.start_kernel(index, launch);
+        self.take_boundary_fx()
+    }
+
+    /// Kernel-end boundary on a worker shard: issues the end-of-kernel
+    /// releases on this shard's CUs and returns the deferred side
+    /// effects (flush traffic, drain completions).
+    pub(crate) fn shard_end_kernel(&mut self, now: Cycle) -> EventFx {
+        self.now = now;
+        self.end_kernel();
+        self.take_boundary_fx()
+    }
+
+    /// Kernel-drained boundary on a worker shard (runs the store-buffer
+    /// audit over this shard's CUs).
+    pub(crate) fn shard_kernel_drained(&mut self) {
+        self.on_kernel_drained();
+    }
+
+    fn take_boundary_fx(&mut self) -> EventFx {
+        let ctx = self.shard.as_mut().expect("a worker boundary step");
+        debug_assert!(!ctx.in_phase, "boundaries run between phases");
+        std::mem::take(&mut ctx.cur)
+    }
+
+    /// This shard's kernel-lifecycle progress, polled by the
+    /// coordinator to decide boundary transitions.
+    pub(crate) fn shard_status(&self) -> ShardStatus {
+        ShardStatus {
+            tbs_finished: self.tbs_finished,
+            tbs_total: self.tbs.len(),
+            drain_left: self.drain_left,
+        }
+    }
+
+    /// End of a sharded run: runs the shard-local audits and the
+    /// functional drain over this shard's slice, and hands the
+    /// coordinator everything it needs to merge the run result.
+    pub(crate) fn shard_finish(mut self) -> ShardFinish {
+        if self.check.invariants() {
+            self.audit_quiesce_and_masks();
+        } else {
+            for l1 in &self.l1s {
+                assert!(
+                    l1.quiesced(),
+                    "an L1 still has in-flight state at end of run"
+                );
+            }
+        }
+        // The sequential engine's functional drain, restricted to this
+        // shard's nodes: registered words and dirty L2 lines reach this
+        // shard's memory image. Each line is authoritative in exactly
+        // one shard's image (its home bank's); owned words whose home
+        // bank lives on another shard are re-applied by the coordinator
+        // from the `owned` list.
+        let mut owned = Vec::new();
+        for node in self.node_lo..self.node_hi {
+            for (w, v) in self.l1s[node].owned_words() {
+                owned.push((w, node, v));
+            }
+        }
+        for &(w, _, v) in &owned {
+            self.l2.memory_mut().write_word(w, v);
+        }
+        self.l2.flush_to_memory();
+        let mut counts = self.counts;
+        for l1 in &self.l1s {
+            counts += *l1.counts();
+        }
+        counts += *self.l2.counts();
+        ShardFinish {
+            report: self.report,
+            counts,
+            latency: self.latency,
+            owned,
+            registry: self.l2.registry_owners(),
+            memory: self.l2.memory().clone(),
+        }
+    }
+
     /// Summarizes thread-block and request state when the watchdog fires.
-    fn watchdog_report(&self) -> String {
+    pub(crate) fn watchdog_report(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
         let mut by_state: HashMap<(TbStatus, usize, bool), usize> = HashMap::new();
@@ -1610,6 +2031,62 @@ impl Machine {
             latency: self.latency,
         }
     }
+}
+
+/// Cross-L1 ownership audit: at most one L1 may hold each registered
+/// word, and the LLC registry must agree with the L1s about every owner
+/// in both directions. Free-standing (over plain `(word, node)` slices)
+/// so the sharded coordinator can run it across the shards'
+/// concatenated views — which, shards being contiguous node ranges, is
+/// exactly the sequential engine's node-order view.
+pub(crate) fn audit_ownership(
+    owned: &[(WordAddr, usize)],
+    registry: &[(WordAddr, NodeId)],
+) -> Vec<(CheckKind, String)> {
+    let mut found: Vec<(CheckKind, String)> = Vec::new();
+    let mut owners: FxHashMap<WordAddr, usize> = FxHashMap::default();
+    for &(w, cu) in owned {
+        if let Some(prev) = owners.insert(w, cu) {
+            found.push((
+                CheckKind::MultipleOwners,
+                format!("word {}: registered at both node {prev} and node {cu}", w.0),
+            ));
+        }
+    }
+    for &(w, n) in registry {
+        match owners.get(&w) {
+            Some(&cu) if cu == n.index() => {}
+            Some(&cu) => found.push((
+                CheckKind::RegistryMismatch,
+                format!(
+                    "word {}: registry records owner node {}, but node {cu} holds it",
+                    w.0,
+                    n.index()
+                ),
+            )),
+            None => found.push((
+                CheckKind::RegistryMismatch,
+                format!(
+                    "word {}: registry records owner node {}, but no L1 owns it",
+                    w.0,
+                    n.index()
+                ),
+            )),
+        }
+    }
+    let registered: FxHashMap<WordAddr, NodeId> = registry.iter().copied().collect();
+    for (&w, &cu) in &owners {
+        if !registered.contains_key(&w) {
+            found.push((
+                CheckKind::RegistryMismatch,
+                format!(
+                    "word {}: node {cu} holds a registration the registry lost",
+                    w.0
+                ),
+            ));
+        }
+    }
+    found
 }
 
 #[cfg(test)]

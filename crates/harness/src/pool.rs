@@ -21,6 +21,47 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// The worker count [`run_parallel`] actually uses for a request:
+/// `workers` (0 = [`default_jobs`]) clamped to the job count, floor 1.
+/// Exposed so callers can report or budget around the real thread
+/// count instead of the requested one.
+pub fn effective_workers(workers: usize, jobs: usize) -> usize {
+    let workers = if workers == 0 {
+        default_jobs()
+    } else {
+        workers
+    };
+    workers.min(jobs).max(1)
+}
+
+/// Caps a requested pool width so that `workers × threads_per_job`
+/// stays within the machine's parallelism. When every job itself spawns
+/// threads (a sharded simulation brings `shards` worker threads), the
+/// pool must divide the core budget by the per-job thread count or
+/// `--jobs × --shards` oversubscribes the host. `workers == 0` still
+/// means auto; the result is always at least 1.
+pub fn budget_workers(workers: usize, threads_per_job: usize) -> usize {
+    let want = if workers == 0 {
+        default_jobs()
+    } else {
+        workers
+    };
+    let per = threads_per_job.max(1);
+    want.min((default_jobs() / per).max(1)).max(1)
+}
+
+/// Metadata about one [`run_parallel_meta`] execution: what was asked
+/// for and what actually ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolRun {
+    /// The worker count the caller requested (0 = auto).
+    pub requested: usize,
+    /// The worker count that actually ran ([`effective_workers`]).
+    pub effective: usize,
+    /// How many jobs the pool executed.
+    pub jobs: usize,
+}
+
 /// Runs `f` over every job and returns the results **in job order**,
 /// regardless of `workers`.
 ///
@@ -49,12 +90,32 @@ where
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
-    let workers = if workers == 0 {
-        default_jobs()
-    } else {
-        workers
+    run_parallel_meta(jobs, workers, f).0
+}
+
+/// [`run_parallel`] plus a [`PoolRun`] describing the execution — the
+/// requested and effective worker counts — so sweeps can surface how
+/// wide they really ran (e.g. in emitted baseline JSON).
+pub fn run_parallel_meta<J, R, F>(jobs: &[J], workers: usize, f: F) -> (Vec<R>, PoolRun)
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    let meta = PoolRun {
+        requested: workers,
+        effective: effective_workers(workers, jobs.len()),
+        jobs: jobs.len(),
     };
-    let workers = workers.min(jobs.len()).max(1);
+    (run_pool(jobs, meta.effective, f), meta)
+}
+
+fn run_pool<J, R, F>(jobs: &[J], workers: usize, f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
     if workers == 1 {
         return jobs.iter().map(f).collect();
     }
@@ -127,6 +188,48 @@ mod tests {
         let jobs: Vec<u32> = (0..10).collect();
         assert_eq!(run_parallel(&jobs, 0, |&j| j), jobs);
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn effective_workers_clamps_to_jobs_and_floor_one() {
+        assert_eq!(effective_workers(8, 3), 3);
+        assert_eq!(effective_workers(2, 100), 2);
+        assert_eq!(effective_workers(8, 0), 1);
+        assert_eq!(effective_workers(0, 100), default_jobs().min(100));
+    }
+
+    #[test]
+    fn meta_reports_requested_and_effective() {
+        let jobs: Vec<u32> = (0..3).collect();
+        let (out, meta) = run_parallel_meta(&jobs, 8, |&j| j);
+        assert_eq!(out, jobs);
+        assert_eq!(
+            meta,
+            PoolRun {
+                requested: 8,
+                effective: 3,
+                jobs: 3
+            }
+        );
+        let (_, meta) = run_parallel_meta(&jobs, 0, |&j| j);
+        assert_eq!(meta.requested, 0);
+        assert_eq!(meta.effective, default_jobs().min(3));
+    }
+
+    #[test]
+    fn budget_divides_the_machine_by_per_job_threads() {
+        let cores = default_jobs();
+        // One thread per job: the budget is the plain request (capped at
+        // the machine).
+        assert_eq!(budget_workers(1, 1), 1);
+        assert_eq!(budget_workers(0, 1), cores);
+        // Per-job thread fan-out divides the budget; never below 1.
+        assert_eq!(budget_workers(cores, cores.max(2)), 1);
+        assert_eq!(budget_workers(3, usize::MAX), 1);
+        assert!(budget_workers(0, 4) >= 1);
+        assert!(budget_workers(0, 4) * 4 <= cores.max(4));
+        // threads_per_job == 0 is treated as 1, not a division by zero.
+        assert_eq!(budget_workers(1, 0), 1);
     }
 
     #[test]

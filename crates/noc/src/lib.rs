@@ -93,6 +93,45 @@ impl MeshConfig {
         (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
     }
 
+    /// The cheapest single link crossing: the cycles one flit spends
+    /// traversing one link (wire plus downstream router). Every
+    /// non-local message pays at least this once; it is the per-link
+    /// floor under every figure the latency accessors below build on.
+    pub fn min_link_latency(&self) -> Cycle {
+        self.hop_latency
+    }
+
+    /// Uncontended arrival delta of a `flits`-flit message from `src` to
+    /// `dst`: exactly what [`Mesh::send`] returns on an idle mesh, as a
+    /// latency rather than an absolute cycle. The single source of truth
+    /// for engine-side latency reasoning (lookahead derivation, epoch
+    /// sizing) — scheduling code must derive bounds from this rather
+    /// than hardcoding mesh constants.
+    pub fn base_latency(&self, src: NodeId, dst: NodeId, flits: u32) -> Cycle {
+        let hops = self.hops(src, dst) as Cycle;
+        let tail = if hops > 0 { flits as Cycle - 1 } else { 0 };
+        self.router_latency + hops * self.hop_latency + tail
+    }
+
+    /// The minimum uncontended latency of any message between two
+    /// *distinct* nodes: a single-flit message over one link. This is
+    /// the conservative-lookahead bound for partitioned simulation — a
+    /// message generated at cycle `t` whose destination is another node
+    /// can never arrive before `t + min_remote_latency()`, and link
+    /// contention only pushes arrivals later.
+    pub fn min_remote_latency(&self) -> Cycle {
+        self.router_latency + self.min_link_latency()
+    }
+
+    /// The minimum uncontended latency of a message that stays on its
+    /// own node (crosses no links): just the injecting router. This is
+    /// the floor for *every* message, so any delivery scheduled by a
+    /// send at cycle `t` lands strictly after `t` — the property that
+    /// makes one-cycle epochs safe to run without intra-epoch exchange.
+    pub fn min_local_latency(&self) -> Cycle {
+        self.router_latency
+    }
+
     /// The XY dimension-order route from `src` to `dst`, as the sequence
     /// of nodes visited (excluding `src`, including `dst`). Empty when
     /// `src == dst`.
@@ -366,6 +405,63 @@ mod tests {
         // 5-flit message over 2 hops: router + 2*hop + (5-1) tail.
         let arr = m.send(0, &data(0, 2, WORDS_PER_LINE));
         assert_eq!(arr, m_cfg.router_latency + 2 * m_cfg.hop_latency + 4);
+    }
+
+    #[test]
+    fn latency_accessors_match_send_on_an_idle_mesh() {
+        let cfg = MeshConfig::default();
+        // base_latency is definitionally what send() returns uncontended:
+        // verify over every (src, dst) pair for a control and a full-line
+        // message.
+        for a in 0u8..16 {
+            for b in 0u8..16 {
+                let mut m = Mesh::new(cfg);
+                let msg = ctrl(a, b);
+                let arr = m.send(1000, &msg);
+                assert_eq!(
+                    arr,
+                    1000 + cfg.base_latency(NodeId(a), NodeId(b), msg.flits()),
+                    "ctrl {a}->{b}"
+                );
+                let mut m = Mesh::new(cfg);
+                let msg = data(a, b, WORDS_PER_LINE);
+                let arr = m.send(1000, &msg);
+                assert_eq!(
+                    arr,
+                    1000 + cfg.base_latency(NodeId(a), NodeId(b), msg.flits()),
+                    "data {a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_latencies_are_tight_floors() {
+        let cfg = MeshConfig::default();
+        assert_eq!(cfg.min_link_latency(), cfg.hop_latency);
+        assert_eq!(cfg.min_local_latency(), cfg.router_latency);
+        assert_eq!(
+            cfg.min_remote_latency(),
+            cfg.router_latency + cfg.hop_latency
+        );
+        // Tight: an adjacent-node single-flit message achieves the remote
+        // floor, a same-node message the local floor.
+        let mut m = Mesh::new(cfg);
+        assert_eq!(m.send(0, &ctrl(0, 1)), cfg.min_remote_latency());
+        assert_eq!(m.send(50, &ctrl(9, 9)), 50 + cfg.min_local_latency());
+        // Floors: no (src, dst, flits) combination beats them, and
+        // distinct nodes never beat the remote floor.
+        for a in 0u8..16 {
+            for b in 0u8..16 {
+                for msg in [ctrl(a, b), data(a, b, 3)] {
+                    let base = cfg.base_latency(NodeId(a), NodeId(b), msg.flits());
+                    assert!(base >= cfg.min_local_latency());
+                    if a != b {
+                        assert!(base >= cfg.min_remote_latency(), "{a}->{b}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

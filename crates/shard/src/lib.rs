@@ -1,0 +1,355 @@
+#![warn(missing_docs)]
+
+//! Scaffolding for sharded (parallel) simulation of a single run.
+//!
+//! The sharded engine (DESIGN.md §7i) partitions the machine's nodes —
+//! each node is one CU + L1 plus the co-located L2 bank — into
+//! contiguous ranges, gives each shard its own calendar event queue,
+//! and advances all shards one populated cycle at a time under
+//! conservative synchronization. This crate holds the engine-agnostic
+//! pieces:
+//!
+//! * [`Partition`]: the contiguous node-range split and its lookup.
+//! * [`TokenWalk`]: the deterministic interleaver that reconstructs the
+//!   sequential engine's global `(cycle, seq)` processing order at an
+//!   epoch barrier from per-shard in-order logs — the heart of the
+//!   byte-identity argument.
+//! * [`ShardSpec`]: validated shard-count + lookahead parameters.
+//!
+//! # Why the token walk reconstructs the sequential order
+//!
+//! The sequential engine pops one global FIFO per cycle: the events
+//! scheduled for cycle `t`, in push (`seq`) order, followed by any
+//! events pushed *at* `t` during their processing, appended in
+//! processing order. A shard that processes only its own events in its
+//! own FIFO order therefore executes exactly the *projection* of the
+//! global order onto its nodes — same-cycle cross-shard events cannot
+//! interact within the cycle (every message between components takes at
+//! least one cycle), so the projection loses nothing. What the barrier
+//! must recover is the global *interleaving*: which shard's entry came
+//! next, so that cross-shard effects (NoC sends, future event pushes,
+//! race-detector operations) replay in sequential order. [`TokenWalk`]
+//! does this with tokens: seed a virtual FIFO with the known global
+//! order of the cycle's initially queued events; each popped token
+//! consumes that shard's next log entry; an entry that pushed `k`
+//! same-cycle events appends `k` tokens for the same shard (same-cycle
+//! pushes always target the shard's own nodes). The virtual FIFO then
+//! evolves exactly like the sequential queue's cycle-`t` bucket.
+
+use gsim_types::Cycle;
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// A contiguous partition of `nodes` mesh nodes into at most `shards`
+/// ranges of near-equal size.
+///
+/// Contiguity matters twice: the L2 bank at node `b` serves the lines
+/// homed there, so bank ownership follows node ownership for free; and
+/// the engine's CU iteration order (node-ascending) concatenated across
+/// shards in shard order equals the sequential iteration order, which
+/// keeps kernel-boundary work byte-identical without reordering.
+///
+/// # Examples
+///
+/// ```
+/// use gsim_shard::Partition;
+///
+/// let p = Partition::new(16, 3);
+/// assert_eq!(p.shards(), 3);
+/// assert_eq!(p.range(0), 0..6);
+/// assert_eq!(p.range(1), 6..11);
+/// assert_eq!(p.range(2), 11..16);
+/// assert_eq!(p.shard_of(5), 0);
+/// assert_eq!(p.shard_of(6), 1);
+/// assert_eq!(p.shard_of(15), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `bounds[s]..bounds[s + 1]` is shard `s`'s node range.
+    bounds: Vec<usize>,
+    /// Shard of each node (dense lookup; the hot path asks per event).
+    owner: Vec<u8>,
+}
+
+impl Partition {
+    /// Splits `nodes` into `min(shards, nodes)` contiguous ranges, the
+    /// first `nodes % shards` ranges one node larger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is 0, `shards` is 0, or the effective shard
+    /// count exceeds 256 (`shard_of` returns `u8`).
+    pub fn new(nodes: usize, shards: usize) -> Partition {
+        assert!(nodes > 0, "cannot partition zero nodes");
+        assert!(shards > 0, "cannot partition into zero shards");
+        let shards = shards.min(nodes);
+        assert!(shards <= 256, "at most 256 shards supported");
+        let (base, extra) = (nodes / shards, nodes % shards);
+        let mut bounds = Vec::with_capacity(shards + 1);
+        let mut owner = Vec::with_capacity(nodes);
+        let mut at = 0;
+        bounds.push(0);
+        for s in 0..shards {
+            at += base + usize::from(s < extra);
+            bounds.push(at);
+            while owner.len() < at {
+                owner.push(s as u8);
+            }
+        }
+        debug_assert_eq!(at, nodes);
+        Partition { bounds, owner }
+    }
+
+    /// Number of shards (never more than the node count).
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total nodes partitioned.
+    pub fn nodes(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The node range owned by shard `s`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The shard owning `node`.
+    #[inline]
+    pub fn shard_of(&self, node: usize) -> usize {
+        self.owner[node] as usize
+    }
+
+    /// Iterates `(shard, node_range)` in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Range<usize>)> + '_ {
+        (0..self.shards()).map(|s| (s, self.range(s)))
+    }
+}
+
+/// Validated sharded-engine parameters.
+///
+/// `lookahead` is the conservative cross-shard latency bound: no
+/// message generated at cycle `t` whose destination lies in another
+/// shard may arrive before `t + lookahead`. The engine derives it from
+/// the mesh's minimum remote latency
+/// (`MeshConfig::min_remote_latency()` in `gsim-noc`) and asserts it on
+/// every cross-shard delivery at runtime; it bounds how far shards
+/// *could* drift apart without exchanging messages, and a violation
+/// means the NoC timing model broke the conservative-parallelism
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Requested shard count (clamped to the node count at partition
+    /// time).
+    pub shards: usize,
+    /// Minimum cross-shard message latency in cycles (≥ 1).
+    pub lookahead: Cycle,
+}
+
+impl ShardSpec {
+    /// Creates a spec, validating both parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or `lookahead` is 0 (a zero lookahead
+    /// would permit same-cycle cross-shard interaction, which the epoch
+    /// protocol cannot order).
+    pub fn new(shards: usize, lookahead: Cycle) -> ShardSpec {
+        assert!(shards > 0, "shard count must be at least 1");
+        assert!(lookahead > 0, "lookahead must be at least 1 cycle");
+        ShardSpec { shards, lookahead }
+    }
+}
+
+/// The deterministic epoch-barrier interleaver (see the crate docs for
+/// the argument that this reconstructs the sequential order).
+///
+/// Seed it with the global push order of the cycle's initially queued
+/// events (as shard indices); then repeatedly [`next`](TokenWalk::next)
+/// a shard, replay that shard's next log entry, and
+/// [`spawn`](TokenWalk::spawn) once per same-cycle event the entry
+/// pushed. The walk ends when every log is consumed.
+///
+/// # Examples
+///
+/// ```
+/// use gsim_shard::TokenWalk;
+///
+/// // Cycle bucket held [shard 0, shard 1]; shard 0's first entry
+/// // pushed one same-cycle event.
+/// let mut w = TokenWalk::new([0, 1]);
+/// assert_eq!(w.next(), Some(0));
+/// w.spawn(0); // appends behind shard 1's initial event
+/// assert_eq!(w.next(), Some(1));
+/// assert_eq!(w.next(), Some(0));
+/// assert_eq!(w.next(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct TokenWalk {
+    fifo: VecDeque<usize>,
+}
+
+impl TokenWalk {
+    /// Seeds the walk with the cycle's initial events' shards, in
+    /// global push order.
+    pub fn new(initial: impl IntoIterator<Item = usize>) -> TokenWalk {
+        TokenWalk {
+            fifo: initial.into_iter().collect(),
+        }
+    }
+
+    /// Records that the entry just replayed pushed one same-cycle event
+    /// (always onto its own shard's queue).
+    #[inline]
+    pub fn spawn(&mut self, shard: usize) {
+        self.fifo.push_back(shard);
+    }
+
+    /// Tokens not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.fifo.len()
+    }
+}
+
+/// Yields the shard whose log entry is globally next; exhausted when
+/// the cycle is fully replayed. Interleaved [`TokenWalk::spawn`] calls
+/// extend the walk mid-iteration, which is the point: the iterator is
+/// the cycle's global processing order unfolding.
+impl Iterator for TokenWalk {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        self.fifo.pop_front()
+    }
+}
+
+/// Reference interleaver for tests: given per-shard logs where entry
+/// `i` of shard `s` pushed `spawns[s][i]` same-cycle events, and the
+/// initial global push order, returns the global processing order as
+/// `(shard, entry_index)` pairs.
+pub fn interleave(initial: &[usize], spawns: &[Vec<usize>]) -> Vec<(usize, usize)> {
+    let mut walk = TokenWalk::new(initial.iter().copied());
+    let mut cursor = vec![0usize; spawns.len()];
+    let mut order = Vec::new();
+    while let Some(s) = walk.next() {
+        let i = cursor[s];
+        cursor[s] += 1;
+        for _ in 0..spawns[s][i] {
+            walk.spawn(s);
+        }
+        order.push((s, i));
+    }
+    for (s, c) in cursor.iter().enumerate() {
+        assert_eq!(*c, spawns[s].len(), "shard {s} log not fully consumed");
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsim_types::Rng64;
+
+    #[test]
+    fn partition_shapes() {
+        let p = Partition::new(16, 1);
+        assert_eq!(p.shards(), 1);
+        assert_eq!(p.range(0), 0..16);
+
+        let p = Partition::new(16, 4);
+        assert_eq!(
+            (0..4).map(|s| p.range(s)).collect::<Vec<_>>(),
+            vec![0..4, 4..8, 8..12, 12..16]
+        );
+
+        // More shards than nodes clamps.
+        let p = Partition::new(3, 8);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.range(2), 2..3);
+
+        // Uneven splits put the extra nodes first.
+        let p = Partition::new(16, 5);
+        assert_eq!(
+            (0..5).map(|s| p.range(s)).collect::<Vec<_>>(),
+            vec![0..4, 4..7, 7..10, 10..13, 13..16]
+        );
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges() {
+        for shards in 1..=16 {
+            let p = Partition::new(16, shards);
+            for (s, range) in p.iter() {
+                for n in range {
+                    assert_eq!(p.shard_of(n), s);
+                }
+            }
+            // Ranges tile the node set exactly.
+            let total: usize = p.iter().map(|(_, r)| r.len()).sum();
+            assert_eq!(total, 16);
+            assert_eq!(p.range(0).start, 0);
+            assert_eq!(p.range(p.shards() - 1).end, 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shards")]
+    fn zero_shards_panics() {
+        let _ = Partition::new(16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 cycle")]
+    fn zero_lookahead_panics() {
+        let _ = ShardSpec::new(2, 0);
+    }
+
+    #[test]
+    fn token_walk_matches_a_single_queue_simulation() {
+        // Model: a single global FIFO of (shard, entry) vs the token
+        // walk over per-shard logs. Randomized spawn structure.
+        let mut rng = Rng64::seed_from_u64(0x5a4d);
+        for _ in 0..200 {
+            let shards = rng.gen_usize(1, 5);
+            let initial_len = rng.gen_usize(0, 12);
+            let initial: Vec<usize> = (0..initial_len).map(|_| rng.gen_usize(0, shards)).collect();
+
+            // Simulate the sequential global FIFO to build both the
+            // expected order and the per-shard spawn logs.
+            let mut fifo: VecDeque<usize> = initial.iter().copied().collect();
+            let mut spawns: Vec<Vec<usize>> = vec![Vec::new(); shards];
+            let mut expected = Vec::new();
+            let mut budget = 64; // cap total spawned work
+            while let Some(s) = fifo.pop_front() {
+                let k = if budget > 0 { rng.gen_usize(0, 3) } else { 0 };
+                budget -= k.min(budget);
+                for _ in 0..k {
+                    fifo.push_back(s); // same-cycle pushes stay on-shard
+                }
+                expected.push((s, spawns[s].len()));
+                spawns[s].push(k);
+            }
+
+            assert_eq!(interleave(&initial, &spawns), expected);
+        }
+    }
+
+    #[test]
+    fn token_walk_projection_per_shard_is_in_order() {
+        // Whatever the interleaving, each shard's entries replay in log
+        // order — the projection property.
+        let order = interleave(&[1, 0, 1, 0], &[vec![2, 0, 0, 0], vec![0, 1, 0]]);
+        for s in 0..2 {
+            let proj: Vec<usize> = order
+                .iter()
+                .filter(|&&(x, _)| x == s)
+                .map(|&(_, i)| i)
+                .collect();
+            let want: Vec<usize> = (0..proj.len()).collect();
+            assert_eq!(proj, want, "shard {s} replayed out of order");
+        }
+        assert_eq!(order.len(), 7);
+    }
+}

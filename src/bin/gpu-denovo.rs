@@ -44,11 +44,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          gpu-denovo list\n  \
-         gpu-denovo run <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--detail] [--hist]\n  \
-         gpu-denovo compare <BENCH> [--paper]\n  \
-         gpu-denovo sweep [--group nosync|global|local] [--paper] [--jobs N]\n                   \
+         gpu-denovo run <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--detail] [--hist]\n              \
+         [--shards N]\n  \
+         gpu-denovo compare <BENCH> [--paper] [--shards N]\n  \
+         gpu-denovo sweep [--group nosync|global|local] [--paper] [--jobs N] [--shards N]\n                   \
          [--out FILE.csv|FILE.json] [--no-cache]\n  \
-         gpu-denovo matrix [--paper] [--jobs N] [--out FILE.csv|FILE.json] [--no-cache]\n  \
+         gpu-denovo matrix [--paper] [--jobs N] [--shards N] [--out FILE.csv|FILE.json]\n                    \
+         [--no-cache]\n  \
          gpu-denovo trace <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] --out <FILE>\n  \
          gpu-denovo profile <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--interval N]\n                     \
          [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
@@ -63,6 +65,11 @@ fn usage() -> ExitCode {
          Both run cells on `--jobs` worker threads (0 or default = all\n\
          cores) and cache results in target/gsim-cache/; output is\n\
          byte-identical regardless of --jobs.\n\
+         `--shards N` advances each run on the sharded parallel engine\n\
+         (N worker threads per run; sweeps budget --jobs x --shards to\n\
+         the core count). Results are byte-identical to the sequential\n\
+         engine for any N; observer commands (trace/profile/flow) fall\n\
+         back to sequential.\n\
          `trace` writes a Chrome/Perfetto trace (load it at ui.perfetto.dev\n\
          or chrome://tracing).\n\
          `profile` attributes every CU cycle to a stall bucket and tracks\n\
@@ -130,6 +137,22 @@ fn parse_group(args: &[String]) -> Result<Option<registry::Group>, String> {
     }
 }
 
+/// `--shards N`: advance the run on the sharded parallel engine with
+/// `N` worker threads. Absent means the sequential reference engine;
+/// results are byte-identical either way (the `EngineKind` contract),
+/// so the flag is purely a wall-clock choice.
+fn parse_shards(args: &[String]) -> Result<Option<usize>, String> {
+    let Some(s) = flag_value(args, "--shards").map_err(|e| format!("{e} (a shard count)"))? else {
+        return Ok(None);
+    };
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!(
+            "invalid --shards value {s:?}: expected a positive shard count"
+        )),
+    }
+}
+
 /// `--jobs N`; absent or 0 means auto (all cores).
 fn parse_jobs(args: &[String]) -> Result<usize, String> {
     let Some(s) = flag_value(args, "--jobs").map_err(|e| format!("{e} (a worker count)"))? else {
@@ -175,9 +198,18 @@ fn lookup_bench(name: &str) -> Result<registry::Benchmark, String> {
     })
 }
 
-fn run_one(name: &str, p: ProtocolConfig, s: Scale) -> Result<SimStats, String> {
+fn run_one(
+    name: &str,
+    p: ProtocolConfig,
+    s: Scale,
+    shards: Option<usize>,
+) -> Result<SimStats, String> {
     let b = lookup_bench(name)?;
-    Simulator::new(SystemConfig::micro15(p))
+    let mut cfg = SystemConfig::micro15(p);
+    if let Some(n) = shards {
+        cfg = cfg.with_shards(n);
+    }
+    Simulator::new(cfg)
         .run(&(b.build)(s))
         .map_err(|e| format!("{name} under {p}: {e}"))
 }
@@ -389,6 +421,7 @@ fn header() {
 /// the results for command-specific presentation.
 fn run_matrix(cells: &[Cell], args: &[String]) -> Result<Vec<CellResult>, String> {
     let jobs = parse_jobs(args)?;
+    let shards = parse_shards(args)?;
     let out = parse_out(args)?;
     let cache = if args.iter().any(|a| a == "--no-cache") {
         None
@@ -399,7 +432,13 @@ fn run_matrix(cells: &[Cell], args: &[String]) -> Result<Vec<CellResult>, String
         )
     };
 
-    let results = harness::run_cells(cells, jobs, cache.as_ref())?;
+    // Sharded cells bring their own worker threads, so the pool width
+    // is budgeted inside `run_cells_sharded`; results and cache entries
+    // are byte-identical to the sequential runner either way.
+    let results = match shards {
+        Some(n) => harness::run_cells_sharded(cells, jobs, cache.as_ref(), n)?,
+        None => harness::run_cells(cells, jobs, cache.as_ref())?,
+    };
 
     if let Some((path, format)) = out {
         let text = match format {
@@ -455,7 +494,11 @@ fn main() -> ExitCode {
                 Ok(c) => c,
                 Err(e) => return fail(e),
             };
-            match run_one(name, config, scale(&args)) {
+            let shards = match parse_shards(&args) {
+                Ok(s) => s,
+                Err(e) => return fail(e),
+            };
+            match run_one(name, config, scale(&args), shards) {
                 Ok(stats) => {
                     header();
                     print_row(config, &stats);
@@ -518,6 +561,14 @@ fn main() -> ExitCode {
                 Err(e) => return fail(e),
             };
             let s = scale(&args);
+            match parse_shards(&args) {
+                Ok(Some(_)) => eprintln!(
+                    "note: profiling observers force the sequential engine; \
+                     --shards is ignored (stats are identical by contract)"
+                ),
+                Ok(None) => {}
+                Err(e) => return fail(e),
+            }
             let mut spec = ProfSpec::on();
             match flag_value(&args, "--interval") {
                 Ok(Some(v)) => match v.parse::<u64>() {
@@ -635,6 +686,14 @@ fn main() -> ExitCode {
                 Err(e) => return fail(e),
             };
             let s = scale(&args);
+            match parse_shards(&args) {
+                Ok(Some(_)) => eprintln!(
+                    "note: flow observers force the sequential engine; \
+                     --shards is ignored (stats are identical by contract)"
+                ),
+                Ok(None) => {}
+                Err(e) => return fail(e),
+            }
             let mut spec = FlowSpec::on();
             match flag_value(&args, "--interval") {
                 Ok(Some(v)) => match v.parse::<u64>() {
@@ -772,9 +831,13 @@ fn main() -> ExitCode {
             if let Err(e) = lookup_bench(name) {
                 return fail(e);
             }
+            let shards = match parse_shards(&args) {
+                Ok(s) => s,
+                Err(e) => return fail(e),
+            };
             header();
             for p in ProtocolConfig::ALL {
-                match run_one(name, p, scale(&args)) {
+                match run_one(name, p, scale(&args), shards) {
                     Ok(stats) => print_row(p, &stats),
                     Err(e) => return fail(e),
                 }

@@ -68,7 +68,9 @@ pub use gsim_types as types;
 pub use gsim_workloads as workloads;
 
 pub use gsim_check::CheckLevel;
-pub use gsim_core::{KernelLaunch, SimError, Simulator, SystemConfig, TbSpec, Workload};
+pub use gsim_core::{
+    EngineKind, KernelLaunch, SimError, Simulator, SystemConfig, TbSpec, Workload,
+};
 pub use gsim_explore::{Budget, ExploreMode, ScheduleId, ShapeReport};
 pub use gsim_flow::{FlowReport, FlowSpec};
 pub use gsim_prof::{ProfSpec, ProfileReport, StallKind};

@@ -1,0 +1,123 @@
+//! Differential tests for the sharded parallel engine: for every shard
+//! count, [`SimStats`] must be **byte-identical** (compared as rendered
+//! JSON) to the sequential reference engine. This is the contract on
+//! [`gpu_denovo::EngineKind`] — sharding is purely a wall-clock
+//! optimization and must never be observable in results.
+//!
+//! Coverage:
+//! - the full 13-shape DRF litmus battery under all five protocol
+//!   configurations at shards ∈ {1, 2, 4} (single-shard exercises the
+//!   coordinator/worker machinery with no cross-shard traffic; 2 and 4
+//!   exercise cross-shard deliveries and the token-walk replay);
+//! - a slice of the Table 4 registry at `Scale::Tiny` across groups
+//!   (global, local, mixed synchronization);
+//! - conformance parity: `CheckLevel::Full` stays silent on DRF
+//!   programs under the sharded engine, and the deliberately racy
+//!   negative is still *flagged*;
+//! - observer fallback: traced/profiled/flowed runs fall back to the
+//!   sequential engine and still return identical stats.
+
+use gpu_denovo::workloads::litmus;
+use gpu_denovo::{
+    registry, CheckLevel, ProtocolConfig, Scale, SimError, Simulator, SystemConfig, Workload,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Runs `mk()` sequentially and under every shard count for `config`,
+/// asserting byte-identical stats JSON.
+fn assert_engines_agree(name: &str, config: ProtocolConfig, mk: &dyn Fn() -> Workload) {
+    let seq = Simulator::new(SystemConfig::micro15(config))
+        .run(&mk())
+        .unwrap_or_else(|e| panic!("{name} under {config} (sequential): {e}"));
+    let seq_json = seq.to_json();
+    for shards in SHARD_COUNTS {
+        let par = Simulator::new(SystemConfig::micro15(config).with_shards(shards))
+            .run(&mk())
+            .unwrap_or_else(|e| panic!("{name} under {config} (shards={shards}): {e}"));
+        assert_eq!(
+            seq_json,
+            par.to_json(),
+            "{name} under {config}: shards={shards} diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn litmus_battery_is_byte_identical_across_shard_counts() {
+    for shape in litmus::battery() {
+        for config in ProtocolConfig::ALL {
+            assert_engines_agree(shape.name, config, &shape.build);
+        }
+    }
+}
+
+#[test]
+fn table4_tiny_slice_is_byte_identical_across_shard_counts() {
+    // One benchmark per synchronization flavour, spanning the groups:
+    // global sync, local sync, mixed, and the relaxed-atomics shapes.
+    for bench in ["SPM_G", "SPM_L", "UTS", "TB_LG", "NN"] {
+        let b = registry::by_name(bench).expect("a Table 4 name");
+        for config in ProtocolConfig::ALL {
+            assert_engines_agree(bench, config, &|| (b.build)(Scale::Tiny));
+        }
+    }
+}
+
+#[test]
+fn full_checking_stays_silent_on_sharded_drf_runs() {
+    // CheckLevel::Full on the sharded engine: the per-shard invariant
+    // audits plus the coordinator's merged race detection must stay
+    // silent on DRF programs, exactly like the sequential engine.
+    for shape in litmus::battery() {
+        let mut cfg = SystemConfig::micro15(ProtocolConfig::Dd).with_shards(4);
+        cfg.check = CheckLevel::Full;
+        Simulator::new(cfg)
+            .run(&(shape.build)())
+            .unwrap_or_else(|e| panic!("{} sharded under Full checking: {e}", shape.name));
+    }
+}
+
+#[test]
+fn sharded_race_detector_still_flags_the_racy_negative() {
+    let mut cfg = SystemConfig::micro15(ProtocolConfig::Dd).with_shards(4);
+    cfg.check = CheckLevel::Full;
+    let err = Simulator::new(cfg)
+        .run(&litmus::racy_negative())
+        .expect_err("the racy negative must be flagged under the sharded engine too");
+    match err {
+        SimError::Check { report } => {
+            assert!(
+                report.to_lowercase().contains("race"),
+                "report names the race: {report}"
+            );
+        }
+        other => panic!("expected a check failure, got: {other}"),
+    }
+}
+
+#[test]
+fn observer_runs_fall_back_to_sequential_with_identical_stats() {
+    let b = registry::by_name("SPM_G").expect("a Table 4 name");
+    let seq = Simulator::new(SystemConfig::micro15(ProtocolConfig::Dd))
+        .run(&(b.build)(Scale::Tiny))
+        .unwrap();
+
+    // Profiled run with a sharded engine config: observers force the
+    // sequential path; stats are identical and the report is collected.
+    let mut cfg = SystemConfig::micro15(ProtocolConfig::Dd).with_shards(4);
+    cfg.prof = gpu_denovo::ProfSpec::on();
+    let (stats, profile) = Simulator::new(cfg)
+        .run_profiled(&(b.build)(Scale::Tiny))
+        .unwrap();
+    assert_eq!(seq.to_json(), stats.to_json());
+    assert!(profile.is_some(), "fallback still collects the profile");
+
+    let mut cfg = SystemConfig::micro15(ProtocolConfig::Dd).with_shards(4);
+    cfg.flow = gpu_denovo::FlowSpec::on();
+    let (stats, flow) = Simulator::new(cfg)
+        .run_flow(&(b.build)(Scale::Tiny))
+        .unwrap();
+    assert_eq!(seq.to_json(), stats.to_json());
+    assert!(flow.is_some(), "fallback still collects the flow report");
+}
