@@ -69,7 +69,7 @@ fn main() {
     let _ = writeln!(
         out,
         "Mesh                     {}x{}, XY routing",
-        cfg.mesh.cols, cfg.mesh.rows
+        cfg.topology.mesh.cols, cfg.topology.mesh.rows
     );
     let _ = writeln!(
         out,

@@ -5,7 +5,7 @@ use crate::equeue::QueueKind;
 use gsim_check::CheckLevel;
 use gsim_flow::FlowSpec;
 use gsim_mem::CacheGeometry;
-use gsim_noc::MeshConfig;
+use gsim_noc::{MeshConfig, Topology, XLinkConfig};
 use gsim_prof::ProfSpec;
 use gsim_protocol::L2Config;
 use gsim_types::{Cycle, ProtocolConfig};
@@ -15,7 +15,7 @@ use gsim_types::{Cycle, ProtocolConfig};
 /// Both engines produce **byte-identical** [`crate::SimStats`] for any
 /// run (enforced by the root crate's `sharded` differential tests and
 /// the `shard-smoke` CI job): `Sharded` is purely a wall-clock
-/// optimization. It partitions the mesh's nodes (CUs + L1s, L2 banks,
+/// optimization. It partitions the fabric's nodes (CUs + L1s, L2 banks,
 /// their DRAM banks) into contiguous shards, each advanced by its own
 /// worker thread over per-shard calendar queues, synchronized with a
 /// conservative epoch barrier per populated cycle. Cross-shard traffic
@@ -28,19 +28,22 @@ pub enum EngineKind {
     Sequential,
     /// Sharded parallel engine.
     Sharded {
-        /// Worker-shard count; clamped to the mesh's node count. `1` is
-        /// legal (and useful for testing: the full coordinator/worker
-        /// machinery with no cross-shard traffic).
+        /// Worker-shard count; clamped to the fabric's node count. `1`
+        /// is legal (and useful for testing: the full
+        /// coordinator/worker machinery with no cross-shard traffic).
         shards: usize,
         /// Conservative lookahead in cycles: the minimum latency of any
-        /// cross-shard delivery, i.e. [`MeshConfig::min_remote_latency`]
-        /// (router + one hop). Every cross-shard arrival is
-        /// runtime-asserted to land at least this far past its send
-        /// cycle. The engine's barriers are per populated cycle, which
-        /// is *stricter* than the lookahead requires — the slack is
-        /// what would permit multi-cycle epochs, at the cost of the
-        /// byte-identity guarantee (shared-link arbitration order would
-        /// diverge; see DESIGN.md §7i).
+        /// cross-shard delivery, i.e.
+        /// [`Topology::min_remote_latency`] — the router plus the
+        /// cheapest link crossing of **any** class in the fabric (mesh
+        /// hop or inter-device link, whichever is faster). Every
+        /// cross-shard arrival is runtime-asserted to land at least
+        /// this far past its send cycle. The engine's barriers are per
+        /// populated cycle, which is *stricter* than the lookahead
+        /// requires — the slack is what would permit multi-cycle
+        /// epochs, at the cost of the byte-identity guarantee
+        /// (shared-link arbitration order would diverge; see DESIGN.md
+        /// §7i).
         lookahead: Cycle,
     },
 }
@@ -54,6 +57,12 @@ pub enum EngineKind {
 /// end-to-end latencies land in Table 3's ranges (asserted by this
 /// crate's `latency_ranges` tests).
 ///
+/// [`SystemConfig::fabric`] scales that system to several devices on a
+/// shared fabric (see [`Topology`]): every device replicates the Table 3
+/// mesh, L2 banks stripe line-interleaved across **all** devices'
+/// nodes (so each line has a home device and cross-device lines pay the
+/// inter-device link), and `gpu_cus` stays the *per-device* CU count.
+///
 /// # Examples
 ///
 /// ```
@@ -63,13 +72,18 @@ pub enum EngineKind {
 /// let cfg = SystemConfig::micro15(ProtocolConfig::Dd);
 /// assert_eq!(cfg.gpu_cus, 15);
 /// assert_eq!(cfg.sb_entries, 256);
+///
+/// let two = SystemConfig::fabric(ProtocolConfig::Dd, 2, 40);
+/// assert_eq!(two.topology.nodes(), 32);
+/// assert_eq!(two.l2.banks, 32);
 /// ```
 #[derive(Clone, Copy, Debug)]
 pub struct SystemConfig {
     /// The protocol/consistency configuration under study (paper §5.3).
     pub protocol: ProtocolConfig,
-    /// Mesh geometry and link timing.
-    pub mesh: MeshConfig,
+    /// Fabric topology: per-device mesh geometry and link timing, the
+    /// device count, and the inter-device link class.
+    pub topology: Topology,
     /// Shared L2 sizing and timing (includes DRAM).
     pub l2: L2Config,
     /// Per-CU L1 geometry.
@@ -78,7 +92,8 @@ pub struct SystemConfig {
     pub sb_entries: usize,
     /// Maximum outstanding miss lines per L1.
     pub mshr_entries: usize,
-    /// Number of GPU compute units.
+    /// Number of GPU compute units **per device** (the last node of each
+    /// device's mesh hosts the CPU core / an L2 bank only).
     pub gpu_cus: usize,
     /// Resident thread blocks per CU (further blocks queue).
     pub tbs_per_cu: usize,
@@ -126,7 +141,7 @@ impl SystemConfig {
     pub fn micro15(protocol: ProtocolConfig) -> Self {
         SystemConfig {
             protocol,
-            mesh: MeshConfig::default(),
+            topology: Topology::single(MeshConfig::default()),
             l2: L2Config::default(),
             l1_geometry: CacheGeometry::l1(),
             sb_entries: 256,
@@ -144,25 +159,76 @@ impl SystemConfig {
         }
     }
 
+    /// `devices` copies of the Table 3 system joined by inter-device
+    /// links of `xlink_latency` cycles (default bandwidth class). L2
+    /// banks stripe across every node of every device — line
+    /// interleaved, so each line has a *home device* and ownership
+    /// registration / flush / invalidate traffic to a remote home pays
+    /// the inter-device link. Thread blocks are placed on device 0 by
+    /// default (the workload generators' co-location contract is per
+    /// device); cross-device workloads pin blocks explicitly via
+    /// `TbSpec::on_cu`.
+    ///
+    /// `devices == 1` is exactly [`micro15`](Self::micro15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric exceeds the 256-node id space or the
+    /// 255-bank L1 home-map (u8) capacity.
+    pub fn fabric(protocol: ProtocolConfig, devices: u8, xlink_latency: Cycle) -> Self {
+        let mut config = SystemConfig::micro15(protocol);
+        if devices <= 1 {
+            return config;
+        }
+        let xlink = XLinkConfig {
+            latency: xlink_latency,
+            ..XLinkConfig::default()
+        };
+        config.topology = Topology::fabric(MeshConfig::default(), devices, xlink);
+        let banks = config.topology.nodes();
+        assert!(banks <= 255, "{banks} L2 banks exceed the u8 home map");
+        config.l2.banks = banks;
+        config
+    }
+
     /// Switches the run to the sharded parallel engine with `shards`
     /// worker shards, deriving the conservative lookahead from the
-    /// mesh's minimum cross-node latency. `shards == 0` or `1` still
-    /// selects the sharded engine (single-shard coordinator) so the
-    /// machinery stays testable at every count; use
+    /// minimum cross-node latency over **every** link class in the
+    /// topology (mesh hops and inter-device links — an inter-device
+    /// link faster than a mesh hop lowers the bound). `shards == 0` or
+    /// `1` still selects the sharded engine (single-shard coordinator)
+    /// so the machinery stays testable at every count; use
     /// [`EngineKind::Sequential`] for the reference engine.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.engine = EngineKind::Sharded {
             shards: shards.max(1),
-            lookahead: self.mesh.min_remote_latency(),
+            lookahead: self.topology.min_remote_latency(),
         };
         self
     }
 
-    /// The CU a thread block is scheduled on — a fixed modulo mapping
-    /// shared with the workload generators, so locally scoped workloads
-    /// can co-locate the thread blocks that synchronize locally.
+    /// Total CU count across all devices.
+    pub fn total_cus(&self) -> usize {
+        self.topology.devices as usize * self.gpu_cus
+    }
+
+    /// The CU node a thread block is scheduled on by default — the fixed
+    /// modulo mapping shared with the workload generators, so locally
+    /// scoped workloads can co-locate the thread blocks that synchronize
+    /// locally. Unpinned blocks always land on device 0 (whose CU nodes
+    /// are `0..gpu_cus` in every topology); blocks pinned with
+    /// `TbSpec::on_cu` override this per block.
     pub fn cu_of_tb(&self, tb: u32) -> usize {
         tb as usize % self.gpu_cus
+    }
+
+    /// The node hosting dense CU index `cu` (device `cu / gpu_cus`,
+    /// local CU `cu % gpu_cus`) — the inverse of the engine's dense CU
+    /// numbering, used to resolve `TbSpec::on_cu` pins. Identity on a
+    /// single device.
+    pub fn node_of_cu(&self, cu: usize) -> usize {
+        assert!(cu < self.total_cus(), "CU {cu} of {}", self.total_cus());
+        (cu / self.gpu_cus) * self.topology.nodes_per_device() + cu % self.gpu_cus
     }
 }
 
@@ -176,12 +242,12 @@ mod tests {
         assert_eq!(c.l1_geometry.size_bytes, 32 * 1024);
         assert_eq!(c.l1_geometry.ways, 8);
         assert_eq!(c.l2.bank_geometry.size_bytes * c.l2.banks as u64, 4 << 20);
-        assert_eq!(c.mesh.nodes(), 16);
+        assert_eq!(c.topology.nodes(), 16);
         assert_eq!(c.tbs_per_cu, 3);
     }
 
     #[test]
-    fn with_shards_derives_lookahead_from_the_mesh() {
+    fn with_shards_derives_lookahead_from_the_topology() {
         let c = SystemConfig::micro15(ProtocolConfig::Gd);
         assert_eq!(c.engine, EngineKind::Sequential);
         let s = c.with_shards(4);
@@ -189,7 +255,7 @@ mod tests {
             s.engine,
             EngineKind::Sharded {
                 shards: 4,
-                lookahead: s.mesh.min_remote_latency()
+                lookahead: s.topology.min_remote_latency()
             }
         );
         // Zero clamps to the single-shard coordinator, not sequential.
@@ -197,6 +263,34 @@ mod tests {
             c.with_shards(0).engine,
             EngineKind::Sharded { shards: 1, .. }
         ));
+        // Multi-device: an inter-device link faster than a mesh hop
+        // must lower the lookahead (the old mesh-only derivation would
+        // overshoot and trip the runtime cross-shard assertion).
+        let mut fast = SystemConfig::fabric(ProtocolConfig::Gd, 2, 1);
+        fast.topology.xlink.cycles_per_flit = 1;
+        let mesh_only = fast.topology.mesh.min_remote_latency();
+        let EngineKind::Sharded { lookahead, .. } = fast.with_shards(2).engine else {
+            panic!("sharded");
+        };
+        assert!(lookahead < mesh_only, "{lookahead} vs {mesh_only}");
+        assert_eq!(lookahead, fast.topology.mesh.router_latency + 1);
+    }
+
+    #[test]
+    fn fabric_stripes_l2_banks_across_devices() {
+        let c = SystemConfig::fabric(ProtocolConfig::Dd, 2, 40);
+        assert_eq!(c.topology.devices, 2);
+        assert_eq!(c.topology.nodes(), 32);
+        assert_eq!(c.l2.banks, 32);
+        assert_eq!(c.gpu_cus, 15, "gpu_cus stays per-device");
+        assert_eq!(c.total_cus(), 30);
+        // One device falls back to the exact Table 3 system.
+        let one = SystemConfig::fabric(ProtocolConfig::Dd, 1, 40);
+        assert_eq!(
+            one.topology,
+            SystemConfig::micro15(ProtocolConfig::Dd).topology
+        );
+        assert_eq!(one.l2.banks, 16);
     }
 
     #[test]
@@ -206,5 +300,24 @@ mod tests {
         assert_eq!(c.cu_of_tb(15), 0);
         assert_eq!(c.cu_of_tb(16), 1);
         assert_eq!(c.cu_of_tb(44), 14);
+        // The default mapping is identical on a fabric (device 0), so
+        // every single-device workload's co-location survives unchanged.
+        let f = SystemConfig::fabric(ProtocolConfig::Dd, 2, 40);
+        for tb in 0..64 {
+            assert_eq!(f.cu_of_tb(tb), c.cu_of_tb(tb));
+        }
+    }
+
+    #[test]
+    fn dense_cu_indices_skip_the_cpu_nodes() {
+        let f = SystemConfig::fabric(ProtocolConfig::Dd, 2, 40);
+        assert_eq!(f.node_of_cu(0), 0);
+        assert_eq!(f.node_of_cu(14), 14);
+        assert_eq!(f.node_of_cu(15), 16, "device 1's first CU skips node 15");
+        assert_eq!(f.node_of_cu(29), 30);
+        let one = SystemConfig::micro15(ProtocolConfig::Dd);
+        for cu in 0..one.total_cus() {
+            assert_eq!(one.node_of_cu(cu), cu, "identity on a single device");
+        }
     }
 }

@@ -30,5 +30,6 @@ pub mod workload;
 pub use config::{EngineKind, SystemConfig};
 pub use equeue::QueueKind;
 pub use gsim_check::{CheckLevel, CheckReport};
+pub use gsim_noc::{MeshConfig, Topology, XLinkConfig};
 pub use sim::{Candidate, Decision, ExploredRun, Footprint, SimError, Simulator};
 pub use workload::{KernelLaunch, TbSpec, Workload};

@@ -169,7 +169,7 @@ pub(crate) fn run_sharded(
     shards: usize,
     lookahead: Cycle,
 ) -> Result<SimStats, SimError> {
-    let partition = Partition::new(config.mesh.nodes(), shards);
+    let partition = Partition::new(config.topology.nodes(), shards);
     let n = partition.shards();
     thread::scope(|scope| {
         let mut to_worker = Vec::with_capacity(n);
@@ -194,7 +194,7 @@ pub(crate) fn run_sharded(
             // Observers (trace/flow) are sequential-only — the
             // dispatcher falls back — so the coordinator's mesh runs
             // bare.
-            mesh: Mesh::new(config.mesh),
+            mesh: Mesh::with_topology(config.topology),
             races: config.check.races().then(|| Box::new(RaceDetector::new())),
             report: CheckReport::default(),
             phase: KernelPhase::Launch(0),

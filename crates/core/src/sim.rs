@@ -586,7 +586,11 @@ pub(crate) enum Event {
 
 pub(crate) struct Machine {
     protocol: gsim_types::ProtocolConfig,
+    /// CUs **per device** (the default thread-block mapping's modulus).
     gpu_cus: usize,
+    /// Nodes per device mesh; a node hosts a CU iff its local index
+    /// (`node % nodes_per_dev`) is below `gpu_cus`.
+    nodes_per_dev: usize,
     tbs_per_cu: usize,
     max_cycles: Cycle,
 
@@ -670,8 +674,10 @@ impl Machine {
     fn new(config: &SystemConfig, workload: &Workload, trace: TraceHandle) -> Machine {
         let mut memory = MemoryImage::new();
         (workload.init)(&mut memory);
-        let prof = ProfHandle::new(config.prof, config.gpu_cus, NodeId::all().count());
-        let l1s = NodeId::all()
+        let nodes = config.topology.nodes();
+        let prof = ProfHandle::new(config.prof, config.total_cus(), nodes);
+        let l1s = (0..nodes as u8)
+            .map(NodeId)
             .map(|n| {
                 let mut l1 = L1::build(
                     config.protocol,
@@ -690,7 +696,10 @@ impl Machine {
                 l1
             })
             .collect();
-        let cus = (0..config.gpu_cus)
+        // One slot per node: the entries at each device's non-CU node
+        // (the CPU/L2-only node) stay empty, so `cu` indexes both this
+        // vector and `l1s` by global node id.
+        let cus = (0..nodes)
             .map(|_| Cu {
                 slots: vec![None; config.tbs_per_cu],
                 queue: VecDeque::new(),
@@ -698,8 +707,8 @@ impl Machine {
                 tick_scheduled: false,
             })
             .collect();
-        let flow = FlowHandle::new(config.flow, config.mesh.nodes(), config.l2.latency);
-        let mut mesh = Mesh::new(config.mesh);
+        let flow = FlowHandle::new(config.flow, nodes, config.l2.latency);
+        let mut mesh = Mesh::with_topology(config.topology);
         mesh.set_trace(&trace);
         mesh.set_flow(&flow);
         let mut l2 = L2::build(config.protocol, config.l2, memory);
@@ -710,6 +719,7 @@ impl Machine {
         Machine {
             protocol: config.protocol,
             gpu_cus: config.gpu_cus,
+            nodes_per_dev: config.topology.nodes_per_device(),
             tbs_per_cu: config.tbs_per_cu,
             max_cycles: config.max_cycles,
             now: 0,
@@ -728,7 +738,7 @@ impl Machine {
             kernel_index: 0,
             phase: KernelPhase::Launch(0),
             node_lo: 0,
-            node_hi: config.mesh.nodes(),
+            node_hi: nodes,
             counts: Counts::default(),
             latency: LatencyBreakdown::default(),
             trace,
@@ -935,11 +945,38 @@ impl Machine {
         self.protocol.honours_scopes() && scope == Scope::Local
     }
 
-    /// The CUs this machine owns: all of them on the sequential engine,
-    /// the shard's node slice (clipped to the CU count — the last node
-    /// is the CPU/L2-only node) on a worker.
-    fn cu_range(&self) -> Range<usize> {
-        self.node_lo..self.node_hi.min(self.gpu_cus)
+    /// The CU nodes this machine owns: all of them on the sequential
+    /// engine, the shard's node slice on a worker — minus the last node
+    /// of each device's mesh (the CPU/L2-only node).
+    fn cu_nodes(&self) -> impl Iterator<Item = usize> + 'static {
+        let (per, cus) = (self.nodes_per_dev, self.gpu_cus);
+        (self.node_lo..self.node_hi).filter(move |n| n % per < cus)
+    }
+
+    /// Whether `node` is a CU node owned by this machine.
+    fn owns_cu_node(&self, node: usize) -> bool {
+        node >= self.node_lo && node < self.node_hi && node % self.nodes_per_dev < self.gpu_cus
+    }
+
+    /// The node hosting dense CU index `cu` (mirrors
+    /// [`SystemConfig::node_of_cu`]): device `cu / gpu_cus`, local CU
+    /// `cu % gpu_cus`. Resolves `TbSpec::on_cu` pins.
+    fn cu_node_of(&self, cu: usize) -> usize {
+        let node = (cu / self.gpu_cus) * self.nodes_per_dev + cu % self.gpu_cus;
+        assert!(
+            node < self.cus.len(),
+            "thread block pinned to CU {cu}, beyond the topology's {} CUs",
+            self.cus.len() / self.nodes_per_dev * self.gpu_cus
+        );
+        node
+    }
+
+    /// Dense CU attribution row of a CU node (`device * gpu_cus + local
+    /// CU`): the profiler's rows skip each device's non-CU node.
+    /// Identity on a single device.
+    #[inline]
+    fn prof_cu(&self, node: usize) -> usize {
+        (node / self.nodes_per_dev) * self.gpu_cus + node % self.nodes_per_dev
     }
 
     fn ensure_tick(&mut self, cu: usize, at: Cycle) {
@@ -979,7 +1016,7 @@ impl Machine {
         });
         // Kernel-launch acquire on every owned CU (paper §1: invalidate
         // at the start of the kernel).
-        for cu in self.cu_range() {
+        for cu in self.cu_nodes() {
             self.l1s[cu].acquire(false);
             self.check_post_acquire(cu);
         }
@@ -993,10 +1030,15 @@ impl Machine {
             c.queue.clear();
             c.rr = 0;
         }
-        let cu_range = self.cu_range();
         for (i, spec) in launch.tbs.iter().enumerate() {
-            let cu = i % self.gpu_cus;
-            if !cu_range.contains(&cu) {
+            // Unpinned blocks follow the `tb % gpu_cus` contract (device
+            // 0's CU nodes, preserving every single-device workload's
+            // co-location); pinned blocks resolve their dense CU index.
+            let cu = match spec.cu {
+                Some(c) => self.cu_node_of(c),
+                None => i % self.gpu_cus,
+            };
+            if !self.owns_cu_node(cu) {
                 continue; // another shard's thread block
             }
             let tb = self.tbs.len();
@@ -1015,7 +1057,7 @@ impl Machine {
             });
             self.cus[cu].queue.push_back(tb);
         }
-        for cu in self.cu_range() {
+        for cu in self.cu_nodes() {
             for slot in 0..self.tbs_per_cu {
                 if let Some(tb) = self.cus[cu].queue.pop_front() {
                     self.cus[cu].slots[slot] = Some(tb);
@@ -1032,9 +1074,11 @@ impl Machine {
             if self.cus[cu].slots.iter().any(Option::is_some) {
                 let at = self.now + 1;
                 self.ensure_tick(cu, at);
-                self.prof.set_state(cu, self.now, StallKind::Issue);
+                self.prof
+                    .set_state(self.prof_cu(cu), self.now, StallKind::Issue);
             } else {
-                self.prof.set_state(cu, self.now, StallKind::Idle);
+                self.prof
+                    .set_state(self.prof_cu(cu), self.now, StallKind::Idle);
             }
         }
     }
@@ -1044,16 +1088,18 @@ impl Machine {
     fn end_kernel(&mut self) {
         debug_assert_eq!(self.drain_left, 0);
         let mut all = ActionVec::new();
-        for cu in self.cu_range() {
+        for cu in self.cu_nodes() {
             let req = self.alloc_req();
             let (issue, actions) = self.l1s[cu].release(false, req);
             if issue == Issue::Pending {
                 self.pending
                     .insert(req, (Target::KernelDrain { cu }, self.now));
                 self.drain_left += 1;
-                self.prof.set_state(cu, self.now, StallKind::SbDrain);
+                self.prof
+                    .set_state(self.prof_cu(cu), self.now, StallKind::SbDrain);
             } else {
-                self.prof.set_state(cu, self.now, StallKind::Idle);
+                self.prof
+                    .set_state(self.prof_cu(cu), self.now, StallKind::Idle);
             }
             all.append(&actions);
         }
@@ -1113,7 +1159,8 @@ impl Machine {
         if self.cus[cu].slots.iter().all(Option::is_none) {
             // The CU emptied mid-kernel: idle until the next kernel
             // boundary (which may override to a drain wait).
-            self.prof.set_state(cu, self.now, StallKind::Idle);
+            self.prof
+                .set_state(self.prof_cu(cu), self.now, StallKind::Idle);
         }
         // The last retirement does NOT end the kernel here: that is a
         // cycle-boundary step (the run loop fires it once no event
@@ -1133,7 +1180,7 @@ impl Machine {
         match instr {
             Instr::Mov { dst, src } => {
                 self.counts.instructions += 1;
-                self.prof.instr(cu);
+                self.prof.instr(self.prof_cu(cu));
                 let v = src.eval(&self.tbs[tb].regs);
                 self.tbs[tb].regs[dst as usize] = v;
                 self.tbs[tb].pc += 1;
@@ -1141,7 +1188,7 @@ impl Machine {
             }
             Instr::Alu { dst, a, op, b } => {
                 self.counts.instructions += 1;
-                self.prof.instr(cu);
+                self.prof.instr(self.prof_cu(cu));
                 let regs = &self.tbs[tb].regs;
                 let v = op.apply(a.eval(regs), b.eval(regs));
                 self.tbs[tb].regs[dst as usize] = v;
@@ -1162,7 +1209,7 @@ impl Machine {
                 let bucket = match issue {
                     Issue::Hit(v) => {
                         self.counts.instructions += 1;
-                        self.prof.instr(cu);
+                        self.prof.instr(self.prof_cu(cu));
                         self.latency.load_to_use.record(1);
                         self.tbs[tb].regs[dst as usize] = v;
                         self.tbs[tb].pc += 1;
@@ -1170,7 +1217,7 @@ impl Machine {
                     }
                     Issue::Pending => {
                         self.counts.instructions += 1;
-                        self.prof.instr(cu);
+                        self.prof.instr(self.prof_cu(cu));
                         self.tbs[tb].status = TbStatus::Blocked;
                         self.tbs[tb].wait = StallKind::LoadUse;
                         self.flow.begin_journey(
@@ -1209,7 +1256,7 @@ impl Machine {
             }
             Instr::St { addr, src } => {
                 self.counts.instructions += 1;
-                self.prof.instr(cu);
+                self.prof.instr(self.prof_cu(cu));
                 let regs = &self.tbs[tb].regs;
                 let (word, v) = (addr.word(regs), src.eval(regs));
                 let overflows_before = if self.prof.is_enabled() {
@@ -1254,7 +1301,7 @@ impl Machine {
                 // release — run the release phase first, once.
                 if ord.releases() && !self.tbs[tb].released {
                     self.counts.instructions += 1;
-                    self.prof.instr(cu);
+                    self.prof.instr(self.prof_cu(cu));
                     let req = self.alloc_req();
                     let (issue, actions) = self.l1s[cu].release(local, req);
                     match issue {
@@ -1335,7 +1382,7 @@ impl Machine {
                 let bucket = match issue {
                     Issue::Hit(old) => {
                         self.counts.instructions += 1;
-                        self.prof.instr(cu);
+                        self.prof.instr(self.prof_cu(cu));
                         self.latency.atomic_rtt.record(1);
                         let started = self.tbs[tb].sync_started.take().unwrap_or(self.now);
                         self.latency.barrier_wait.record(self.now - started);
@@ -1355,7 +1402,7 @@ impl Machine {
                     }
                     Issue::Pending => {
                         self.counts.instructions += 1;
-                        self.prof.instr(cu);
+                        self.prof.instr(self.prof_cu(cu));
                         self.tbs[tb].status = TbStatus::Blocked;
                         self.tbs[tb].wait = sync_kind;
                         self.sync_inflight += 1;
@@ -1399,8 +1446,8 @@ impl Machine {
             Instr::LdScratch { dst, addr } => {
                 self.counts.instructions += 1;
                 self.counts.scratch_accesses += 1;
-                self.prof.instr(cu);
-                self.prof.scratch(cu);
+                self.prof.instr(self.prof_cu(cu));
+                self.prof.scratch(self.prof_cu(cu));
                 let idx = addr.word(&self.tbs[tb].regs).0 as usize;
                 let v = self.tbs[tb].scratch[idx];
                 self.tbs[tb].regs[dst as usize] = v;
@@ -1410,8 +1457,8 @@ impl Machine {
             Instr::StScratch { addr, src } => {
                 self.counts.instructions += 1;
                 self.counts.scratch_accesses += 1;
-                self.prof.instr(cu);
-                self.prof.scratch(cu);
+                self.prof.instr(self.prof_cu(cu));
+                self.prof.scratch(self.prof_cu(cu));
                 let regs = &self.tbs[tb].regs;
                 let (idx, v) = (addr.word(regs).0 as usize, src.eval(regs));
                 self.tbs[tb].scratch[idx] = v;
@@ -1420,7 +1467,7 @@ impl Machine {
             }
             Instr::Compute { cycles } => {
                 self.counts.instructions += 1;
-                self.prof.instr(cu);
+                self.prof.instr(self.prof_cu(cu));
                 let n = cycles.eval(&self.tbs[tb].regs) as Cycle;
                 self.tbs[tb].pc += 1;
                 if n > 0 {
@@ -1435,27 +1482,27 @@ impl Machine {
             }
             Instr::Jmp { target } => {
                 self.counts.instructions += 1;
-                self.prof.instr(cu);
+                self.prof.instr(self.prof_cu(cu));
                 self.tbs[tb].pc = target;
                 StallKind::Issue
             }
             Instr::Bnz { cond, target } => {
                 self.counts.instructions += 1;
-                self.prof.instr(cu);
+                self.prof.instr(self.prof_cu(cu));
                 let taken = cond.eval(&self.tbs[tb].regs) != 0;
                 self.tbs[tb].pc = if taken { target } else { self.tbs[tb].pc + 1 };
                 StallKind::Issue
             }
             Instr::Bz { cond, target } => {
                 self.counts.instructions += 1;
-                self.prof.instr(cu);
+                self.prof.instr(self.prof_cu(cu));
                 let taken = cond.eval(&self.tbs[tb].regs) == 0;
                 self.tbs[tb].pc = if taken { target } else { self.tbs[tb].pc + 1 };
                 StallKind::Issue
             }
             Instr::Halt => {
                 self.counts.instructions += 1;
-                self.prof.instr(cu);
+                self.prof.instr(self.prof_cu(cu));
                 self.on_tb_finished(tb);
                 StallKind::Issue
             }
@@ -1480,7 +1527,7 @@ impl Machine {
         };
         self.cus[cu].rr = (s + 1) % slots;
         self.counts.cu_active_cycles += 1;
-        self.prof.cu_active(cu);
+        self.prof.cu_active(self.prof_cu(cu));
         let bucket = self.exec_step(tb);
         // Keep issuing while any resident block is ready.
         let any_ready = self.cus[cu]
@@ -1510,7 +1557,7 @@ impl Machine {
                 }
                 Some(k)
             };
-            self.prof.tick(cu, self.now, bucket, next);
+            self.prof.tick(self.prof_cu(cu), self.now, bucket, next);
         }
     }
 
@@ -1523,7 +1570,8 @@ impl Machine {
         match target {
             Target::KernelDrain { cu } => {
                 self.latency.sb_drain.record(self.now - issued_at);
-                self.prof.set_state(cu, self.now, StallKind::Idle);
+                self.prof
+                    .set_state(self.prof_cu(cu), self.now, StallKind::Idle);
                 // `drain_left == 0` fires `on_kernel_drained` at the
                 // next cycle boundary (see `kernel_boundary_step`).
                 self.drain_left -= 1;

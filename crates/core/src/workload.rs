@@ -19,6 +19,12 @@ pub struct TbSpec {
     pub regs: [Value; NUM_REGS],
     /// Scratchpad words allocated to this thread block.
     pub scratch_words: usize,
+    /// Explicit CU placement: a *dense* CU index (`device * gpu_cus +
+    /// local CU`, see `SystemConfig::node_of_cu`). `None` (the default)
+    /// follows the `tb % gpu_cus` mapping, which always lands on device
+    /// 0 — cross-device workloads pin their remote blocks with
+    /// [`on_cu`](Self::on_cu).
+    pub cu: Option<usize>,
 }
 
 impl TbSpec {
@@ -34,12 +40,20 @@ impl TbSpec {
         TbSpec {
             regs,
             scratch_words: 0,
+            cu: None,
         }
     }
 
     /// Adds a scratchpad allocation.
     pub fn scratch(mut self, words: usize) -> Self {
         self.scratch_words = words;
+        self
+    }
+
+    /// Pins the block to dense CU index `cu` (device `cu / gpu_cus`,
+    /// local CU `cu % gpu_cus`).
+    pub fn on_cu(mut self, cu: usize) -> Self {
+        self.cu = Some(cu);
         self
     }
 }
@@ -49,7 +63,8 @@ impl TbSpec {
 /// Thread block `i` is scheduled on CU `i % gpu_cus`
 /// ([`SystemConfig::cu_of_tb`](crate::SystemConfig::cu_of_tb)), so
 /// workloads with locally scoped synchronization can co-locate the
-/// blocks that synchronize.
+/// blocks that synchronize; a block carrying [`TbSpec::cu`] overrides
+/// the mapping (how multi-device workloads place blocks off device 0).
 #[derive(Clone, Debug)]
 pub struct KernelLaunch {
     /// The kernel body, shared by every thread block.

@@ -10,14 +10,71 @@
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::pool;
-use gsim_core::{Simulator, SystemConfig};
+use gsim_core::{Simulator, SystemConfig, XLinkConfig};
 use gsim_flow::{FlowReport, FlowSpec};
 use gsim_prof::{ProfSpec, ProfileReport};
-use gsim_types::{JsonValue, ProtocolConfig, SimStats};
+use gsim_types::{Cycle, JsonValue, ProtocolConfig, SimStats};
 use gsim_workloads::registry::{self, Group};
 use gsim_workloads::Scale;
 
-/// One experiment: a benchmark under a configuration at a scale.
+/// The multi-device shape of a cell's system. The default — one device —
+/// is the paper's plain `micro15` system, and cells carrying it keep the
+/// exact pre-fabric cache keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FabricSpec {
+    /// Device meshes in the fabric (1 = the plain single-GPU system).
+    pub devices: u8,
+    /// One-way inter-device link latency, cycles (ignored when
+    /// `devices == 1`).
+    pub xlink_latency: Cycle,
+}
+
+impl Default for FabricSpec {
+    fn default() -> Self {
+        FabricSpec {
+            devices: 1,
+            xlink_latency: XLinkConfig::default().latency,
+        }
+    }
+}
+
+impl FabricSpec {
+    /// A fabric of `devices` meshes at `xlink_latency`.
+    pub fn new(devices: u8, xlink_latency: Cycle) -> Self {
+        FabricSpec {
+            devices: devices.max(1),
+            xlink_latency,
+        }
+    }
+
+    /// Whether this is the plain single-device system.
+    pub fn is_single(&self) -> bool {
+        self.devices <= 1
+    }
+
+    /// The system this spec describes under `protocol`.
+    pub fn system(&self, protocol: ProtocolConfig) -> SystemConfig {
+        if self.is_single() {
+            SystemConfig::micro15(protocol)
+        } else {
+            SystemConfig::fabric(protocol, self.devices, self.xlink_latency)
+        }
+    }
+
+    /// The cache-key token of this shape: `"micro15"` for a single
+    /// device (byte-identical to the pre-fabric keys, so existing caches
+    /// stay valid), a fabric-qualified token otherwise.
+    fn cache_token(&self) -> String {
+        if self.is_single() {
+            "micro15".into()
+        } else {
+            format!("fabric:d{}:x{}", self.devices, self.xlink_latency)
+        }
+    }
+}
+
+/// One experiment: a benchmark under a configuration at a scale, on a
+/// fabric shape (default: the paper's single-device system).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cell {
     /// Benchmark name (Table 4 abbreviation, e.g. `"SPM_G"`).
@@ -26,6 +83,21 @@ pub struct Cell {
     pub config: ProtocolConfig,
     /// Workload scale.
     pub scale: Scale,
+    /// Multi-device topology of the run.
+    pub fabric: FabricSpec,
+}
+
+impl Cell {
+    /// This cell moved onto `fabric` (sweeps map this over a matrix).
+    pub fn on_fabric(mut self, fabric: FabricSpec) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// The system configuration this cell runs on.
+    fn system(&self) -> SystemConfig {
+        self.fabric.system(self.config)
+    }
 }
 
 /// The outcome of one cell.
@@ -56,9 +128,16 @@ pub fn full_matrix(scale: Scale) -> Vec<Cell> {
     )
 }
 
-/// The grid restricted to one Table 4 group (`None` = all groups).
+/// The grid restricted to one group (`None` = all Table 4 groups). The
+/// extension and fabric groups live outside Table 4, so they only
+/// appear when named explicitly.
 pub fn group_matrix(group: Option<Group>, scale: Scale) -> Vec<Cell> {
-    let benches: Vec<&str> = registry::all()
+    let pool = match group {
+        Some(Group::Extension) => registry::extensions(),
+        Some(Group::Fabric) => registry::fabric(),
+        _ => registry::all(),
+    };
+    let benches: Vec<&str> = pool
         .iter()
         .filter(|b| group.is_none_or(|g| b.group == g))
         .map(|b| b.name)
@@ -75,14 +154,17 @@ pub fn matrix_of(benches: &[&str], configs: &[ProtocolConfig], scale: Scale) -> 
                 bench: bench.to_string(),
                 config,
                 scale,
+                fabric: FabricSpec::default(),
             })
         })
         .collect()
 }
 
-/// The cache key of a cell run through [`run_cells`] (the Table 3
-/// `micro15` system). Exposed so tests and the CLI can reason about
-/// what invalidates what.
+/// The cache key of a cell run through [`run_cells`]. Single-device
+/// cells keep the historical `micro15;...` keys; fabric cells get a
+/// token naming the device count and link latency, so shapes never
+/// serve each other's results. Exposed so tests and the CLI can reason
+/// about what invalidates what.
 pub fn cell_key(cell: &Cell) -> Result<CacheKey, String> {
     let b = registry::by_name(&cell.bench)
         .ok_or_else(|| format!("unknown benchmark {:?}", cell.bench))?;
@@ -90,7 +172,7 @@ pub fn cell_key(cell: &Cell) -> Result<CacheKey, String> {
         bench: cell.bench.clone(),
         config: cell.config,
         scale: cell.scale,
-        params: format!("micro15;{}", b.table4_input),
+        params: format!("{};{}", cell.fabric.cache_token(), b.table4_input),
     })
 }
 
@@ -128,7 +210,7 @@ pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, 
         }
     }
     let b = registry::by_name(&cell.bench).expect("checked by cell_key");
-    let stats = Simulator::new(SystemConfig::micro15(cell.config))
+    let stats = Simulator::new(cell.system())
         .run(&(b.build)(cell.scale))
         .map_err(|e| format!("{} under {}: {e}", cell.bench, cell.config))?;
     if let Some(c) = cache {
@@ -167,7 +249,7 @@ pub fn run_cell_sharded(
         }
     }
     let b = registry::by_name(&cell.bench).expect("checked by cell_key");
-    let stats = Simulator::new(SystemConfig::micro15(cell.config).with_shards(shards))
+    let stats = Simulator::new(cell.system().with_shards(shards))
         .run(&(b.build)(cell.scale))
         .map_err(|e| format!("{} under {}: {e}", cell.bench, cell.config))?;
     if let Some(c) = cache {
@@ -208,7 +290,7 @@ pub fn run_cell_profiled(
         }
     }
     let b = registry::by_name(&cell.bench).expect("checked by cell_key");
-    let mut config = SystemConfig::micro15(cell.config);
+    let mut config = cell.system();
     config.prof = prof;
     let (stats, mut profile) = Simulator::new(config)
         .run_profiled(&(b.build)(cell.scale))
@@ -251,7 +333,7 @@ pub fn run_cell_flowed(
         }
     }
     let b = registry::by_name(&cell.bench).expect("checked by cell_key");
-    let mut config = SystemConfig::micro15(cell.config);
+    let mut config = cell.system();
     config.flow = flow;
     let (stats, report) = Simulator::new(config)
         .run_flow(&(b.build)(cell.scale))
@@ -543,6 +625,70 @@ mod tests {
         assert!(served.iter().all(|r| r.from_cache));
         assert_eq!(to_csv(&fresh), to_csv(&served));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fabric_cells_key_separately_and_single_device_keys_are_unchanged() {
+        let cell = &matrix_of(&["SPM_G"], &[ProtocolConfig::Dd], Scale::Tiny)[0];
+        let plain = cell_key(cell).unwrap();
+        assert!(
+            plain.params.starts_with("micro15;"),
+            "pre-fabric cache keys must survive verbatim: {}",
+            plain.params
+        );
+        let two = cell_key(&cell.clone().on_fabric(FabricSpec::new(2, 40))).unwrap();
+        assert!(two.params.starts_with("fabric:d2:x40;"), "{}", two.params);
+        let far = cell_key(&cell.clone().on_fabric(FabricSpec::new(2, 400))).unwrap();
+        let wide = cell_key(&cell.clone().on_fabric(FabricSpec::new(4, 40))).unwrap();
+        let fps: Vec<_> = [&plain, &two, &far, &wide]
+            .iter()
+            .map(|k| k.fingerprint())
+            .collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "shapes {i} and {j} share a key");
+            }
+        }
+        // devices=1 is the plain system whatever the link latency says.
+        let one = cell_key(&cell.clone().on_fabric(FabricSpec::new(1, 999))).unwrap();
+        assert_eq!(one.fingerprint(), plain.fingerprint());
+    }
+
+    #[test]
+    fn fabric_sweep_is_deterministic_across_worker_counts() {
+        let fabric = FabricSpec::new(2, 40);
+        let cells: Vec<Cell> = matrix_of(
+            &["XDEV_D", "XDEV_S", "XPC"],
+            &[ProtocolConfig::Gd, ProtocolConfig::Dd],
+            Scale::Tiny,
+        )
+        .into_iter()
+        .map(|c| c.on_fabric(fabric))
+        .collect();
+        let one = run_cells(&cells, 1, None).unwrap();
+        let many = run_cells(&cells, 4, None).unwrap();
+        assert_eq!(to_csv(&one), to_csv(&many));
+        assert_eq!(to_json(&one), to_json(&many));
+
+        // The sharded engine reproduces the same bytes on the fabric.
+        let sharded = run_cells_sharded(&cells, 0, None, 4).unwrap();
+        assert_eq!(to_csv(&one), to_csv(&sharded));
+    }
+
+    #[test]
+    fn fabric_sweep_shows_the_scope_gap() {
+        let fabric = FabricSpec::new(2, 40);
+        let cells: Vec<Cell> = matrix_of(&["XDEV_D", "XDEV_S"], &[ProtocolConfig::Dd], Scale::Tiny)
+            .into_iter()
+            .map(|c| c.on_fabric(fabric))
+            .collect();
+        let r = run_cells(&cells, 1, None).unwrap();
+        assert!(
+            r[1].stats.cycles > r[0].stats.cycles,
+            "system scope ({}) must out-cycle device scope ({})",
+            r[1].stats.cycles,
+            r[0].stats.cycles
+        );
     }
 
     #[test]

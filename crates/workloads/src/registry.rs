@@ -21,6 +21,9 @@ pub enum Group {
     /// Not in Table 4: Pannotia-style graph workloads (§7.2 notes the
     /// originals were not publicly available).
     Extension,
+    /// Not in Table 4: multi-device fabric microbenchmarks (device-scope
+    /// vs system-scope synchronization, cross-device producer-consumer).
+    Fabric,
 }
 
 /// One Table 4 row.
@@ -241,11 +244,43 @@ pub fn extensions() -> Vec<Benchmark> {
     ]
 }
 
-/// Looks a benchmark up by name — Table 4 first, then the extensions.
+/// The multi-device fabric microbenchmarks (see [`Group::Fabric`] and
+/// [`crate::sync::xdev`]). Meaningful on a multi-device topology
+/// (`SystemConfig::fabric`); `XPC` *requires* one.
+pub fn fabric() -> Vec<Benchmark> {
+    use crate::sync::xdev;
+    vec![
+        Benchmark {
+            name: "XDEV_D",
+            group: Group::Fabric,
+            table4_input: "3 TBs/CU, lock homed on-device (fabric)",
+            build: xdev::device_scope,
+            regions: Some(xdev::device_regions),
+        },
+        Benchmark {
+            name: "XDEV_S",
+            group: Group::Fabric,
+            table4_input: "3 TBs/CU, lock homed cross-device (fabric)",
+            build: xdev::system_scope,
+            regions: Some(xdev::system_regions),
+        },
+        Benchmark {
+            name: "XPC",
+            group: Group::Fabric,
+            table4_input: "producer dev0 / consumer dev1 (fabric)",
+            build: xdev::producer_consumer,
+            regions: Some(xdev::pc_regions),
+        },
+    ]
+}
+
+/// Looks a benchmark up by name — Table 4 first, then the extensions
+/// and the fabric microbenchmarks.
 pub fn by_name(name: &str) -> Option<Benchmark> {
     all()
         .into_iter()
         .chain(extensions())
+        .chain(fabric())
         .find(|b| b.name == name)
 }
 
@@ -279,5 +314,14 @@ mod tests {
     fn extensions_are_separate_from_table4() {
         assert_eq!(extensions().len(), 2);
         assert!(all().iter().all(|b| b.group != Group::Extension));
+    }
+
+    #[test]
+    fn fabric_benches_are_separate_and_resolvable() {
+        assert_eq!(fabric().len(), 3);
+        assert!(all().iter().all(|b| b.group != Group::Fabric));
+        assert!(by_name("XDEV_D").is_some());
+        assert!(by_name("XDEV_S").is_some());
+        assert!(by_name("XPC").is_some());
     }
 }

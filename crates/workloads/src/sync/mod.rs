@@ -3,3 +3,4 @@
 pub mod barrier;
 pub mod mutex;
 pub mod semaphore;
+pub mod xdev;

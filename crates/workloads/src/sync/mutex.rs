@@ -182,8 +182,14 @@ fn emit_release(b: &mut KernelBuilder, algo: MutexAlgo, scope: Scope) {
 }
 
 /// Builds the mutex kernel: `iters` critical sections, each reading and
-/// incrementing `ld_st` protected words.
-fn mutex_program(algo: MutexAlgo, scope: Scope, p: &SyncParams) -> Arc<gsim_core::kernel::Program> {
+/// incrementing `ld_st` protected words. Shared with the fabric
+/// microbenchmarks ([`crate::sync::xdev`]), which run it against locks
+/// homed on different devices.
+pub(crate) fn mutex_program(
+    algo: MutexAlgo,
+    scope: Scope,
+    p: &SyncParams,
+) -> Arc<gsim_core::kernel::Program> {
     let mut b = KernelBuilder::new();
     b.mov(R_ITER, imm(p.iters));
     b.label("iter");

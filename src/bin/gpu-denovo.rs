@@ -24,7 +24,7 @@
 //! puts one Table 4 benchmark under the same microscope.
 
 use gpu_denovo::explore::{self, Budget, ExploreMode, ScheduleId};
-use gpu_denovo::harness::{self, Cell, CellResult, ResultCache};
+use gpu_denovo::harness::{self, Cell, CellResult, FabricSpec, ResultCache};
 use gpu_denovo::trace::{
     chrome_json_full, chrome_json_with_counters, to_chrome_json, CounterTrack, JourneySpan,
     RingRecorder, TraceHandle,
@@ -38,19 +38,20 @@ use gpu_denovo::{
 use std::process::ExitCode;
 
 const CONFIG_NAMES: &str = "GD, GH, DD, DD+RO, DH";
-const GROUP_NAMES: &str = "nosync, global, local";
+const GROUP_NAMES: &str = "nosync, global, local, extension, fabric";
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          gpu-denovo list\n  \
          gpu-denovo run <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--detail] [--hist]\n              \
-         [--shards N]\n  \
-         gpu-denovo compare <BENCH> [--paper] [--shards N]\n  \
-         gpu-denovo sweep [--group nosync|global|local] [--paper] [--jobs N] [--shards N]\n                   \
+         [--shards N] [--devices N] [--xlink-latency N]\n  \
+         gpu-denovo compare <BENCH> [--paper] [--shards N] [--devices N] [--xlink-latency N]\n  \
+         gpu-denovo sweep [--group nosync|global|local|extension|fabric] [--paper] [--jobs N]\n                   \
+         [--shards N] [--devices N] [--xlink-latency N]\n                   \
          [--out FILE.csv|FILE.json] [--no-cache]\n  \
          gpu-denovo matrix [--paper] [--jobs N] [--shards N] [--out FILE.csv|FILE.json]\n                    \
-         [--no-cache]\n  \
+         [--devices N] [--xlink-latency N] [--no-cache]\n  \
          gpu-denovo trace <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] --out <FILE>\n  \
          gpu-denovo profile <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--interval N]\n                     \
          [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
@@ -70,6 +71,11 @@ fn usage() -> ExitCode {
          the core count). Results are byte-identical to the sequential\n\
          engine for any N; observer commands (trace/profile/flow) fall\n\
          back to sequential.\n\
+         `--devices N` joins N device meshes into one fabric over a\n\
+         slower inter-device link (`--xlink-latency`, default 40 cycles);\n\
+         L2 homes stripe across all devices. The fabric group's XDEV_D /\n\
+         XDEV_S / XPC microbenchmarks measure device- vs system-scope\n\
+         synchronization on it (XPC needs --devices >= 2).\n\
          `trace` writes a Chrome/Perfetto trace (load it at ui.perfetto.dev\n\
          or chrome://tracing).\n\
          `profile` attributes every CU cycle to a stall bucket and tracks\n\
@@ -131,10 +137,42 @@ fn parse_group(args: &[String]) -> Result<Option<registry::Group>, String> {
         "nosync" => Ok(Some(registry::Group::NoSync)),
         "global" => Ok(Some(registry::Group::GlobalSync)),
         "local" => Ok(Some(registry::Group::LocalSync)),
+        "extension" => Ok(Some(registry::Group::Extension)),
+        "fabric" => Ok(Some(registry::Group::Fabric)),
         _ => Err(format!(
             "unknown group {s:?}: valid groups are {GROUP_NAMES}"
         )),
     }
+}
+
+/// `--devices N` and `--xlink-latency N`: run on a multi-device fabric
+/// (the default is the paper's single-device system, where
+/// `--xlink-latency` is ignored).
+fn parse_fabric(args: &[String]) -> Result<FabricSpec, String> {
+    let mut fabric = FabricSpec::default();
+    if let Some(v) = flag_value(args, "--devices").map_err(|e| format!("{e} (a device count)"))? {
+        fabric.devices = match v.parse::<u8>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                return Err(format!(
+                    "invalid --devices value {v:?}: expected a positive device count"
+                ))
+            }
+        };
+    }
+    if let Some(v) =
+        flag_value(args, "--xlink-latency").map_err(|e| format!("{e} (a cycle count)"))?
+    {
+        fabric.xlink_latency = match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                return Err(format!(
+                    "invalid --xlink-latency value {v:?}: expected a cycle count"
+                ))
+            }
+        };
+    }
+    Ok(fabric)
 }
 
 /// `--shards N`: advance the run on the sharded parallel engine with
@@ -203,9 +241,10 @@ fn run_one(
     p: ProtocolConfig,
     s: Scale,
     shards: Option<usize>,
+    fabric: FabricSpec,
 ) -> Result<SimStats, String> {
     let b = lookup_bench(name)?;
-    let mut cfg = SystemConfig::micro15(p);
+    let mut cfg = fabric.system(p);
     if let Some(n) = shards {
         cfg = cfg.with_shards(n);
     }
@@ -218,10 +257,15 @@ fn run_one(
 /// and the tail of a Paper-scale one (the drop count is reported).
 const TRACE_CAPACITY: usize = 1 << 20;
 
-fn trace_one(name: &str, p: ProtocolConfig, s: Scale) -> Result<(SimStats, TraceHandle), String> {
+fn trace_one(
+    name: &str,
+    p: ProtocolConfig,
+    s: Scale,
+    fabric: FabricSpec,
+) -> Result<(SimStats, TraceHandle), String> {
     let b = lookup_bench(name)?;
     let handle = TraceHandle::new(RingRecorder::new(TRACE_CAPACITY));
-    let stats = Simulator::new(SystemConfig::micro15(p))
+    let stats = Simulator::new(fabric.system(p))
         .run_traced(&(b.build)(s), handle.clone())
         .map_err(|e| format!("{name} under {p}: {e}"))?;
     Ok((stats, handle))
@@ -234,8 +278,9 @@ fn profile_one(
     p: ProtocolConfig,
     s: Scale,
     spec: ProfSpec,
+    fabric: FabricSpec,
 ) -> Result<(SimStats, ProfileReport), String> {
-    let mut cfg = SystemConfig::micro15(p);
+    let mut cfg = fabric.system(p);
     cfg.prof = spec;
     let (stats, profile) = Simulator::new(cfg)
         .run_profiled(&(b.build)(s))
@@ -257,8 +302,9 @@ fn flow_one(
     p: ProtocolConfig,
     s: Scale,
     spec: FlowSpec,
+    fabric: FabricSpec,
 ) -> Result<(SimStats, FlowReport), String> {
-    let mut cfg = SystemConfig::micro15(p);
+    let mut cfg = fabric.system(p);
     cfg.flow = spec;
     let (stats, report) = Simulator::new(cfg)
         .run_flow(&(b.build)(s))
@@ -422,6 +468,9 @@ fn header() {
 fn run_matrix(cells: &[Cell], args: &[String]) -> Result<Vec<CellResult>, String> {
     let jobs = parse_jobs(args)?;
     let shards = parse_shards(args)?;
+    let fabric = parse_fabric(args)?;
+    let cells: Vec<Cell> = cells.iter().map(|c| c.clone().on_fabric(fabric)).collect();
+    let cells = cells.as_slice();
     let out = parse_out(args)?;
     let cache = if args.iter().any(|a| a == "--no-cache") {
         None
@@ -476,7 +525,11 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "list" => {
             println!("{:<10} {:<12} Table 4 input", "name", "group");
-            for b in registry::all().into_iter().chain(registry::extensions()) {
+            for b in registry::all()
+                .into_iter()
+                .chain(registry::extensions())
+                .chain(registry::fabric())
+            {
                 println!(
                     "{:<10} {:<12} {}",
                     b.name,
@@ -498,7 +551,11 @@ fn main() -> ExitCode {
                 Ok(s) => s,
                 Err(e) => return fail(e),
             };
-            match run_one(name, config, scale(&args), shards) {
+            let fabric = match parse_fabric(&args) {
+                Ok(f) => f,
+                Err(e) => return fail(e),
+            };
+            match run_one(name, config, scale(&args), shards, fabric) {
                 Ok(stats) => {
                     header();
                     print_row(config, &stats);
@@ -528,7 +585,11 @@ fn main() -> ExitCode {
                 Ok(None) => return fail("trace requires --out <FILE>".into()),
                 Err(e) => return fail(format!("{e} (an output file)")),
             };
-            match trace_one(name, config, scale(&args)) {
+            let fabric = match parse_fabric(&args) {
+                Ok(f) => f,
+                Err(e) => return fail(e),
+            };
+            match trace_one(name, config, scale(&args), fabric) {
                 Ok((stats, handle)) => {
                     let rec = handle.recorder().expect("ring-backed handle").borrow();
                     let json = to_chrome_json(&rec);
@@ -601,9 +662,13 @@ fn main() -> ExitCode {
             } else {
                 ProtocolConfig::ALL.to_vec()
             };
+            let fabric = match parse_fabric(&args) {
+                Ok(f) => f,
+                Err(e) => return fail(e),
+            };
             let mut rows = Vec::new();
             for p in &configs {
-                match profile_one(&b, *p, s, spec) {
+                match profile_one(&b, *p, s, spec, fabric) {
                     Ok((stats, profile)) => rows.push((*p, stats, profile)),
                     Err(e) => return fail(e),
                 }
@@ -738,9 +803,13 @@ fn main() -> ExitCode {
             } else {
                 ProtocolConfig::ALL.to_vec()
             };
+            let fabric = match parse_fabric(&args) {
+                Ok(f) => f,
+                Err(e) => return fail(e),
+            };
             let mut rows = Vec::new();
             for p in &configs {
-                match flow_one(&b, *p, s, spec) {
+                match flow_one(&b, *p, s, spec, fabric) {
                     Ok((stats, report)) => rows.push((*p, stats, report)),
                     Err(e) => return fail(e),
                 }
@@ -835,9 +904,13 @@ fn main() -> ExitCode {
                 Ok(s) => s,
                 Err(e) => return fail(e),
             };
+            let fabric = match parse_fabric(&args) {
+                Ok(f) => f,
+                Err(e) => return fail(e),
+            };
             header();
             for p in ProtocolConfig::ALL {
-                match run_one(name, p, scale(&args), shards) {
+                match run_one(name, p, scale(&args), shards, fabric) {
                     Ok(stats) => print_row(p, &stats),
                     Err(e) => return fail(e),
                 }

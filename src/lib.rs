@@ -69,7 +69,8 @@ pub use gsim_workloads as workloads;
 
 pub use gsim_check::CheckLevel;
 pub use gsim_core::{
-    EngineKind, KernelLaunch, SimError, Simulator, SystemConfig, TbSpec, Workload,
+    EngineKind, KernelLaunch, MeshConfig, SimError, Simulator, SystemConfig, TbSpec, Topology,
+    Workload, XLinkConfig,
 };
 pub use gsim_explore::{Budget, ExploreMode, ScheduleId, ShapeReport};
 pub use gsim_flow::{FlowReport, FlowSpec};
