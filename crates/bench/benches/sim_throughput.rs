@@ -198,6 +198,12 @@ fn main() {
         !SystemConfig::micro15(ProtocolConfig::Gd).flow.enabled(),
         "throughput bench must run with flow collection off"
     );
+    // And for the coherence-lifecycle lens: off in every build, never
+    // in the timed path.
+    assert!(
+        !SystemConfig::micro15(ProtocolConfig::Gd).lens.enabled(),
+        "throughput bench must run with lens collection off"
+    );
     // The schedule explorer's controlled event queue is opt-in via
     // Simulator::run_explored; the production pop path (and so this
     // baseline) stays on the calendar queue.

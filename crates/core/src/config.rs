@@ -4,6 +4,7 @@
 use crate::equeue::QueueKind;
 use gsim_check::CheckLevel;
 use gsim_flow::FlowSpec;
+use gsim_lens::LensSpec;
 use gsim_mem::CacheGeometry;
 use gsim_noc::{MeshConfig, Topology, XLinkConfig};
 use gsim_prof::ProfSpec;
@@ -128,11 +129,18 @@ pub struct SystemConfig {
     /// timing, so stats are identical with it on or off (asserted by
     /// the root crate's `flow` tests).
     pub flow: FlowSpec,
+    /// How much per-line coherence lifecycle observation the run
+    /// collects (acquire invalidation-waste ledger, per-line lifecycle
+    /// table, cross-sync reuse histograms). Defaults to off in **every**
+    /// build; like profiling and flow, lens collection only observes
+    /// and never perturbs timing, so stats are identical with it on or
+    /// off (asserted by the root crate's `lens` tests).
+    pub lens: LensSpec,
     /// Which execution engine advances the run. `Sequential` is the
     /// default; `Sharded` is byte-identical and exists purely for
     /// wall-clock speed on multi-core hosts. Runs with observers
-    /// attached (trace/prof/flow) or a `Controlled` queue fall back to
-    /// the sequential engine regardless of this setting.
+    /// attached (trace/prof/flow/lens) or a `Controlled` queue fall
+    /// back to the sequential engine regardless of this setting.
     pub engine: EngineKind,
 }
 
@@ -155,6 +163,7 @@ impl SystemConfig {
             check: CheckLevel::default_for_build(),
             prof: ProfSpec::default_for_build(),
             flow: FlowSpec::default_for_build(),
+            lens: LensSpec::default_for_build(),
             engine: EngineKind::Sequential,
         }
     }

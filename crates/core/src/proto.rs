@@ -57,6 +57,15 @@ impl L1 {
         }
     }
 
+    /// Installs a lens handle on the controller (observation-only
+    /// per-line lifecycle collection).
+    pub fn set_lens(&mut self, lens: &gsim_lens::LensHandle) {
+        match self {
+            L1::Gpu(c) => c.set_lens(lens),
+            L1::Dn(c) => c.set_lens(lens),
+        }
+    }
+
     /// Store-buffer entries currently occupied (profiler gauge).
     pub fn sb_occupancy(&self) -> usize {
         match self {
@@ -239,6 +248,16 @@ impl L2 {
         match self {
             L2::Gpu(c) => c.set_prof(prof),
             L2::Dn(c) => c.set_prof(prof),
+        }
+    }
+
+    /// Installs a lens handle. Only the DeNovo registry produces lens
+    /// events (registration churn, ownership transfers); the GPU L2 has
+    /// none, so this is a no-op there.
+    pub fn set_lens(&mut self, lens: &gsim_lens::LensHandle) {
+        match self {
+            L2::Gpu(_) => {}
+            L2::Dn(c) => c.set_lens(lens),
         }
     }
 

@@ -32,6 +32,7 @@ use crate::workload::{KernelLaunch, Workload};
 use gsim_check::{CheckKind, CheckLevel, CheckReport, RaceDetector, SyncKey, Violation};
 use gsim_energy::EnergyModel;
 use gsim_flow::{FlowHandle, FlowReport, JourneyKind};
+use gsim_lens::{LensHandle, LensReport};
 use gsim_mem::MemoryImage;
 use gsim_noc::Mesh;
 use gsim_prof::{IntervalSample, ProfHandle, ProfileReport, ReportInputs, StallKind};
@@ -423,6 +424,7 @@ impl Simulator {
         let sequential_only = trace.is_enabled()
             || self.config.prof.enabled()
             || self.config.flow.enabled()
+            || self.config.lens.enabled()
             || matches!(self.config.event_queue, QueueKind::Controlled);
         (!sequential_only).then_some((shards, lookahead))
     }
@@ -448,6 +450,30 @@ impl Simulator {
         Machine::new(&self.config, workload, trace)
             .run(workload)
             .map(|out| (out.stats, out.flow))
+    }
+
+    /// As [`run`](Self::run), additionally returning the lens report
+    /// when [`SystemConfig::lens`] enables collection (`None`
+    /// otherwise).
+    ///
+    /// Lens collection only observes: the returned `SimStats` are
+    /// identical to what [`run`](Self::run) produces with it off.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run).
+    pub fn run_lens(
+        &self,
+        workload: &Workload,
+    ) -> Result<(SimStats, Option<LensReport>), SimError> {
+        let trace = TraceHandle::disabled();
+        if let Some((shards, lookahead)) = self.sharded_engine(&trace) {
+            return crate::sharded::run_sharded(&self.config, workload, shards, lookahead)
+                .map(|stats| (stats, None));
+        }
+        Machine::new(&self.config, workload, trace)
+            .run(workload)
+            .map(|out| (out.stats, out.lens))
     }
 
     /// Runs `workload` under explorer control: the run uses the
@@ -495,6 +521,7 @@ struct RunOut {
     stats: SimStats,
     profile: Option<ProfileReport>,
     flow: Option<FlowReport>,
+    lens: Option<LensReport>,
     /// Decision trace (empty unless the run was scheduled).
     decisions: Vec<Decision>,
     /// Final values of `Machine::obs_words` (empty unless requested).
@@ -644,6 +671,8 @@ pub(crate) struct Machine {
     flow_next_sample: Cycle,
     /// The flow sampling period, cached off the handle.
     flow_interval: Cycle,
+    /// The lens collector (disabled: every hook is one branch).
+    lens: LensHandle,
     /// Sync operations (atomics) currently in flight — a profiler
     /// gauge, maintained unconditionally (one integer).
     sync_inflight: u64,
@@ -676,6 +705,7 @@ impl Machine {
         (workload.init)(&mut memory);
         let nodes = config.topology.nodes();
         let prof = ProfHandle::new(config.prof, config.total_cus(), nodes);
+        let lens = LensHandle::new(config.lens, nodes);
         let l1s = (0..nodes as u8)
             .map(NodeId)
             .map(|n| {
@@ -693,6 +723,7 @@ impl Machine {
                 );
                 l1.set_trace(&trace);
                 l1.set_prof(&prof);
+                l1.set_lens(&lens);
                 l1
             })
             .collect();
@@ -714,6 +745,7 @@ impl Machine {
         let mut l2 = L2::build(config.protocol, config.l2, memory);
         l2.set_trace(&trace);
         l2.set_prof(&prof);
+        l2.set_lens(&lens);
         let prof_interval = prof.sample_interval();
         let flow_interval = flow.sample_interval();
         Machine {
@@ -748,6 +780,7 @@ impl Machine {
             flow,
             flow_next_sample: flow_interval,
             flow_interval,
+            lens,
             sync_inflight: 0,
             check: config.check,
             races: config.check.races().then(|| Box::new(RaceDetector::new())),
@@ -898,6 +931,21 @@ impl Machine {
         }
     }
 
+    /// The one acquire path. Every acquire — kernel launch, an acquiring
+    /// sync that hit, or an acquiring sync completion — marks the lens
+    /// sync boundary (global acquires only; local ones are free and
+    /// invalidate nothing), runs the L1's self-invalidation, and audits
+    /// the post-acquire invariant.
+    fn global_acquire(&mut self, cu: usize, local: bool) {
+        if !local {
+            self.lens.sync_boundary(cu, self.now);
+        }
+        self.l1s[cu].acquire(local);
+        if !local {
+            self.check_post_acquire(cu);
+        }
+    }
+
     #[inline]
     fn schedule(&mut self, at: Cycle, ev: Event) {
         if let Some(ctx) = &mut self.shard {
@@ -1017,8 +1065,7 @@ impl Machine {
         // Kernel-launch acquire on every owned CU (paper §1: invalidate
         // at the start of the kernel).
         for cu in self.cu_nodes() {
-            self.l1s[cu].acquire(false);
-            self.check_post_acquire(cu);
+            self.global_acquire(cu, false);
         }
         if let Some(r) = &mut self.races {
             r.begin_kernel(launch.tbs.len());
@@ -1391,10 +1438,7 @@ impl Machine {
                         // when the sync access completes, before any
                         // younger access issues.
                         if ord.acquires() {
-                            self.l1s[cu].acquire(local);
-                            if !local {
-                                self.check_post_acquire(cu);
-                            }
+                            self.global_acquire(cu, local);
                         }
                         self.tbs[tb].released = false;
                         self.tbs[tb].pc += 1;
@@ -1580,6 +1624,7 @@ impl Machine {
                 match cont {
                     Cont::Load { dst } => {
                         self.latency.load_to_use.record(self.now - issued_at);
+                        self.lens.load_done(req, self.now - issued_at);
                         self.tbs[tb].regs[dst as usize] = value;
                         self.tbs[tb].pc += 1;
                     }
@@ -1594,10 +1639,7 @@ impl Machine {
                         }
                         if let Some(local) = acquire {
                             let cu = self.tbs[tb].cu;
-                            self.l1s[cu].acquire(local);
-                            if !local {
-                                self.check_post_acquire(cu);
-                            }
+                            self.global_acquire(cu, local);
                         }
                         self.tbs[tb].released = false;
                         self.tbs[tb].pc += 1;
@@ -1756,11 +1798,13 @@ impl Machine {
         let stats = self.stats();
         let profile = self.take_profile();
         let flow = self.take_flow();
+        let lens = self.take_lens();
         let decisions = self.sched.take().map_or(Vec::new(), |s| s.decisions);
         Ok(RunOut {
             stats,
             profile,
             flow,
+            lens,
             decisions,
             observed,
         })
@@ -1836,6 +1880,11 @@ impl Machine {
     /// Assembles the flow report (`None` when flow collection is off).
     fn take_flow(&mut self) -> Option<FlowReport> {
         self.flow.take_report(self.now)
+    }
+
+    /// Assembles the lens report (`None` when lens collection is off).
+    fn take_lens(&mut self) -> Option<LensReport> {
+        self.lens.take_report(self.now)
     }
 
     /// The end-of-run audit (replaces the bare quiesce assertions when

@@ -19,6 +19,7 @@
 //! compute it; neither can observe a torn file.
 
 use gsim_flow::FlowReport;
+use gsim_lens::LensReport;
 use gsim_prof::ProfileReport;
 use gsim_types::{JsonValue, ProtocolConfig, SimStats};
 use gsim_workloads::Scale;
@@ -33,7 +34,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// v3: cells can additionally carry an optional flow report, and flowed
 /// keys embed the flow parameters (interval and journey period).
-pub const SCHEMA_VERSION: u32 = 3;
+///
+/// v4: cells can additionally carry an optional lens report, and lensed
+/// keys embed the lens parameters (level and top-k).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// FNV-1a 64-bit: tiny, dependency-free, stable across platforms and
 /// releases (unlike `DefaultHasher`, whose output is explicitly not
@@ -141,19 +145,31 @@ impl ResultCache {
     /// report when the cell was cached by a profiled run.
     pub fn get_profiled(&self, key: &CacheKey) -> Option<(SimStats, Option<ProfileReport>)> {
         self.get_full(key)
-            .map(|(stats, profile, _)| (stats, profile))
+            .map(|(stats, profile, _, _)| (stats, profile))
     }
 
     /// As [`get`](Self::get), additionally returning the stored flow
     /// report when the cell was cached by a flow-observed run.
     pub fn get_flowed(&self, key: &CacheKey) -> Option<(SimStats, Option<FlowReport>)> {
-        self.get_full(key).map(|(stats, _, flow)| (stats, flow))
+        self.get_full(key).map(|(stats, _, flow, _)| (stats, flow))
     }
 
+    /// As [`get`](Self::get), additionally returning the stored lens
+    /// report when the cell was cached by a lens-observed run.
+    pub fn get_lensed(&self, key: &CacheKey) -> Option<(SimStats, Option<LensReport>)> {
+        self.get_full(key).map(|(stats, _, _, lens)| (stats, lens))
+    }
+
+    #[allow(clippy::type_complexity)]
     fn get_full(
         &self,
         key: &CacheKey,
-    ) -> Option<(SimStats, Option<ProfileReport>, Option<FlowReport>)> {
+    ) -> Option<(
+        SimStats,
+        Option<ProfileReport>,
+        Option<FlowReport>,
+        Option<LensReport>,
+    )> {
         let found = self.lookup(key);
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -162,10 +178,16 @@ impl ResultCache {
         found
     }
 
+    #[allow(clippy::type_complexity)]
     fn lookup(
         &self,
         key: &CacheKey,
-    ) -> Option<(SimStats, Option<ProfileReport>, Option<FlowReport>)> {
+    ) -> Option<(
+        SimStats,
+        Option<ProfileReport>,
+        Option<FlowReport>,
+        Option<LensReport>,
+    )> {
         let text = std::fs::read_to_string(self.path_of(key)).ok()?;
         let doc = JsonValue::parse(&text).ok()?;
         if doc.get("key")?.as_str()? != key.canonical() {
@@ -183,7 +205,11 @@ impl ResultCache {
             None => None,
             Some(f) => Some(FlowReport::from_json_value(f).ok()?),
         };
-        Some((stats, profile, flow))
+        let lens = match doc.get("lens") {
+            None => None,
+            Some(l) => Some(LensReport::from_json_value(l).ok()?),
+        };
+        Some((stats, profile, flow, lens))
     }
 
     /// Stores a cell's result. Errors are deliberately swallowed — a
@@ -196,13 +222,19 @@ impl ResultCache {
     /// As [`put`](Self::put), additionally storing a profile report so a
     /// later [`get_profiled`](Self::get_profiled) is served whole.
     pub fn put_profiled(&self, key: &CacheKey, stats: &SimStats, profile: Option<&ProfileReport>) {
-        self.put_full(key, stats, profile, None);
+        self.put_full(key, stats, profile, None, None);
     }
 
     /// As [`put`](Self::put), additionally storing a flow report so a
     /// later [`get_flowed`](Self::get_flowed) is served whole.
     pub fn put_flowed(&self, key: &CacheKey, stats: &SimStats, flow: Option<&FlowReport>) {
-        self.put_full(key, stats, None, flow);
+        self.put_full(key, stats, None, flow, None);
+    }
+
+    /// As [`put`](Self::put), additionally storing a lens report so a
+    /// later [`get_lensed`](Self::get_lensed) is served whole.
+    pub fn put_lensed(&self, key: &CacheKey, stats: &SimStats, lens: Option<&LensReport>) {
+        self.put_full(key, stats, None, None, lens);
     }
 
     fn put_full(
@@ -211,6 +243,7 @@ impl ResultCache {
         stats: &SimStats,
         profile: Option<&ProfileReport>,
         flow: Option<&FlowReport>,
+        lens: Option<&LensReport>,
     ) {
         let mut fields = vec![
             ("key".into(), JsonValue::Str(key.canonical())),
@@ -221,6 +254,9 @@ impl ResultCache {
         }
         if let Some(f) = flow {
             fields.push(("flow".into(), f.to_json_value()));
+        }
+        if let Some(l) = lens {
+            fields.push(("lens".into(), l.to_json_value()));
         }
         let doc = JsonValue::Obj(fields);
         let tmp = self.dir.join(format!(

@@ -12,6 +12,7 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::pool;
 use gsim_core::{Simulator, SystemConfig, XLinkConfig};
 use gsim_flow::{FlowReport, FlowSpec};
+use gsim_lens::{LensReport, LensSpec};
 use gsim_prof::{ProfSpec, ProfileReport};
 use gsim_types::{Cycle, JsonValue, ProtocolConfig, SimStats};
 use gsim_workloads::registry::{self, Group};
@@ -114,6 +115,10 @@ pub struct CellResult {
     /// The flow report, when the cell ran under [`run_cells_flowed`].
     /// Always `None` from [`run_cells`].
     pub flow: Option<FlowReport>,
+    /// The lens report, when the cell ran under [`run_cells_lensed`]
+    /// (per-line rows already annotated with the benchmark's regions).
+    /// Always `None` from [`run_cells`].
+    pub lens: Option<LensReport>,
     /// Whether the result came from the cache instead of a fresh run.
     pub from_cache: bool,
 }
@@ -194,6 +199,15 @@ pub fn cell_key_flowed(cell: &Cell, flow: &FlowSpec) -> Result<CacheKey, String>
     Ok(key)
 }
 
+/// The cache key of a *lens-observed* cell: [`cell_key`] plus the lens
+/// parameters, so runs with different top-k never serve each other's
+/// reports.
+pub fn cell_key_lensed(cell: &Cell, lens: &LensSpec) -> Result<CacheKey, String> {
+    let mut key = cell_key(cell)?;
+    key.params = format!("{};{}", key.params, lens.cache_token());
+    Ok(key)
+}
+
 /// Runs one cell, consulting the cache first. Fresh results are
 /// functionally verified by the simulator before they are stored.
 pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, String> {
@@ -205,6 +219,7 @@ pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, 
                 stats,
                 profile: None,
                 flow: None,
+                lens: None,
                 from_cache: true,
             });
         }
@@ -221,6 +236,7 @@ pub fn run_cell(cell: &Cell, cache: Option<&ResultCache>) -> Result<CellResult, 
         stats,
         profile: None,
         flow: None,
+        lens: None,
         from_cache: false,
     })
 }
@@ -244,6 +260,7 @@ pub fn run_cell_sharded(
                 stats,
                 profile: None,
                 flow: None,
+                lens: None,
                 from_cache: true,
             });
         }
@@ -260,6 +277,7 @@ pub fn run_cell_sharded(
         stats,
         profile: None,
         flow: None,
+        lens: None,
         from_cache: false,
     })
 }
@@ -285,6 +303,7 @@ pub fn run_cell_profiled(
                 stats,
                 profile,
                 flow: None,
+                lens: None,
                 from_cache: true,
             });
         }
@@ -306,6 +325,7 @@ pub fn run_cell_profiled(
         stats,
         profile,
         flow: None,
+        lens: None,
         from_cache: false,
     })
 }
@@ -328,6 +348,7 @@ pub fn run_cell_flowed(
                 stats,
                 profile: None,
                 flow: report,
+                lens: None,
                 from_cache: true,
             });
         }
@@ -346,6 +367,55 @@ pub fn run_cell_flowed(
         stats,
         profile: None,
         flow: report,
+        lens: None,
+        from_cache: false,
+    })
+}
+
+/// Runs one cell with lens observation, consulting the cache first. The
+/// per-line rows of the resulting report are annotated with the
+/// benchmark's named regions (when it declares any) before caching, so
+/// cached and fresh reports are identical. A `lens` spec with
+/// collection off degrades to [`run_cell`].
+pub fn run_cell_lensed(
+    cell: &Cell,
+    cache: Option<&ResultCache>,
+    lens: LensSpec,
+) -> Result<CellResult, String> {
+    if !lens.enabled() {
+        return run_cell(cell, cache);
+    }
+    let key = cell_key_lensed(cell, &lens)?;
+    if let Some(c) = cache {
+        if let Some((stats, report @ Some(_))) = c.get_lensed(&key) {
+            return Ok(CellResult {
+                cell: cell.clone(),
+                stats,
+                profile: None,
+                flow: None,
+                lens: report,
+                from_cache: true,
+            });
+        }
+    }
+    let b = registry::by_name(&cell.bench).expect("checked by cell_key");
+    let mut config = cell.system();
+    config.lens = lens;
+    let (stats, mut report) = Simulator::new(config)
+        .run_lens(&(b.build)(cell.scale))
+        .map_err(|e| format!("{} under {}: {e}", cell.bench, cell.config))?;
+    if let (Some(r), Some(regions)) = (report.as_mut(), b.regions) {
+        r.annotate(&regions(cell.scale));
+    }
+    if let Some(c) = cache {
+        c.put_lensed(&key, &stats, report.as_ref());
+    }
+    Ok(CellResult {
+        cell: cell.clone(),
+        stats,
+        profile: None,
+        flow: None,
+        lens: report,
         from_cache: false,
     })
 }
@@ -412,6 +482,21 @@ pub fn run_cells_flowed(
         .collect()
 }
 
+/// [`run_cells`] with lens observation: every cell runs under `lens`,
+/// and each result carries its annotated [`LensReport`]. Deterministic
+/// in the cell list like [`run_cells`] (lens collection never perturbs
+/// the simulation, and reports are themselves deterministic).
+pub fn run_cells_lensed(
+    cells: &[Cell],
+    jobs: usize,
+    cache: Option<&ResultCache>,
+    lens: LensSpec,
+) -> Result<Vec<CellResult>, String> {
+    pool::run_parallel(cells, jobs, |cell| run_cell_lensed(cell, cache, lens))
+        .into_iter()
+        .collect()
+}
+
 fn scale_slug(scale: Scale) -> String {
     format!("{scale:?}").to_lowercase()
 }
@@ -457,6 +542,9 @@ pub fn to_json(results: &[CellResult]) -> String {
             }
             if let Some(f) = &r.flow {
                 fields.push(("flow".into(), f.to_json_value()));
+            }
+            if let Some(l) = &r.lens {
+                fields.push(("lens".into(), l.to_json_value()));
             }
             JsonValue::Obj(fields)
         })
@@ -596,6 +684,53 @@ mod tests {
         // Flowed results surface the report in the JSON emitter.
         assert!(to_json(&first).contains("\"flow\""));
         assert!(!to_json(&plain).contains("\"flow\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lensed_cells_reconcile_counts_and_round_trip_the_cache() {
+        let dir = std::env::temp_dir().join(format!("gsim-lens-matrix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let cells = matrix_of(&["SPM_L"], &[ProtocolConfig::Gd], Scale::Tiny);
+        let lens = LensSpec::on();
+
+        let first = run_cells_lensed(&cells, 1, Some(&cache), lens).unwrap();
+        let r = &first[0];
+        assert!(!r.from_cache);
+        let l = r.lens.as_ref().expect("lens report collected");
+        l.reconcile(&r.stats.counts).unwrap();
+        assert!(
+            l.lines.iter().any(|row| row.region.is_some()),
+            "per-line rows annotated with the benchmark's regions"
+        );
+
+        // Zero perturbation: the plain runner sees identical stats.
+        let plain = run_cells(&cells, 1, None).unwrap();
+        assert_eq!(plain[0].stats, r.stats);
+        assert_eq!(plain[0].lens, None);
+
+        // Second lensed sweep is served whole from the cache.
+        let second = run_cells_lensed(&cells, 1, Some(&cache), lens).unwrap();
+        assert!(second[0].from_cache);
+        assert_eq!(second[0].lens, r.lens);
+        assert_eq!(second[0].stats, r.stats);
+
+        // The lensed key is distinct from the plain and flowed keys.
+        assert_ne!(
+            cell_key(&cells[0]).unwrap().fingerprint(),
+            cell_key_lensed(&cells[0], &lens).unwrap().fingerprint()
+        );
+        assert_ne!(
+            cell_key_flowed(&cells[0], &FlowSpec::on())
+                .unwrap()
+                .fingerprint(),
+            cell_key_lensed(&cells[0], &lens).unwrap().fingerprint()
+        );
+
+        // Lensed results surface the report in the JSON emitter.
+        assert!(to_json(&first).contains("\"lens\""));
+        assert!(!to_json(&plain).contains("\"lens\""));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -173,6 +173,20 @@ impl<X> CacheLine<X> {
             self.data[i] = data[i];
         }
     }
+
+    /// The acquire self-invalidation sweep on one line: drops every
+    /// [`WordState::Valid`] word except those in `keep` (DD+RO passes
+    /// its read-only-region words; a GPU flash passes the empty mask),
+    /// leaving Owned words untouched. Returns the mask of words
+    /// actually dropped — the quantity the observability layers
+    /// (gsim-prof's hot-line sketch, gsim-lens's acquire cost ledger)
+    /// attribute per line.
+    #[inline]
+    pub fn invalidate_valid(&mut self, keep: WordMask) -> WordMask {
+        let dropped = self.valid & !keep;
+        self.valid = self.valid & keep;
+        dropped
+    }
 }
 
 /// Result of [`CacheArray::insert`].

@@ -40,6 +40,7 @@
 
 use crate::action::{Action, ActionVec, Issue};
 use crate::gpu::{L1Config, L2Config};
+use gsim_lens::LensHandle;
 use gsim_mem::{CacheArray, Dram, InsertOutcome, MemoryImage, MshrFile, StoreBuffer, WordState};
 use gsim_prof::ProfHandle;
 use gsim_trace::{FlushReason, Level, TraceEvent, TraceHandle, WState};
@@ -186,6 +187,7 @@ pub struct DnL1 {
     counts: Counts,
     trace: TraceHandle,
     prof: ProfHandle,
+    lens: LensHandle,
     /// Whether an `SbFlushBegin` trace event is awaiting its matching
     /// end (emitted when `outstanding_writes` returns to zero).
     sb_draining: bool,
@@ -210,6 +212,7 @@ impl DnL1 {
             counts: Counts::default(),
             trace: TraceHandle::disabled(),
             prof: ProfHandle::disabled(),
+            lens: LensHandle::disabled(),
             sb_draining: false,
             config,
         }
@@ -225,6 +228,13 @@ impl DnL1 {
     /// hot-line sketch from then on. Observation-only.
     pub fn set_prof(&mut self, prof: &ProfHandle) {
         self.prof = prof.share();
+    }
+
+    /// Installs a lens handle; per-line lifecycle events (invalidation
+    /// waste, ownership churn, reuse) feed it from then on.
+    /// Observation-only.
+    pub fn set_lens(&mut self, lens: &LensHandle) {
+        self.lens = lens.share();
     }
 
     /// Store-buffer entries currently held (profiler occupancy gauge).
@@ -431,6 +441,8 @@ impl DnL1 {
         if let Some(v) = self.local_value(word) {
             self.counts.l1_accesses += 1;
             self.counts.l1_load_hits += 1;
+            self.lens
+                .access(self.config.l1.node.index(), word.line(), true);
             if region == Region::ReadOnly && self.config.read_only_region {
                 if let Some(l) = self.cache.lookup(word.line()) {
                     l.extra.0.insert(word.index_in_line());
@@ -447,6 +459,8 @@ impl DnL1 {
         }
         self.counts.l1_accesses += 1;
         self.counts.l1_load_misses += 1;
+        self.lens.access(self.config.l1.node.index(), line, false);
+        self.lens.load_miss(self.config.l1.node.index(), word, req);
         self.entry_epoch.entry(line).or_insert(self.epoch);
         let i = word.index_in_line();
         if region == Region::ReadOnly && self.config.read_only_region {
@@ -487,6 +501,7 @@ impl DnL1 {
     /// the next release or on buffer overflow.
     pub fn store(&mut self, word: WordAddr, value: Value) -> (Issue, ActionVec) {
         self.counts.l1_accesses += 1;
+        self.lens.store(self.config.l1.node.index(), word);
         let i = word.index_in_line();
         if self.is_owned(word) {
             self.counts.l1_store_hits += 1;
@@ -765,15 +780,18 @@ impl DnL1 {
         let keep_ro = self.config.read_only_region;
         let mut invalidated: u64 = 0;
         let prof = &self.prof;
+        let lens = &self.lens;
         let prof_node = self.config.l1.node.index();
         self.cache.for_each_line_mut(|l| {
-            let mut inv = l.mask_in(WordState::Valid);
-            if keep_ro {
-                inv = inv & !l.extra.0;
-            }
+            let keep = if keep_ro {
+                l.extra.0
+            } else {
+                WordMask::empty()
+            };
+            let inv = l.invalidate_valid(keep);
             invalidated += u64::from(inv.count());
             prof.line_invalidated(prof_node, l.tag, u64::from(inv.count()));
-            l.set_mask(inv, WordState::Invalid);
+            lens.invalidated(prof_node, l.tag, inv);
         });
         self.counts.words_invalidated += invalidated;
         let node = self.config.l1.node;
@@ -878,6 +896,8 @@ impl DnL1 {
             });
             if !owned.is_empty() {
                 self.counts.ownership_writebacks += owned.count() as u64;
+                self.lens
+                    .ownership_writeback(node.index(), victim.tag, owned.count());
                 self.wb_pending
                     .entry(victim.tag)
                     .or_default()
@@ -906,6 +926,7 @@ impl DnL1 {
             let intent = self.ro_intent.remove(&line).unwrap_or_default();
             let l = self.cache.lookup(line).expect("just ensured");
             let mut installed = 0u32;
+            let mut installed_mask = WordMask::default();
             for i in mask.iter() {
                 if l.word(i) == WordState::Owned {
                     continue; // never downgrade a Registered word
@@ -913,12 +934,15 @@ impl DnL1 {
                 l.set_word(i, WordState::Valid);
                 l.data[i] = data[i];
                 installed += 1;
+                installed_mask.insert(i);
                 if intent.contains(i) {
                     l.extra.0.insert(i);
                 } else {
                     l.extra.0.remove(i);
                 }
             }
+            self.lens
+                .filled(self.config.l1.node.index(), line, installed_mask, false);
             if installed > 0 {
                 let node = self.config.l1.node;
                 self.trace.emit(|| TraceEvent::StateChange {
@@ -958,6 +982,8 @@ impl DnL1 {
             l.data[i] = data[i];
             l.extra.0.remove(i);
         }
+        self.lens
+            .filled(self.config.l1.node.index(), line, mask, true);
         let node = self.config.l1.node;
         self.trace.emit(|| TraceEvent::StateChange {
             node,
@@ -993,6 +1019,8 @@ impl DnL1 {
             l.data[i] = p.data[i];
             l.extra.0.remove(i);
         }
+        self.lens
+            .filled(self.config.l1.node.index(), line, mask, true);
         p.mask = p.mask & !mask;
         if p.mask.is_empty() {
             self.reg_pending.remove(&line);
@@ -1185,6 +1213,8 @@ impl DnL1 {
                     let stolen = steal.count();
                     l.set_mask(steal, WordState::Invalid);
                     if stolen > 0 {
+                        self.lens
+                            .ownership_stolen(self.config.l1.node.index(), line, stolen);
                         let node = self.config.l1.node;
                         self.trace.emit(|| TraceEvent::StateChange {
                             node,
@@ -1254,6 +1284,7 @@ pub struct DnL2 {
     counts: Counts,
     trace: TraceHandle,
     prof: ProfHandle,
+    lens: LensHandle,
 }
 
 impl DnL2 {
@@ -1270,6 +1301,7 @@ impl DnL2 {
             counts: Counts::default(),
             trace: TraceHandle::disabled(),
             prof: ProfHandle::disabled(),
+            lens: LensHandle::disabled(),
             config,
         }
     }
@@ -1285,6 +1317,13 @@ impl DnL2 {
     /// Observation-only.
     pub fn set_prof(&mut self, prof: &ProfHandle) {
         self.prof = prof.share();
+    }
+
+    /// Installs a lens handle; registry registration churn and ownership
+    /// transfers feed the per-line lifecycle table from then on.
+    /// Observation-only.
+    pub fn set_lens(&mut self, lens: &LensHandle) {
+        self.lens = lens.share();
     }
 
     /// Starts an in-order bank operation on `line` at `now`; returns the
@@ -1514,6 +1553,7 @@ impl DnL2 {
             to: WState::Invalid,
         });
         let data = l.data;
+        self.lens.l2_register(line, mask.count());
         let mut actions = ActionVec::new();
         if !granted.is_empty() {
             // Sync grants carry the current value (the RMW reads it);
@@ -1539,6 +1579,7 @@ impl DnL2 {
             // the previous owner takes a forward.
             self.prof.registry_forward(line);
             self.prof.ownership_transfer(line, u64::from(m.count()));
+            self.lens.l2_transfer(line, m.count());
             actions.push(Action::Send {
                 msg: Msg {
                     src: bank_node,

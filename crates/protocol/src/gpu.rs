@@ -22,6 +22,7 @@
 //! DRF).
 
 use crate::action::{Action, ActionVec, Issue};
+use gsim_lens::LensHandle;
 use gsim_mem::{
     CacheArray, CacheGeometry, Dram, DramConfig, InsertOutcome, MemoryImage, MshrFile, StoreBuffer,
     WordState,
@@ -116,6 +117,7 @@ pub struct GpuL1 {
     counts: Counts,
     trace: TraceHandle,
     prof: ProfHandle,
+    lens: LensHandle,
     /// Whether an `SbFlushBegin` trace event is awaiting its matching
     /// end (emitted when `pending_wt` returns to zero).
     sb_draining: bool,
@@ -137,6 +139,7 @@ impl GpuL1 {
             counts: Counts::default(),
             trace: TraceHandle::disabled(),
             prof: ProfHandle::disabled(),
+            lens: LensHandle::disabled(),
             sb_draining: false,
             config,
         }
@@ -152,6 +155,13 @@ impl GpuL1 {
     /// hot-line sketch from then on. Observation-only.
     pub fn set_prof(&mut self, prof: &ProfHandle) {
         self.prof = prof.share();
+    }
+
+    /// Installs a lens handle; acquire sweeps, fills, and the demand
+    /// stream feed the coherence-lifecycle collector from then on.
+    /// Observation-only.
+    pub fn set_lens(&mut self, lens: &LensHandle) {
+        self.lens = lens.share();
     }
 
     /// Store-buffer entries currently held (profiler occupancy gauge).
@@ -341,6 +351,7 @@ impl GpuL1 {
     /// Buffers a store, emitting the overflow writethrough if the oldest
     /// entry is displaced.
     fn buffer_store(&mut self, word: WordAddr, value: Value, actions: &mut ActionVec) {
+        self.lens.store(self.config.node.index(), word);
         if let gsim_mem::StoreOutcome::Overflow(e) = self.sb.write(word, value) {
             self.counts.sb_overflow_flushes += 1;
             let pending = e.mask.count();
@@ -365,6 +376,8 @@ impl GpuL1 {
         if let Some(v) = self.local_value(word) {
             self.counts.l1_accesses += 1;
             self.counts.l1_load_hits += 1;
+            self.lens
+                .access(self.config.node.index(), word.line(), true);
             return (Issue::Hit(v), ActionVec::new());
         }
         let line = word.line();
@@ -373,6 +386,8 @@ impl GpuL1 {
         }
         self.counts.l1_accesses += 1;
         self.counts.l1_load_misses += 1;
+        self.lens.access(self.config.node.index(), line, false);
+        self.lens.load_miss(self.config.node.index(), word, req);
         self.entry_epoch.entry(line).or_insert(self.epoch);
         let was_pending = self.mshr.is_pending(line);
         let to_send = self
@@ -511,12 +526,14 @@ impl GpuL1 {
         self.counts.flash_invalidations += 1;
         let mut invalidated: u64 = 0;
         let prof = &self.prof;
+        let lens = &self.lens;
         let prof_node = self.config.node.index();
+        lens.flash(prof_node);
         self.cache.for_each_line_mut(|l| {
-            let v = l.mask_in(WordState::Valid);
+            let v = l.invalidate_valid(WordMask::empty());
             invalidated += u64::from(v.count());
             prof.line_invalidated(prof_node, l.tag, u64::from(v.count()));
-            l.set_mask(v, WordState::Invalid);
+            lens.invalidated(prof_node, l.tag, v);
         });
         self.counts.words_invalidated += invalidated;
         let node = self.config.node;
@@ -651,6 +668,8 @@ impl GpuL1 {
                     to: WState::Valid,
                 });
             }
+            self.lens
+                .filled(self.config.node.index(), line, mask & !skip, false);
             let entry = self.cache.lookup(line).expect("just inserted");
             entry.fill(mask & !skip, data, WordState::Valid);
             // Local pending stores are newer than the L2's copy: re-apply

@@ -32,8 +32,8 @@ use gpu_denovo::trace::{
 use gpu_denovo::types::{JsonValue, MsgClass};
 use gpu_denovo::workloads::litmus;
 use gpu_denovo::{
-    registry, CheckLevel, FlowReport, FlowSpec, ProfSpec, ProfileReport, ProtocolConfig, Scale,
-    SimError, SimStats, Simulator, StallKind, SystemConfig,
+    registry, CheckLevel, FlowReport, FlowSpec, LensReport, LensSpec, ProfSpec, ProfileReport,
+    ProtocolConfig, Scale, SimError, SimStats, Simulator, StallKind, SystemConfig,
 };
 use std::process::ExitCode;
 
@@ -57,6 +57,8 @@ fn usage() -> ExitCode {
          [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
          gpu-denovo flow <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--interval N]\n                  \
          [--period N] [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
+         gpu-denovo lens <BENCH> [--config GD|GH|DD|DD+RO|DH] [--paper] [--topk N]\n                  \
+         [--topn N] [--json] [--out FILE.csv|FILE.json|FILE.perfetto.json]\n  \
          gpu-denovo check [--bench <BENCH>] [--paper]\n  \
          gpu-denovo explore [--shape <NAME>] [--config GD|GH|DD|DD+RO|DH] [--budget N]\n                     \
          [--naive] [--json] [--replay <ID>]\n\n\
@@ -90,6 +92,16 @@ fn usage() -> ExitCode {
          per-link table, L2 bank occupancy, and journey waterfall. --out\n\
          exports .csv (per-link table), .json (full report), or\n\
          .perfetto.json (occupancy counter tracks + journey flow spans).\n\
+         `lens` follows every cache line's coherence lifecycle: what each\n\
+         global acquire invalidated, how much of the drop was provably\n\
+         wasted (re-fetched before overwrite), and how much reuse crossed\n\
+         a synchronization boundary. Without --config it prints the\n\
+         cross-config invalidation-waste table (the paper's reuse story:\n\
+         GD drops and re-fetches what DD retains); with --config the\n\
+         per-node ledger, the top --topn hot-line lifecycle table\n\
+         (--topk bounds how many lines are tracked), and the cross-sync\n\
+         reuse histograms. --out exports .csv (per-line table), .json\n\
+         (full report), or .perfetto.json (acquire-drop counter tracks).\n\
          `check` runs the conformance battery (litmus shapes under\n\
          CheckLevel::Full on every config, racy negative flagged), plus\n\
          one benchmark under full checking with --bench.\n\
@@ -314,6 +326,65 @@ fn flow_one(
         .reconcile(&stats.traffic)
         .map_err(|e| format!("{} under {p}: flow does not reconcile: {e}", b.name))?;
     Ok((stats, report))
+}
+
+/// One lens-observed run: build, run, annotate per-line rows with the
+/// benchmark's regions, and prove the ledger sums reproduce the
+/// aggregate invalidation/ownership counters exactly.
+fn lens_one(
+    b: &registry::Benchmark,
+    p: ProtocolConfig,
+    s: Scale,
+    spec: LensSpec,
+    fabric: FabricSpec,
+) -> Result<(SimStats, LensReport), String> {
+    let mut cfg = fabric.system(p);
+    cfg.lens = spec;
+    let (stats, report) = Simulator::new(cfg)
+        .run_lens(&(b.build)(s))
+        .map_err(|e| format!("{} under {p}: {e}", b.name))?;
+    let mut report = report.expect("lens collection enabled");
+    if let Some(regions) = b.regions {
+        report.annotate(&regions(s));
+    }
+    report
+        .reconcile(&stats.counts)
+        .map_err(|e| format!("{} under {p}: lens does not reconcile: {e}", b.name))?;
+    Ok((stats, report))
+}
+
+/// The cross-config invalidation-waste table (the paper's reuse story
+/// measured directly): how many still-valid words each configuration's
+/// acquires dropped, and how many of those it provably re-fetched
+/// before overwriting — pure waste, priced in flits and load-use stall
+/// cycles. Expect GD ≫ DD on reuse-heavy benchmarks.
+fn print_lens_compare(rows: &[(ProtocolConfig, SimStats, LensReport)]) {
+    println!(
+        "{:<8} {:>12} {:>9} {:>10} {:>10} {:>7} {:>10} {:>11} {:>10}",
+        "config",
+        "cycles",
+        "acquires",
+        "dropped",
+        "refetched",
+        "waste%",
+        "re-flits",
+        "stall-cyc",
+        "x-sync-hit"
+    );
+    for (p, stats, r) in rows {
+        println!(
+            "{:<8} {:>12} {:>9} {:>10} {:>10} {:>6.1}% {:>10} {:>11} {:>10}",
+            p.to_string(),
+            stats.cycles,
+            r.acquires(),
+            r.words_dropped(),
+            r.words_refetched(),
+            r.waste_pct(),
+            r.refetch_flits(),
+            r.stall_cycles(),
+            r.cross_sync_hits(),
+        );
+    }
 }
 
 /// The cross-config traffic matrix: per-class flit totals per
@@ -889,6 +960,143 @@ fn main() -> ExitCode {
                     "\n(per-link flit sums reconcile with the aggregate traffic breakdown\n\
                      class-for-class; queue%: share of link time spent waiting for a\n\
                      busy link rather than traversing it.)"
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "lens" => {
+            let Some(name) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let b = match lookup_bench(name) {
+                Ok(b) => b,
+                Err(e) => return fail(e),
+            };
+            let s = scale(&args);
+            match parse_shards(&args) {
+                Ok(Some(_)) => eprintln!(
+                    "note: lens observers force the sequential engine; \
+                     --shards is ignored (stats are identical by contract)"
+                ),
+                Ok(None) => {}
+                Err(e) => return fail(e),
+            }
+            let mut spec = LensSpec::on();
+            match flag_value(&args, "--topk") {
+                Ok(Some(v)) => match v.parse::<usize>() {
+                    Ok(n) if n > 0 => spec.topk = n,
+                    _ => {
+                        return fail(format!(
+                            "invalid --topk value {v:?}: expected a positive line count"
+                        ))
+                    }
+                },
+                Ok(None) => {}
+                Err(e) => return fail(format!("{e} (a line count)")),
+            }
+            let topn = match flag_value(&args, "--topn") {
+                Ok(Some(v)) => match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        return fail(format!("invalid --topn value {v:?}: expected an integer"))
+                    }
+                },
+                Ok(None) => 10,
+                Err(e) => return fail(format!("{e} (a line count)")),
+            };
+            let single = args.iter().any(|a| a == "--config");
+            let configs: Vec<ProtocolConfig> = if single {
+                match parse_config(&args) {
+                    Ok(c) => vec![c],
+                    Err(e) => return fail(e),
+                }
+            } else {
+                ProtocolConfig::ALL.to_vec()
+            };
+            let fabric = match parse_fabric(&args) {
+                Ok(f) => f,
+                Err(e) => return fail(e),
+            };
+            let mut rows = Vec::new();
+            for p in &configs {
+                match lens_one(&b, *p, s, spec, fabric) {
+                    Ok((stats, report)) => rows.push((*p, stats, report)),
+                    Err(e) => return fail(e),
+                }
+            }
+            if args.iter().any(|a| a == "--json") {
+                let doc = JsonValue::Arr(
+                    rows.iter()
+                        .map(|(p, _, r)| {
+                            JsonValue::Obj(vec![
+                                ("config".into(), JsonValue::Str(p.abbrev().into())),
+                                ("lens".into(), r.to_json_value()),
+                            ])
+                        })
+                        .collect(),
+                );
+                println!("{doc}");
+                return ExitCode::SUCCESS;
+            }
+            if let Some(path) = match flag_value(&args, "--out") {
+                Ok(v) => v.map(str::to_string),
+                Err(e) => return fail(format!("{e} (an output file)")),
+            } {
+                if rows.len() != 1 {
+                    return fail("lens --out needs a single run: add --config".into());
+                }
+                let r = &rows[0].2;
+                let text = if path.ends_with(".perfetto.json") {
+                    let tracks: Vec<CounterTrack> = r
+                        .counter_series()
+                        .into_iter()
+                        .map(|(name, points)| CounterTrack { name, points })
+                        .collect();
+                    chrome_json_with_counters(&[], 0, &tracks)
+                } else if path.ends_with(".json") {
+                    r.to_json()
+                } else if path.ends_with(".csv") {
+                    r.lines_csv()
+                } else {
+                    return fail(format!(
+                        "unsupported --out file {path:?}: expected .csv, .json, or .perfetto.json"
+                    ));
+                };
+                if let Err(e) = std::fs::write(&path, text) {
+                    return fail(format!("writing {path}: {e}"));
+                }
+                eprintln!(
+                    "wrote {path} ({} lines kept, {} acquire events)",
+                    r.lines.len(),
+                    r.events.len()
+                );
+            }
+            println!(
+                "lens of {name} at {s:?} scale (tracking the {} hottest lines)\n",
+                spec.topk
+            );
+            if single {
+                let (p, stats, r) = &rows[0];
+                println!("== {p} ({} cycles) ==", stats.cycles);
+                print!("{}", r.render_ledger());
+                println!();
+                print!("{}", r.render_lines(topn));
+                println!();
+                print!("{}", r.render_reuse());
+                println!(
+                    "\n{} acquire events recorded ({} dropped);\n\
+                     export with --out FILE.csv|FILE.json|FILE.perfetto.json",
+                    r.events.len(),
+                    r.dropped_events
+                );
+            } else {
+                print_lens_compare(&rows);
+                println!(
+                    "\n(dropped: still-valid words the acquire sweeps invalidated;\n\
+                     refetched: the share provably re-fetched from L2 before any\n\
+                     overwrite — pure waste the protocol's invalidation caused;\n\
+                     x-sync-hit: L1 load hits that crossed an acquire boundary,\n\
+                     i.e. reuse the protocol retained through synchronization.)"
                 );
             }
             ExitCode::SUCCESS

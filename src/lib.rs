@@ -45,6 +45,7 @@
 //! | tracing | [`trace`] | structured events, ring recorder, Chrome/Perfetto export |
 //! | profiling | [`prof`] | cycle attribution, hot-line sketches, interval time-series |
 //! | flow observation | [`flow`] | per-link traffic attribution, occupancy series, request journeys |
+//! | lifecycle lens | [`lens`] | acquire invalidation-waste ledger, per-line lifecycle, cross-sync reuse |
 //! | conformance | [`check`] | coherence invariants, happens-before race detection, quiesce audits |
 //! | schedule exploration | [`explore`] | DPOR enumeration of same-cycle orderings, replayable schedules |
 //! | experiment harness | [`harness`] | parallel matrix runner, content-addressed result cache |
@@ -59,6 +60,7 @@ pub use gsim_energy as energy;
 pub use gsim_explore as explore;
 pub use gsim_flow as flow;
 pub use gsim_harness as harness;
+pub use gsim_lens as lens;
 pub use gsim_mem as mem;
 pub use gsim_noc as noc;
 pub use gsim_prof as prof;
@@ -74,6 +76,7 @@ pub use gsim_core::{
 };
 pub use gsim_explore::{Budget, ExploreMode, ScheduleId, ShapeReport};
 pub use gsim_flow::{FlowReport, FlowSpec};
+pub use gsim_lens::{LensReport, LensSpec};
 pub use gsim_prof::{ProfSpec, ProfileReport, StallKind};
 pub use gsim_types::{ProtocolConfig, SimStats};
 pub use gsim_workloads::{registry, Scale};
